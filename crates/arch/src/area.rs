@@ -1,0 +1,181 @@
+//! Chip area model (paper Fig. 7 and the area axis of Fig. 9).
+
+use crate::config::ArchConfig;
+use crate::devices::DeviceRack;
+use crate::memory::MemoryHierarchy;
+use lt_photonics::units::SquareMillimeters;
+use std::fmt;
+
+/// Layout pitch of one DDot cell in the crossbar, including waveguide
+/// routing, micrometers. Calibrated so the photonic-core share of LT-B is
+/// ~20% of the chip (Fig. 7).
+pub const DDOT_CELL_PITCH_UM: f64 = 100.0;
+
+/// Fixed digital-logic area per chip plus per tile, mm^2.
+const DIGITAL_BASE_MM2: f64 = 1.0;
+const DIGITAL_PER_TILE_MM2: f64 = 0.5;
+
+/// Fraction of extra area for integration (pads, routing, keep-out).
+const INTEGRATION_OVERHEAD: f64 = 0.05;
+
+/// Itemized chip area.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Photonic crossbars (DDot arrays with routing).
+    pub photonic_core: SquareMillimeters,
+    /// All DAC channels.
+    pub dac: SquareMillimeters,
+    /// All ADC channels (including TIAs).
+    pub adc: SquareMillimeters,
+    /// Modulation: MZMs plus WDM mux/demux microdisks.
+    pub modulation: SquareMillimeters,
+    /// Laser array plus the Kerr micro-comb.
+    pub laser_comb: SquareMillimeters,
+    /// SRAM hierarchy.
+    pub memory: SquareMillimeters,
+    /// Digital processing units (softmax, LayerNorm, control).
+    pub digital: SquareMillimeters,
+    /// Integration overhead (routing, pads).
+    pub overhead: SquareMillimeters,
+}
+
+impl AreaBreakdown {
+    /// Computes the breakdown for a configuration.
+    pub fn for_config(config: &ArchConfig) -> Self {
+        let rack = DeviceRack::paper(config);
+        let mem = MemoryHierarchy::for_config(config);
+
+        let core_mm2 = config.num_cores() as f64
+            * (config.core.nh as f64 * DDOT_CELL_PITCH_UM)
+            * (config.core.nv as f64 * DDOT_CELL_PITCH_UM)
+            / 1e6;
+        let dac = rack.dac_count() as f64 * rack.dac.area.value() / 1e6;
+        let adc = (rack.adc_count() as f64 * rack.adc.area.value()
+            + rack.tia_count() as f64 * rack.tia.area.value())
+            / 1e6;
+        let modulation = (rack.mzm_count() as f64 * rack.mzm.area().value()
+            + rack.microdisk_count() as f64 * rack.microdisk.area.value())
+            / 1e6;
+        // One comb per chip plus one pump laser per wavelength.
+        let laser_comb = (rack.comb.area.value()
+            + config.core.nlambda as f64 * rack.laser.area.value())
+            / 1e6;
+        let memory = mem.area().to_mm2().value();
+        let digital = if config.global_sram_bytes == 0 {
+            0.0 // single-core scaling studies exclude the digital system
+        } else {
+            DIGITAL_BASE_MM2 + DIGITAL_PER_TILE_MM2 * config.nt as f64
+        };
+        let subtotal = core_mm2 + dac + adc + modulation + laser_comb + memory + digital;
+        AreaBreakdown {
+            photonic_core: SquareMillimeters(core_mm2),
+            dac: SquareMillimeters(dac),
+            adc: SquareMillimeters(adc),
+            modulation: SquareMillimeters(modulation),
+            laser_comb: SquareMillimeters(laser_comb),
+            memory: SquareMillimeters(memory),
+            digital: SquareMillimeters(digital),
+            overhead: SquareMillimeters(subtotal * INTEGRATION_OVERHEAD),
+        }
+    }
+
+    /// Total chip area.
+    pub fn total(&self) -> SquareMillimeters {
+        self.photonic_core
+            + self.dac
+            + self.adc
+            + self.modulation
+            + self.laser_comb
+            + self.memory
+            + self.digital
+            + self.overhead
+    }
+
+    /// `(label, mm^2, share)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total().value();
+        [
+            ("photonic core", self.photonic_core.value()),
+            ("DAC", self.dac.value()),
+            ("ADC+TIA", self.adc.value()),
+            ("modulation (MZM+WDM)", self.modulation.value()),
+            ("laser+comb", self.laser_comb.value()),
+            ("memory", self.memory.value()),
+            ("digital", self.digital.value()),
+            ("overhead", self.overhead.value()),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k, v, v / total))
+        .collect()
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, mm2, share) in self.rows() {
+            writeln!(f, "  {label:<22} {mm2:>8.2} mm^2  ({:>5.1}%)", share * 100.0)?;
+        }
+        write!(f, "  {:<22} {:>8.2} mm^2", "TOTAL", self.total().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ltb_total_matches_table_iv() {
+        // Paper: 60.3 mm^2 for LT-B.
+        let a = AreaBreakdown::for_config(&ArchConfig::lt_base(4));
+        let total = a.total().value();
+        assert!((50.0..72.0).contains(&total), "LT-B area {total} mm^2");
+    }
+
+    #[test]
+    fn ltl_total_matches_table_iv() {
+        // Paper: 112.82 mm^2 for LT-L (~2x LT-B).
+        let a = AreaBreakdown::for_config(&ArchConfig::lt_large(4));
+        let total = a.total().value();
+        assert!((95.0..130.0).contains(&total), "LT-L area {total} mm^2");
+        let b = AreaBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
+        let ratio = total / b;
+        assert!((1.6..2.2).contains(&ratio), "LT-L/LT-B ratio {ratio}");
+    }
+
+    #[test]
+    fn fig7_shares() {
+        // Fig. 7: photonic core ~20%, memory ~25%, DAC ~25%; the rest <30%.
+        let a = AreaBreakdown::for_config(&ArchConfig::lt_base(4));
+        let total = a.total().value();
+        let share = |v: SquareMillimeters| v.value() / total;
+        assert!((0.12..0.30).contains(&share(a.photonic_core)), "core share");
+        assert!((0.17..0.33).contains(&share(a.memory)), "memory share");
+        assert!((0.17..0.33).contains(&share(a.dac)), "DAC share");
+        let rest = share(a.adc) + share(a.modulation) + share(a.laser_comb)
+            + share(a.digital) + share(a.overhead);
+        assert!(rest < 0.40, "remaining share {rest}");
+    }
+
+    #[test]
+    fn area_is_precision_independent() {
+        let a4 = AreaBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
+        let a8 = AreaBreakdown::for_config(&ArchConfig::lt_base(8)).total().value();
+        assert!((a4 - a8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_scaling_matches_fig9_band() {
+        // Fig. 9: single 4-bit core area 5.9 mm^2 (N=8) to 49.3 mm^2 (N=32).
+        let a8 = AreaBreakdown::for_config(&ArchConfig::single_core(8, 4)).total().value();
+        let a32 = AreaBreakdown::for_config(&ArchConfig::single_core(32, 4)).total().value();
+        assert!((4.0..8.5).contains(&a8), "N=8 area {a8}");
+        assert!((40.0..60.0).contains(&a32), "N=32 area {a32}");
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let a = AreaBreakdown::for_config(&ArchConfig::lt_base(4));
+        let sum: f64 = a.rows().iter().map(|(_, v, _)| v).sum();
+        assert!((sum - a.total().value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-workload energy accounting (the categories of Figs. 11/12 and
+//! Table V).
+
+use lt_photonics::units::MilliJoules;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Itemized execution energy, following the paper's breakdown categories:
+/// `laser`, `op1-DAC`, `op1-mod`, `op2-DAC`, `op2-mod`, `det`, `ADC`,
+/// `data movement`, plus the digital (non-GEMM) units.
+///
+/// `op1` is the M1 operand (the weight matrix for linear layers — the one
+/// weight-static baselines hold in their devices); `op2` is the M2 operand
+/// (the input side, shared across tiles by the optical interconnect).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Laser wall-plug energy.
+    pub laser: MilliJoules,
+    /// D/A conversion of the M1 operand.
+    pub op1_dac: MilliJoules,
+    /// Modulation (MZM drive / device locking) of the M1 operand.
+    pub op1_mod: MilliJoules,
+    /// D/A conversion of the M2 operand.
+    pub op2_dac: MilliJoules,
+    /// Modulation of the M2 operand.
+    pub op2_mod: MilliJoules,
+    /// Photodetection and transimpedance amplification.
+    pub det: MilliJoules,
+    /// A/D conversion.
+    pub adc: MilliJoules,
+    /// SRAM/HBM data movement.
+    pub data_movement: MilliJoules,
+    /// Digital non-GEMM units (softmax, LayerNorm, GELU, residuals).
+    pub digital: MilliJoules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> MilliJoules {
+        self.laser
+            + self.op1_dac
+            + self.op1_mod
+            + self.op2_dac
+            + self.op2_mod
+            + self.det
+            + self.adc
+            + self.data_movement
+            + self.digital
+    }
+
+    /// `(label, mJ)` rows in the paper's plotting order.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("laser", self.laser.value()),
+            ("op1-DAC", self.op1_dac.value()),
+            ("op1-mod", self.op1_mod.value()),
+            ("op2-DAC", self.op2_dac.value()),
+            ("op2-mod", self.op2_mod.value()),
+            ("det", self.det.value()),
+            ("ADC", self.adc.value()),
+            ("data movement", self.data_movement.value()),
+            ("digital", self.digital.value()),
+        ]
+    }
+
+    /// Scales every component (used for count-weighted ops).
+    pub fn scaled(&self, factor: f64) -> Self {
+        EnergyBreakdown {
+            laser: self.laser * factor,
+            op1_dac: self.op1_dac * factor,
+            op1_mod: self.op1_mod * factor,
+            op2_dac: self.op2_dac * factor,
+            op2_mod: self.op2_mod * factor,
+            det: self.det * factor,
+            adc: self.adc * factor,
+            data_movement: self.data_movement * factor,
+            digital: self.digital * factor,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            laser: self.laser + rhs.laser,
+            op1_dac: self.op1_dac + rhs.op1_dac,
+            op1_mod: self.op1_mod + rhs.op1_mod,
+            op2_dac: self.op2_dac + rhs.op2_dac,
+            op2_mod: self.op2_mod + rhs.op2_mod,
+            det: self.det + rhs.det,
+            adc: self.adc + rhs.adc,
+            data_movement: self.data_movement + rhs.data_movement,
+            digital: self.digital + rhs.digital,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().value();
+        for (label, mj) in self.rows() {
+            if mj > 0.0 {
+                writeln!(
+                    f,
+                    "  {label:<14} {mj:>12.6} mJ ({:>5.1}%)",
+                    mj / total * 100.0
+                )?;
+            }
+        }
+        write!(f, "  {:<14} {total:>12.6} mJ", "TOTAL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            laser: MilliJoules(1.0),
+            op1_dac: MilliJoules(2.0),
+            op1_mod: MilliJoules(3.0),
+            op2_dac: MilliJoules(4.0),
+            op2_mod: MilliJoules(5.0),
+            det: MilliJoules(6.0),
+            adc: MilliJoules(7.0),
+            data_movement: MilliJoules(8.0),
+            digital: MilliJoules(9.0),
+        }
+    }
+
+    #[test]
+    fn total_sums_all_components() {
+        assert!((sample().total().value() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let s = sample();
+        let doubled = s + s;
+        assert!((doubled.total().value() - 90.0).abs() < 1e-12);
+        let scaled = s.scaled(0.5);
+        assert!((scaled.total().value() - 22.5).abs() < 1e-12);
+        let mut acc = EnergyBreakdown::default();
+        acc += s;
+        acc += s;
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    fn rows_cover_every_component() {
+        let rows = sample().rows();
+        assert_eq!(rows.len(), 9);
+        let sum: f64 = rows.iter().map(|(_, v)| v).sum();
+        assert!((sum - 45.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Latency model: cycle counts under the Fig. 5 spatial/temporal mapping
+//! plus the optics / EO-OE pipeline delays of Fig. 9.
+
+use crate::config::ArchConfig;
+
+/// Optics time-of-flight through a core of size `n` (waveguide path grows
+/// linearly with the crossbar), picoseconds. Calibrated to Fig. 9's
+/// 47 ps (N=8) to 106.4 ps (N=32) including the fixed EO/OE portion.
+pub fn optics_latency_ps(n: usize) -> f64 {
+    14.2 + 2.475 * n as f64
+}
+
+/// E-O and O-E conversion latency, picoseconds ("remains almost the same"
+/// across core sizes, Fig. 9).
+pub fn eo_oe_latency_ps() -> f64 {
+    13.0
+}
+
+/// Total single-shot pipeline latency of a core of size `n`, picoseconds.
+pub fn pipeline_latency_ps(n: usize) -> f64 {
+    optics_latency_ps(n) + eo_oe_latency_ps()
+}
+
+/// Number of photonic cycles to execute one `[rows, inner] x [inner, cols]`
+/// GEMM under the paper's mapping: M1 row-chunks spread spatially over
+/// `Nt` tiles, inner-dimension chunks over the `Nc` cores of a tile
+/// (their partial sums join by photocurrent summation), and the remaining
+/// tiles processed temporally.
+pub fn gemm_cycles(config: &ArchConfig, rows: usize, inner: usize, cols: usize) -> u64 {
+    gemm_cycles_batched(config, rows, inner, cols, 1)
+}
+
+/// Cycles for `instances` independent executions of the same GEMM (e.g.
+/// the per-head attention products, or blockified sparse-attention
+/// chunks). Independent instances fill tiles that a small `rows` dimension
+/// would otherwise leave idle — without it, many-small-MM workloads would
+/// be charged for an underutilized machine they can trivially fill.
+pub fn gemm_cycles_batched(
+    config: &ArchConfig,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    instances: usize,
+) -> u64 {
+    let tiles_m = rows.div_ceil(config.core.nh) as u64;
+    let tiles_d = inner.div_ceil(config.core.nlambda) as u64;
+    let tiles_n = cols.div_ceil(config.core.nv) as u64;
+    let spatial_m = (tiles_m * instances.max(1) as u64).div_ceil(config.nt as u64);
+    let spatial_d = tiles_d.div_ceil(config.nc as u64);
+    spatial_m * spatial_d * tiles_n
+}
+
+/// Total tile-invocations `T = ceil(m/Nh) ceil(d/Nl) ceil(n/Nv)` of Eq. 11
+/// (energy does not parallelize away, unlike latency).
+pub fn gemm_tile_invocations(config: &ArchConfig, rows: usize, inner: usize, cols: usize) -> u64 {
+    (rows.div_ceil(config.core.nh) as u64)
+        * (inner.div_ceil(config.core.nlambda) as u64)
+        * (cols.div_ceil(config.core.nv) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_latency_endpoints() {
+        let n8 = pipeline_latency_ps(8);
+        let n32 = pipeline_latency_ps(32);
+        assert!((n8 - 47.0).abs() < 1.0, "N=8 latency {n8} ps");
+        assert!((n32 - 106.4).abs() < 1.0, "N=32 latency {n32} ps");
+        // EO/OE share shrinks as optics grows.
+        assert!(eo_oe_latency_ps() / n32 < eo_oe_latency_ps() / n8);
+    }
+
+    #[test]
+    fn cycles_shrink_with_parallelism() {
+        let ltb = ArchConfig::lt_base(4);
+        let single = ArchConfig::single_core(12, 4);
+        let big = gemm_cycles(&single, 197, 192, 768);
+        let par = gemm_cycles(&ltb, 197, 192, 768);
+        // 8 cores cannot speed up by more than 8x, and at these sizes the
+        // mapping should get close.
+        assert!(par < big);
+        let speedup = big as f64 / par as f64;
+        assert!((4.0..=8.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn tile_invocations_match_eq11() {
+        let ltb = ArchConfig::lt_base(4);
+        assert_eq!(
+            gemm_tile_invocations(&ltb, 197, 64, 197),
+            (17 * 6 * 17) as u64
+        );
+    }
+
+    #[test]
+    fn perfect_fit_has_no_padding() {
+        let ltb = ArchConfig::lt_base(4);
+        // 48 x 24 x 12: tiles_m = 4 (one per tile), tiles_d = 2 (one per
+        // core), tiles_n = 1 => exactly one cycle.
+        assert_eq!(gemm_cycles(&ltb, 48, 24, 12), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Lightening-Transformer accelerator architecture simulator.
+//!
+//! This crate models the paper's Section IV system: `Nt` tiles of `Nc`
+//! DPTC cores each, a three-level memory hierarchy (global SRAM, per-tile
+//! SRAMs, converter buffers) fed by HBM, output-stationary tiled dataflow
+//! (Fig. 5), inter-core operand broadcast over optical interconnect, and
+//! analog-domain accumulation (photocurrent summation across cores plus
+//! temporal accumulation before the ADC).
+//!
+//! It produces the quantities the paper's evaluation reports:
+//!
+//! * **Area breakdown** (Fig. 7) — [`area::AreaBreakdown`]
+//! * **Power breakdown** (Fig. 8) — [`power::PowerBreakdown`]
+//! * **Per-workload energy/latency/EDP** (Table V, Figs. 11-13) —
+//!   [`sim::Simulator`]
+//! * **Core-size scaling** (Figs. 9, 10) — [`scaling`]
+//!
+//! # Example
+//!
+//! ```
+//! use lt_arch::{ArchConfig, Simulator};
+//! use lt_workloads::TransformerConfig;
+//!
+//! let sim = Simulator::new(ArchConfig::lt_base(4));
+//! let report = sim.run_model(&TransformerConfig::deit_tiny());
+//! // DeiT-T on LT-B at 4-bit: tens of microseconds, sub-millijoule.
+//! assert!(report.all.latency.value() < 0.1);     // < 0.1 ms
+//! assert!(report.all.energy.total().value() < 1.0); // < 1 mJ
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod config;
+pub mod devices;
+pub mod energy;
+pub mod latency;
+pub mod memory;
+pub mod power;
+pub mod roofline;
+pub mod scaling;
+pub mod search;
+pub mod sim;
+
+pub use area::AreaBreakdown;
+pub use config::{ArchConfig, ArchOptimizations, CoreTopology};
+pub use energy::EnergyBreakdown;
+pub use power::PowerBreakdown;
+pub use sim::{ModelReport, RunReport, Simulator};

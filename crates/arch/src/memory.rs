@@ -1,0 +1,201 @@
+//! Memory hierarchy: analytic SRAM model (PCACTI substitute) and HBM link.
+//!
+//! The paper models SRAM area/leakage/access energy with PCACTI at 14 nm
+//! and decouples large arrays into 32 KB sub-arrays for bandwidth
+//! (Section IV-A). We use a standard CACTI-style analytic fit: access
+//! energy grows with the square root of sub-array capacity, leakage and
+//! area grow linearly with capacity. Constants are calibrated so the
+//! memory share of LT-B's area/power breakdown matches Fig. 7/8
+//! (DESIGN.md, Substitution 3).
+
+use lt_photonics::units::{MilliWatts, PicoJoules, SquareMicrometers};
+
+/// Size of the decoupled SRAM sub-arrays (paper follows \[10\]).
+pub const SUBARRAY_BYTES: usize = 32 << 10;
+
+/// 14 nm SRAM density including periphery, um^2 per byte.
+const SRAM_UM2_PER_BYTE: f64 = 6.2;
+
+/// Read energy of a 32 KB sub-array, pJ per byte.
+const SRAM_PJ_PER_BYTE_32K: f64 = 0.9;
+
+/// Write premium over reads.
+const SRAM_WRITE_FACTOR: f64 = 1.1;
+
+/// SRAM leakage, mW per KB at 14 nm.
+const SRAM_LEAKAGE_MW_PER_KB: f64 = 0.012;
+
+/// HBM access energy, pJ per byte (~5 pJ/bit class, \[37\]).
+pub const HBM_PJ_PER_BYTE: f64 = 40.0;
+
+/// HBM bandwidth, bytes per second (> 1 TB/s in the paper).
+pub const HBM_BYTES_PER_S: f64 = 1.0e12;
+
+/// An on-chip SRAM macro, internally banked into 32 KB sub-arrays.
+///
+/// ```
+/// use lt_arch::memory::SramMacro;
+/// let global = SramMacro::new(2 << 20); // LT-B's 2 MB global SRAM
+/// assert!(global.area().to_mm2().value() > 5.0);
+/// assert!(global.read_energy_per_byte().value() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramMacro {
+    capacity_bytes: usize,
+}
+
+impl SramMacro {
+    /// Creates a macro of the given capacity (zero capacity is allowed and
+    /// costs nothing — used by single-core scaling configs).
+    pub fn new(capacity_bytes: usize) -> Self {
+        SramMacro { capacity_bytes }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Number of 32 KB sub-arrays (at least one for non-empty macros).
+    pub fn subarrays(&self) -> usize {
+        if self.capacity_bytes == 0 {
+            0
+        } else {
+            self.capacity_bytes.div_ceil(SUBARRAY_BYTES)
+        }
+    }
+
+    /// Total layout area.
+    pub fn area(&self) -> SquareMicrometers {
+        SquareMicrometers(self.capacity_bytes as f64 * SRAM_UM2_PER_BYTE)
+    }
+
+    /// Read energy per byte. Sub-arrays cap the bitline length, so the
+    /// energy follows the sub-array (not total) capacity; smaller macros
+    /// are cheaper with square-root scaling.
+    pub fn read_energy_per_byte(&self) -> PicoJoules {
+        if self.capacity_bytes == 0 {
+            return PicoJoules(0.0);
+        }
+        let effective = self.capacity_bytes.min(SUBARRAY_BYTES) as f64;
+        PicoJoules(SRAM_PJ_PER_BYTE_32K * (effective / SUBARRAY_BYTES as f64).sqrt())
+    }
+
+    /// Write energy per byte.
+    pub fn write_energy_per_byte(&self) -> PicoJoules {
+        self.read_energy_per_byte() * SRAM_WRITE_FACTOR
+    }
+
+    /// Static leakage power.
+    pub fn leakage(&self) -> MilliWatts {
+        MilliWatts(self.capacity_bytes as f64 / 1024.0 * SRAM_LEAKAGE_MW_PER_KB)
+    }
+}
+
+/// The full memory hierarchy of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryHierarchy {
+    /// Global (chip-level) SRAM.
+    pub global: SramMacro,
+    /// One M1 operand SRAM per tile.
+    pub tile_m1: SramMacro,
+    /// One activation SRAM per tile.
+    pub tile_act: SramMacro,
+    /// Number of tiles.
+    pub tiles: usize,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy of an [`crate::ArchConfig`].
+    pub fn for_config(config: &crate::config::ArchConfig) -> Self {
+        MemoryHierarchy {
+            global: SramMacro::new(config.global_sram_bytes),
+            tile_m1: SramMacro::new(config.tile_sram_bytes),
+            tile_act: SramMacro::new(config.act_sram_bytes),
+            tiles: config.nt,
+        }
+    }
+
+    /// Total on-chip SRAM capacity.
+    pub fn total_bytes(&self) -> usize {
+        self.global.capacity_bytes()
+            + self.tiles * (self.tile_m1.capacity_bytes() + self.tile_act.capacity_bytes())
+    }
+
+    /// Total SRAM layout area.
+    pub fn area(&self) -> SquareMicrometers {
+        let per_tile =
+            SquareMicrometers(self.tile_m1.area().value() + self.tile_act.area().value());
+        SquareMicrometers(self.global.area().value() + per_tile.value() * self.tiles as f64)
+    }
+
+    /// Total SRAM leakage.
+    pub fn leakage(&self) -> MilliWatts {
+        self.global.leakage()
+            + (self.tile_m1.leakage() + self.tile_act.leakage()) * self.tiles as f64
+    }
+
+    /// Energy to move one byte from global SRAM into a tile and through
+    /// the tile SRAM to the converters (read global + write tile + read
+    /// tile).
+    pub fn operand_byte_energy(&self) -> PicoJoules {
+        self.global.read_energy_per_byte()
+            + self.tile_m1.write_energy_per_byte()
+            + self.tile_m1.read_energy_per_byte()
+    }
+
+    /// Energy to write one output byte back into the activation SRAM and
+    /// eventually the global SRAM.
+    pub fn output_byte_energy(&self) -> PicoJoules {
+        self.tile_act.write_energy_per_byte() + self.global.write_energy_per_byte()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subarray_decomposition() {
+        assert_eq!(SramMacro::new(2 << 20).subarrays(), 64);
+        assert_eq!(SramMacro::new(4 << 10).subarrays(), 1);
+        assert_eq!(SramMacro::new(0).subarrays(), 0);
+    }
+
+    #[test]
+    fn small_srams_are_cheaper_per_byte() {
+        let small = SramMacro::new(4 << 10);
+        let big = SramMacro::new(2 << 20);
+        assert!(small.read_energy_per_byte().value() < big.read_energy_per_byte().value());
+        // Sub-array cap: a 2 MB macro reads at 32 KB-array cost.
+        assert!((big.read_energy_per_byte().value() - SRAM_PJ_PER_BYTE_32K).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ltb_memory_area_near_quarter_of_chip() {
+        // Fig. 7: memory ~25% of LT-B's 60.3 mm^2 => ~15 mm^2.
+        let h = MemoryHierarchy::for_config(&crate::config::ArchConfig::lt_base(4));
+        let mm2 = h.area().to_mm2().value();
+        assert!((10.0..20.0).contains(&mm2), "memory area {mm2} mm^2");
+    }
+
+    #[test]
+    fn zero_capacity_costs_nothing() {
+        let m = SramMacro::new(0);
+        assert_eq!(m.area().value(), 0.0);
+        assert_eq!(m.leakage().value(), 0.0);
+        assert_eq!(m.read_energy_per_byte().value(), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_totals() {
+        let h = MemoryHierarchy::for_config(&crate::config::ArchConfig::lt_base(4));
+        assert_eq!(
+            h.total_bytes(),
+            (2 << 20) + 4 * ((4 << 10) + (64 << 10))
+        );
+        assert!(h.leakage().value() > 0.0);
+        assert!(h.operand_byte_energy().value() > 0.0);
+        assert!(h.output_byte_energy().value() > 0.0);
+    }
+}

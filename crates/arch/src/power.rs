@@ -1,0 +1,186 @@
+//! Operating power model (paper Fig. 8).
+
+use crate::config::ArchConfig;
+use crate::devices::DeviceRack;
+use crate::memory::MemoryHierarchy;
+use lt_photonics::units::{GigaHertz, MilliWatts, Watts};
+use std::fmt;
+
+/// Digital processing unit power: fixed base plus per-tile share, watts.
+const DIGITAL_BASE_W: f64 = 0.3;
+const DIGITAL_PER_TILE_W: f64 = 0.1;
+
+/// Itemized operating power.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// DAC channels at the configured precision and clock.
+    pub dac: Watts,
+    /// ADC channels (rate-reduced by analog accumulation).
+    pub adc: Watts,
+    /// Operand modulation: MZM drive plus WDM filter locking.
+    pub modulation: Watts,
+    /// Photodetectors and TIAs.
+    pub detection: Watts,
+    /// Laser wall-plug power.
+    pub laser: Watts,
+    /// Memory: SRAM leakage plus streaming dynamic power.
+    pub memory: Watts,
+    /// Digital processing units.
+    pub digital: Watts,
+}
+
+impl PowerBreakdown {
+    /// Computes the breakdown for a configuration at full utilization.
+    pub fn for_config(config: &ArchConfig) -> Self {
+        let rack = DeviceRack::paper(config);
+        let mem = MemoryHierarchy::for_config(config);
+        let bits = config.precision_bits;
+        let clock = config.clock;
+
+        let dac_mw =
+            rack.dac_count() as f64 * rack.dac.scaled_power(bits, clock).value();
+        let adc_rate = GigaHertz(
+            clock.value() / config.opts.adc_reduction(config.nc),
+        );
+        let adc_mw = rack.adc_count() as f64 * rack.adc.scaled_power(bits, adc_rate).value();
+        let modulation_mw = rack.mzm_count() as f64 * rack.mzm.tuning_power().value()
+            + rack.microdisk_count() as f64 * rack.microdisk.locking_power.value();
+        let detection_mw = rack.pd_count() as f64 * rack.pd.power.value()
+            + rack.tia_count() as f64 * rack.tia.power.value();
+        let laser_mw = rack.laser_power().value();
+
+        // Memory: leakage + peak streaming power (fresh operands every
+        // cycle out of the tile SRAMs, with ~Nv-fold reuse before the
+        // global SRAM is touched again).
+        let fresh_bytes_per_cycle = (rack.m1_signal_count() + rack.m2_signal_count()) as f64
+            * bits as f64
+            / 8.0;
+        let cycles_per_s = clock.to_hz();
+        let tile_stream_w = fresh_bytes_per_cycle
+            * mem.tile_m1.read_energy_per_byte().value()
+            * 1e-12
+            * cycles_per_s;
+        let reuse = config.core.nv.max(1) as f64;
+        let global_stream_w = fresh_bytes_per_cycle / reuse
+            * mem.global.read_energy_per_byte().value()
+            * 1e-12
+            * cycles_per_s;
+        let memory_w = mem.leakage().to_watts().value() + tile_stream_w + global_stream_w;
+
+        let digital_w = if config.global_sram_bytes == 0 {
+            0.0
+        } else {
+            DIGITAL_BASE_W + DIGITAL_PER_TILE_W * config.nt as f64
+        };
+
+        PowerBreakdown {
+            dac: MilliWatts(dac_mw).to_watts(),
+            adc: MilliWatts(adc_mw).to_watts(),
+            modulation: MilliWatts(modulation_mw).to_watts(),
+            detection: MilliWatts(detection_mw).to_watts(),
+            laser: MilliWatts(laser_mw).to_watts(),
+            memory: Watts(memory_w),
+            digital: Watts(digital_w),
+        }
+    }
+
+    /// Total operating power.
+    pub fn total(&self) -> Watts {
+        self.dac + self.adc + self.modulation + self.detection + self.laser + self.memory
+            + self.digital
+    }
+
+    /// `(label, watts, share)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total().value();
+        [
+            ("DAC", self.dac.value()),
+            ("ADC", self.adc.value()),
+            ("modulation", self.modulation.value()),
+            ("detection (PD+TIA)", self.detection.value()),
+            ("laser", self.laser.value()),
+            ("memory", self.memory.value()),
+            ("digital", self.digital.value()),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k, v, v / total))
+        .collect()
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, w, share) in self.rows() {
+            writeln!(f, "  {label:<22} {w:>8.3} W  ({:>5.1}%)", share * 100.0)?;
+        }
+        write!(f, "  {:<22} {:>8.3} W", "TOTAL", self.total().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ltb_4bit_total_near_paper() {
+        // Paper Fig. 8a: 14.75 W.
+        let p = PowerBreakdown::for_config(&ArchConfig::lt_base(4));
+        let total = p.total().value();
+        assert!((10.0..19.0).contains(&total), "LT-B 4-bit {total} W");
+    }
+
+    #[test]
+    fn ltb_8bit_total_near_paper_and_dac_dominates() {
+        // Paper Fig. 8b: 50.94 W with DACs > 50% of the total.
+        let p = PowerBreakdown::for_config(&ArchConfig::lt_base(8));
+        let total = p.total().value();
+        assert!((38.0..65.0).contains(&total), "LT-B 8-bit {total} W");
+        assert!(
+            p.dac.value() / total > 0.4,
+            "8-bit DAC share {}",
+            p.dac.value() / total
+        );
+        // 8-bit draws more than 3x the 4-bit power (paper text).
+        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
+        assert!(total / p4 > 3.0, "8-bit/4-bit power ratio {}", total / p4);
+    }
+
+    #[test]
+    fn ltl_power_near_paper() {
+        // Paper: LT-L draws 28.06 W at 4-bit, 95.92 W at 8-bit.
+        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4)).total().value();
+        let p8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8)).total().value();
+        assert!((19.0..36.0).contains(&p4), "LT-L 4-bit {p4} W");
+        assert!((70.0..120.0).contains(&p8), "LT-L 8-bit {p8} W");
+    }
+
+    #[test]
+    fn laser_jumps_16x_from_4_to_8_bit() {
+        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_base(4));
+        let p8 = PowerBreakdown::for_config(&ArchConfig::lt_base(8));
+        let ratio = p8.laser.value() / p4.laser.value();
+        assert!((ratio - 16.0).abs() < 0.1, "laser ratio {ratio}");
+    }
+
+    #[test]
+    fn temporal_accumulation_cuts_adc_power() {
+        let full = PowerBreakdown::for_config(&ArchConfig::lt_base(4));
+        let off = PowerBreakdown::for_config(&ArchConfig::lt_crossbar_base(4));
+        // all_off also doubles ADC count (no photocurrent summation) and
+        // runs the ADC at the full clock: 2 * 6 = 12x more ADC power,
+        // minus the extra DAC count effect; just check direction strongly.
+        assert!(
+            off.adc.value() > 5.0 * full.adc.value(),
+            "ADC power {} vs {}",
+            off.adc.value(),
+            full.adc.value()
+        );
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let p = PowerBreakdown::for_config(&ArchConfig::lt_base(4));
+        let sum: f64 = p.rows().iter().map(|(_, v, _)| v).sum();
+        assert!((sum - p.total().value()).abs() < 1e-9);
+    }
+}

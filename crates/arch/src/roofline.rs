@@ -1,0 +1,140 @@
+//! Roofline analysis: is a workload compute-bound on the photonic cores
+//! or memory-bound on HBM?
+//!
+//! The paper's LLM discussion (Section VI-B) hinges on exactly this:
+//! autoregressive decoding has such low arithmetic intensity that the
+//! ultra-fast photonic cores sit idle behind the memory system. This
+//! module computes the accelerator's ridge point and classifies traces.
+
+use crate::config::ArchConfig;
+use crate::memory::HBM_BYTES_PER_S;
+use lt_workloads::{GemmOp, OperandDynamics};
+
+/// Which resource limits a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// The photonic cores are the bottleneck (good: optics paid off).
+    Compute,
+    /// The HBM link is the bottleneck (optics underutilized).
+    Memory,
+}
+
+/// Roofline placement of one trace on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity of the trace, MACs per HBM byte.
+    pub intensity: f64,
+    /// The machine's ridge point, MACs per byte.
+    pub ridge: f64,
+    /// Attainable throughput, GMAC/s.
+    pub attainable_gmacs: f64,
+    /// Peak compute throughput, GMAC/s.
+    pub peak_gmacs: f64,
+    /// The binding resource.
+    pub bound: Bound,
+}
+
+impl RooflinePoint {
+    /// Fraction of peak compute the workload can reach.
+    pub fn compute_utilization(&self) -> f64 {
+        self.attainable_gmacs / self.peak_gmacs
+    }
+}
+
+/// Bytes a trace must pull from HBM: weights, once per op execution.
+/// Dynamic operands are assumed on-chip, matching the simulator's model;
+/// note that a batched [`lt_workloads::DecodeTrace`] represents the batch
+/// as extra GEMM rows sharing one KV operand, so for per-sequence KV
+/// traffic use [`lt_workloads::DecodeTrace::arithmetic_intensity`]
+/// instead.
+pub fn hbm_bytes(trace: &[GemmOp], bits: u32) -> f64 {
+    trace
+        .iter()
+        .filter(|op| op.dynamics() == OperandDynamics::WeightStatic)
+        .map(|op| (op.k * op.n * op.count) as f64 * bits as f64 / 8.0)
+        .sum()
+}
+
+/// Places a trace on the configuration's roofline.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+pub fn analyze(config: &ArchConfig, trace: &[GemmOp]) -> RooflinePoint {
+    assert!(!trace.is_empty(), "cannot analyze an empty trace");
+    let macs: f64 = trace.iter().map(|op| op.total_macs() as f64).sum();
+    let bytes = hbm_bytes(trace, config.precision_bits).max(1.0);
+    let intensity = macs / bytes;
+
+    let peak_macs_per_s = config.macs_per_cycle() as f64 * config.clock.to_hz();
+    let ridge = peak_macs_per_s / HBM_BYTES_PER_S;
+
+    let attainable = peak_macs_per_s.min(intensity * HBM_BYTES_PER_S);
+    RooflinePoint {
+        intensity,
+        ridge,
+        attainable_gmacs: attainable / 1e9,
+        peak_gmacs: peak_macs_per_s / 1e9,
+        bound: if intensity >= ridge {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_workloads::{DecodeTrace, TransformerConfig};
+
+    #[test]
+    fn ridge_point_is_about_69_macs_per_byte() {
+        // LT-B: 13824 MACs/cycle * 5 GHz = 69.1 TMAC/s over 1 TB/s.
+        let cfg = ArchConfig::lt_base(4);
+        let trace = TransformerConfig::deit_tiny().gemm_trace();
+        let p = analyze(&cfg, &trace);
+        assert!((p.ridge - 69.12).abs() < 0.1, "ridge {}", p.ridge);
+    }
+
+    #[test]
+    fn batch_1_deit_inference_is_compute_bound() {
+        // Activations are reused across all 197 tokens: intensity is high
+        // enough that the photonic cores are the bottleneck.
+        let cfg = ArchConfig::lt_base(4);
+        let trace = TransformerConfig::deit_tiny().gemm_trace();
+        let p = analyze(&cfg, &trace);
+        assert_eq!(p.bound, Bound::Compute, "intensity {}", p.intensity);
+        assert!(p.compute_utilization() > 0.99);
+    }
+
+    #[test]
+    fn batch_1_decode_is_memory_bound() {
+        // The paper's Section VI-B claim, now as a roofline fact.
+        let cfg = ArchConfig::lt_base(8);
+        let trace = DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).gemm_trace();
+        let p = analyze(&cfg, &trace);
+        assert_eq!(p.bound, Bound::Memory, "intensity {}", p.intensity);
+        assert!(
+            p.compute_utilization() < 0.05,
+            "decode should waste >95% of the optics: {}",
+            p.compute_utilization()
+        );
+    }
+
+    #[test]
+    fn batching_crosses_the_ridge() {
+        let cfg = ArchConfig::lt_base(8);
+        let model = TransformerConfig::gpt2_small(1);
+        let b1 = analyze(&cfg, &DecodeTrace::new(model.clone(), 512, 1).gemm_trace());
+        let b256 = analyze(&cfg, &DecodeTrace::new(model, 512, 256).gemm_trace());
+        assert!(b256.intensity > 50.0 * b1.intensity);
+        assert!(b256.compute_utilization() > b1.compute_utilization());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        analyze(&ArchConfig::lt_base(4), &[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Core-size scaling studies (paper Figs. 9 and 10).
+//!
+//! Sweeps a *single* 4-bit DPTC core from size 8 to 32 (and beyond for
+//! Fig. 10) with no cross-tile sharing, reporting area, power, pipeline
+//! latency, and the throughput/efficiency metrics of the optical computing
+//! part.
+
+use crate::area::AreaBreakdown;
+use crate::config::ArchConfig;
+
+use crate::latency::{eo_oe_latency_ps, optics_latency_ps};
+use crate::power::PowerBreakdown;
+
+/// One row of the Fig. 9 / Fig. 10 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreScalingPoint {
+    /// Core size `N` (`Nh = Nv = N_lambda = N`).
+    pub n: usize,
+    /// Single-core area, mm^2.
+    pub area_mm2: f64,
+    /// Single-core power, W.
+    pub power_w: f64,
+    /// Optics time-of-flight, ps.
+    pub optics_ps: f64,
+    /// EO/OE conversion latency, ps.
+    pub eo_oe_ps: f64,
+    /// Peak throughput, TOPS.
+    pub tops: f64,
+    /// Optical-part energy efficiency (ADC/DAC excluded), TOPS/W.
+    pub tops_per_w: f64,
+    /// Area efficiency, TOPS/mm^2.
+    pub tops_per_mm2: f64,
+    /// Energy efficiency per unit area, TOPS/W/mm^2.
+    pub tops_per_w_per_mm2: f64,
+}
+
+impl CoreScalingPoint {
+    /// Total pipeline latency, ps.
+    pub fn latency_ps(&self) -> f64 {
+        self.optics_ps + self.eo_oe_ps
+    }
+}
+
+/// Evaluates one core size at the given precision.
+pub fn evaluate_core(n: usize, bits: u32) -> CoreScalingPoint {
+    let config = ArchConfig::single_core(n, bits);
+    let area = AreaBreakdown::for_config(&config);
+    let power = PowerBreakdown::for_config(&config);
+
+    let tops = config.peak_tops();
+    // "Optical computing part (ADC/DAC excluded)" — Fig. 10's caption.
+    let optical_w = power.modulation.value()
+        + power.detection.value()
+        + power.laser.value();
+    let area_mm2 = area.total().value();
+    let tops_per_w = tops / optical_w;
+    let tops_per_mm2 = tops / area_mm2;
+    CoreScalingPoint {
+        n,
+        area_mm2,
+        power_w: power.total().value(),
+        optics_ps: optics_latency_ps(n),
+        eo_oe_ps: eo_oe_latency_ps(),
+        tops,
+        tops_per_w,
+        tops_per_mm2,
+        tops_per_w_per_mm2: tops_per_w / area_mm2,
+    }
+}
+
+/// The Fig. 9 sweep: core sizes 8..32 at 4-bit.
+pub fn fig9_sweep() -> Vec<CoreScalingPoint> {
+    [8, 12, 14, 16, 18, 20, 22, 24, 32]
+        .into_iter()
+        .map(|n| evaluate_core(n, 4))
+        .collect()
+}
+
+/// The Fig. 10 sweep: core sizes up to 60 at 4-bit.
+pub fn fig10_sweep() -> Vec<CoreScalingPoint> {
+    [8, 12, 16, 20, 24, 32, 40, 48, 56, 60]
+        .into_iter()
+        .map(|n| evaluate_core(n, 4))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_area_band() {
+        // Paper: 5.9 mm^2 (N=8) to 49.3 mm^2 (N=32).
+        let pts = fig9_sweep();
+        let a8 = pts.first().unwrap().area_mm2;
+        let a32 = pts.last().unwrap().area_mm2;
+        assert!((4.0..8.5).contains(&a8), "N=8 {a8} mm^2");
+        assert!((40.0..60.0).contains(&a32), "N=32 {a32} mm^2");
+        assert!(pts.windows(2).all(|w| w[1].area_mm2 > w[0].area_mm2));
+    }
+
+    #[test]
+    fn fig9_power_band() {
+        // Paper: 1.1 W (N=8) to 17 W (N=32).
+        let pts = fig9_sweep();
+        let p8 = pts.first().unwrap().power_w;
+        let p32 = pts.last().unwrap().power_w;
+        assert!((0.5..2.2).contains(&p8), "N=8 {p8} W");
+        assert!((10.0..25.0).contains(&p32), "N=32 {p32} W");
+    }
+
+    #[test]
+    fn fig9_latency_endpoints() {
+        let pts = fig9_sweep();
+        assert!((pts.first().unwrap().latency_ps() - 47.0).abs() < 1.5);
+        assert!((pts.last().unwrap().latency_ps() - 106.4).abs() < 1.5);
+    }
+
+    #[test]
+    fn fig10_monotonic_trends() {
+        // TOPS, TOPS/W, TOPS/mm^2 rise with core size; TOPS/W/mm^2 falls
+        // (the ADC/DAC area bottleneck) — the paper's stated trends.
+        let pts = fig10_sweep();
+        assert!(pts.windows(2).all(|w| w[1].tops > w[0].tops));
+        assert!(pts.windows(2).all(|w| w[1].tops_per_w > w[0].tops_per_w));
+        assert!(pts.windows(2).all(|w| w[1].tops_per_mm2 > w[0].tops_per_mm2));
+        assert!(
+            pts.first().unwrap().tops_per_w_per_mm2 > pts.last().unwrap().tops_per_w_per_mm2,
+            "efficiency per area must fall with size"
+        );
+    }
+
+    #[test]
+    fn fig10_magnitudes() {
+        // N=60 should be thousands of TOPS and tens of TOPS/W.
+        let p = evaluate_core(60, 4);
+        assert!((1500.0..4000.0).contains(&p.tops), "TOPS {}", p.tops);
+        assert!((20.0..120.0).contains(&p.tops_per_w), "TOPS/W {}", p.tops_per_w);
+    }
+}

@@ -1,0 +1,388 @@
+//! The workload simulator: runs GEMM traces through the accelerator model
+//! and reports itemized energy, latency, and EDP (paper Table V and
+//! Figs. 11-13).
+
+use crate::config::{ArchConfig, CoreTopology};
+use crate::devices::DeviceRack;
+use crate::energy::EnergyBreakdown;
+use crate::latency::{gemm_cycles_batched, pipeline_latency_ps};
+use crate::memory::{MemoryHierarchy, HBM_BYTES_PER_S, HBM_PJ_PER_BYTE};
+use lt_photonics::units::{GigaHertz, MilliJoules, Milliseconds, PicoJoules};
+use lt_workloads::{GemmOp, Module, NonGemmProfile, OperandDynamics, TransformerConfig};
+
+/// Digital non-GEMM energies, pJ per element (efficient hardware units,
+/// paper refs \[21\], \[40\], \[59\]).
+pub const SOFTMAX_PJ_PER_ELEM: f64 = 3.0;
+/// LayerNorm energy, pJ per element.
+pub const LAYERNORM_PJ_PER_ELEM: f64 = 2.0;
+/// GELU energy, pJ per element.
+pub const GELU_PJ_PER_ELEM: f64 = 1.5;
+/// Residual-add energy, pJ per element.
+pub const RESIDUAL_PJ_PER_ELEM: f64 = 0.2;
+
+/// Output accumulator width in bits (partial sums carry more precision
+/// than operands).
+const ACCUM_BITS: u32 = 16;
+
+/// Result of running a trace (or part of one).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunReport {
+    /// Itemized energy.
+    pub energy: EnergyBreakdown,
+    /// Photonic-core cycles.
+    pub cycles: u64,
+    /// Wall-clock latency (compute overlapped with HBM; the larger wins).
+    pub latency: Milliseconds,
+}
+
+impl RunReport {
+    /// Energy-delay product in mJ * ms (the paper's EDP unit).
+    pub fn edp(&self) -> f64 {
+        self.energy.total().value() * self.latency.value()
+    }
+
+    /// Merges another report (sequential execution).
+    pub fn merge(&mut self, other: &RunReport) {
+        self.energy += other.energy;
+        self.cycles += other.cycles;
+        self.latency += other.latency;
+    }
+}
+
+/// Per-model simulation result, split by module as in Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// Model name.
+    pub model: String,
+    /// Configuration name.
+    pub config: String,
+    /// The dynamic attention products (`Q K^T`, `A V`) only.
+    pub mha: RunReport,
+    /// The FFN linears only.
+    pub ffn: RunReport,
+    /// Projections, embeddings, classifier, and digital non-GEMM work.
+    pub other: RunReport,
+    /// Everything.
+    pub all: RunReport,
+}
+
+impl ModelReport {
+    /// Frames (inferences) per second at batch 1.
+    pub fn fps(&self) -> f64 {
+        1e3 / self.all.latency.value()
+    }
+}
+
+/// The accelerator simulator.
+///
+/// ```
+/// use lt_arch::{ArchConfig, Simulator};
+/// use lt_workloads::TransformerConfig;
+/// let sim = Simulator::new(ArchConfig::lt_base(4));
+/// let r = sim.run_model(&TransformerConfig::deit_tiny());
+/// assert!(r.fps() > 10_000.0, "LT-B runs DeiT-T at > 10k FPS");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: ArchConfig,
+    rack: DeviceRack,
+    mem: MemoryHierarchy,
+    laser_w: f64,
+}
+
+impl Simulator {
+    /// Creates a simulator for a configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        let rack = DeviceRack::paper(&config);
+        let mem = MemoryHierarchy::for_config(&config);
+        let laser_w = rack.laser_power().to_watts().value();
+        Simulator {
+            config,
+            rack,
+            mem,
+            laser_w,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Simulates one GEMM op (including its repetition count).
+    pub fn run_op(&self, op: &GemmOp) -> RunReport {
+        let c = &self.config;
+        let core = c.core;
+        let bits = c.precision_bits;
+        let period = c.clock.period();
+        let count = op.count as u64;
+
+        // Operand mapping: weights ride M1 (spread across tiles), inputs
+        // ride M2 (shared across tiles by the optical interconnect) —
+        // Fig. 5. Our traces carry weights on the right operand, so
+        // weight-static ops are mapped transposed.
+        let (rows, inner, cols) = match op.dynamics() {
+            OperandDynamics::WeightStatic => (op.n, op.k, op.m),
+            OperandDynamics::BothDynamic => (op.m, op.k, op.n),
+        };
+
+        let tiles_m = rows.div_ceil(core.nh) as u64;
+        let tiles_d = inner.div_ceil(core.nlambda) as u64;
+        let tiles_n = cols.div_ceil(core.nv) as u64;
+        let t_invocations = tiles_m * tiles_d * tiles_n;
+
+        // --- Latency --- (independent instances fill otherwise-idle tiles)
+        let cycles = gemm_cycles_batched(c, rows, inner, cols, op.count);
+        let compute_ps = cycles as f64 * period.value()
+            + pipeline_latency_ps(core.nh.max(core.nv)) * count as f64;
+        // Weight streaming from HBM overlaps with compute (double
+        // buffering); the slower of the two gates the op.
+        let hbm_bytes = if op.dynamics() == OperandDynamics::WeightStatic {
+            (op.k * op.n) as f64 * bits as f64 / 8.0 * count as f64
+        } else {
+            0.0
+        };
+        let hbm_ps = hbm_bytes / HBM_BYTES_PER_S * 1e12;
+        let latency = Milliseconds(compute_ps.max(hbm_ps) * 1e-9);
+
+        // --- Energy ---
+        let e_dac: PicoJoules = self.rack.dac.scaled_power(bits, c.clock) * period;
+        let e_mzm: PicoJoules = self.rack.mzm.tuning_power() * period;
+        let e_pd: PicoJoules = self.rack.pd.power * period;
+        let e_tia: PicoJoules = self.rack.tia.power * period;
+        // Per-conversion ADC energy (power scales with rate, so the energy
+        // per conversion is rate-independent).
+        let e_adc: PicoJoules =
+            self.rack.adc.scaled_power(bits, c.clock) * period;
+
+        // Encoded elements. op1 = M1 (nh rows), op2 = M2 (nv columns).
+        let op1_elems = t_invocations * (core.nh * core.nlambda) as u64 * count;
+        let op2_tile_factor = match c.topology {
+            CoreTopology::Crossbar => 1,
+            CoreTopology::BroadcastOnly => core.nh as u64,
+        };
+        let op2_tiles = if c.opts.inter_core_broadcast {
+            tiles_m.div_ceil(c.nt as u64) * tiles_d * tiles_n
+        } else {
+            t_invocations
+        };
+        let op2_elems = op2_tiles * (core.nlambda * core.nv) as u64 * op2_tile_factor * count;
+
+        // Detection: every DDot output of every invocation hits 2 PDs;
+        // TIAs sit after the in-tile photocurrent summation.
+        let ddot_outputs = t_invocations * core.num_ddots() as u64 * count;
+        let tia_events = if c.opts.photocurrent_summation {
+            tiles_m * tiles_d.div_ceil(c.nc as u64) * tiles_n * core.num_ddots() as u64 * count
+        } else {
+            ddot_outputs
+        };
+        // A/D conversions: once per temporal-accumulation window.
+        let d_steps = tiles_d.div_ceil(if c.opts.photocurrent_summation {
+            c.nc as u64
+        } else {
+            1
+        });
+        let adc_windows = if c.opts.analog_temporal_accum {
+            d_steps.div_ceil(c.opts.temporal_accum_depth as u64)
+        } else {
+            d_steps
+        };
+        let adc_convs = tiles_m * adc_windows * tiles_n * core.num_ddots() as u64 * count;
+
+        // Data movement: operand bytes through the SRAM hierarchy, partial
+        // sums into the accumulation buffer, weights once from HBM.
+        let operand_pj = self.mem.operand_byte_energy().value();
+        let output_pj = self.mem.output_byte_energy().value();
+        let op_bytes = |elems: u64| elems as f64 * bits as f64 / 8.0;
+        let out_bytes = (rows * cols) as f64 * ACCUM_BITS as f64 / 8.0 * count as f64;
+        let accum_bytes = adc_convs as f64 * ACCUM_BITS as f64 / 8.0;
+        let data_movement_pj = op_bytes(op1_elems) * operand_pj
+            + op_bytes(op2_elems) * operand_pj
+            + accum_bytes * self.mem.tile_act.write_energy_per_byte().value()
+            + out_bytes * output_pj
+            + hbm_bytes * HBM_PJ_PER_BYTE;
+
+        let to_mj = |pj: f64| MilliJoules(pj * 1e-9);
+        let energy = EnergyBreakdown {
+            laser: MilliJoules(self.laser_w * compute_ps * 1e-9),
+            op1_dac: to_mj(op1_elems as f64 * e_dac.value()),
+            op1_mod: to_mj(op1_elems as f64 * e_mzm.value()),
+            op2_dac: to_mj(op2_elems as f64 * e_dac.value()),
+            op2_mod: to_mj(op2_elems as f64 * e_mzm.value()),
+            det: to_mj(ddot_outputs as f64 * 2.0 * e_pd.value() + tia_events as f64 * e_tia.value()),
+            adc: to_mj(adc_convs as f64 * e_adc.value()),
+            data_movement: to_mj(data_movement_pj),
+            digital: MilliJoules(0.0),
+        };
+
+        RunReport {
+            energy,
+            cycles,
+            latency,
+        }
+    }
+
+    /// Simulates a full trace (sequential ops).
+    pub fn run_trace(&self, ops: &[GemmOp]) -> RunReport {
+        let mut report = RunReport::default();
+        for op in ops {
+            report.merge(&self.run_op(op));
+        }
+        report
+    }
+
+    /// Simulates a whole Transformer inference, splitting the report by
+    /// module as in Table V and adding the digital non-GEMM energy.
+    pub fn run_model(&self, model: &TransformerConfig) -> ModelReport {
+        let trace = model.gemm_trace();
+        let mut mha = RunReport::default();
+        let mut ffn = RunReport::default();
+        let mut other = RunReport::default();
+        for op in &trace {
+            let r = self.run_op(op);
+            match op.module() {
+                Module::Mha => mha.merge(&r),
+                Module::Ffn => ffn.merge(&r),
+                Module::Other => other.merge(&r),
+            }
+        }
+        // Digital (non-GEMM) work happens in the 500 MHz domain,
+        // overlapped with photonic compute; we charge its energy and fold
+        // its (small) latency into `other`.
+        let prof: NonGemmProfile = model.non_gemm_profile();
+        let digital_pj = prof.softmax_elems as f64 * SOFTMAX_PJ_PER_ELEM
+            + prof.layernorm_elems as f64 * LAYERNORM_PJ_PER_ELEM
+            + prof.gelu_elems as f64 * GELU_PJ_PER_ELEM
+            + prof.residual_elems as f64 * RESIDUAL_PJ_PER_ELEM;
+        other.energy.digital = MilliJoules(digital_pj * 1e-9);
+
+        let mut all = RunReport::default();
+        all.merge(&mha);
+        all.merge(&ffn);
+        all.merge(&other);
+        ModelReport {
+            model: model.name.clone(),
+            config: self.config.name.clone(),
+            mha,
+            ffn,
+            other,
+            all,
+        }
+    }
+
+    /// Effective A/D sampling rate after analog accumulation.
+    pub fn adc_rate(&self) -> GigaHertz {
+        GigaHertz(self.config.clock.value() / self.config.opts.adc_reduction(self.config.nc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deit_t() -> TransformerConfig {
+        TransformerConfig::deit_tiny()
+    }
+
+    #[test]
+    fn table5_deit_t_4bit_bands() {
+        // Paper Table V, LT-B 4-bit DeiT-T: MHA 0.04 mJ / 3.12e-3 ms,
+        // FFN 0.22 mJ / 1.04e-2 ms, All 0.38 mJ / 1.94e-2 ms.
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let r = sim.run_model(&deit_t());
+        let mha_mj = r.mha.energy.total().value();
+        let ffn_mj = r.ffn.energy.total().value();
+        let all_mj = r.all.energy.total().value();
+        assert!((0.015..0.12).contains(&mha_mj), "MHA {mha_mj} mJ");
+        assert!((0.08..0.6).contains(&ffn_mj), "FFN {ffn_mj} mJ");
+        assert!((0.15..0.9).contains(&all_mj), "All {all_mj} mJ");
+        let all_ms = r.all.latency.value();
+        assert!((0.8e-2..4.0e-2).contains(&all_ms), "All latency {all_ms} ms");
+        let mha_ms = r.mha.latency.value();
+        assert!((1.5e-3..7e-3).contains(&mha_ms), "MHA latency {mha_ms} ms");
+    }
+
+    #[test]
+    fn eight_bit_costs_more_energy_same_cycles() {
+        let sim4 = Simulator::new(ArchConfig::lt_base(4));
+        let sim8 = Simulator::new(ArchConfig::lt_base(8));
+        let r4 = sim4.run_model(&deit_t());
+        let r8 = sim8.run_model(&deit_t());
+        assert_eq!(r4.all.cycles, r8.all.cycles, "precision doesn't change cycles");
+        let ratio = r8.all.energy.total().value() / r4.all.energy.total().value();
+        // Paper: 1.21 mJ vs 0.38 mJ => ~3.2x.
+        assert!((2.0..5.5).contains(&ratio), "8/4-bit energy ratio {ratio}");
+    }
+
+    #[test]
+    fn arch_opts_save_energy() {
+        // Table V: LT-B w/o arch opt costs ~1.8x more (0.69 vs 0.38 mJ).
+        let full = Simulator::new(ArchConfig::lt_base(4)).run_model(&deit_t());
+        let bare = Simulator::new(ArchConfig::lt_crossbar_base(4)).run_model(&deit_t());
+        let ratio = bare.all.energy.total().value() / full.all.energy.total().value();
+        assert!((1.3..2.6).contains(&ratio), "w/o-opt ratio {ratio}");
+    }
+
+    #[test]
+    fn broadcast_topology_costs_more_than_crossbar() {
+        // Fig. 12: LT-broadcast-B > LT-crossbar-B on attention.
+        let xbar = Simulator::new(ArchConfig::lt_crossbar_base(4)).run_model(&deit_t());
+        let bcast = Simulator::new(ArchConfig::lt_broadcast_base(4)).run_model(&deit_t());
+        assert!(
+            bcast.mha.energy.total().value() > 1.5 * xbar.mha.energy.total().value(),
+            "broadcast {} vs crossbar {}",
+            bcast.mha.energy.total().value(),
+            xbar.mha.energy.total().value()
+        );
+    }
+
+    #[test]
+    fn ltl_is_faster_than_ltb_on_big_models() {
+        let b = Simulator::new(ArchConfig::lt_base(4)).run_model(&TransformerConfig::deit_base());
+        let l = Simulator::new(ArchConfig::lt_large(4)).run_model(&TransformerConfig::deit_base());
+        let speedup = b.all.latency.value() / l.all.latency.value();
+        assert!(speedup > 1.5, "LT-L speedup {speedup}");
+    }
+
+    #[test]
+    fn deit_b_latency_band() {
+        // Paper: LT-B 4-bit DeiT-B all latency 2.65e-1 ms.
+        let r = Simulator::new(ArchConfig::lt_base(4)).run_model(&TransformerConfig::deit_base());
+        let ms = r.all.latency.value();
+        assert!((0.1..0.6).contains(&ms), "DeiT-B latency {ms} ms");
+    }
+
+    #[test]
+    fn fps_exceeds_gpu_class() {
+        // Fig. 13: LT-B DeiT-T throughput is in the tens of thousands FPS.
+        let r = Simulator::new(ArchConfig::lt_base(4)).run_model(&deit_t());
+        assert!(r.fps() > 2e4, "fps {}", r.fps());
+    }
+
+    #[test]
+    fn edp_is_energy_times_latency() {
+        let r = Simulator::new(ArchConfig::lt_base(4)).run_model(&deit_t());
+        let expect = r.all.energy.total().value() * r.all.latency.value();
+        assert!((r.all.edp() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn module_reports_sum_to_all() {
+        let r = Simulator::new(ArchConfig::lt_base(4)).run_model(&deit_t());
+        let sum = r.mha.energy.total().value()
+            + r.ffn.energy.total().value()
+            + r.other.energy.total().value();
+        assert!((sum - r.all.energy.total().value()).abs() < 1e-9);
+        assert_eq!(r.mha.cycles + r.ffn.cycles + r.other.cycles, r.all.cycles);
+    }
+
+    #[test]
+    fn dynamic_ops_have_no_hbm_traffic() {
+        // An attention op's latency must be pure compute (no HBM gating).
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let qk = GemmOp::new(lt_workloads::OpKind::AttnQk, 197, 64, 197, 1);
+        let r = sim.run_op(&qk);
+        let compute_ms = r.cycles as f64 * 200e-12 * 1e3;
+        assert!((r.latency.value() - compute_ms).abs() / compute_ms < 0.05);
+    }
+}

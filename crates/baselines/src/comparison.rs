@@ -1,0 +1,157 @@
+//! The qualitative PTC design comparison of the paper's Table I.
+
+use std::fmt;
+
+/// How an operand can be supplied to a photonic tensor core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandSupport {
+    /// Can the operand change every cycle without reprogramming stalls?
+    pub dynamic: bool,
+    /// Can the operand carry signed (full-range) values natively?
+    pub full_range: bool,
+}
+
+impl fmt::Display for OperandSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}",
+            if self.dynamic { "Dynamic" } else { "Static" },
+            if self.full_range { "Full-range" } else { "Positive only" }
+        )
+    }
+}
+
+/// Relative cost of mapping an operand onto the PTC and programming its
+/// devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingCost {
+    /// SVD + phase decomposition + slow programming (MZI array).
+    High,
+    /// Direct intensity mapping but non-volatile programming (PCM).
+    Medium,
+    /// Direct high-speed modulation.
+    Low,
+}
+
+/// Whether the core computes a full matrix product or only
+/// a matrix-vector product per invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationType {
+    /// One-shot matrix-matrix multiplication.
+    Mm,
+    /// Matrix-vector multiplication.
+    Mvm,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtcDesign {
+    /// Design name.
+    pub name: &'static str,
+    /// First operand support.
+    pub operand1: OperandSupport,
+    /// Second operand support.
+    pub operand2: OperandSupport,
+    /// Mapping and programming cost.
+    pub mapping_cost: MappingCost,
+    /// Operation granularity.
+    pub operation: OperationType,
+}
+
+impl PtcDesign {
+    /// Can the design run attention's dynamic MMs without stalls?
+    pub fn supports_dynamic_mm(&self) -> bool {
+        self.operand1.dynamic && self.operand2.dynamic
+    }
+
+    /// Can the design run full-range MMs without decomposition overhead?
+    pub fn supports_full_range_without_overhead(&self) -> bool {
+        self.operand1.full_range && self.operand2.full_range
+    }
+}
+
+/// The five rows of Table I.
+pub fn ptc_design_table() -> Vec<PtcDesign> {
+    vec![
+        PtcDesign {
+            name: "MZI array [47]",
+            operand1: OperandSupport { dynamic: false, full_range: true },
+            operand2: OperandSupport { dynamic: true, full_range: true },
+            mapping_cost: MappingCost::High,
+            operation: OperationType::Mvm,
+        },
+        PtcDesign {
+            name: "PCM crossbar [16]",
+            operand1: OperandSupport { dynamic: false, full_range: false },
+            operand2: OperandSupport { dynamic: true, full_range: false },
+            mapping_cost: MappingCost::Medium,
+            operation: OperationType::Mm,
+        },
+        PtcDesign {
+            name: "MRR bank 1 [52]",
+            operand1: OperandSupport { dynamic: true, full_range: true },
+            operand2: OperandSupport { dynamic: true, full_range: false },
+            mapping_cost: MappingCost::Low,
+            operation: OperationType::Mvm,
+        },
+        PtcDesign {
+            name: "MRR bank 2 [51]",
+            operand1: OperandSupport { dynamic: true, full_range: false },
+            operand2: OperandSupport { dynamic: true, full_range: false },
+            mapping_cost: MappingCost::Low,
+            operation: OperationType::Mvm,
+        },
+        PtcDesign {
+            name: "DPTC (ours)",
+            operand1: OperandSupport { dynamic: true, full_range: true },
+            operand2: OperandSupport { dynamic: true, full_range: true },
+            mapping_cost: MappingCost::Low,
+            operation: OperationType::Mm,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_dptc_checks_every_box() {
+        let table = ptc_design_table();
+        let winners: Vec<&PtcDesign> = table
+            .iter()
+            .filter(|d| {
+                d.supports_dynamic_mm()
+                    && d.supports_full_range_without_overhead()
+                    && d.mapping_cost == MappingCost::Low
+                    && d.operation == OperationType::Mm
+            })
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].name, "DPTC (ours)");
+    }
+
+    #[test]
+    fn mzi_fails_dynamic_mm() {
+        let table = ptc_design_table();
+        let mzi = table.iter().find(|d| d.name.starts_with("MZI")).unwrap();
+        assert!(!mzi.supports_dynamic_mm());
+        assert_eq!(mzi.mapping_cost, MappingCost::High);
+    }
+
+    #[test]
+    fn mrr_banks_fail_full_range() {
+        let table = ptc_design_table();
+        for d in table.iter().filter(|d| d.name.starts_with("MRR")) {
+            assert!(!d.supports_full_range_without_overhead());
+            assert!(d.supports_dynamic_mm());
+        }
+    }
+
+    #[test]
+    fn display_formats_match_paper_wording() {
+        let s = OperandSupport { dynamic: true, full_range: false }.to_string();
+        assert_eq!(s, "Dynamic, Positive only");
+    }
+}

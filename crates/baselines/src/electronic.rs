@@ -1,0 +1,137 @@
+//! Electronic platform models (paper Fig. 13, Section V-D).
+//!
+//! The paper profiles real hardware (A100, Core i7, Coral Edge TPU, FPGA
+//! Transformer accelerators). None of that hardware is available here, so
+//! each platform is an analytic `(sustained MAC rate, energy per MAC)`
+//! pair calibrated to the paper's published ratios: Lightening-Transformer
+//! achieves >300x (CPU), ~6.6x (GPU), ~18x (Edge TPU) and ~20x (FPGA
+//! DSA) energy reductions, while out-throughput-ing all of them
+//! (DESIGN.md, Substitution 4).
+
+use lt_photonics::units::{MilliJoules, Milliseconds};
+use lt_workloads::TransformerConfig;
+
+/// An analytic electronic inference platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectronicPlatform {
+    /// Platform name.
+    pub name: String,
+    /// Sustained throughput at batch 1, giga-MACs per second.
+    pub sustained_gmacs: f64,
+    /// Average marginal energy per MAC, picojoules.
+    pub energy_per_mac_pj: f64,
+}
+
+impl ElectronicPlatform {
+    /// Nvidia A100 GPU with automatic mixed precision, batch 1.
+    pub fn a100() -> Self {
+        ElectronicPlatform {
+            name: "GPU (A100)".to_string(),
+            sustained_gmacs: 1_260.0,
+            energy_per_mac_pj: 2.0,
+        }
+    }
+
+    /// Intel Core i7-9750H CPU.
+    pub fn core_i7() -> Self {
+        ElectronicPlatform {
+            name: "CPU (i7-9750H)".to_string(),
+            sustained_gmacs: 50.0,
+            energy_per_mac_pj: 90.0,
+        }
+    }
+
+    /// Google Coral Edge TPU (\[44\]).
+    pub fn edge_tpu() -> Self {
+        ElectronicPlatform {
+            name: "Edge TPU".to_string(),
+            sustained_gmacs: 190.0,
+            energy_per_mac_pj: 5.4,
+        }
+    }
+
+    /// FPGA Transformer accelerators (AutoViT-Acc / HEAT-ViT class).
+    pub fn fpga_dsa() -> Self {
+        ElectronicPlatform {
+            name: "FPGA DSA".to_string(),
+            sustained_gmacs: 250.0,
+            energy_per_mac_pj: 6.0,
+        }
+    }
+
+    /// All four comparison platforms of Fig. 13.
+    pub fn fig13_platforms() -> Vec<ElectronicPlatform> {
+        vec![
+            Self::core_i7(),
+            Self::a100(),
+            Self::edge_tpu(),
+            Self::fpga_dsa(),
+        ]
+    }
+
+    /// Single-inference latency for a model.
+    pub fn latency(&self, model: &TransformerConfig) -> Milliseconds {
+        let macs = model.total_macs() as f64;
+        Milliseconds(macs / (self.sustained_gmacs * 1e9) * 1e3)
+    }
+
+    /// Single-inference energy for a model.
+    pub fn energy(&self, model: &TransformerConfig) -> MilliJoules {
+        let macs = model.total_macs() as f64;
+        MilliJoules(macs * self.energy_per_mac_pj * 1e-9)
+    }
+
+    /// Frames per second at batch 1.
+    pub fn fps(&self, model: &TransformerConfig) -> f64 {
+        1e3 / self.latency(model).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deit_t() -> TransformerConfig {
+        TransformerConfig::deit_tiny()
+    }
+
+    #[test]
+    fn gpu_runs_deit_t_around_a_millisecond() {
+        let gpu = ElectronicPlatform::a100();
+        let ms = gpu.latency(&deit_t()).value();
+        assert!((0.5..2.5).contains(&ms), "GPU latency {ms} ms");
+    }
+
+    #[test]
+    fn cpu_is_slowest_and_hungriest() {
+        let models = ElectronicPlatform::fig13_platforms();
+        let cpu = ElectronicPlatform::core_i7();
+        for p in &models {
+            assert!(cpu.fps(&deit_t()) <= p.fps(&deit_t()) + 1e-9);
+            assert!(cpu.energy(&deit_t()).value() >= p.energy(&deit_t()).value() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_energy_ratios_hold_vs_ltb() {
+        // LT-B 4-bit DeiT-T is ~0.38 mJ (Table V). Check the paper's
+        // stated reductions: >300x CPU, ~6.6x GPU, ~18x TPU, ~20x FPGA.
+        let lt_mj = 0.38;
+        let ratio = |p: ElectronicPlatform| p.energy(&deit_t()).value() / lt_mj;
+        assert!(ratio(ElectronicPlatform::core_i7()) > 200.0);
+        let gpu = ratio(ElectronicPlatform::a100());
+        assert!((3.0..12.0).contains(&gpu), "GPU ratio {gpu}");
+        let tpu = ratio(ElectronicPlatform::edge_tpu());
+        assert!((10.0..30.0).contains(&tpu), "TPU ratio {tpu}");
+        let fpga = ratio(ElectronicPlatform::fpga_dsa());
+        assert!((12.0..35.0).contains(&fpga), "FPGA ratio {fpga}");
+    }
+
+    #[test]
+    fn energy_scales_with_model_size() {
+        let gpu = ElectronicPlatform::a100();
+        let t = gpu.energy(&TransformerConfig::deit_tiny()).value();
+        let b = gpu.energy(&TransformerConfig::deit_base()).value();
+        assert!(b > 10.0 * t, "DeiT-B must cost >10x DeiT-T");
+    }
+}

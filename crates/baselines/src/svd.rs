@@ -1,0 +1,260 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The MZI-array baseline cannot load a weight matrix directly: it must
+//! first factor each `k x k` tile as `U S V^T` and decompose `U`/`V` into
+//! MZI phase settings (paper Section II-C). The paper measures ~1.5 ms per
+//! 12x12 tile on a CPU; we implement the SVD here so the mapping cost is a
+//! *measured* quantity of this repository, not a citation (DESIGN.md,
+//! Substitution 5).
+
+/// Result of a singular value decomposition `A = U * diag(S) * V^T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, row-major `m x n`.
+    pub u: Vec<f64>,
+    /// Singular values, descending, length `n`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, row-major `n x n` (**not** transposed).
+    pub v: Vec<f64>,
+    /// Number of Jacobi sweeps used.
+    pub sweeps: usize,
+}
+
+/// Computes the SVD of a row-major `m x n` matrix (`m >= n`) by one-sided
+/// Jacobi rotations (Hestenes). Converges quadratically; suitable for the
+/// small tiles (e.g. 12x12) the MZI mapping needs.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * n`, if `m < n`, or if `n == 0`.
+///
+/// ```
+/// use lt_baselines::jacobi_svd;
+/// let a = vec![3.0, 0.0, 0.0, -2.0]; // diag(3, -2)
+/// let svd = jacobi_svd(&a, 2, 2);
+/// assert!((svd.s[0] - 3.0).abs() < 1e-12);
+/// assert!((svd.s[1] - 2.0).abs() < 1e-12);
+/// ```
+pub fn jacobi_svd(a: &[f64], m: usize, n: usize) -> Svd {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(m >= n, "one-sided Jacobi needs m >= n (transpose first)");
+    assert_eq!(a.len(), m * n, "matrix length must equal m * n");
+
+    // Work on the columns of A; accumulate V as rotations compose.
+    let mut u = a.to_vec(); // becomes U * diag(S)
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let eps = 1e-14;
+    let max_sweeps = 60;
+    let mut sweeps = 0;
+    for sweep in 0..max_sweeps {
+        sweeps = sweep + 1;
+        let mut off = 0.0f64;
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                // Compute the 2x2 Gram elements of columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let x = u[i * n + p];
+                    let y = u[i * n + q];
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p, q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let x = u[i * n + p];
+                    let y = u[i * n + q];
+                    u[i * n + p] = c * x - s * y;
+                    u[i * n + q] = s * x + c * y;
+                }
+                for i in 0..n {
+                    let x = v[i * n + p];
+                    let y = v[i * n + q];
+                    v[i * n + p] = c * x - s * y;
+                    v[i * n + q] = s * x + c * y;
+                }
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = vec![0.0; n];
+    for (j, sj) in s.iter_mut().enumerate() {
+        let norm = (0..m).map(|i| u[i * n + j] * u[i * n + j]).sum::<f64>().sqrt();
+        *sj = norm;
+    }
+    order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap());
+
+    let mut u_sorted = vec![0.0; m * n];
+    let mut v_sorted = vec![0.0; n * n];
+    let mut s_sorted = vec![0.0; n];
+    for (new_j, &old_j) in order.iter().enumerate() {
+        s_sorted[new_j] = s[old_j];
+        let inv = if s[old_j] > 0.0 { 1.0 / s[old_j] } else { 0.0 };
+        for i in 0..m {
+            u_sorted[i * n + new_j] = u[i * n + old_j] * inv;
+        }
+        for i in 0..n {
+            v_sorted[i * n + new_j] = v[i * n + old_j];
+        }
+    }
+
+    Svd {
+        u: u_sorted,
+        s: s_sorted,
+        v: v_sorted,
+        sweeps,
+    }
+}
+
+/// Reconstructs `U * diag(S) * V^T` (for verification and tests).
+pub fn reconstruct(svd: &Svd, m: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..n {
+                acc += svd.u[i * n + l] * svd.s[l] * svd.v[j * n + l];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Measures the wall-clock time of one `k x k` SVD (the per-tile mapping
+/// cost of the MZI baseline), in seconds.
+pub fn measure_mapping_seconds(k: usize, trials: usize) -> f64 {
+    use std::time::Instant;
+    // A deterministic, well-conditioned test matrix.
+    let a: Vec<f64> = (0..k * k)
+        .map(|i| ((i * 2654435761 % 1000) as f64 / 500.0) - 1.0)
+        .collect();
+    let start = Instant::now();
+    for _ in 0..trials.max(1) {
+        std::hint::black_box(jacobi_svd(std::hint::black_box(&a), k, k));
+    }
+    start.elapsed().as_secs_f64() / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn pseudo_random(mn: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..mn)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reconstructs_random_square_matrices() {
+        for seed in 1..=5 {
+            let a = pseudo_random(12 * 12, seed);
+            let svd = jacobi_svd(&a, 12, 12);
+            let back = reconstruct(&svd, 12, 12);
+            assert!(
+                max_abs_diff(&a, &back) < 1e-9,
+                "seed {seed}: reconstruction error {}",
+                max_abs_diff(&a, &back)
+            );
+        }
+    }
+
+    #[test]
+    fn reconstructs_tall_matrices() {
+        let a = pseudo_random(20 * 8, 9);
+        let svd = jacobi_svd(&a, 20, 8);
+        let back = reconstruct(&svd, 20, 8);
+        assert!(max_abs_diff(&a, &back) < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = pseudo_random(12 * 12, 3);
+        let svd = jacobi_svd(&a, 12, 12);
+        assert!(svd.s.windows(2).all(|w| w[0] >= w[1]));
+        assert!(svd.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_are_orthonormal() {
+        let a = pseudo_random(12 * 12, 4);
+        let svd = jacobi_svd(&a, 12, 12);
+        let n = 12;
+        for p in 0..n {
+            for q in 0..n {
+                let dot_u: f64 = (0..n).map(|i| svd.u[i * n + p] * svd.u[i * n + q]).sum();
+                let dot_v: f64 = (0..n).map(|i| svd.v[i * n + p] * svd.v[i * n + q]).sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!((dot_u - expect).abs() < 1e-9, "U^T U [{p},{q}] = {dot_u}");
+                assert!((dot_v - expect).abs() < 1e-9, "V^T V [{p},{q}] = {dot_v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_handled() {
+        // Two identical columns -> one zero singular value.
+        let mut a = pseudo_random(6 * 3, 5);
+        for i in 0..6 {
+            a[i * 3 + 2] = a[i * 3 + 1];
+        }
+        let svd = jacobi_svd(&a, 6, 3);
+        assert!(svd.s[2] < 1e-9, "smallest singular value {}", svd.s[2]);
+        let back = reconstruct(&svd, 6, 3);
+        assert!(max_abs_diff(&a, &back) < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = vec![5.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 1.0];
+        let svd = jacobi_svd(&a, 3, 3);
+        assert!((svd.s[0] - 5.0).abs() < 1e-12);
+        assert!((svd.s[1] - 4.0).abs() < 1e-12);
+        assert!((svd.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_measurement_is_positive_and_finite() {
+        let t = measure_mapping_seconds(12, 5);
+        assert!(t > 0.0 && t < 1.0, "12x12 SVD took {t} s");
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn wide_matrices_rejected() {
+        jacobi_svd(&[1.0, 2.0], 1, 2);
+    }
+}

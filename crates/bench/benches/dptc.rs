@@ -1,0 +1,63 @@
+//! Criterion benches for the DPTC core: one-shot MM and tiled GEMM at the
+//! three simulation fidelities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lt_dptc::{DdotCircuit, Dptc, DptcConfig, NoiseModel};
+use std::hint::black_box;
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect()
+}
+
+fn bench_one_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dptc_one_shot_12x12x12");
+    let core = Dptc::new(DptcConfig::lt_paper());
+    let a = rand_matrix(12, 12, 1);
+    let b = rand_matrix(12, 12, 2);
+    group.bench_function("ideal", |bch| {
+        bch.iter(|| black_box(core.matmul_ideal(black_box(&a), black_box(&b))))
+    });
+    let nm = NoiseModel::paper_default();
+    group.bench_function("noisy_eq9", |bch| {
+        bch.iter(|| black_box(core.matmul_noisy(black_box(&a), black_box(&b), &nm, 7)))
+    });
+    group.finish();
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let circuit = DdotCircuit::paper(12);
+    let x: Vec<f64> = (0..12).map(|i| (i as f64 / 11.0) - 0.5).collect();
+    let y: Vec<f64> = (0..12).map(|i| 0.5 - (i as f64 / 11.0)).collect();
+    let nm = NoiseModel::paper_default();
+    c.bench_function("ddot_circuit_length12", |bch| {
+        bch.iter(|| black_box(circuit.dot_noisy(black_box(&x), black_box(&y), &nm, 3)))
+    });
+}
+
+fn bench_tiled_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dptc_tiled_gemm");
+    let core = Dptc::new(DptcConfig::lt_paper());
+    let nm = NoiseModel::paper_default();
+    for &(m, k, n) in &[(24usize, 24usize, 24usize), (64, 64, 64), (197, 64, 197)] {
+        let a: Vec<f64> = rand_matrix(m, k, 3).into_iter().flatten().collect();
+        let b: Vec<f64> = rand_matrix(k, n, 4).into_iter().flatten().collect();
+        group.bench_with_input(
+            BenchmarkId::new("noisy_4bit", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, &(m, k, n)| {
+                bch.iter(|| black_box(core.gemm(&a, &b, m, k, n, 4, &nm, 11)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_shot, bench_circuit, bench_tiled_gemm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>   run one experiment (e.g. `repro table5`)
+//! repro all            run everything
+//! repro list           list available experiments
+//! ```
+
+use lt_bench::all_experiments;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let experiments = all_experiments();
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for (cmd, desc, _) in &experiments {
+                println!("  {cmd:<8} {desc}");
+            }
+            println!("  all      run everything");
+        }
+        "all" => {
+            for (cmd, desc, run) in &experiments {
+                println!("================================================================");
+                println!("== {cmd}: {desc}");
+                println!("================================================================");
+                println!("{}", run());
+            }
+        }
+        cmd => match experiments.iter().find(|(c, _, _)| *c == cmd) {
+            Some((_, desc, run)) => {
+                println!("== {cmd}: {desc}\n");
+                println!("{}", run());
+            }
+            None => {
+                eprintln!("unknown experiment `{cmd}`; try `repro list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

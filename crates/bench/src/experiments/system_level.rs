@@ -1,0 +1,164 @@
+//! System-level experiments: Table IV, Figs. 7-10.
+
+use lt_arch::scaling::{fig10_sweep, fig9_sweep};
+use lt_arch::{ArchConfig, AreaBreakdown, PowerBreakdown};
+use std::fmt::Write;
+
+/// Table IV: the LT-B and LT-L configurations with total area.
+pub fn table4() -> String {
+    let mut out = String::new();
+    writeln!(out, "Table IV: Lightening-Transformer configurations").unwrap();
+    writeln!(
+        out,
+        "{:<6} {:>3} {:>3} {:>3} {:>3} {:>4} {:>12} {:>12}",
+        "name", "Nt", "Nc", "Nh", "Nv", "Nl", "SRAM (MB)", "area (mm^2)"
+    )
+    .unwrap();
+    for cfg in [ArchConfig::lt_base(4), ArchConfig::lt_large(4)] {
+        let area = AreaBreakdown::for_config(&cfg).total().value();
+        writeln!(
+            out,
+            "{:<6} {:>3} {:>3} {:>3} {:>3} {:>4} {:>12} {:>12.1}",
+            cfg.name,
+            cfg.nt,
+            cfg.nc,
+            cfg.core.nh,
+            cfg.core.nv,
+            cfg.core.nlambda,
+            cfg.global_sram_bytes / (1 << 20),
+            area
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper: LT-B 60.3 mm^2, LT-L 112.82 mm^2)").unwrap();
+    out
+}
+
+/// Fig. 7: itemized area breakdown of LT-B and LT-L.
+pub fn fig7() -> String {
+    let mut out = String::new();
+    for cfg in [ArchConfig::lt_base(4), ArchConfig::lt_large(4)] {
+        let area = AreaBreakdown::for_config(&cfg);
+        writeln!(out, "Fig. 7: area breakdown of {}", cfg.name).unwrap();
+        writeln!(out, "{area}").unwrap();
+        writeln!(out).unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: photonic core ~20%, memory ~25%, DAC ~25%; rest < 30%)"
+    )
+    .unwrap();
+    out
+}
+
+/// Fig. 8: power breakdown of LT-B at 4-bit and 8-bit (plus LT-L totals).
+pub fn fig8() -> String {
+    let mut out = String::new();
+    for bits in [4u32, 8] {
+        let cfg = ArchConfig::lt_base(bits);
+        let power = PowerBreakdown::for_config(&cfg);
+        writeln!(out, "Fig. 8: power breakdown of LT-B at {bits}-bit").unwrap();
+        writeln!(out, "{power}").unwrap();
+        writeln!(out).unwrap();
+    }
+    let l4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4)).total().value();
+    let l8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8)).total().value();
+    writeln!(out, "LT-L totals: {l4:.2} W (4-bit), {l8:.2} W (8-bit)").unwrap();
+    writeln!(
+        out,
+        "(paper: LT-B 14.75 W / 50.94 W; LT-L 28.06 W / 95.92 W; DACs > 50% at 8-bit)"
+    )
+    .unwrap();
+    out
+}
+
+/// Fig. 9: single-core area / power / latency scaling, core size 8..32.
+pub fn fig9() -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 9: single 4-bit core scaling (no cross-tile sharing)").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "N", "area (mm^2)", "power (W)", "optics (ps)", "EO/OE (ps)", "total (ps)"
+    )
+    .unwrap();
+    for p in fig9_sweep() {
+        writeln!(
+            out,
+            "{:>4} {:>12.1} {:>10.2} {:>12.1} {:>12.1} {:>12.1}",
+            p.n,
+            p.area_mm2,
+            p.power_w,
+            p.optics_ps,
+            p.eo_oe_ps,
+            p.latency_ps()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: area 5.9 -> 49.3 mm^2, power 1.1 -> 17 W, latency 47 -> 106.4 ps)"
+    )
+    .unwrap();
+    out
+}
+
+/// Fig. 10: performance / efficiency scaling of the optical computing part.
+pub fn fig10() -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 10: optical-part performance scaling (ADC/DAC excluded)").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>12} {:>14}",
+        "N", "TOPS", "TOPS/W", "TOPS/mm^2", "TOPS/W/mm^2"
+    )
+    .unwrap();
+    for p in fig10_sweep() {
+        writeln!(
+            out,
+            "{:>4} {:>10.1} {:>10.1} {:>12.2} {:>14.3}",
+            p.n, p.tops, p.tops_per_w, p.tops_per_mm2, p.tops_per_w_per_mm2
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper trends: TOPS, TOPS/W, TOPS/mm^2 rise with N; TOPS/W/mm^2 falls)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_lists_both_configs() {
+        let t = table4();
+        assert!(t.contains("LT-B"));
+        assert!(t.contains("LT-L"));
+    }
+
+    #[test]
+    fn fig7_has_all_categories() {
+        let t = fig7();
+        for cat in ["photonic core", "DAC", "memory", "laser+comb", "TOTAL"] {
+            assert!(t.contains(cat), "missing {cat}");
+        }
+    }
+
+    #[test]
+    fn fig8_shows_both_precisions() {
+        let t = fig8();
+        assert!(t.contains("4-bit"));
+        assert!(t.contains("8-bit"));
+        assert!(t.contains("laser"));
+    }
+
+    #[test]
+    fn fig9_and_fig10_have_sweep_rows() {
+        assert!(fig9().lines().count() >= 11);
+        assert!(fig10().lines().count() >= 12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment is a function returning a formatted report string; the
+//! `repro` binary dispatches on a subcommand and prints it. Run
+//! `repro all` to regenerate everything (that is what populates
+//! `EXPERIMENTS.md`).
+//!
+//! | Command  | Paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table I — PTC feature comparison |
+//! | `fig3`   | Fig. 3 — dispersion robustness of the design point |
+//! | `fig6`   | Fig. 6 — optical dot-product error (4/8-bit) |
+//! | `eq6`    | Eq. 6 — crossbar encoding-cost saving |
+//! | `eq10`   | Eq. 10 — FSR-limited wavelength count |
+//! | `table4` | Table IV — LT-B / LT-L configurations |
+//! | `fig7`   | Fig. 7 — area breakdown |
+//! | `fig8`   | Fig. 8 — power breakdown |
+//! | `fig9`   | Fig. 9 — single-core area/power/latency scaling |
+//! | `fig10`  | Fig. 10 — performance & efficiency scaling |
+//! | `fig11`  | Fig. 11 — energy vs MRR / MZI on attention + linear |
+//! | `fig12`  | Fig. 12 — LT variant ablation |
+//! | `table5` | Table V — DeiT energy/latency/EDP vs baselines |
+//! | `fig13`  | Fig. 13 — cross-platform energy & FPS |
+//! | `fig14`  | Fig. 14 — accuracy vs wavelength count |
+//! | `fig15`  | Fig. 15 — accuracy vs encoding noise |
+//! | `fig16`  | Fig. 16 — sparse attention blockification |
+//! | `svd`    | MZI mapping-cost measurement (Jacobi SVD) |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::all_experiments;

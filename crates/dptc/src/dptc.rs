@@ -1,0 +1,628 @@
+//! DPTC: the dynamically-operated photonic tensor core (paper Section
+//! III-B).
+//!
+//! A `Nv x Nh` crossbar of [`DDot`] units computes an
+//! `[Nh, N_lambda] x [N_lambda, Nv]` matrix product in one cycle. Each
+//! modulated WDM signal is broadcast to an entire row or column of units
+//! ("intra-core optical broadcast"), so a one-shot MM costs only
+//! `Nh*N_lambda + N_lambda*Nv` signal encodings instead of
+//! `2*Nh*Nv*N_lambda` (Eq. 6).
+
+use crate::ddot::{ddot_term, perturb_magnitude, DDot, WavelengthCoefficients};
+use crate::noise_model::NoiseModel;
+use crate::quant::Quantizer;
+use lt_photonics::noise::GaussianSampler;
+
+/// Geometry of a DPTC crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DptcConfig {
+    /// Number of horizontal input waveguides (rows of the left operand).
+    pub nh: usize,
+    /// Number of vertical input waveguides (columns of the right operand).
+    pub nv: usize,
+    /// Number of WDM wavelengths (the shared inner dimension).
+    pub nlambda: usize,
+}
+
+impl DptcConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nh: usize, nv: usize, nlambda: usize) -> Self {
+        assert!(
+            nh > 0 && nv > 0 && nlambda > 0,
+            "DPTC dimensions must be positive (got {nh} x {nv} x {nlambda})"
+        );
+        DptcConfig { nh, nv, nlambda }
+    }
+
+    /// The paper's core geometry: `Nh = Nv = N_lambda = 12` (Table IV).
+    pub fn lt_paper() -> Self {
+        DptcConfig::new(12, 12, 12)
+    }
+
+    /// A square core of size `n` (used for the Fig. 9/10 scaling sweeps).
+    pub fn square(n: usize) -> Self {
+        DptcConfig::new(n, n, n)
+    }
+
+    /// Multiply-accumulate operations performed per cycle.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.nh * self.nv * self.nlambda
+    }
+
+    /// Number of DDot units in the crossbar.
+    pub fn num_ddots(&self) -> usize {
+        self.nh * self.nv
+    }
+
+    /// Number of tiles `T = ceil(m/Nh) * ceil(d/N_lambda) * ceil(n/Nv)`
+    /// needed for an `m x d` by `d x n` GEMM (the `T` of Eq. 11).
+    pub fn tiles_for(&self, m: usize, d: usize, n: usize) -> usize {
+        m.div_ceil(self.nh) * d.div_ceil(self.nlambda) * n.div_ceil(self.nv)
+    }
+
+    /// Hardware utilization of a tiled GEMM: useful MACs over issued MACs.
+    pub fn utilization(&self, m: usize, d: usize, n: usize) -> f64 {
+        let useful = (m * d * n) as f64;
+        let issued = (self.tiles_for(m, d, n) * self.macs_per_cycle()) as f64;
+        useful / issued
+    }
+}
+
+/// The per-invocation operand encoding cost of Eq. 6, in units of
+/// "scalar signals that need a DAC + MZM drive".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingCost {
+    /// Encodings with crossbar sharing: `Nh*N_lambda + N_lambda*Nv`.
+    pub shared: usize,
+    /// Encodings without sharing (separate dot-product engines):
+    /// `2 * Nh * Nv * N_lambda`.
+    pub unshared: usize,
+}
+
+impl EncodingCost {
+    /// The encoding-cost saving factor `2 Nh Nv / (Nh + Nv)` enabled by the
+    /// intra-core optical broadcast.
+    pub fn saving_factor(&self) -> f64 {
+        self.unshared as f64 / self.shared as f64
+    }
+}
+
+/// A dynamically-operated photonic tensor core.
+///
+/// ```
+/// use lt_dptc::{Dptc, DptcConfig};
+/// let core = Dptc::new(DptcConfig::lt_paper());
+/// // Eq. 6: a 12x12x12 core saves 12x encoding cost.
+/// assert!((core.encoding_cost().saving_factor() - 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dptc {
+    config: DptcConfig,
+    ddot: DDot,
+}
+
+impl Dptc {
+    /// Creates a core with the given geometry over the paper's DWDM grid.
+    pub fn new(config: DptcConfig) -> Self {
+        Dptc {
+            config,
+            ddot: DDot::new(config.nlambda),
+        }
+    }
+
+    /// The core geometry.
+    pub fn config(&self) -> DptcConfig {
+        self.config
+    }
+
+    /// The underlying DDot engine (shared wavelength grid).
+    pub fn ddot(&self) -> &DDot {
+        &self.ddot
+    }
+
+    /// The Eq. 6 encoding cost of one one-shot MM.
+    pub fn encoding_cost(&self) -> EncodingCost {
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        EncodingCost {
+            shared: nh * nlambda + nlambda * nv,
+            unshared: 2 * nh * nv * nlambda,
+        }
+    }
+
+    /// One-shot exact matrix product: `a` is `[Nh][N_lambda]`, `b` is
+    /// `[N_lambda][Nv]`, the result is `[Nh][Nv]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the core geometry.
+    pub fn matmul_ideal(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.check_shapes(a, b);
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        let mut out = vec![vec![0.0; nv]; nh];
+        for (i, row) in a.iter().enumerate() {
+            for j in 0..nv {
+                let mut acc = 0.0;
+                for (l, b_row) in b.iter().enumerate().take(nlambda) {
+                    acc += row[l] * b_row[j];
+                }
+                out[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    /// One-shot noisy matrix product using the analytic Eq. 9 transfer.
+    ///
+    /// Noise realizations follow the hardware's sharing structure: each
+    /// operand element is *encoded once* and broadcast, so its magnitude
+    /// drift is shared by every DDot in its row/column; the relative phase
+    /// drift is drawn per DDot per wavelength; the systematic output noise
+    /// is drawn per detected output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the core geometry.
+    pub fn matmul_noisy(
+        &self,
+        a: &[Vec<f64>],
+        b: &[Vec<f64>],
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        let mut rng = GaussianSampler::new(seed);
+        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
+        self.matmul_noisy_with(a, b, noise, &coeffs, &mut rng)
+    }
+
+    /// Noisy one-shot MM with caller-managed RNG and precomputed
+    /// coefficients (the hot path for tiled GEMM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the core geometry.
+    pub fn matmul_noisy_with(
+        &self,
+        a: &[Vec<f64>],
+        b: &[Vec<f64>],
+        noise: &NoiseModel,
+        coeffs: &WavelengthCoefficients,
+        rng: &mut GaussianSampler,
+    ) -> Vec<Vec<f64>> {
+        self.check_shapes(a, b);
+        let DptcConfig { nh, nv, nlambda } = self.config;
+
+        // Encode each operand element once (shared noise realization).
+        let a_hat: Vec<Vec<f64>> = a
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, rng))
+                    .collect()
+            })
+            .collect();
+        let b_hat: Vec<Vec<f64>> = b
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, rng))
+                    .collect()
+            })
+            .collect();
+
+        let mut out = vec![vec![0.0; nv]; nh];
+        for i in 0..nh {
+            for j in 0..nv {
+                let mut io = 0.0;
+                for l in 0..nlambda {
+                    let dphi_d = if noise.sigma_phase_rad > 0.0 {
+                        rng.normal(0.0, noise.sigma_phase_rad)
+                    } else {
+                        0.0
+                    };
+                    io += ddot_term(
+                        a_hat[i][l],
+                        b_hat[l][j],
+                        coeffs.t[l],
+                        coeffs.k[l],
+                        coeffs.dphi[l],
+                        dphi_d,
+                    );
+                }
+                out[i][j] = crate::ddot::apply_systematic(io, noise, rng);
+            }
+        }
+        out
+    }
+
+    /// One-shot MM at *circuit-level* fidelity: every DDot output is
+    /// obtained by propagating fields through the device netlist
+    /// ([`crate::DdotCircuit`]) instead of the analytic Eq. 9 transfer.
+    ///
+    /// Operand magnitude noise follows the hardware sharing structure
+    /// (each element encoded once, broadcast to its row/column); phase
+    /// drift and systematic noise are drawn per DDot inside the netlist.
+    /// Roughly an order of magnitude slower than
+    /// [`Dptc::matmul_noisy`] — use it for validation, not for tiled GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the core geometry.
+    pub fn matmul_circuit(
+        &self,
+        a: &[Vec<f64>],
+        b: &[Vec<f64>],
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        self.check_shapes(a, b);
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        let mut rng = GaussianSampler::new(seed);
+
+        // Shared encoding noise, exactly as in `matmul_noisy_with`.
+        let a_hat: Vec<Vec<f64>> = a
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, &mut rng).clamp(-1.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        let b_hat: Vec<Vec<f64>> = b
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, &mut rng).clamp(-1.0, 1.0))
+                    .collect()
+            })
+            .collect();
+
+        // The per-DDot netlist then only adds phase drift + systematic
+        // noise (magnitudes were already perturbed above).
+        let ddot_noise = NoiseModel {
+            sigma_magnitude: 0.0,
+            ..*noise
+        };
+        let circuit = crate::circuit::DdotCircuit::paper(nlambda);
+        let mut out = vec![vec![0.0; nv]; nh];
+        let mut y = vec![0.0; nlambda];
+        for i in 0..nh {
+            for (j, out_ij) in out[i].iter_mut().enumerate().take(nv) {
+                for (l, yl) in y.iter_mut().enumerate() {
+                    *yl = b_hat[l][j];
+                }
+                *out_ij = circuit.dot_noisy_with(&a_hat[i], &y, &ddot_noise, &mut rng);
+            }
+        }
+        out
+    }
+
+    /// Tiled GEMM of arbitrary dimensions through the noisy core, with
+    /// per-tile operand normalization (`beta = max|.|`, paper Section
+    /// III-C) and `bits`-bit operand quantization.
+    ///
+    /// Partial sums accumulate at full precision, mirroring the analog
+    /// photocurrent summation and temporal accumulation of Section IV
+    /// (A/D conversion happens after analog accumulation, so no
+    /// intermediate quantization is modeled).
+    ///
+    /// `a` is row-major `m x d`, `b` is row-major `d x n`; the result is
+    /// row-major `m x n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the given dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        d: usize,
+        n: usize,
+        bits: u32,
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> Vec<f64> {
+        assert_eq!(a.len(), m * d, "left operand length mismatch");
+        assert_eq!(b.len(), d * n, "right operand length mismatch");
+        let quant = Quantizer::new(bits);
+        let mut rng = GaussianSampler::new(seed);
+        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        let mut out = vec![0.0; m * n];
+
+        let mut tile_a = vec![vec![0.0; nlambda]; nh];
+        let mut tile_b = vec![vec![0.0; nv]; nlambda];
+        for mi in (0..m).step_by(nh) {
+            for ni in (0..n).step_by(nv) {
+                for di in (0..d).step_by(nlambda) {
+                    // Gather tiles (zero-padded at the edges).
+                    let mut beta_a = 0.0f64;
+                    for (ti, row) in tile_a.iter_mut().enumerate() {
+                        for (tl, v) in row.iter_mut().enumerate() {
+                            let (gi, gl) = (mi + ti, di + tl);
+                            *v = if gi < m && gl < d { a[gi * d + gl] } else { 0.0 };
+                            beta_a = beta_a.max(v.abs());
+                        }
+                    }
+                    let mut beta_b = 0.0f64;
+                    for (tl, row) in tile_b.iter_mut().enumerate() {
+                        for (tj, v) in row.iter_mut().enumerate() {
+                            let (gl, gj) = (di + tl, ni + tj);
+                            *v = if gl < d && gj < n { b[gl * n + gj] } else { 0.0 };
+                            beta_b = beta_b.max(v.abs());
+                        }
+                    }
+                    if beta_a == 0.0 || beta_b == 0.0 {
+                        continue; // all-zero tile contributes nothing
+                    }
+                    // Normalize into [-1, 1] and quantize (the DAC).
+                    for row in tile_a.iter_mut() {
+                        for v in row.iter_mut() {
+                            *v = quant.quantize_unit(*v / beta_a);
+                        }
+                    }
+                    for row in tile_b.iter_mut() {
+                        for v in row.iter_mut() {
+                            *v = quant.quantize_unit(*v / beta_b);
+                        }
+                    }
+                    let tile_out = self.matmul_noisy_with(&tile_a, &tile_b, noise, &coeffs, &mut rng);
+                    // Rescale and accumulate (analog-domain accumulation).
+                    let scale = beta_a * beta_b;
+                    for ti in 0..nh {
+                        let gi = mi + ti;
+                        if gi >= m {
+                            break;
+                        }
+                        for tj in 0..nv {
+                            let gj = ni + tj;
+                            if gj >= n {
+                                break;
+                            }
+                            out[gi * n + gj] += tile_out[ti][tj] * scale;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact tiled GEMM (same tiling and quantization, no analog noise) —
+    /// the "quantized digital" reference the accuracy experiments compare
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the given dimensions.
+    pub fn gemm_exact_quantized(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        d: usize,
+        n: usize,
+        bits: u32,
+    ) -> Vec<f64> {
+        self.gemm(a, b, m, d, n, bits, &NoiseModel::noiseless(), 0)
+    }
+
+    fn check_shapes(&self, a: &[Vec<f64>], b: &[Vec<f64>]) {
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        assert_eq!(a.len(), nh, "left operand must have Nh = {nh} rows");
+        assert!(
+            a.iter().all(|r| r.len() == nlambda),
+            "left operand rows must have N_lambda = {nlambda} entries"
+        );
+        assert_eq!(b.len(), nlambda, "right operand must have N_lambda = {nlambda} rows");
+        assert!(
+            b.iter().all(|r| r.len() == nv),
+            "right operand rows must have Nv = {nv} entries"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Vec<Vec<f64>> {
+        (0..r)
+            .map(|_| (0..c).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
+            .collect()
+    }
+
+    fn rand_flat(rng: &mut GaussianSampler, n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|_| rng.uniform_in(-scale, scale)).collect()
+    }
+
+    #[test]
+    fn ideal_matches_reference_matmul() {
+        let core = Dptc::new(DptcConfig::new(3, 5, 4));
+        let mut rng = GaussianSampler::new(1);
+        let a = rand_matrix(&mut rng, 3, 4);
+        let b = rand_matrix(&mut rng, 4, 5);
+        let out = core.matmul_ideal(&a, &b);
+        for i in 0..3 {
+            for j in 0..5 {
+                let expect: f64 = (0..4).map(|l| a[i][l] * b[l][j]).sum();
+                assert!((out[i][j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eq6_saving_factor() {
+        // Nh = Nv = N_lambda = 12 => 12x less encoding cost (paper text).
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let cost = core.encoding_cost();
+        assert_eq!(cost.shared, 12 * 12 + 12 * 12);
+        assert_eq!(cost.unshared, 2 * 12 * 12 * 12);
+        assert!((cost.saving_factor() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_general_formula() {
+        let core = Dptc::new(DptcConfig::new(8, 24, 12));
+        let cost = core.encoding_cost();
+        let expect = 2.0 * 8.0 * 24.0 / (8.0 + 24.0);
+        assert!((cost.saving_factor() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiles_match_eq11() {
+        let cfg = DptcConfig::lt_paper();
+        // DeiT-T QK^T per head: [197, 64] x [64, 197].
+        let t = cfg.tiles_for(197, 64, 197);
+        assert_eq!(t, 17 * 6 * 17);
+        assert!(cfg.utilization(197, 64, 197) < 1.0);
+        // Perfectly divisible workload has utilization 1.
+        assert!((cfg.utilization(24, 24, 24) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_matmul_tracks_ideal() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(5);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let ideal = core.matmul_ideal(&a, &b);
+        let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 7);
+        let mut max_err = 0.0f64;
+        for i in 0..12 {
+            for j in 0..12 {
+                max_err = max_err.max((ideal[i][j] - noisy[i][j]).abs());
+            }
+        }
+        // Errors stay in the few-percent band relative to the length-12
+        // dot-product scale.
+        assert!(max_err > 0.0 && max_err < 0.8, "max_err {max_err}");
+    }
+
+    #[test]
+    fn circuit_level_matmul_tracks_ideal() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(21);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let ideal = core.matmul_ideal(&a, &b);
+        let circuit = core.matmul_circuit(&a, &b, &NoiseModel::paper_default(), 9);
+        let analytic = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 9);
+        let mut max_circuit = 0.0f64;
+        let mut max_analytic = 0.0f64;
+        for i in 0..12 {
+            for j in 0..12 {
+                max_circuit = max_circuit.max((circuit[i][j] - ideal[i][j]).abs());
+                max_analytic = max_analytic.max((analytic[i][j] - ideal[i][j]).abs());
+            }
+        }
+        // Both fidelities stay in the same error envelope.
+        assert!(max_circuit > 0.0 && max_circuit < 0.8, "circuit err {max_circuit}");
+        assert!(
+            max_circuit < 3.0 * max_analytic.max(0.05),
+            "circuit {max_circuit} vs analytic {max_analytic}"
+        );
+    }
+
+    #[test]
+    fn circuit_level_matmul_noiseless_has_only_dispersion_bias() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(23);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let ideal = core.matmul_ideal(&a, &b);
+        let noise = NoiseModel::noiseless()
+            .with_dispersion(lt_photonics::wdm::DispersionModel::paper());
+        let circuit = core.matmul_circuit(&a, &b, &noise, 0);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!(
+                    (circuit[i][j] - ideal[i][j]).abs() < 0.05,
+                    "({i},{j}): {} vs {}",
+                    circuit[i][j],
+                    ideal[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_gemm_equals_quantized_reference() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(9);
+        let (m, d, n) = (20, 30, 17);
+        let a = rand_flat(&mut rng, m * d, 2.0);
+        let b = rand_flat(&mut rng, d * n, 3.0);
+        let out = core.gemm_exact_quantized(&a, &b, m, d, n, 8);
+        // Compare against a straightforward f64 matmul; 8-bit quantization
+        // keeps per-tile error small.
+        for i in 0..m {
+            for j in 0..n {
+                let exact: f64 = (0..d).map(|l| a[i * d + l] * b[l * n + j]).sum();
+                let got = out[i * n + j];
+                assert!(
+                    (got - exact).abs() < 0.3,
+                    "({i},{j}): got {got}, exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_handles_non_divisible_edges() {
+        let core = Dptc::new(DptcConfig::new(4, 4, 4));
+        let mut rng = GaussianSampler::new(11);
+        let (m, d, n) = (5, 7, 3);
+        let a = rand_flat(&mut rng, m * d, 1.0);
+        let b = rand_flat(&mut rng, d * n, 1.0);
+        let out = core.gemm(&a, &b, m, d, n, 8, &NoiseModel::noiseless(), 0);
+        assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let exact: f64 = (0..d).map(|l| a[i * d + l] * b[l * n + j]).sum();
+                assert!((out[i * n + j] - exact).abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tiles_are_skipped() {
+        let core = Dptc::new(DptcConfig::new(4, 4, 4));
+        let a = vec![0.0; 16];
+        let b = vec![1.0; 16];
+        let out = core.gemm(&a, &b, 4, 4, 4, 4, &NoiseModel::paper_default(), 3);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gemm_noise_is_seed_deterministic() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(13);
+        let a = rand_flat(&mut rng, 24 * 24, 1.0);
+        let b = rand_flat(&mut rng, 24 * 24, 1.0);
+        let nm = NoiseModel::paper_default();
+        let o1 = core.gemm(&a, &b, 24, 24, 24, 4, &nm, 42);
+        let o2 = core.gemm(&a, &b, 24, 24, 24, 4, &nm, 42);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have Nh")]
+    fn wrong_shapes_rejected() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let a = vec![vec![0.0; 12]; 5];
+        let b = vec![vec![0.0; 12]; 12];
+        core.matmul_ideal(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_config_rejected() {
+        DptcConfig::new(0, 12, 12);
+    }
+}

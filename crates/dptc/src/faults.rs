@@ -1,0 +1,228 @@
+//! Hard-fault injection: dead wavelengths and stuck modulators.
+//!
+//! Section III-C covers *parametric* noise (drift, dispersion); a real
+//! deployment also sees *catastrophic* faults — a comb line dies, an MZM
+//! sticks at a bias point. This module injects such faults into the
+//! analytic DPTC model so their accuracy impact (and the effectiveness of
+//! remapping around them) can be quantified.
+
+use crate::ddot::WavelengthCoefficients;
+use crate::dptc::Dptc;
+use crate::noise_model::NoiseModel;
+use lt_photonics::noise::GaussianSampler;
+
+/// A hard fault in one wavelength channel of a DPTC core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelFault {
+    /// The comb line carries no power: the channel contributes nothing
+    /// (its products silently vanish from every dot product).
+    DeadWavelength {
+        /// Index of the dead channel.
+        channel: usize,
+    },
+    /// One row modulator is stuck encoding a fixed value on one channel:
+    /// the intended operand is replaced by the stuck value.
+    StuckModulator {
+        /// Crossbar row whose modulator is stuck.
+        row: usize,
+        /// Affected wavelength channel.
+        channel: usize,
+        /// The value the modulator is frozen at, in `[-1, 1]`.
+        value: f64,
+    },
+}
+
+/// A set of hard faults applied to a core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSet {
+    faults: Vec<ChannelFault>,
+}
+
+impl FaultSet {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault.
+    pub fn with(mut self, fault: ChannelFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &[ChannelFault] {
+        &self.faults
+    }
+
+    /// Whether any fault is present.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies the faults to an operand pair before encoding: returns the
+    /// effective `(a, b)` matrices seen by the optics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a row/channel outside the operand
+    /// shapes.
+    pub fn apply(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        for fault in &self.faults {
+            match *fault {
+                ChannelFault::DeadWavelength { channel } => {
+                    assert!(channel < b.len(), "channel {channel} out of range");
+                    for row in a.iter_mut() {
+                        row[channel] = 0.0;
+                    }
+                    // Zeroing one side suffices; zero the other too so the
+                    // additive dispersion term also vanishes.
+                    for v in b[channel].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+                ChannelFault::StuckModulator { row, channel, value } => {
+                    assert!(row < a.len(), "row {row} out of range");
+                    assert!(channel < a[row].len(), "channel {channel} out of range");
+                    a[row][channel] = value.clamp(-1.0, 1.0);
+                }
+            }
+        }
+        (a, b)
+    }
+}
+
+impl Dptc {
+    /// One-shot noisy MM with hard faults injected (see [`FaultSet`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand shapes do not match the core geometry or a fault
+    /// is out of range.
+    pub fn matmul_noisy_faulty(
+        &self,
+        a: &[Vec<f64>],
+        b: &[Vec<f64>],
+        noise: &NoiseModel,
+        faults: &FaultSet,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        let (fa, fb) = faults.apply(a, b);
+        let mut rng = GaussianSampler::new(seed);
+        let coeffs = WavelengthCoefficients::compute(self.ddot().grid(), &noise.dispersion);
+        self.matmul_noisy_with(&fa, &fb, noise, &coeffs, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dptc::DptcConfig;
+
+    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Vec<Vec<f64>> {
+        (0..r)
+            .map(|_| (0..c).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn dead_wavelength_removes_one_channel_exactly() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(1);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 5 });
+        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect: f64 = (0..12)
+                    .filter(|&l| l != 5)
+                    .map(|l| a[i][l] * b[l][j])
+                    .sum();
+                assert!((got[i][j] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_wavelength_can_be_remapped_around() {
+        // The scheduler's remedy: skip the dead channel when tiling (use
+        // 11 of 12 lanes). The result is exact again, at ~8% lower
+        // throughput - graceful degradation.
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(2);
+        let a = rand_matrix(&mut rng, 12, 11);
+        let b = rand_matrix(&mut rng, 11, 12);
+        // Pack the 11 live lanes into channels 0..11, leave channel 11 dark.
+        let mut a_pad = a.clone();
+        for row in a_pad.iter_mut() {
+            row.push(0.0);
+        }
+        let mut b_pad = b.clone();
+        b_pad.push(vec![0.0; 12]);
+        let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 11 });
+        let got = core.matmul_noisy_faulty(&a_pad, &b_pad, &NoiseModel::noiseless(), &faults, 0);
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect: f64 = (0..11).map(|l| a[i][l] * b[l][j]).sum();
+                assert!((got[i][j] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_modulator_poisons_only_its_row() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(3);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let clean = core.matmul_ideal(&a, &b);
+        let faults = FaultSet::none().with(ChannelFault::StuckModulator {
+            row: 3,
+            channel: 7,
+            value: 0.9,
+        });
+        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        for i in 0..12 {
+            for j in 0..12 {
+                let err = (got[i][j] - clean[i][j]).abs();
+                if i == 3 {
+                    let expect_err = ((0.9 - a[3][7]) * b[7][j]).abs();
+                    assert!((err - expect_err).abs() < 1e-9);
+                } else {
+                    assert!(err < 1e-12, "row {i} must be unaffected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_compose() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(4);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let faults = FaultSet::none()
+            .with(ChannelFault::DeadWavelength { channel: 0 })
+            .with(ChannelFault::StuckModulator { row: 1, channel: 2, value: -1.0 });
+        assert_eq!(faults.faults().len(), 2);
+        assert!(!faults.is_empty());
+        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        // Spot-check one unaffected row.
+        for j in 0..12 {
+            let expect: f64 = (1..12).map(|l| a[5][l] * b[l][j]).sum();
+            assert!((got[5][j] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fault_rejected() {
+        let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 99 });
+        let a = vec![vec![0.0; 12]; 12];
+        let b = vec![vec![0.0; 12]; 12];
+        faults.apply(&a, &b);
+    }
+}

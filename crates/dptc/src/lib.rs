@@ -1,0 +1,58 @@
+//! The Lightening-Transformer core contribution: **DDot** and **DPTC**.
+//!
+//! * [`DDot`] is a dynamically-operated, full-range optical dot-product
+//!   engine (paper Section III-A): both operands are encoded as coherent
+//!   WDM signals, interfere in a 50:50 directional coupler behind a -90
+//!   degree phase shifter, and are read out by balanced photodetection.
+//!   The differential photocurrent carries the signed dot product in one
+//!   shot — no weight mapping, no device programming, no non-negative
+//!   decomposition.
+//! * [`Dptc`] tiles DDot units into a crossbar (Section III-B) that
+//!   computes an `[Nh, N_lambda] x [N_lambda, Nv]` matrix product per cycle
+//!   while broadcasting each modulated operand to a whole row/column of
+//!   units, amortizing the encoding cost (Eq. 6).
+//!
+//! Three simulation fidelities are provided:
+//!
+//! 1. **Ideal** — exact arithmetic (the functional contract).
+//! 2. **Analytic noisy** — the paper's Eq. 9 transfer with encoding
+//!    magnitude/phase noise, per-wavelength dispersion, and systematic
+//!    output noise. This is the model used for all accuracy experiments.
+//! 3. **Circuit-level** — field propagation through the actual device
+//!    transfer matrices from [`lt_photonics`] (our substitute for the
+//!    paper's Lumerical INTERCONNECT validation).
+//!
+//! # Example
+//!
+//! ```
+//! use lt_dptc::{Dptc, DptcConfig, NoiseModel};
+//!
+//! let core = Dptc::new(DptcConfig::lt_paper()); // 12 x 12 x 12
+//! let a = vec![vec![0.25; 12]; 12];
+//! let b = vec![vec![-0.5; 12]; 12];
+//! let ideal = core.matmul_ideal(&a, &b);
+//! assert!((ideal[0][0] - 12.0 * 0.25 * -0.5).abs() < 1e-12);
+//!
+//! let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 7);
+//! let err = (noisy[0][0] - ideal[0][0]).abs();
+//! assert!(err < 0.5, "noise is bounded at the paper's operating point");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#![allow(clippy::needless_range_loop)] // index loops are the idiom for matrix kernels
+
+pub mod circuit;
+pub mod ddot;
+pub mod dptc;
+pub mod faults;
+pub mod noise_model;
+pub mod quant;
+
+pub use circuit::DdotCircuit;
+pub use ddot::DDot;
+pub use dptc::{Dptc, DptcConfig, EncodingCost};
+pub use faults::{ChannelFault, FaultSet};
+pub use noise_model::NoiseModel;
+pub use quant::Quantizer;

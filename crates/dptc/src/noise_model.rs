@@ -1,0 +1,124 @@
+//! The non-ideality model of paper Section III-C.
+
+use lt_photonics::wdm::DispersionModel;
+
+/// Configuration of every noise source injected into the analytic and
+/// circuit-level DDot/DPTC simulations.
+///
+/// * **Magnitude noise** — each encoded operand value `x` becomes
+///   `x + N(0, (sigma_mag * |x|)^2)` (relative Gaussian drift).
+/// * **Phase noise** — the relative phase between the two operand paths at
+///   each DDot drifts by `N(0, sigma_phase^2)`.
+/// * **Dispersion** — per-wavelength deviation of the coupler's `kappa` and
+///   the phase shifter's phase from their design points.
+/// * **Systematic output noise** — the detected output is multiplied by
+///   `(1 + N(0, sigma_systematic^2))`, covering photodetection noise and
+///   residual coupler imbalance ("Other Noises" in Section III-C).
+///
+/// ```
+/// use lt_dptc::NoiseModel;
+/// let nm = NoiseModel::paper_default();
+/// assert_eq!(nm.sigma_magnitude, 0.03);
+/// assert!((nm.sigma_phase_rad.to_degrees() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Relative std-dev of operand magnitude drift (paper: 0.03).
+    pub sigma_magnitude: f64,
+    /// Std-dev of the relative phase drift in radians (paper: 2 degrees).
+    pub sigma_phase_rad: f64,
+    /// Std-dev of the systematic multiplicative output noise (paper: 0.05).
+    pub sigma_systematic: f64,
+    /// Wavelength-dependent device response; `DispersionModel::ideal()`
+    /// disables dispersion.
+    pub dispersion: DispersionModel,
+}
+
+impl NoiseModel {
+    /// The paper's functional-validation operating point: magnitude std
+    /// 0.03, phase std 2 degrees, systematic std 0.05, dispersion on.
+    pub fn paper_default() -> Self {
+        NoiseModel {
+            sigma_magnitude: 0.03,
+            sigma_phase_rad: 2f64.to_radians(),
+            sigma_systematic: 0.05,
+            dispersion: DispersionModel::paper(),
+        }
+    }
+
+    /// No noise at all: the analytic path degenerates to the exact product.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            sigma_magnitude: 0.0,
+            sigma_phase_rad: 0.0,
+            sigma_systematic: 0.0,
+            dispersion: DispersionModel::ideal(),
+        }
+    }
+
+    /// Returns a copy with a different magnitude-noise std-dev.
+    pub fn with_magnitude(mut self, sigma: f64) -> Self {
+        self.sigma_magnitude = sigma;
+        self
+    }
+
+    /// Returns a copy with a different phase-noise std-dev, in degrees.
+    pub fn with_phase_degrees(mut self, deg: f64) -> Self {
+        self.sigma_phase_rad = deg.to_radians();
+        self
+    }
+
+    /// Returns a copy with a different systematic-noise std-dev.
+    pub fn with_systematic(mut self, sigma: f64) -> Self {
+        self.sigma_systematic = sigma;
+        self
+    }
+
+    /// Returns a copy with dispersion replaced.
+    pub fn with_dispersion(mut self, dispersion: DispersionModel) -> Self {
+        self.dispersion = dispersion;
+        self
+    }
+
+    /// Whether every stochastic term is zero (dispersion may still bias the
+    /// result deterministically).
+    pub fn is_deterministic(&self) -> bool {
+        self.sigma_magnitude == 0.0
+            && self.sigma_phase_rad == 0.0
+            && self.sigma_systematic == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    /// Defaults to the paper's operating point.
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_is_deterministic() {
+        assert!(NoiseModel::noiseless().is_deterministic());
+        assert!(!NoiseModel::paper_default().is_deterministic());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let nm = NoiseModel::noiseless()
+            .with_magnitude(0.08)
+            .with_phase_degrees(7.0)
+            .with_systematic(0.01);
+        assert_eq!(nm.sigma_magnitude, 0.08);
+        assert!((nm.sigma_phase_rad.to_degrees() - 7.0).abs() < 1e-12);
+        assert_eq!(nm.sigma_systematic, 0.01);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(NoiseModel::default(), NoiseModel::paper_default());
+    }
+}

@@ -1,0 +1,237 @@
+//! Multi-head self-attention with a hand-written backward pass.
+//!
+//! This is the workload the whole paper is about: `Q K^T` and `A V` are
+//! *dynamic* matrix products whose operands are activations. When executed
+//! with the photonic engine, both operands of those products go through
+//! DPTC encoding, quantization, and noise — exactly the scenario prior
+//! weight-static photonic accelerators cannot serve.
+
+use crate::layers::{softmax_rows, softmax_rows_backward, ForwardCtx, Linear, Param};
+use crate::tensor::Tensor;
+use lt_photonics::noise::GaussianSampler;
+
+/// Multi-head self-attention over a `[tokens, dim]` sequence.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    dim: usize,
+    heads: usize,
+    /// Q projection.
+    pub wq: Linear,
+    /// K projection.
+    pub wk: Linear,
+    /// V projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    probs: Vec<Tensor>, // per head
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, rng: &mut GaussianSampler) -> Self {
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
+        MultiHeadAttention {
+            dim,
+            heads,
+            wq: Linear::new(dim, dim, rng),
+            wk: Linear::new(dim, dim, rng),
+            wv: Linear::new(dim, dim, rng),
+            wo: Linear::new(dim, dim, rng),
+            cache: None,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Forward pass over `x: [tokens, dim]`.
+    pub fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(x, ctx);
+        let k = self.wk.forward(x, ctx);
+        let v = self.wv.forward(x, ctx);
+
+        let tokens = x.rows();
+        let mut concat = Tensor::zeros(tokens, self.dim);
+        let mut probs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = q.col_slice(h * dh, dh);
+            let kh = k.col_slice(h * dh, dh);
+            let vh = v.col_slice(h * dh, dh);
+            // Q K^T — a dynamic-dynamic product (through the engine).
+            let scores = ctx.matmul(&qh, &kh.transpose()).scale(scale);
+            let a = softmax_rows(&scores);
+            // A V — the second dynamic product.
+            let oh = ctx.matmul(&a, &vh);
+            concat.set_col_slice(h * dh, &oh);
+            probs.push(a);
+        }
+        self.cache = Some(AttnCache { q, k, v, probs });
+        self.wo.forward(&concat, ctx)
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("MultiHeadAttention::forward not called");
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let dconcat = self.wo.backward(dy);
+        let tokens = dconcat.rows();
+        let mut dq = Tensor::zeros(tokens, self.dim);
+        let mut dk = Tensor::zeros(tokens, self.dim);
+        let mut dv = Tensor::zeros(tokens, self.dim);
+        for h in 0..self.heads {
+            let doh = dconcat.col_slice(h * dh, dh);
+            let a = &cache.probs[h];
+            let qh = cache.q.col_slice(h * dh, dh);
+            let kh = cache.k.col_slice(h * dh, dh);
+            let vh = cache.v.col_slice(h * dh, dh);
+
+            let da = doh.matmul(&vh.transpose());
+            let dvh = a.transpose().matmul(&doh);
+            let dscores = softmax_rows_backward(a, &da).scale(scale);
+            let dqh = dscores.matmul(&kh);
+            let dkh = dscores.transpose().matmul(&qh);
+
+            dq.set_col_slice(h * dh, &dqh);
+            dk.set_col_slice(h * dh, &dkh);
+            dv.set_col_slice(h * dh, &dvh);
+        }
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+
+    /// Visits all parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::quant::QuantConfig;
+
+    fn forward_loss(attn: &mut MultiHeadAttention, x: &Tensor, dy: &Tensor) -> f32 {
+        let mut eng = ExactEngine;
+        let mut rng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut rng);
+        attn.forward(x, &mut ctx).hadamard(dy).data().iter().sum()
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = GaussianSampler::new(1);
+        let mut attn = MultiHeadAttention::new(16, 4, &mut rng);
+        let x = Tensor::randn(7, 16, 1.0, &mut rng);
+        let mut eng = ExactEngine;
+        let mut nrng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut nrng);
+        let y = attn.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), (7, 16));
+    }
+
+    #[test]
+    fn attention_probabilities_are_row_stochastic() {
+        let mut rng = GaussianSampler::new(2);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::randn(5, 8, 1.0, &mut rng);
+        let mut eng = ExactEngine;
+        let mut nrng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut nrng);
+        let _ = attn.forward(&x, &mut ctx);
+        for a in &attn.cache.as_ref().unwrap().probs {
+            assert_eq!(a.shape(), (5, 5));
+            for i in 0..5 {
+                let sum: f32 = a.row(i).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = GaussianSampler::new(3);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::randn(4, 8, 0.8, &mut rng);
+        let dy = Tensor::randn(4, 8, 1.0, &mut rng);
+
+        let _ = forward_loss(&mut attn, &x, &dy);
+        let dx = attn.backward(&dy);
+
+        let h = 1e-2f32;
+        for &(i, j) in &[(0usize, 0usize), (1, 3), (3, 7), (2, 5)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + h);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - h);
+            let lp = forward_loss(&mut attn.clone(), &xp, &dy);
+            let lm = forward_loss(&mut attn.clone(), &xm, &dy);
+            let num = (lp - lm) / (2.0 * h);
+            let got = dx.get(i, j);
+            assert!(
+                (got - num).abs() < 0.05 * num.abs().max(1.0),
+                "dx[{i},{j}] = {got} vs numeric {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = GaussianSampler::new(4);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::randn(4, 8, 0.8, &mut rng);
+        let dy = Tensor::randn(4, 8, 1.0, &mut rng);
+        let _ = forward_loss(&mut attn, &x, &dy);
+        let _ = attn.backward(&dy);
+        let got = attn.wq.w.grad.get(2, 3);
+
+        let h = 1e-2f32;
+        let w0 = attn.wq.w.value.get(2, 3);
+        let mut ap = attn.clone();
+        ap.wq.w.value.set(2, 3, w0 + h);
+        let mut am = attn.clone();
+        am.wq.w.value.set(2, 3, w0 - h);
+        let num = (forward_loss(&mut ap, &x, &dy) - forward_loss(&mut am, &x, &dy)) / (2.0 * h);
+        assert!(
+            (got - num).abs() < 0.05 * num.abs().max(1.0),
+            "dWq = {got} vs numeric {num}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_head_count_rejected() {
+        let mut rng = GaussianSampler::new(5);
+        MultiHeadAttention::new(10, 3, &mut rng);
+    }
+}

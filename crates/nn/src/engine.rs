@@ -1,0 +1,192 @@
+//! Matmul execution engines.
+//!
+//! Inference can execute every matrix product on one of three backends:
+//! exact fp32 (the "GPU" reference), exact-with-quantization (the paper's
+//! "quantized models running on GPU" baseline of Fig. 14), or the photonic
+//! backend that tiles the product through [`lt_dptc::Dptc`] with the
+//! noisy analytic transfer of paper Eq. 9.
+
+use crate::tensor::Tensor;
+use lt_dptc::{Dptc, DptcConfig, NoiseModel};
+use std::fmt;
+
+/// A pluggable matrix-multiplication backend.
+///
+/// Engines may be stateful (the photonic engine advances its noise stream
+/// every call), hence `&mut self`.
+pub trait MatmulEngine: fmt::Debug {
+    /// Computes `a x b`.
+    fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor;
+
+    /// A short human-readable backend name.
+    fn name(&self) -> &str;
+}
+
+/// Exact fp32 execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEngine;
+
+impl MatmulEngine for ExactEngine {
+    fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        a.matmul(b)
+    }
+
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+/// Exact execution on operands quantized to `bits` — the digital
+/// quantized reference accuracy ("GPU" lines in Figs. 14-15).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedEngine {
+    /// Operand bit-width.
+    pub bits: u32,
+}
+
+impl MatmulEngine for QuantizedEngine {
+    fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let af: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+        let bf: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
+        let out = core.gemm_exact_quantized(&af, &bf, m, k, n, self.bits);
+        Tensor::from_vec(m, n, out.into_iter().map(|v| v as f32).collect())
+    }
+
+    fn name(&self) -> &str {
+        "quantized-exact"
+    }
+}
+
+/// Photonic execution: tiled through a DPTC core with the paper's noise
+/// model. Every call advances the seed so noise realizations are fresh but
+/// the whole run stays reproducible.
+#[derive(Debug, Clone)]
+pub struct PhotonicEngine {
+    core: Dptc,
+    /// Operand bit-width driven onto the modulators.
+    pub bits: u32,
+    /// The injected non-idealities.
+    pub noise: NoiseModel,
+    seed: u64,
+    calls: u64,
+}
+
+impl PhotonicEngine {
+    /// A paper-default engine: `n_lambda`-wavelength core, paper noise.
+    pub fn paper(bits: u32, n_lambda: usize, seed: u64) -> Self {
+        PhotonicEngine {
+            core: Dptc::new(DptcConfig::new(12, 12, n_lambda.max(1))),
+            bits,
+            noise: NoiseModel::paper_default(),
+            seed,
+            calls: 0,
+        }
+    }
+
+    /// Overrides the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The number of WDM channels in use.
+    pub fn wavelengths(&self) -> usize {
+        self.core.config().nlambda
+    }
+
+    /// Number of matmuls executed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl MatmulEngine for PhotonicEngine {
+    fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let af: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+        let bf: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
+        let call_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.calls);
+        self.calls += 1;
+        let out = self
+            .core
+            .gemm(&af, &bf, m, k, n, self.bits, &self.noise, call_seed);
+        Tensor::from_vec(m, n, out.into_iter().map(|v| v as f32).collect())
+    }
+
+    fn name(&self) -> &str {
+        "photonic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_photonics::noise::GaussianSampler;
+
+    fn rand_pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = GaussianSampler::new(seed);
+        (
+            Tensor::randn(m, k, 0.5, &mut rng),
+            Tensor::randn(k, n, 0.5, &mut rng),
+        )
+    }
+
+    #[test]
+    fn exact_engine_is_plain_matmul() {
+        let (a, b) = rand_pair(5, 7, 3, 1);
+        assert_eq!(ExactEngine.matmul(&a, &b), a.matmul(&b));
+    }
+
+    #[test]
+    fn quantized_engine_tracks_exact() {
+        let (a, b) = rand_pair(8, 16, 8, 2);
+        let exact = a.matmul(&b);
+        let q = QuantizedEngine { bits: 8 }.matmul(&a, &b);
+        let scale = exact.max_abs();
+        assert!(q.max_abs_diff(&exact) < 0.1 * scale.max(1.0));
+    }
+
+    #[test]
+    fn photonic_engine_tracks_exact_with_bounded_error() {
+        let (a, b) = rand_pair(12, 24, 12, 3);
+        let exact = a.matmul(&b);
+        let got = PhotonicEngine::paper(8, 12, 11).matmul(&a, &b);
+        // Relative to the output scale, analog error is a few percent.
+        let rel = got.max_abs_diff(&exact) / exact.max_abs().max(1e-3);
+        assert!(rel < 0.35, "relative photonic error {rel}");
+    }
+
+    #[test]
+    fn photonic_noise_advances_between_calls() {
+        let (a, b) = rand_pair(4, 12, 4, 4);
+        let mut eng = PhotonicEngine::paper(8, 12, 5);
+        let first = eng.matmul(&a, &b);
+        let second = eng.matmul(&a, &b);
+        assert!(first.max_abs_diff(&second) > 0.0, "fresh noise per call");
+        assert_eq!(eng.calls(), 2);
+    }
+
+    #[test]
+    fn photonic_runs_are_reproducible() {
+        let (a, b) = rand_pair(4, 12, 4, 6);
+        let r1 = PhotonicEngine::paper(8, 12, 7).matmul(&a, &b);
+        let r2 = PhotonicEngine::paper(8, 12, 7).matmul(&a, &b);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fewer_wavelengths_still_work() {
+        let (a, b) = rand_pair(6, 20, 6, 8);
+        let exact = a.matmul(&b);
+        let got = PhotonicEngine::paper(8, 6, 9).matmul(&a, &b);
+        let rel = got.max_abs_diff(&exact) / exact.max_abs().max(1e-3);
+        assert!(rel < 0.4, "6-wavelength relative error {rel}");
+    }
+}

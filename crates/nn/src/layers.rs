@@ -1,0 +1,535 @@
+//! Trainable layers with hand-written backward passes.
+
+use crate::engine::MatmulEngine;
+use crate::quant::QuantConfig;
+use crate::tensor::Tensor;
+use lt_photonics::noise::GaussianSampler;
+
+/// A trainable parameter with its gradient and Adam state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient.
+    pub grad: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Tensor::zeros(r, c),
+            m: Tensor::zeros(r, c),
+            v: Tensor::zeros(r, c),
+        }
+    }
+
+    /// Clears the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.rows(), self.value.cols());
+    }
+
+    /// One Adam update (`t` is the 1-based step count).
+    pub fn adam_step(&mut self, lr: f32, beta1: f32, beta2: f32, eps: f32, t: u64) {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for i in 0..self.value.data().len() {
+            let g = self.grad.data()[i];
+            let m = beta1 * self.m.data()[i] + (1.0 - beta1) * g;
+            let v = beta2 * self.v.data()[i] + (1.0 - beta2) * g * g;
+            self.m.data_mut()[i] = m;
+            self.v.data_mut()[i] = v;
+            let m_hat = m / bc1;
+            let v_hat = v / bc2;
+            self.value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.data().len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.data().is_empty()
+    }
+}
+
+/// Per-forward execution context: which backend multiplies matrices, how
+/// operands are quantized, and whether training-time noise is injected.
+#[derive(Debug)]
+pub struct ForwardCtx<'a> {
+    /// Matmul backend (exact for training, photonic for noisy inference).
+    pub engine: &'a mut dyn MatmulEngine,
+    /// Operand fake-quantization (QAT).
+    pub quant: QuantConfig,
+    /// Training mode: enables noise-aware training injection.
+    pub training: bool,
+    /// Noise-aware training: relative std-dev of multiplicative Gaussian
+    /// noise on matmul outputs (mimics Eq. 9's systematic term).
+    pub train_noise_std: f32,
+    /// Noise source for training-time injection.
+    pub rng: &'a mut GaussianSampler,
+}
+
+impl<'a> ForwardCtx<'a> {
+    /// An inference context (no training noise).
+    pub fn inference(
+        engine: &'a mut dyn MatmulEngine,
+        quant: QuantConfig,
+        rng: &'a mut GaussianSampler,
+    ) -> Self {
+        ForwardCtx {
+            engine,
+            quant,
+            training: false,
+            train_noise_std: 0.0,
+            rng,
+        }
+    }
+
+    /// Executes a (possibly noisy, possibly quantized) matmul.
+    pub fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        let aq = self.quant.apply(a);
+        let bq = self.quant.apply(b);
+        let mut y = self.engine.matmul(&aq, &bq);
+        if self.training && self.train_noise_std > 0.0 {
+            let std = self.train_noise_std;
+            let rng = &mut *self.rng;
+            y = y.map(|v| v * (1.0 + rng.sample() as f32 * std));
+        }
+        y
+    }
+}
+
+/// A fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight, `in x out`.
+    pub w: Param,
+    /// Bias, `1 x out`.
+    pub b: Param,
+    cache_x: Option<Tensor>,
+    cache_w: Option<Tensor>,
+}
+
+impl Linear {
+    /// Xavier-style initialization.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut GaussianSampler) -> Self {
+        let std = (2.0 / (inputs + outputs) as f32).sqrt();
+        Linear {
+            w: Param::new(Tensor::randn(inputs, outputs, std, rng)),
+            b: Param::new(Tensor::zeros(1, outputs)),
+            cache_x: None,
+            cache_w: None,
+        }
+    }
+
+    /// Forward pass; caches (quantized) operands for backward.
+    pub fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let xq = ctx.quant.apply(x);
+        let wq = ctx.quant.apply(&self.w.value);
+        let y = ctx.matmul(x, &self.w.value).add_row_broadcast(&self.b.value);
+        self.cache_x = Some(xq);
+        self.cache_w = Some(wq);
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db`, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("Linear::forward not called");
+        let w = self.cache_w.as_ref().expect("Linear::forward not called");
+        self.w.grad.add_assign(&x.transpose().matmul(dy));
+        self.b.grad.add_assign(&dy.col_sum());
+        dy.matmul(&w.transpose())
+    }
+
+    /// Visits the layer's parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// Row-wise layer normalization with learned scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale `gamma`, `1 x dim`.
+    pub gamma: Param,
+    /// Shift `beta`, `1 x dim`.
+    pub beta: Param,
+    eps: f32,
+    cache_xhat: Option<Tensor>,
+    cache_inv_std: Option<Vec<f32>>,
+}
+
+impl LayerNorm {
+    /// Identity-initialized LayerNorm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::from_fn(1, dim, |_, _| 1.0)),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            eps: 1e-5,
+            cache_xhat: None,
+            cache_inv_std: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (rows, cols) = x.shape();
+        let mut xhat = Tensor::zeros(rows, cols);
+        let mut inv_stds = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for j in 0..cols {
+                xhat.set(i, j, (row[j] - mean) * inv_std);
+            }
+        }
+        let y = Tensor::from_fn(rows, cols, |i, j| {
+            xhat.get(i, j) * self.gamma.value.get(0, j) + self.beta.value.get(0, j)
+        });
+        self.cache_xhat = Some(xhat);
+        self.cache_inv_std = Some(inv_stds);
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let xhat = self.cache_xhat.as_ref().expect("LayerNorm::forward not called");
+        let inv_std = self.cache_inv_std.as_ref().expect("LayerNorm::forward not called");
+        let (rows, cols) = dy.shape();
+        self.gamma.grad.add_assign(&xhat.hadamard(dy).col_sum());
+        self.beta.grad.add_assign(&dy.col_sum());
+        let mut dx = Tensor::zeros(rows, cols);
+        for i in 0..rows {
+            // dL/dxhat = dy * gamma
+            let g: Vec<f32> = (0..cols)
+                .map(|j| dy.get(i, j) * self.gamma.value.get(0, j))
+                .collect();
+            let mean_g = g.iter().sum::<f32>() / cols as f32;
+            let mean_gx = (0..cols).map(|j| g[j] * xhat.get(i, j)).sum::<f32>() / cols as f32;
+            for j in 0..cols {
+                let v = (g[j] - mean_g - xhat.get(i, j) * mean_gx) * inv_std[i];
+                dx.set(i, j, v);
+            }
+        }
+        dx
+    }
+
+    /// Visits the layer's parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// GELU activation (tanh approximation, as used by Transformers).
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cache_x: Option<Tensor>,
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+impl Gelu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Gelu::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        x.map(gelu_scalar)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("Gelu::forward not called");
+        x.map(gelu_grad_scalar).hadamard(dy)
+    }
+}
+
+/// Row-wise softmax (used for attention probabilities).
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.shape();
+    let mut out = Tensor::zeros(rows, cols);
+    for i in 0..rows {
+        let row = x.row(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0;
+        let exps: Vec<f32> = row
+            .iter()
+            .map(|&v| {
+                let e = (v - max).exp();
+                denom += e;
+                e
+            })
+            .collect();
+        for j in 0..cols {
+            out.set(i, j, exps[j] / denom);
+        }
+    }
+    out
+}
+
+/// Backward of row-wise softmax: given `s = softmax(x)` and `ds`, returns
+/// `dx`.
+pub fn softmax_rows_backward(s: &Tensor, ds: &Tensor) -> Tensor {
+    let (rows, cols) = s.shape();
+    let mut dx = Tensor::zeros(rows, cols);
+    for i in 0..rows {
+        let dot: f32 = (0..cols).map(|j| ds.get(i, j) * s.get(i, j)).sum();
+        for j in 0..cols {
+            dx.set(i, j, s.get(i, j) * (ds.get(i, j) - dot));
+        }
+    }
+    dx
+}
+
+/// Cross-entropy loss over logits `[batch, classes]`; returns the mean
+/// loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if a label is out of range or the batch is empty.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = logits.shape();
+    assert_eq!(batch, labels.len(), "label count mismatch");
+    assert!(batch > 0, "empty batch");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(batch, classes);
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        loss -= probs.get(i, label).max(1e-12).ln();
+        for j in 0..classes {
+            let indicator = if j == label { 1.0 } else { 0.0 };
+            grad.set(i, j, (probs.get(i, j) - indicator) / batch as f32);
+        }
+    }
+    (loss / batch as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+
+    fn ctx_parts() -> (ExactEngine, GaussianSampler) {
+        (ExactEngine, GaussianSampler::new(0))
+    }
+
+    /// Finite-difference check of a scalar loss w.r.t. one tensor entry.
+    fn numerical_grad(f: &mut dyn FnMut(f32) -> f32, x0: f32) -> f32 {
+        let h = 1e-3;
+        (f(x0 + h) - f(x0 - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = GaussianSampler::new(1);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        let dy = Tensor::randn(3, 2, 1.0, &mut rng);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        let w0 = layer.w.value.clone();
+
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut nrng);
+        let _ = layer.forward(&x, &mut ctx);
+        let dx = layer.backward(&dy);
+
+        // Loss L = sum(y * dy); dL/dw and dL/dx should match numerics.
+        let loss = |w: &Tensor, x: &Tensor| -> f32 {
+            x.matmul(w).hadamard(&dy).data().iter().sum()
+        };
+        // Check one weight entry and one input entry.
+        let got_dw = layer.w.grad.get(1, 0);
+        let num_dw = numerical_grad(
+            &mut |v| {
+                let mut w = w0.clone();
+                w.set(1, 0, v);
+                loss(&w, &x)
+            },
+            w0.get(1, 0),
+        );
+        assert!((got_dw - num_dw).abs() < 1e-2, "dw {got_dw} vs {num_dw}");
+
+        let got_dx = dx.get(2, 1);
+        let num_dx = numerical_grad(
+            &mut |v| {
+                let mut xx = x.clone();
+                xx.set(2, 1, v);
+                loss(&w0, &xx)
+            },
+            x.get(2, 1),
+        );
+        assert!((got_dx - num_dx).abs() < 1e-2, "dx {got_dx} vs {num_dx}");
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let mut rng = GaussianSampler::new(2);
+        let x = Tensor::randn(4, 16, 3.0, &mut rng).map(|v| v + 5.0);
+        let mut ln = LayerNorm::new(16);
+        let y = ln.forward(&x);
+        for i in 0..4 {
+            let mean: f32 = y.row(i).iter().sum::<f32>() / 16.0;
+            let var: f32 = y.row(i).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_matches_finite_differences() {
+        let mut rng = GaussianSampler::new(3);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let dy = Tensor::randn(2, 8, 1.0, &mut rng);
+        let mut ln = LayerNorm::new(8);
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&dy);
+
+        let loss = |x: &Tensor| -> f32 {
+            let mut ln2 = LayerNorm::new(8);
+            ln2.forward(x).hadamard(&dy).data().iter().sum()
+        };
+        let got = dx.get(1, 3);
+        let num = numerical_grad(
+            &mut |v| {
+                let mut xx = x.clone();
+                xx.set(1, 3, v);
+                loss(&xx)
+            },
+            x.get(1, 3),
+        );
+        assert!((got - num).abs() < 1e-2, "dx {got} vs {num}");
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+        // Large positive ~ identity, large negative ~ 0.
+        assert!((gelu_scalar(6.0) - 6.0).abs() < 1e-3);
+        assert!(gelu_scalar(-6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        for x0 in [-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let got = gelu_grad_scalar(x0);
+            let num = numerical_grad(&mut |v| gelu_scalar(v), x0);
+            assert!((got - num).abs() < 1e-3, "x={x0}: {got} vs {num}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_differences() {
+        let mut rng = GaussianSampler::new(4);
+        let x = Tensor::randn(1, 5, 1.0, &mut rng);
+        let ds = Tensor::randn(1, 5, 1.0, &mut rng);
+        let s = softmax_rows(&x);
+        let dx = softmax_rows_backward(&s, &ds);
+        let loss = |x: &Tensor| softmax_rows(x).hadamard(&ds).data().iter().sum::<f32>();
+        for j in 0..5 {
+            let num = numerical_grad(
+                &mut |v| {
+                    let mut xx = x.clone();
+                    xx.set(0, j, v);
+                    loss(&xx)
+                },
+                x.get(0, j),
+            );
+            assert!((dx.get(0, j) - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_basics() {
+        // A confidently correct prediction has near-zero loss.
+        let logits = Tensor::from_vec(1, 3, vec![10.0, -5.0, -5.0]);
+        let (loss, grad) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        assert!(grad.get(0, 0) < 0.0 || grad.get(0, 0).abs() < 1e-3);
+        // Uniform logits: loss = ln(classes).
+        let logits = Tensor::zeros(1, 4);
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_reduces_quadratic_loss() {
+        // Minimize ||w||^2 with Adam; it must shrink monotonically-ish.
+        let mut p = Param::new(Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]));
+        for t in 1..=200 {
+            p.zero_grad();
+            p.grad = p.value.scale(2.0);
+            p.adam_step(0.05, 0.9, 0.999, 1e-8, t);
+        }
+        assert!(p.value.max_abs() < 0.05, "residual {}", p.value.max_abs());
+    }
+
+    #[test]
+    fn training_noise_perturbs_outputs() {
+        let mut rng = GaussianSampler::new(5);
+        let x = Tensor::randn(2, 4, 1.0, &mut rng);
+        let mut layer = Linear::new(4, 4, &mut rng);
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx {
+            engine: &mut eng,
+            quant: QuantConfig::fp32(),
+            training: true,
+            train_noise_std: 0.05,
+            rng: &mut nrng,
+        };
+        let y1 = layer.forward(&x, &mut ctx);
+        let y2 = layer.forward(&x, &mut ctx);
+        assert!(y1.max_abs_diff(&y2) > 0.0, "noise must differ per call");
+    }
+}

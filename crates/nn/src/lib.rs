@@ -1,0 +1,56 @@
+//! Pure-Rust neural network stack for the Lightening-Transformer accuracy
+//! experiments (paper Section V-E, Figs. 14-15).
+//!
+//! The paper trains low-bit DeiT/BERT models with noise-aware training and
+//! evaluates them with every GEMM routed through the noisy analytic DPTC
+//! transform (Eq. 9). Reproducing that end to end needs a training stack,
+//! so this crate implements one from scratch:
+//!
+//! * [`tensor`] — a small row-major `f32` matrix type
+//! * [`layers`] — Linear / LayerNorm / GELU / softmax with hand-written
+//!   backward passes
+//! * [`attention`] — multi-head self-attention (forward + backward)
+//! * [`model`] — a tiny ViT for images and a tiny bidirectional text
+//!   classifier (the DeiT / BERT stand-ins; see DESIGN.md Substitution 2)
+//! * [`quant`] — symmetric fake-quantization with straight-through
+//!   estimators (QAT)
+//! * [`train`] — Adam, seeded mini-batch training, noise-aware training
+//! * [`engine`] — the matmul execution engines: exact, quantized-exact,
+//!   and photonic (tiled through [`lt_dptc::Dptc`] with Eq. 9 noise)
+//! * [`data`] — deterministic synthetic vision / text datasets
+//!
+//! # Example
+//!
+//! ```
+//! use lt_nn::tensor::Tensor;
+//! use lt_nn::engine::{ExactEngine, MatmulEngine, PhotonicEngine};
+//!
+//! let a = Tensor::from_fn(4, 8, |i, j| ((i + j) as f32 * 0.1).sin());
+//! let b = Tensor::from_fn(8, 3, |i, j| ((i * j) as f32 * 0.1).cos());
+//! let exact = ExactEngine.matmul(&a, &b);
+//! let mut photonic = PhotonicEngine::paper(4, 12, 7);
+//! let noisy = photonic.matmul(&a, &b);
+//! // The photonic result tracks the exact one to within analog error.
+//! let err = exact.max_abs_diff(&noisy);
+//! assert!(err < 0.8, "photonic matmul error {err}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#![allow(clippy::needless_range_loop)] // index loops are the idiom for matrix kernels
+
+pub mod attention;
+pub mod checkpoint;
+pub mod data;
+pub mod engine;
+pub mod layers;
+pub mod metrics;
+pub mod model;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use engine::{ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
+pub use model::{TextClassifier, VisionTransformer};
+pub use tensor::Tensor;

@@ -1,0 +1,79 @@
+//! Quantization-aware training support.
+//!
+//! The paper applies low-bit quantization to weights and activations
+//! (LSQ-style \[15\]) and trains with noise injected. We implement symmetric
+//! per-tensor fake quantization with a straight-through estimator: the
+//! forward pass sees quantized values, the backward pass treats the
+//! quantizer as identity.
+
+use crate::tensor::Tensor;
+use lt_dptc::Quantizer;
+
+/// Fake-quantization configuration shared by a whole model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Bit-width; `None` disables quantization (fp32 reference).
+    pub bits: Option<u32>,
+}
+
+impl QuantConfig {
+    /// Full-precision (no quantization).
+    pub fn fp32() -> Self {
+        QuantConfig { bits: None }
+    }
+
+    /// `bits`-bit symmetric quantization of weights and activations.
+    pub fn low_bit(bits: u32) -> Self {
+        QuantConfig { bits: Some(bits) }
+    }
+
+    /// Fake-quantizes a tensor (per-tensor max-abs scale). Identity when
+    /// disabled or when the tensor is all-zero.
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        match self.bits {
+            None => t.clone(),
+            Some(bits) => {
+                let q = Quantizer::new(bits);
+                let scale = t.max_abs() as f64;
+                if scale == 0.0 {
+                    return t.clone();
+                }
+                t.map(|v| q.fake_quantize(v as f64, scale) as f32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_is_identity() {
+        let t = Tensor::from_vec(1, 3, vec![0.1, -0.7, 0.33]);
+        assert_eq!(QuantConfig::fp32().apply(&t), t);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let t = Tensor::from_fn(4, 4, |i, j| ((i * 4 + j) as f32 / 8.0) - 1.0);
+        let q = QuantConfig::low_bit(4).apply(&t);
+        let scale = t.max_abs();
+        let step = scale / 7.0;
+        assert!(t.max_abs_diff(&q) <= step / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn eight_bit_is_tighter_than_four_bit() {
+        let t = Tensor::from_fn(8, 8, |i, j| (i as f32).sin() * (j as f32).cos());
+        let e4 = t.max_abs_diff(&QuantConfig::low_bit(4).apply(&t));
+        let e8 = t.max_abs_diff(&QuantConfig::low_bit(8).apply(&t));
+        assert!(e8 < e4);
+    }
+
+    #[test]
+    fn zero_tensor_passes_through() {
+        let t = Tensor::zeros(2, 2);
+        assert_eq!(QuantConfig::low_bit(4).apply(&t), t);
+    }
+}

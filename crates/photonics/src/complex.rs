@@ -1,0 +1,232 @@
+//! A minimal complex-number type for optical field arithmetic.
+//!
+//! The circuit-level DDot simulation propagates complex electric-field
+//! amplitudes through device transfer matrices. We implement the small
+//! amount of complex arithmetic needed here rather than pulling in an
+//! external numerics crate (see DESIGN.md Section 6).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use lt_photonics::Complex;
+/// let j = Complex::I;
+/// assert_eq!(j * j, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The imaginary unit `j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a unit-magnitude phasor `e^{j theta}`.
+    pub fn from_phase(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Creates a phasor with the given magnitude and phase.
+    pub fn from_polar(magnitude: f64, phase: f64) -> Self {
+        Complex {
+            re: magnitude * phase.cos(),
+            im: magnitude * phase.sin(),
+        }
+    }
+
+    /// Squared magnitude `|z|^2` — what a photodetector measures.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Phase angle in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < EPS && (q.im - a.im).abs() < EPS);
+    }
+
+    #[test]
+    fn phasor_identities() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let z = Complex::from_phase(FRAC_PI_2);
+        assert!((z.re).abs() < EPS && (z.im - 1.0).abs() < EPS);
+        let z = Complex::from_phase(PI);
+        assert!((z.re + 1.0).abs() < EPS && z.im.abs() < EPS);
+        // e^{-j pi/2} == -j, the DDot phase shifter.
+        let z = Complex::from_phase(-FRAC_PI_2);
+        assert!((z - (-Complex::I)).norm() < EPS);
+    }
+
+    #[test]
+    fn norm_and_arg() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+        assert!((z.norm_sqr() - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex::new(3.0, -4.0);
+        let n = z * z.conj();
+        assert!((n.re - 25.0).abs() < EPS && n.im.abs() < EPS);
+    }
+
+    #[test]
+    fn sum_of_phasors() {
+        let zs = [
+            Complex::from_phase(0.0),
+            Complex::from_phase(std::f64::consts::PI),
+        ];
+        let s: Complex = zs.into_iter().sum();
+        assert!(s.norm() < EPS, "opposite phasors cancel");
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,43 @@
+//! Physical constants and paper-wide defaults.
+
+/// Speed of light in vacuum, meters per second.
+pub const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// The paper's centre wavelength (DWDM C-band), nanometers.
+pub const CENTER_WAVELENGTH_NM: f64 = 1550.0;
+
+/// The paper's DWDM channel spacing, nanometers (Dense WDM standard \[24\]).
+pub const DWDM_CHANNEL_SPACING_NM: f64 = 0.4;
+
+/// Photonic tensor core clock, GHz ("clocked at 5 GHz for a conservative
+/// assumption", Section IV-A).
+pub const PTC_CLOCK_GHZ: f64 = 5.0;
+
+/// Low-speed electrical clock domain, MHz (Fig. 4).
+pub const LOW_CLOCK_MHZ: f64 = 500.0;
+
+/// Default data precision of the photonic datapath, bits (Section IV-A).
+pub const DEFAULT_PRECISION_BITS: u32 = 4;
+
+/// Analog-domain temporal accumulation depth: A/D conversion happens once
+/// every this many analog accumulation steps (Section IV-C2).
+pub const TEMPORAL_ACCUM_DEPTH: u32 = 3;
+
+/// Laser wall-plug efficiency (Table III, on-chip laser \[58\]).
+pub const LASER_WALL_PLUG_EFFICIENCY: f64 = 0.2;
+
+/// Frequency of the centre wavelength in Hz.
+pub fn center_frequency_hz() -> f64 {
+    SPEED_OF_LIGHT_M_PER_S / (CENTER_WAVELENGTH_NM * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_frequency_is_about_193_thz() {
+        let f = center_frequency_hz();
+        assert!((f / 1e12 - 193.41).abs() < 0.05, "got {} THz", f / 1e12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Mixed-signal converters: DAC, ADC, TIA.
+//!
+//! Cross-domain signal conversion is the key bottleneck of photonic systems
+//! (paper Section IV-C). The reference designs in Table III are 8-bit parts;
+//! following \[26\] the paper scales their power with bit-width and sampling
+//! frequency, which we reproduce in [`Dac::scaled_power`] /
+//! [`Adc::scaled_power`].
+
+use crate::units::{GigaHertz, MilliWatts, SquareMicrometers};
+
+/// Power scaling shared by both converters: linear in sampling frequency and
+/// exponential (`2^b`) in bit-width, relative to the reference design point.
+fn scale_power(
+    reference: MilliWatts,
+    ref_bits: u32,
+    ref_rate: GigaHertz,
+    bits: u32,
+    rate: GigaHertz,
+) -> MilliWatts {
+    let freq_factor = rate.value() / ref_rate.value();
+    let bit_factor = 2f64.powi(bits as i32) / 2f64.powi(ref_bits as i32);
+    reference * (freq_factor * bit_factor)
+}
+
+/// A digital-to-analog converter driving one MZM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac {
+    /// Reference precision, bits.
+    pub ref_bits: u32,
+    /// Reference power at the reference sample rate.
+    pub ref_power: MilliWatts,
+    /// Reference sample rate.
+    pub ref_rate: GigaHertz,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl Dac {
+    /// Table III values (\[7\]): 8-bit, 50 mW @ 14 GS/s, 11,000 um^2.
+    pub fn paper() -> Self {
+        Dac {
+            ref_bits: 8,
+            ref_power: MilliWatts(50.0),
+            ref_rate: GigaHertz(14.0),
+            area: SquareMicrometers(11_000.0),
+        }
+    }
+
+    /// Power at the photonic system's operating point.
+    ///
+    /// ```
+    /// use lt_photonics::devices::Dac;
+    /// use lt_photonics::units::GigaHertz;
+    /// // 4-bit at the 5 GHz PTC clock: 50 mW * (5/14) * 2^-4 ~ 1.12 mW.
+    /// let p = Dac::paper().scaled_power(4, GigaHertz(5.0));
+    /// assert!((p.value() - 1.116).abs() < 0.01);
+    /// ```
+    pub fn scaled_power(&self, bits: u32, rate: GigaHertz) -> MilliWatts {
+        scale_power(self.ref_power, self.ref_bits, self.ref_rate, bits, rate)
+    }
+}
+
+/// An analog-to-digital converter digitizing one photocurrent channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Reference precision, bits.
+    pub ref_bits: u32,
+    /// Reference power at the reference sample rate.
+    pub ref_power: MilliWatts,
+    /// Reference sample rate.
+    pub ref_rate: GigaHertz,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl Adc {
+    /// Table III values (\[32\]): 8-bit, 14.8 mW @ 10 GS/s, 2,850 um^2.
+    pub fn paper() -> Self {
+        Adc {
+            ref_bits: 8,
+            ref_power: MilliWatts(14.8),
+            ref_rate: GigaHertz(10.0),
+            area: SquareMicrometers(2_850.0),
+        }
+    }
+
+    /// Power at the photonic system's operating point. Analog-domain
+    /// temporal accumulation lets the ADC run at `clock / depth`, which is
+    /// exactly how the paper's Section IV-C2 trims ADC cost.
+    pub fn scaled_power(&self, bits: u32, rate: GigaHertz) -> MilliWatts {
+        scale_power(self.ref_power, self.ref_bits, self.ref_rate, bits, rate)
+    }
+}
+
+/// A transimpedance amplifier boosting photocurrent before the ADC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tia {
+    /// Power per channel.
+    pub power: MilliWatts,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl Tia {
+    /// Table III values (\[43\]): 3 mW, <50 um^2.
+    pub fn paper() -> Self {
+        Tia {
+            power: MilliWatts(3.0),
+            area: SquareMicrometers(50.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_points_are_fixed() {
+        let dac = Dac::paper();
+        let p = dac.scaled_power(8, GigaHertz(14.0));
+        assert!((p.value() - 50.0).abs() < 1e-9);
+        let adc = Adc::paper();
+        let p = adc.scaled_power(8, GigaHertz(10.0));
+        assert!((p.value() - 14.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_bit_dac_is_16x_cheaper() {
+        let dac = Dac::paper();
+        let p8 = dac.scaled_power(8, GigaHertz(5.0));
+        let p4 = dac.scaled_power(4, GigaHertz(5.0));
+        assert!((p8.value() / p4.value() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temporal_accumulation_cuts_adc_rate() {
+        let adc = Adc::paper();
+        let full = adc.scaled_power(4, GigaHertz(5.0));
+        let accum = adc.scaled_power(4, GigaHertz(5.0 / 3.0));
+        assert!((full.value() / accum.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eight_bit_dacs_dominate() {
+        // The power-breakdown claim of Fig. 8: at 8-bit, the per-DAC power
+        // is ~17.9 mW at 5 GHz, > 50% of system power once multiplied out.
+        let p = Dac::paper().scaled_power(8, GigaHertz(5.0));
+        assert!((p.value() - 17.857).abs() < 0.01);
+    }
+}

@@ -1,0 +1,157 @@
+//! Directional coupler: the interference element of DDot.
+
+use crate::complex::Complex;
+use crate::units::{Decibels, SquareMicrometers};
+use crate::wdm::DispersionModel;
+
+/// A 2x2 directional coupler.
+///
+/// The ideal transfer matrix is
+///
+/// ```text
+/// [ t    j*k ]        t = sqrt(1 - kappa),  k = sqrt(kappa)
+/// [ j*k  t   ]
+/// ```
+///
+/// with `t = k = sqrt(2)/2` for the 3 dB 50:50 coupler used by DDot
+/// (paper Section II-B). The wavelength dependence of `kappa` comes from a
+/// [`DispersionModel`].
+///
+/// ```
+/// use lt_photonics::devices::DirectionalCoupler;
+/// use lt_photonics::Complex;
+/// let dc = DirectionalCoupler::ideal_50_50();
+/// let (o0, o1) = dc.couple(Complex::ONE, Complex::ZERO, 1550.0);
+/// // Power splits evenly between the two output ports.
+/// assert!((o0.norm_sqr() - 0.5).abs() < 1e-12);
+/// assert!((o1.norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionalCoupler {
+    dispersion: DispersionModel,
+    insertion_loss: Decibels,
+    area: SquareMicrometers,
+}
+
+impl DirectionalCoupler {
+    /// The coupler of the paper's Table III (\[63\]): IL 0.33 dB,
+    /// 5.25 x 2.4 um^2 footprint, with the paper's dispersion model.
+    pub fn paper() -> Self {
+        DirectionalCoupler {
+            dispersion: DispersionModel::paper(),
+            insertion_loss: Decibels(0.33),
+            area: SquareMicrometers::from_footprint(5.25, 2.4),
+        }
+    }
+
+    /// A lossless, dispersion-free 50:50 coupler (for analytic checks).
+    pub fn ideal_50_50() -> Self {
+        DirectionalCoupler {
+            dispersion: DispersionModel::ideal(),
+            insertion_loss: Decibels(0.0),
+            area: SquareMicrometers(0.0),
+        }
+    }
+
+    /// Replaces the dispersion model.
+    pub fn with_dispersion(mut self, dispersion: DispersionModel) -> Self {
+        self.dispersion = dispersion;
+        self
+    }
+
+    /// Insertion loss per pass.
+    pub fn insertion_loss(&self) -> Decibels {
+        self.insertion_loss
+    }
+
+    /// Device footprint.
+    pub fn area(&self) -> SquareMicrometers {
+        self.area
+    }
+
+    /// Power coupling factor at the given wavelength.
+    pub fn coupling_factor(&self, lambda_nm: f64) -> f64 {
+        self.dispersion.coupling_factor(lambda_nm)
+    }
+
+    /// Amplitude through coefficient `t` at the given wavelength.
+    pub fn through_coefficient(&self, lambda_nm: f64) -> f64 {
+        self.dispersion.through_coefficient(lambda_nm)
+    }
+
+    /// Amplitude cross coefficient `k` at the given wavelength.
+    pub fn cross_coefficient(&self, lambda_nm: f64) -> f64 {
+        self.dispersion.cross_coefficient(lambda_nm)
+    }
+
+    /// Propagates the two input fields through the coupler at `lambda_nm`,
+    /// including insertion loss, returning the two output fields
+    /// `(top, bottom)`.
+    pub fn couple(&self, in0: Complex, in1: Complex, lambda_nm: f64) -> (Complex, Complex) {
+        let t = self.through_coefficient(lambda_nm);
+        let k = self.cross_coefficient(lambda_nm);
+        let jk = Complex::I * k;
+        // Amplitude attenuation: power loss IL dB => field factor 10^(-IL/20).
+        let a = self.insertion_loss.to_linear().sqrt();
+        let out0 = (in0 * t + in1 * jk) * a;
+        let out1 = (in0 * jk + in1 * t) * a;
+        (out0, out1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_coupler_is_unitary() {
+        let dc = DirectionalCoupler::ideal_50_50();
+        let in0 = Complex::new(0.6, 0.2);
+        let in1 = Complex::new(-0.3, 0.4);
+        let (o0, o1) = dc.couple(in0, in1, 1550.0);
+        let pin = in0.norm_sqr() + in1.norm_sqr();
+        let pout = o0.norm_sqr() + o1.norm_sqr();
+        assert!((pin - pout).abs() < 1e-12, "lossless coupler conserves power");
+    }
+
+    #[test]
+    fn paper_coupler_attenuates_by_insertion_loss() {
+        let dc = DirectionalCoupler::paper();
+        let (o0, o1) = dc.couple(Complex::ONE, Complex::ZERO, 1550.0);
+        let pout = o0.norm_sqr() + o1.norm_sqr();
+        let expected = Decibels(0.33).to_linear();
+        assert!((pout - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_sum_and_difference() {
+        // With equal-phase inputs x and y, outputs are (x+y)/sqrt(2) and
+        // j(x-y)/sqrt(2) up to the port convention — powers must be
+        // (x+y)^2/2 and (x-y)^2/2.
+        let dc = DirectionalCoupler::ideal_50_50();
+        let x = 0.8;
+        let y = 0.3;
+        // DDot applies a -90 deg phase to the upper arm; emulate it here.
+        let in0 = Complex::real(x) * (-Complex::I);
+        let in1 = Complex::real(y);
+        let (o0, o1) = dc.couple(in0, in1, 1550.0);
+        let p0 = o0.norm_sqr();
+        let p1 = o1.norm_sqr();
+        let s = 0.5 * (x + y) * (x + y);
+        let d = 0.5 * (x - y) * (x - y);
+        assert!((p0 - d).abs() < 1e-12 || (p0 - s).abs() < 1e-12);
+        assert!((p0 + p1 - (s + d)).abs() < 1e-12);
+        // Balanced subtraction recovers 2xy regardless of port ordering.
+        assert!(((p0 - p1).abs() - 2.0 * x * y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_changes_split_ratio_slightly() {
+        let dc = DirectionalCoupler::paper();
+        let kappa_center = dc.coupling_factor(1550.0);
+        let kappa_edge = dc.coupling_factor(1554.8);
+        assert!((kappa_center - 0.5).abs() < 1e-12);
+        assert!(kappa_edge > kappa_center, "kappa grows with wavelength");
+        assert!((kappa_edge / kappa_center - 1.0) < 0.025);
+    }
+}

@@ -1,0 +1,164 @@
+//! Photodetection: where interference becomes photocurrent.
+
+use crate::complex::Complex;
+use crate::units::{MilliWatts, SquareMicrometers};
+
+/// A photodiode converting incident WDM optical power into photocurrent.
+///
+/// The generated photocurrent is proportional to the *accumulated
+/// intensities* of all incident wavelengths — the squaring and the
+/// cross-wavelength summation happen in the device physics, which is what
+/// gives DDot its free length-N accumulation (paper Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    /// Responsivity in A/W (proportionality of current to optical power).
+    pub responsivity_a_per_w: f64,
+    /// Receiver power consumption.
+    pub power: MilliWatts,
+    /// Minimum detectable optical power (sensitivity), dBm.
+    pub sensitivity_dbm: f64,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl Photodetector {
+    /// Table III values (\[23\]): 1.1 mW, -25 dBm sensitivity, 4 x 10 um^2.
+    /// Responsivity of 1 A/W is a typical value for Si-Ge APDs at 1550 nm.
+    pub fn paper() -> Self {
+        Photodetector {
+            responsivity_a_per_w: 1.0,
+            power: MilliWatts(1.1),
+            sensitivity_dbm: -25.0,
+            area: SquareMicrometers::from_footprint(4.0, 10.0),
+        }
+    }
+
+    /// Minimum detectable optical power as a linear quantity.
+    pub fn sensitivity(&self) -> MilliWatts {
+        MilliWatts::from_dbm(self.sensitivity_dbm)
+    }
+
+    /// Photocurrent (arbitrary units, proportional to amperes) produced by
+    /// a set of per-wavelength incident fields.
+    pub fn detect(&self, fields: &[Complex]) -> f64 {
+        self.responsivity_a_per_w * fields.iter().map(|f| f.norm_sqr()).sum::<f64>()
+    }
+}
+
+/// A balanced photodetector pair: two matched photodiodes whose currents
+/// subtract (paper Eq. 5).
+///
+/// The differential photocurrent cancels the quadratic terms
+/// `(x_i + y_i)^2 - (x_i - y_i)^2 = 4 x_i y_i`, so the output current
+/// directly carries the signed dot product — full-range *outputs* with no
+/// extra decomposition step.
+///
+/// ```
+/// use lt_photonics::devices::BalancedPhotodetector;
+/// use lt_photonics::Complex;
+/// let bpd = BalancedPhotodetector::matched();
+/// // Fields carrying (x+y) and (x-y) for x=0.5, y=0.25.
+/// let sum = [Complex::real(0.75)];
+/// let diff = [Complex::real(0.25)];
+/// let i = bpd.detect(&sum, &diff);
+/// assert!((i - 4.0 * 0.5 * 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancedPhotodetector {
+    /// The detector on the "sum" port (responsivity `R0`).
+    pub positive: Photodetector,
+    /// The detector on the "difference" port (responsivity `R1`).
+    pub negative: Photodetector,
+}
+
+impl BalancedPhotodetector {
+    /// A perfectly matched pair (`R0 == R1`) with paper parameters.
+    pub fn matched() -> Self {
+        BalancedPhotodetector {
+            positive: Photodetector::paper(),
+            negative: Photodetector::paper(),
+        }
+    }
+
+    /// A deliberately mismatched pair, for studying responsivity imbalance.
+    pub fn mismatched(r0: f64, r1: f64) -> Self {
+        let mut positive = Photodetector::paper();
+        positive.responsivity_a_per_w = r0;
+        let mut negative = Photodetector::paper();
+        negative.responsivity_a_per_w = r1;
+        BalancedPhotodetector { positive, negative }
+    }
+
+    /// Differential photocurrent `I0 - I1` for fields at the two ports.
+    pub fn detect(&self, port0: &[Complex], port1: &[Complex]) -> f64 {
+        self.positive.detect(port0) - self.negative.detect(port1)
+    }
+
+    /// Total electrical power of the pair.
+    pub fn power(&self) -> MilliWatts {
+        self.positive.power + self.negative.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_sums_wavelength_intensities() {
+        let pd = Photodetector::paper();
+        let fields = [Complex::real(0.5), Complex::new(0.0, 0.5), Complex::real(-0.5)];
+        assert!((pd.detect(&fields) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_is_3_16_uw() {
+        let pd = Photodetector::paper();
+        assert!((pd.sensitivity().value() - 0.003_162).abs() < 1e-5);
+    }
+
+    #[test]
+    fn balanced_pair_cancels_quadratics() {
+        let bpd = BalancedPhotodetector::matched();
+        // Build (x+y)/sqrt2 and j(x-y)/sqrt2 fields per Eq. 3 and check Eq. 5.
+        let x = [0.3, -0.6, 0.9];
+        let y = [0.2, 0.5, -0.4];
+        let s2 = std::f64::consts::SQRT_2;
+        let sum: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| Complex::real((a + b) / s2))
+            .collect();
+        let diff: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| Complex::new(0.0, (a - b) / s2))
+            .collect();
+        let i = bpd.detect(&sum, &diff);
+        let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((i - 2.0 * dot).abs() < 1e-12, "I = 2 R x.y with R = 1");
+    }
+
+    #[test]
+    fn full_range_output_sign() {
+        let bpd = BalancedPhotodetector::matched();
+        // Negative dot product -> negative photocurrent.
+        let i = bpd.detect(&[Complex::real(0.1)], &[Complex::real(0.9)]);
+        assert!(i < 0.0);
+    }
+
+    #[test]
+    fn mismatch_leaves_quadratic_residue() {
+        let bpd = BalancedPhotodetector::mismatched(1.0, 0.9);
+        let x = 0.5;
+        let y = 0.25;
+        let s2 = std::f64::consts::SQRT_2;
+        let i = bpd.detect(
+            &[Complex::real((x + y) / s2)],
+            &[Complex::real((x - y) / s2)],
+        );
+        // Ideal would be 2xy = 0.25; responsivity mismatch leaves an
+        // uncancelled quadratic term.
+        assert!((i - 2.0 * x * y).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Light sources: on-chip laser and the Kerr micro-comb that seeds the WDM
+//! channels.
+
+use crate::units::{Decibels, MilliWatts, SquareMicrometers};
+
+/// An on-chip laser characterized by its wall-plug efficiency.
+///
+/// The laser power is set to meet the minimum power requirement of the
+/// photodetector considering total system loss, then scaled with the output
+/// precision requirement (paper Section V-A): each extra output bit doubles
+/// the required detected power (one more bit of SNR in the shot-noise
+/// limited regime), which reproduces the 16x laser-power jump from 4-bit
+/// (0.77 W) to 8-bit (12.3 W) on LT-B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laser {
+    /// Fraction of electrical power converted to optical power.
+    pub wall_plug_efficiency: f64,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl Laser {
+    /// Table III values (\[58\]): 20% wall-plug efficiency, 400 x 300 um^2.
+    pub fn paper() -> Self {
+        Laser {
+            wall_plug_efficiency: 0.2,
+            area: SquareMicrometers::from_footprint(400.0, 300.0),
+        }
+    }
+
+    /// Electrical power needed to deliver `optical` watts of laser light.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wall-plug efficiency is not in `(0, 1]`.
+    pub fn electrical_power(&self, optical: MilliWatts) -> MilliWatts {
+        assert!(
+            self.wall_plug_efficiency > 0.0 && self.wall_plug_efficiency <= 1.0,
+            "wall-plug efficiency must be in (0, 1]"
+        );
+        optical / self.wall_plug_efficiency
+    }
+
+    /// Electrical laser power required for `n_signals` optical signals, each
+    /// of which must arrive at its photodetector above `pd_sensitivity`
+    /// after `path_loss` of attenuation, at `bits` of output precision
+    /// (relative to the 4-bit baseline).
+    pub fn required_power(
+        &self,
+        n_signals: usize,
+        pd_sensitivity: MilliWatts,
+        path_loss: Decibels,
+        bits: u32,
+    ) -> MilliWatts {
+        let per_signal_at_pd = pd_sensitivity.value();
+        let loss_factor = 1.0 / path_loss.to_linear();
+        let precision_factor = 2f64.powi(bits as i32 - 4);
+        let optical = MilliWatts(per_signal_at_pd * loss_factor * precision_factor * n_signals as f64);
+        self.electrical_power(optical)
+    }
+}
+
+/// A Kerr frequency micro-comb providing the multi-wavelength carrier
+/// (Table III, \[62\]). Behaviourally it is a multi-wavelength source; its
+/// cost contribution here is the (large) footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroComb {
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl MicroComb {
+    /// Table III values: 1,184 x 1,184 um^2.
+    pub fn paper() -> Self {
+        MicroComb {
+            area: SquareMicrometers::from_footprint(1_184.0, 1_184.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_plug_divides_power() {
+        let laser = Laser::paper();
+        let p = laser.electrical_power(MilliWatts(100.0));
+        assert!((p.value() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_scaling_is_2_per_bit() {
+        let laser = Laser::paper();
+        let sens = MilliWatts::from_dbm(-25.0);
+        let p4 = laser.required_power(100, sens, Decibels(10.0), 4);
+        let p8 = laser.required_power(100, sens, Decibels(10.0), 8);
+        assert!((p8.value() / p4.value() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_scales_exponentially() {
+        let laser = Laser::paper();
+        let sens = MilliWatts::from_dbm(-25.0);
+        let p10 = laser.required_power(1, sens, Decibels(10.0), 4);
+        let p20 = laser.required_power(1, sens, Decibels(20.0), 4);
+        assert!((p20.value() / p10.value() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! Optical and mixed-signal device models (paper Table III).
+//!
+//! Each device couples a *behavioural* model (complex transfer function used
+//! by the circuit-level DDot simulation) with a *cost* model (power, area,
+//! insertion loss). The cost numbers are the component parameters adopted by
+//! the paper; constructors named `paper()` return them.
+
+mod converter;
+mod coupler;
+mod detector;
+mod laser;
+mod modulator;
+mod mzi;
+mod passive;
+mod phase_shifter;
+mod resonator;
+
+pub use converter::{Adc, Dac, Tia};
+pub use coupler::DirectionalCoupler;
+pub use detector::{BalancedPhotodetector, Photodetector};
+pub use laser::{Laser, MicroComb};
+pub use modulator::MachZehnderModulator;
+pub use mzi::MachZehnderInterferometer;
+pub use passive::{WaveguideCrossing, YBranch};
+pub use phase_shifter::{MemsPhaseShifter, PhaseShifter};
+pub use resonator::{Microdisk, MicroringResonator};

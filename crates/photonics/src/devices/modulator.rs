@@ -1,0 +1,154 @@
+//! Mach-Zehnder modulator: the high-speed full-range operand encoder.
+
+use crate::complex::Complex;
+use crate::units::{Decibels, MilliWatts, SquareMicrometers};
+
+/// A push-pull Mach-Zehnder modulator.
+///
+/// With equal splitting and differential phase shifts `+phi` / `-phi` on the
+/// two arms, the output field is `E_out = E_in * cos(phi)` (paper Section
+/// II-B). Sweeping `phi` over `[0, pi]` therefore encodes the full range
+/// `[-1, 1]` — the sign lives in the optical phase, which is what lets DDot
+/// process signed operands by interference.
+///
+/// ```
+/// use lt_photonics::devices::MachZehnderModulator;
+/// let mzm = MachZehnderModulator::ideal();
+/// let e = mzm.encode(-0.5);
+/// assert!((e.re + 0.5).abs() < 1e-12, "negative values flip the field sign");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachZehnderModulator {
+    insertion_loss: Decibels,
+    tuning_power: MilliWatts,
+    area: SquareMicrometers,
+    /// Encoding (E-O switching) time, seconds; ~10 ps in the paper.
+    encoding_time_s: f64,
+}
+
+impl MachZehnderModulator {
+    /// Table III values: tuning 2.25 mW \[13\], IL 1.2 dB \[2\],
+    /// 260 x 20 um^2 \[2\]; ~10 ps dynamic operand switching (Section III-A).
+    pub fn paper() -> Self {
+        MachZehnderModulator {
+            insertion_loss: Decibels(1.2),
+            tuning_power: MilliWatts(2.25),
+            area: SquareMicrometers::from_footprint(260.0, 20.0),
+            encoding_time_s: 10e-12,
+        }
+    }
+
+    /// A lossless modulator for analytic checks.
+    pub fn ideal() -> Self {
+        MachZehnderModulator {
+            insertion_loss: Decibels(0.0),
+            tuning_power: MilliWatts(0.0),
+            area: SquareMicrometers(0.0),
+            encoding_time_s: 0.0,
+        }
+    }
+
+    /// Insertion loss per pass.
+    pub fn insertion_loss(&self) -> Decibels {
+        self.insertion_loss
+    }
+
+    /// Average tuning/driving power while encoding.
+    pub fn tuning_power(&self) -> MilliWatts {
+        self.tuning_power
+    }
+
+    /// Device footprint.
+    pub fn area(&self) -> SquareMicrometers {
+        self.area
+    }
+
+    /// Time to switch to a new operand value, seconds.
+    pub fn encoding_time_s(&self) -> f64 {
+        self.encoding_time_s
+    }
+
+    /// The arm phase that encodes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[-1, 1]`; operands must be normalized
+    /// before encoding (paper Section III-C: scaling by `beta = max|x|`).
+    pub fn phase_for(&self, value: f64) -> f64 {
+        assert!(
+            (-1.0..=1.0).contains(&value),
+            "MZM operand {value} outside [-1, 1]; normalize first"
+        );
+        value.acos()
+    }
+
+    /// Encodes a normalized value in `[-1, 1]` into an output field,
+    /// assuming a unit-amplitude input carrier.
+    pub fn encode(&self, value: f64) -> Complex {
+        let phi = self.phase_for(value);
+        let a = self.insertion_loss.to_linear().sqrt();
+        Complex::real(phi.cos()) * a
+    }
+
+    /// Encodes a value with additive magnitude and phase noise already
+    /// applied by the caller (the encode path itself stays deterministic).
+    pub fn encode_with_phase(&self, value: f64, extra_phase_rad: f64) -> Complex {
+        let a = self.insertion_loss.to_linear().sqrt();
+        Complex::from_polar(value.clamp(-1.0, 1.0).abs() * a, extra_phase_rad)
+            * if value < 0.0 { -1.0 } else { 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_identity_on_magnitude() {
+        let mzm = MachZehnderModulator::ideal();
+        for v in [-1.0, -0.7, -0.1, 0.0, 0.3, 1.0] {
+            let e = mzm.encode(v);
+            assert!((e.re - v).abs() < 1e-12, "cos(acos(v)) == v");
+            assert!(e.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_range_is_supported() {
+        // The crucial contrast with incoherent MRR designs: negative values
+        // come out with a pi phase, not clipped.
+        let mzm = MachZehnderModulator::ideal();
+        let neg = mzm.encode(-0.8);
+        assert!(neg.re < 0.0);
+        assert!((neg.arg().abs() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_mzm_loss() {
+        let mzm = MachZehnderModulator::paper();
+        let e = mzm.encode(1.0);
+        assert!((e.norm_sqr() - Decibels(1.2).to_linear()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoding_is_fast() {
+        // < 100 ps computing requires ~10 ps operand switching.
+        assert!(MachZehnderModulator::paper().encoding_time_s() <= 10e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [-1, 1]")]
+    fn unnormalized_operands_rejected() {
+        MachZehnderModulator::ideal().encode(1.5);
+    }
+
+    #[test]
+    fn encode_with_phase_carries_sign_and_drift() {
+        let mzm = MachZehnderModulator::ideal();
+        let e = mzm.encode_with_phase(-0.5, 0.1);
+        assert!((e.norm() - 0.5).abs() < 1e-12);
+        // Sign flip plus drift: the phase is pi + 0.1 (mod 2 pi).
+        let expected = Complex::from_polar(0.5, std::f64::consts::PI + 0.1);
+        assert!((e - expected).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Mach-Zehnder interferometer: the programmable 2x2 unitary of the
+//! MZI-array baseline (paper Section II-B).
+
+use crate::complex::Complex;
+use crate::devices::{DirectionalCoupler, MemsPhaseShifter};
+use crate::units::{Decibels, SquareMicrometers};
+
+/// A Mach-Zehnder interferometer: two cascaded 50:50 couplers with an
+/// internal phase `theta` (between the couplers) and an external phase
+/// `phi` (on one input). Sweeping `(theta, phi)` realizes an arbitrary
+/// SU(2) rotation (up to global phase) — the building block of the
+/// Reck/Clements meshes used by \[47\].
+///
+/// ```
+/// use lt_photonics::devices::MachZehnderInterferometer;
+/// use lt_photonics::Complex;
+/// // theta = pi gives the identity-like bar state; theta = 0 the cross state.
+/// let bar = MachZehnderInterferometer::ideal(std::f64::consts::PI, 0.0);
+/// let (o0, o1) = bar.propagate(Complex::ONE, Complex::ZERO);
+/// assert!(o0.norm_sqr() > 0.99 && o1.norm_sqr() < 1e-9);
+/// let cross = MachZehnderInterferometer::ideal(0.0, 0.0);
+/// let (o0, o1) = cross.propagate(Complex::ONE, Complex::ZERO);
+/// assert!(o0.norm_sqr() < 1e-9 && o1.norm_sqr() > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachZehnderInterferometer {
+    theta: f64,
+    phi: f64,
+    coupler: DirectionalCoupler,
+    shifter_loss: Decibels,
+}
+
+impl MachZehnderInterferometer {
+    /// A lossless, dispersion-free MZI with the given internal/external
+    /// phases.
+    pub fn ideal(theta: f64, phi: f64) -> Self {
+        MachZehnderInterferometer {
+            theta,
+            phi,
+            coupler: DirectionalCoupler::ideal_50_50(),
+            shifter_loss: Decibels(0.0),
+        }
+    }
+
+    /// An MZI built from the paper's devices: Table III couplers and MEMS
+    /// phase shifters (low loss, but 2 us to reprogram).
+    pub fn paper(theta: f64, phi: f64) -> Self {
+        MachZehnderInterferometer {
+            theta,
+            phi,
+            coupler: DirectionalCoupler::paper(),
+            shifter_loss: MemsPhaseShifter::paper().insertion_loss,
+        }
+    }
+
+    /// Internal phase.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// External phase.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Per-pass insertion loss (two couplers + two shifter passes).
+    pub fn insertion_loss(&self) -> Decibels {
+        self.coupler.insertion_loss() * 2.0 + self.shifter_loss * 2.0
+    }
+
+    /// Device footprint (two couplers + two MEMS shifters; the dominant
+    /// term is the shifters' 100 x 45 um^2 each — MZIs are *bulky*).
+    pub fn area(&self) -> SquareMicrometers {
+        SquareMicrometers(
+            2.0 * self.coupler.area().value()
+                + 2.0 * MemsPhaseShifter::paper().area.value(),
+        )
+    }
+
+    /// Propagates two input fields at the centre wavelength.
+    pub fn propagate(&self, in0: Complex, in1: Complex) -> (Complex, Complex) {
+        let lambda = crate::constants::CENTER_WAVELENGTH_NM;
+        // Matched shifters sit on both arms (push-pull), so their loss is
+        // common-mode.
+        let a = self.shifter_loss.to_linear().sqrt();
+        let in0 = in0 * Complex::from_phase(self.phi) * a;
+        let in1 = in1 * a;
+        let (mid0, mid1) = self.coupler.couple(in0, in1, lambda);
+        let mid0 = mid0 * Complex::from_phase(self.theta) * a;
+        let mid1 = mid1 * a;
+        self.coupler.couple(mid0, mid1, lambda)
+    }
+
+    /// The 2x2 transfer matrix `[[t00, t01], [t10, t11]]`.
+    pub fn transfer_matrix(&self) -> [[Complex; 2]; 2] {
+        let (a0, a1) = self.propagate(Complex::ONE, Complex::ZERO);
+        let (b0, b1) = self.propagate(Complex::ZERO, Complex::ONE);
+        [[a0, b0], [a1, b1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn ideal_mzi_is_unitary() {
+        for &(theta, phi) in &[(0.3, 0.7), (1.1, -0.4), (PI, FRAC_PI_2), (0.0, 0.0)] {
+            let mzi = MachZehnderInterferometer::ideal(theta, phi);
+            let m = mzi.transfer_matrix();
+            // Columns orthonormal.
+            let c0 = m[0][0].norm_sqr() + m[1][0].norm_sqr();
+            let c1 = m[0][1].norm_sqr() + m[1][1].norm_sqr();
+            let cross = m[0][0].conj() * m[0][1] + m[1][0].conj() * m[1][1];
+            assert!((c0 - 1.0).abs() < 1e-12, "theta {theta}: |col0| {c0}");
+            assert!((c1 - 1.0).abs() < 1e-12);
+            assert!(cross.norm() < 1e-12, "columns must be orthogonal");
+        }
+    }
+
+    #[test]
+    fn theta_steers_the_split_ratio() {
+        // Power to the cross port goes as cos^2(theta/2).
+        for theta in [0.0, 0.5, 1.0, 2.0, PI] {
+            let mzi = MachZehnderInterferometer::ideal(theta, 0.0);
+            let (o0, _o1) = mzi.propagate(Complex::ONE, Complex::ZERO);
+            let expect = (theta / 2.0).cos().powi(2);
+            assert!(
+                (o0.norm_sqr() - (1.0 - expect)).abs() < 1e-9
+                    || (o0.norm_sqr() - expect).abs() < 1e-9,
+                "theta {theta}: p0 {}",
+                o0.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_mzi_loss_is_about_1_3_db() {
+        let mzi = MachZehnderInterferometer::paper(0.4, 0.0);
+        let il = mzi.insertion_loss().value();
+        assert!((il - 1.32).abs() < 1e-9, "IL {il} dB");
+        // And the propagated power matches the IL budget.
+        let m = mzi.transfer_matrix();
+        let p = m[0][0].norm_sqr() + m[1][0].norm_sqr();
+        assert!((p - Decibels(il).to_linear()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mzi_is_bulky() {
+        // ~9000 um^2 per MZI vs ~13 um^2 per DDot coupler: the footprint
+        // argument of paper Section V-C.
+        let mzi_area = MachZehnderInterferometer::paper(0.0, 0.0).area().value();
+        let dc_area = DirectionalCoupler::paper().area().value();
+        assert!(mzi_area > 500.0 * dc_area);
+    }
+}

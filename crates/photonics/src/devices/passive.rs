@@ -1,0 +1,90 @@
+//! Purely passive routing elements: Y-branches and waveguide crossings.
+
+use crate::units::{Decibels, SquareMicrometers};
+
+/// A 50/50 Y-branch power splitter (Table III, \[36\]). Cascades of
+/// Y-branches implement the intra-core and inter-core optical broadcast
+/// trees that share modulated operands across DDot units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YBranch {
+    /// Excess insertion loss per split (on top of the inherent 3 dB).
+    pub insertion_loss: Decibels,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl YBranch {
+    /// Table III values: IL 0.3 dB, 1.8 x 1.3 um^2.
+    pub fn paper() -> Self {
+        YBranch {
+            insertion_loss: Decibels(0.3),
+            area: SquareMicrometers::from_footprint(1.8, 1.3),
+        }
+    }
+
+    /// Total loss seen by one leaf of a 1-to-`n` broadcast tree built from
+    /// Y-branches: the inherent `10 log10(n)` split plus excess loss per
+    /// stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn broadcast_loss(&self, n: usize) -> Decibels {
+        assert!(n > 0, "broadcast fanout must be at least 1");
+        if n == 1 {
+            return Decibels(0.0);
+        }
+        let stages = (n as f64).log2().ceil();
+        let inherent = 10.0 * (n as f64).log10();
+        Decibels(inherent + stages * self.insertion_loss.value())
+    }
+}
+
+/// A waveguide crossing. The crossbar topology of DPTC routes row and
+/// column buses past each other; every crossing adds a small loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveguideCrossing {
+    /// Insertion loss per crossing.
+    pub insertion_loss: Decibels,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl WaveguideCrossing {
+    /// A typical low-loss SOI crossing: 0.02 dB, ~8 x 8 um^2. (The paper
+    /// lists crossings in Fig. 2 but not in Table III; this is a standard
+    /// foundry value, and the DDot link budget is insensitive to it.)
+    pub fn typical() -> Self {
+        WaveguideCrossing {
+            insertion_loss: Decibels(0.02),
+            area: SquareMicrometers::from_footprint(8.0, 8.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_loss_of_one_is_zero() {
+        assert_eq!(YBranch::paper().broadcast_loss(1).value(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_loss_grows_with_fanout() {
+        let y = YBranch::paper();
+        let l2 = y.broadcast_loss(2);
+        let l12 = y.broadcast_loss(12);
+        // 1:2 split: 3.01 dB inherent + 0.3 excess.
+        assert!((l2.value() - 3.31).abs() < 0.01);
+        // 1:12 split: 10.79 dB inherent + 4 stages * 0.3 excess.
+        assert!((l12.value() - 11.99).abs() < 0.01);
+        assert!(l12.value() > l2.value());
+    }
+
+    #[test]
+    fn crossing_loss_is_small() {
+        assert!(WaveguideCrossing::typical().insertion_loss.value() < 0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Phase shifters: the fixed -90 degree element of DDot and the MEMS
+//! shifter used by the MZI-array baseline.
+
+use crate::complex::Complex;
+use crate::units::{Decibels, MilliWatts, SquareMicrometers};
+use crate::wdm::DispersionModel;
+
+/// A passive phase shifter applying a fixed phase `phi` at the centre
+/// wavelength (wavelength-dependent per the dispersion model).
+///
+/// In DDot the shifter is set to -90 degrees and is *entirely passive*:
+/// zero energy, no control, no thermal crosstalk (paper Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseShifter {
+    nominal_rad: f64,
+    dispersion: DispersionModel,
+    insertion_loss: Decibels,
+    area: SquareMicrometers,
+}
+
+impl PhaseShifter {
+    /// The DDot phase shifter: -90 degrees, paper dispersion, with the
+    /// MEMS shifter's loss/footprint from Table III standing in for the
+    /// passive implementation's optical cost.
+    pub fn ddot_paper() -> Self {
+        PhaseShifter {
+            nominal_rad: -std::f64::consts::FRAC_PI_2,
+            dispersion: DispersionModel::paper(),
+            insertion_loss: Decibels(0.33),
+            area: SquareMicrometers::from_footprint(100.0, 45.0),
+        }
+    }
+
+    /// An ideal shifter with arbitrary phase, no loss, no dispersion.
+    pub fn ideal(nominal_rad: f64) -> Self {
+        PhaseShifter {
+            nominal_rad,
+            dispersion: DispersionModel::ideal(),
+            insertion_loss: Decibels(0.0),
+            area: SquareMicrometers(0.0),
+        }
+    }
+
+    /// Replaces the dispersion model.
+    pub fn with_dispersion(mut self, dispersion: DispersionModel) -> Self {
+        self.dispersion = dispersion;
+        self
+    }
+
+    /// The commanded phase at the centre wavelength, radians.
+    pub fn nominal_rad(&self) -> f64 {
+        self.nominal_rad
+    }
+
+    /// The phase actually applied at `lambda_nm`, radians.
+    pub fn phase_at(&self, lambda_nm: f64) -> f64 {
+        self.dispersion.phase_shift(self.nominal_rad, lambda_nm)
+    }
+
+    /// Insertion loss per pass.
+    pub fn insertion_loss(&self) -> Decibels {
+        self.insertion_loss
+    }
+
+    /// Device footprint.
+    pub fn area(&self) -> SquareMicrometers {
+        self.area
+    }
+
+    /// Applies the shifter to a field at `lambda_nm` (loss included).
+    pub fn apply(&self, field: Complex, lambda_nm: f64) -> Complex {
+        let a = self.insertion_loss.to_linear().sqrt();
+        field * Complex::from_phase(self.phase_at(lambda_nm)) * a
+    }
+}
+
+/// The silicon-photonic MEMS phase shifter of Table III (\[42\]): the
+/// *programmable* shifter the MZI-array baseline depends on, with a 2 us
+/// response time that dominates its reconfiguration latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemsPhaseShifter {
+    /// Insertion loss per pass.
+    pub insertion_loss: Decibels,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+    /// Time to reprogram the phase, seconds.
+    pub response_time_s: f64,
+    /// Static hold power (MEMS is effectively zero-hold-power).
+    pub hold_power: MilliWatts,
+}
+
+impl MemsPhaseShifter {
+    /// Table III values: IL 0.33 dB, 100 x 45 um^2, 2 us response.
+    pub fn paper() -> Self {
+        MemsPhaseShifter {
+            insertion_loss: Decibels(0.33),
+            area: SquareMicrometers::from_footprint(100.0, 45.0),
+            response_time_s: 2e-6,
+            hold_power: MilliWatts(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn ddot_shifter_applies_minus_j() {
+        let ps = PhaseShifter::ideal(-FRAC_PI_2);
+        let out = ps.apply(Complex::ONE, 1550.0);
+        assert!((out - (-Complex::I)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn paper_shifter_at_center_is_nominal() {
+        let ps = PhaseShifter::ddot_paper();
+        assert!((ps.phase_at(1550.0) + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_shifts_phase_off_center() {
+        let ps = PhaseShifter::ddot_paper();
+        let err = (ps.phase_at(1554.8) - ps.nominal_rad()).to_degrees();
+        assert!((err.abs() - 0.28).abs() < 0.01, "err {err} deg");
+    }
+
+    #[test]
+    fn loss_reduces_power_only() {
+        let ps = PhaseShifter::ddot_paper();
+        let out = ps.apply(Complex::ONE, 1550.0);
+        let p = out.norm_sqr();
+        assert!((p - Decibels(0.33).to_linear()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mems_shifter_is_slow() {
+        let mems = MemsPhaseShifter::paper();
+        // 2 us is 10,000 photonic cycles at 5 GHz - the crux of the paper's
+        // Challenge 1.
+        let cycles = mems.response_time_s / 200e-12;
+        assert!((cycles - 10_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Microring and microdisk resonators: WDM (de)multiplexing filters and the
+//! weight cells of the MRR-bank baseline.
+
+use crate::units::{Decibels, MilliWatts, SquareMicrometers, TeraHertz};
+
+/// A microdisk resonator (Table III, \[53\]) — the paper uses microdisks as
+/// the WDM MUX/DEMUX filters. Its free spectral range bounds the usable
+/// wavelength count (Eq. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Microdisk {
+    /// Thermal locking power to stay on resonance.
+    pub locking_power: MilliWatts,
+    /// Insertion loss through the filter.
+    pub insertion_loss: Decibels,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+    /// Free spectral range.
+    pub fsr: TeraHertz,
+}
+
+impl Microdisk {
+    /// Table III values: 0.275 mW locking, 0.93 dB IL, 4.8 x 4.8 um^2,
+    /// FSR 5.6 THz (55.1 nm).
+    pub fn paper() -> Self {
+        Microdisk {
+            locking_power: MilliWatts(0.275),
+            insertion_loss: Decibels(0.93),
+            area: SquareMicrometers::from_footprint(4.8, 4.8),
+            fsr: TeraHertz(5.6),
+        }
+    }
+
+    /// Normalized drop-port power transmission at detuning `delta_f_ghz`
+    /// from resonance, for a filter of the given 3 dB bandwidth
+    /// (a Lorentzian line shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_ghz` is not positive.
+    pub fn drop_transmission(&self, delta_f_ghz: f64, bandwidth_ghz: f64) -> f64 {
+        assert!(bandwidth_ghz > 0.0, "filter bandwidth must be positive");
+        let half = bandwidth_ghz / 2.0;
+        let peak = self.insertion_loss.to_linear();
+        peak * half * half / (half * half + delta_f_ghz * delta_f_ghz)
+    }
+}
+
+/// A microring resonator (Table III) — the weight cell of the MRR-bank
+/// baseline. Unlike DDot's passive interferometer, every MRR must be
+/// actively *locked* to its resonance, and in a weight-static dataflow that
+/// locking power burns for the entire execution (paper Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroringResonator {
+    /// Power to tune the ring to a new weight value.
+    pub tuning_power: MilliWatts,
+    /// Static power to hold (lock) the encoded value, per 0.5 FSR of tuning
+    /// range in the reference; we keep the aggregate mW value.
+    pub locking_power: MilliWatts,
+    /// Insertion loss through the ring.
+    pub insertion_loss: Decibels,
+    /// Device footprint.
+    pub area: SquareMicrometers,
+}
+
+impl MicroringResonator {
+    /// Table III values: tuning 0.21 mW, locking 1.2 mW/0.5FSR \[49\],
+    /// IL 0.95 dB \[39\], 9.66 x 9.66 um^2 \[39\].
+    pub fn paper() -> Self {
+        MicroringResonator {
+            tuning_power: MilliWatts(0.21),
+            locking_power: MilliWatts(1.2),
+            insertion_loss: Decibels(0.95),
+            area: SquareMicrometers::from_footprint(9.66, 9.66),
+        }
+    }
+
+    /// Intensity transmission for a *non-negative* encoded weight in
+    /// `[0, 1]`. Incoherent intensity modulation cannot represent signs —
+    /// this is the paper's Challenge 2 in code form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `[0, 1]`.
+    pub fn transmission_for_weight(&self, weight: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "MRR intensity weight {weight} outside [0, 1]: incoherent rings cannot encode signs"
+        );
+        weight * self.insertion_loss.to_linear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microdisk_fsr_supports_112_channels() {
+        use crate::units::Nanometers;
+        use crate::wdm::max_channels_in_fsr;
+        let md = Microdisk::paper();
+        let bound = max_channels_in_fsr(md.fsr, Nanometers(1550.0), Nanometers(0.4));
+        assert_eq!(bound.channels, 112);
+    }
+
+    #[test]
+    fn drop_port_peaks_on_resonance() {
+        let md = Microdisk::paper();
+        let on = md.drop_transmission(0.0, 20.0);
+        let off = md.drop_transmission(50.0, 20.0);
+        assert!(on > off * 10.0, "adjacent channel strongly rejected");
+        assert!((on - Decibels(0.93).to_linear()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_weight_range_is_non_negative_only() {
+        let mrr = MicroringResonator::paper();
+        assert!(mrr.transmission_for_weight(0.5) > 0.0);
+        let r = std::panic::catch_unwind(|| mrr.transmission_for_weight(-0.1));
+        assert!(r.is_err(), "negative weights must be rejected");
+    }
+
+    #[test]
+    fn locking_dwarfs_tuning() {
+        // The locking-vs-tuning gap is what makes the MRR baseline's
+        // "op1-mod" bar >40% of its attention energy (Fig. 11).
+        let mrr = MicroringResonator::paper();
+        assert!(mrr.locking_power.value() > 5.0 * mrr.tuning_power.value());
+    }
+}

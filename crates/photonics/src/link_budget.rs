@@ -1,0 +1,124 @@
+//! Optical link-budget accounting.
+//!
+//! The laser must overcome every insertion loss between source and
+//! photodetector. This module accumulates per-stage losses and answers
+//! "how much optical power must enter the link so that the detector still
+//! sees its sensitivity floor" — the quantity that drives the laser-power
+//! entries of the paper's power breakdowns (Fig. 8) and the MZI baseline's
+//! ruinous laser cost (Fig. 11).
+
+use crate::units::{Decibels, MilliWatts};
+use std::fmt;
+
+/// An itemized optical loss budget from laser to photodetector.
+///
+/// ```
+/// use lt_photonics::LinkBudget;
+/// use lt_photonics::units::Decibels;
+/// let mut budget = LinkBudget::new();
+/// budget.add("MZM", Decibels(1.2));
+/// budget.add("broadcast 1:12", Decibels(11.99));
+/// assert!((budget.total().value() - 13.19).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinkBudget {
+    stages: Vec<(String, Decibels)>,
+}
+
+impl LinkBudget {
+    /// Creates an empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named loss stage.
+    pub fn add(&mut self, name: impl Into<String>, loss: Decibels) -> &mut Self {
+        self.stages.push((name.into(), loss));
+        self
+    }
+
+    /// Adds a named loss stage repeated `count` times.
+    pub fn add_repeated(
+        &mut self,
+        name: impl Into<String>,
+        loss: Decibels,
+        count: usize,
+    ) -> &mut Self {
+        self.stages.push((name.into(), loss * count as f64));
+        self
+    }
+
+    /// The itemized stages.
+    pub fn stages(&self) -> &[(String, Decibels)] {
+        &self.stages
+    }
+
+    /// Total end-to-end loss.
+    pub fn total(&self) -> Decibels {
+        self.stages.iter().map(|(_, l)| *l).sum()
+    }
+
+    /// End-to-end power transmission factor.
+    pub fn transmission(&self) -> f64 {
+        self.total().to_linear()
+    }
+
+    /// Optical power required at the link input so the detector sees at
+    /// least `required_at_detector`.
+    pub fn required_input_power(&self, required_at_detector: MilliWatts) -> MilliWatts {
+        MilliWatts(required_at_detector.value() / self.transmission())
+    }
+}
+
+impl fmt::Display for LinkBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, loss) in &self.stages {
+            writeln!(f, "  {name:<28} {:>8.2}", loss)?;
+        }
+        write!(f, "  {:<28} {:>8.2}", "TOTAL", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_transparent() {
+        let b = LinkBudget::new();
+        assert_eq!(b.total().value(), 0.0);
+        assert_eq!(b.transmission(), 1.0);
+    }
+
+    #[test]
+    fn losses_accumulate_in_db() {
+        let mut b = LinkBudget::new();
+        b.add("a", Decibels(3.0)).add("b", Decibels(7.0));
+        assert!((b.total().value() - 10.0).abs() < 1e-12);
+        assert!((b.transmission() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_stages_multiply() {
+        let mut b = LinkBudget::new();
+        b.add_repeated("mzi stage", Decibels(1.2), 24);
+        assert!((b.total().value() - 28.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_input_power_compensates_loss() {
+        let mut b = LinkBudget::new();
+        b.add("loss", Decibels(20.0));
+        let need = b.required_input_power(MilliWatts(0.003_162));
+        assert!((need.value() - 0.3162).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_lists_stages_and_total() {
+        let mut b = LinkBudget::new();
+        b.add("MZM", Decibels(1.2));
+        let s = b.to_string();
+        assert!(s.contains("MZM"));
+        assert!(s.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Wavelength-division multiplexing machinery.
+//!
+//! The DPTC encodes each input pair `(x_i, y_i)` on its own DWDM channel
+//! (paper Section III-A). This module provides the channel grid, the
+//! wavelength-dependent device response ("dispersion") model of Section
+//! III-C, and the FSR-limited channel-count bound of Eq. 10.
+
+use crate::constants::{
+    CENTER_WAVELENGTH_NM, DWDM_CHANNEL_SPACING_NM, SPEED_OF_LIGHT_M_PER_S,
+};
+use crate::units::{Nanometers, TeraHertz};
+
+/// Speed of light expressed in nm * THz (so `lambda_nm = C / f_thz`).
+const C_NM_THZ: f64 = SPEED_OF_LIGHT_M_PER_S * 1e-3;
+
+/// A DWDM wavelength grid: `n` channels spaced evenly around a centre
+/// wavelength.
+///
+/// ```
+/// use lt_photonics::wdm::WavelengthGrid;
+/// let grid = WavelengthGrid::dwdm(12);
+/// assert_eq!(grid.len(), 12);
+/// // The grid is symmetric around 1550 nm.
+/// let mean: f64 = grid.wavelengths_nm().iter().sum::<f64>() / 12.0;
+/// assert!((mean - 1550.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthGrid {
+    center_nm: f64,
+    spacing_nm: f64,
+    wavelengths_nm: Vec<f64>,
+}
+
+impl WavelengthGrid {
+    /// Creates the paper's grid: `n` channels at 0.4 nm spacing centred on
+    /// 1550 nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn dwdm(n: usize) -> Self {
+        Self::new(n, Nanometers(CENTER_WAVELENGTH_NM), Nanometers(DWDM_CHANNEL_SPACING_NM))
+    }
+
+    /// Creates a grid of `n` channels with an arbitrary centre and spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the spacing is not positive.
+    pub fn new(n: usize, center: Nanometers, spacing: Nanometers) -> Self {
+        assert!(n > 0, "a wavelength grid needs at least one channel");
+        assert!(spacing.value() > 0.0, "channel spacing must be positive");
+        let mid = (n as f64 - 1.0) / 2.0;
+        let wavelengths_nm = (0..n)
+            .map(|i| center.value() + (i as f64 - mid) * spacing.value())
+            .collect();
+        WavelengthGrid {
+            center_nm: center.value(),
+            spacing_nm: spacing.value(),
+            wavelengths_nm,
+        }
+    }
+
+    /// Number of channels in the grid.
+    pub fn len(&self) -> usize {
+        self.wavelengths_nm.len()
+    }
+
+    /// Whether the grid has no channels (never true for constructed grids).
+    pub fn is_empty(&self) -> bool {
+        self.wavelengths_nm.is_empty()
+    }
+
+    /// The centre wavelength in nanometers.
+    pub fn center_nm(&self) -> f64 {
+        self.center_nm
+    }
+
+    /// Channel spacing in nanometers.
+    pub fn spacing_nm(&self) -> f64 {
+        self.spacing_nm
+    }
+
+    /// The channel wavelengths in nanometers, ascending.
+    pub fn wavelengths_nm(&self) -> &[f64] {
+        &self.wavelengths_nm
+    }
+
+    /// The detuning of each channel from the grid centre, in nanometers.
+    pub fn detunings_nm(&self) -> Vec<f64> {
+        self.wavelengths_nm
+            .iter()
+            .map(|w| w - self.center_nm)
+            .collect()
+    }
+
+    /// Largest absolute detuning from the centre, in nanometers.
+    pub fn max_detuning_nm(&self) -> f64 {
+        self.detunings_nm()
+            .into_iter()
+            .fold(0.0f64, |acc, d| acc.max(d.abs()))
+    }
+}
+
+/// Maximum number of WDM channels that fit inside a resonator's free
+/// spectral range (paper Eq. 10).
+///
+/// With the microdisk's FSR of 5.6 THz around 1550 nm and 0.4 nm channel
+/// spacing this gives the paper's figure of 112 wavelengths.
+///
+/// ```
+/// use lt_photonics::wdm::max_channels_in_fsr;
+/// use lt_photonics::units::{Nanometers, TeraHertz};
+/// let n = max_channels_in_fsr(TeraHertz(5.6), Nanometers(1550.0), Nanometers(0.4));
+/// assert_eq!(n.channels, 112);
+/// ```
+pub fn max_channels_in_fsr(
+    fsr: TeraHertz,
+    center: Nanometers,
+    spacing: Nanometers,
+) -> FsrChannelBound {
+    let f0_thz = C_NM_THZ / center.value();
+    let lambda_left = C_NM_THZ / (f0_thz + fsr.value() / 2.0);
+    let lambda_right = C_NM_THZ / (f0_thz - fsr.value() / 2.0);
+    let span = lambda_right - lambda_left;
+    FsrChannelBound {
+        lambda_left_nm: lambda_left,
+        lambda_right_nm: lambda_right,
+        channels: (span / spacing.value()).floor() as usize,
+    }
+}
+
+/// Result of the Eq. 10 channel-count bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsrChannelBound {
+    /// Short-wavelength edge of the FSR window (`lambda_l` in the paper).
+    pub lambda_left_nm: f64,
+    /// Long-wavelength edge of the FSR window (`lambda_r` in the paper).
+    pub lambda_right_nm: f64,
+    /// Number of channels at the given spacing that fit in the window.
+    pub channels: usize,
+}
+
+/// Wavelength-dependent device response ("WDM dispersion") model.
+///
+/// Even broadband couplers and phase shifters respond slightly differently
+/// across wavelengths. Following Section III-C of the paper:
+///
+/// * the directional coupler's power coupling factor is
+///   `kappa(lambda) = sin^2(pi * Lc(lambda0) / (4 * Lc(lambda)))` with
+///   `kappa(lambda0) = 1/2`, and
+/// * the phase-shifter response scales as `phi(lambda) = phi0 * lambda0 / lambda`
+///   (from `delta_phi = 2 pi delta_n_eff L / lambda`).
+///
+/// We model the 100% coupling length as
+/// `Lc(lambda) = Lc(lambda0) * (lambda0 / lambda)^m`; the exponent `m` is
+/// calibrated so that the furthest channel of a 25-wavelength sweep differs
+/// from the centre by the paper's ~1.8% in `kappa` (Fig. 3a) and ~0.28
+/// degrees in phase (Fig. 3b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispersionModel {
+    center_nm: f64,
+    coupling_length_exponent: f64,
+}
+
+impl DispersionModel {
+    /// The exponent calibrated against the paper's Fig. 3 (see module docs).
+    pub const PAPER_COUPLING_LENGTH_EXPONENT: f64 = 3.7;
+
+    /// Creates the paper-calibrated model around 1550 nm.
+    pub fn paper() -> Self {
+        DispersionModel {
+            center_nm: CENTER_WAVELENGTH_NM,
+            coupling_length_exponent: Self::PAPER_COUPLING_LENGTH_EXPONENT,
+        }
+    }
+
+    /// Creates a model with a custom centre wavelength and coupling-length
+    /// exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the centre wavelength is not positive.
+    pub fn new(center: Nanometers, coupling_length_exponent: f64) -> Self {
+        assert!(center.value() > 0.0, "centre wavelength must be positive");
+        DispersionModel {
+            center_nm: center.value(),
+            coupling_length_exponent,
+        }
+    }
+
+    /// A dispersion-free model: every wavelength sees the ideal response.
+    pub fn ideal() -> Self {
+        DispersionModel {
+            center_nm: CENTER_WAVELENGTH_NM,
+            coupling_length_exponent: 0.0,
+        }
+    }
+
+    /// Power coupling factor `kappa(lambda)` of a nominally 50:50 coupler.
+    pub fn coupling_factor(&self, lambda_nm: f64) -> f64 {
+        let r = (lambda_nm / self.center_nm).powf(self.coupling_length_exponent);
+        let s = (std::f64::consts::FRAC_PI_4 * r).sin();
+        s * s
+    }
+
+    /// Amplitude cross-coupling coefficient `k = sqrt(kappa)`.
+    pub fn cross_coefficient(&self, lambda_nm: f64) -> f64 {
+        self.coupling_factor(lambda_nm).sqrt()
+    }
+
+    /// Amplitude through coefficient `t = sqrt(1 - kappa)`.
+    pub fn through_coefficient(&self, lambda_nm: f64) -> f64 {
+        (1.0 - self.coupling_factor(lambda_nm)).sqrt()
+    }
+
+    /// Actual phase shift delivered at `lambda` by a shifter tuned to
+    /// `nominal_rad` at the centre wavelength.
+    pub fn phase_shift(&self, nominal_rad: f64, lambda_nm: f64) -> f64 {
+        if self.coupling_length_exponent == 0.0 {
+            // Ideal model: no wavelength dependence at all.
+            return nominal_rad;
+        }
+        nominal_rad * self.center_nm / lambda_nm
+    }
+
+    /// The dispersion-induced phase error (radians) relative to nominal.
+    pub fn phase_error(&self, nominal_rad: f64, lambda_nm: f64) -> f64 {
+        self.phase_shift(nominal_rad, lambda_nm) - nominal_rad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn grid_is_symmetric_and_sorted() {
+        let g = WavelengthGrid::dwdm(25);
+        let w = g.wavelengths_nm();
+        assert_eq!(w.len(), 25);
+        assert!((w[12] - 1550.0).abs() < 1e-9, "middle channel at centre");
+        assert!((w[0] - (1550.0 - 12.0 * 0.4)).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[1] > p[0]));
+        assert!((g.max_detuning_nm() - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_grid_straddles_center() {
+        let g = WavelengthGrid::dwdm(12);
+        let d = g.detunings_nm();
+        assert!((d[5] + 0.2).abs() < 1e-9);
+        assert!((d[6] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq10_reproduces_paper_window() {
+        let b = max_channels_in_fsr(TeraHertz(5.6), Nanometers(1550.0), Nanometers(0.4));
+        assert!(
+            (b.lambda_left_nm - 1527.88).abs() < 0.02,
+            "lambda_l {} nm",
+            b.lambda_left_nm
+        );
+        assert!(
+            (b.lambda_right_nm - 1572.76).abs() < 0.02,
+            "lambda_r {} nm",
+            b.lambda_right_nm
+        );
+        assert_eq!(b.channels, 112);
+    }
+
+    #[test]
+    fn dispersion_at_center_is_ideal() {
+        let d = DispersionModel::paper();
+        assert!((d.coupling_factor(1550.0) - 0.5).abs() < 1e-12);
+        assert!((d.phase_shift(-FRAC_PI_2, 1550.0) + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_deviation_matches_fig3a() {
+        // Furthest channel of the 25-wavelength sweep: +-4.8 nm.
+        let d = DispersionModel::paper();
+        let kappa = d.coupling_factor(1554.8);
+        let rel = (kappa - 0.5).abs() / 0.5;
+        assert!(
+            (rel - 0.018).abs() < 0.002,
+            "relative kappa deviation {rel}, expected ~1.8%"
+        );
+    }
+
+    #[test]
+    fn phase_deviation_matches_fig3b() {
+        let d = DispersionModel::paper();
+        let err = d.phase_error(-FRAC_PI_2, 1554.8).to_degrees().abs();
+        assert!(
+            (err - 0.28).abs() < 0.01,
+            "phase deviation {err} deg, expected ~0.28 deg"
+        );
+    }
+
+    #[test]
+    fn t_and_k_remain_normalized() {
+        let d = DispersionModel::paper();
+        for lambda in WavelengthGrid::dwdm(25).wavelengths_nm() {
+            let t = d.through_coefficient(*lambda);
+            let k = d.cross_coefficient(*lambda);
+            assert!((t * t + k * k - 1.0).abs() < 1e-12, "lossless coupler");
+        }
+    }
+
+    #[test]
+    fn ideal_model_has_no_dispersion() {
+        let d = DispersionModel::ideal();
+        assert!((d.coupling_factor(1400.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.phase_error(1.0, 1400.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_grid_rejected() {
+        WavelengthGrid::dwdm(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! GEMM operations and trace generation.
+
+use crate::model::{InputKind, TransformerConfig};
+
+/// What role a GEMM plays inside the Transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Patch embedding (vision models): flattened patches times projection.
+    PatchEmbed,
+    /// Q/K/V linear projections.
+    QkvProj,
+    /// The attention score product `Q K^T` — both operands dynamic.
+    AttnQk,
+    /// The attention aggregation `A V` — both operands dynamic.
+    AttnAv,
+    /// The attention output projection.
+    OutProj,
+    /// First FFN linear (expansion).
+    Ffn1,
+    /// Second FFN linear (contraction).
+    Ffn2,
+    /// The classification head.
+    Classifier,
+}
+
+/// Whether both GEMM operands are runtime activations or one is a fixed
+/// weight matrix — the distinction at the heart of the paper (Section II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandDynamics {
+    /// One operand is a learned weight: weight-static PTCs can amortize its
+    /// mapping cost across inputs.
+    WeightStatic,
+    /// Both operands are activations generated at runtime: weight-static
+    /// PTCs must remap/reprogram per tile, which the paper shows is
+    /// unaffordable.
+    BothDynamic,
+}
+
+/// The module attribution used by the paper's Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Multi-head attention — only the dynamic products `Q K^T` and `A V`.
+    Mha,
+    /// The feed-forward network linears.
+    Ffn,
+    /// Everything else (projections, embeddings, classifier).
+    Other,
+}
+
+/// One GEMM of shape `[m, k] x [k, n]`, repeated `count` times per
+/// inference (e.g. once per head, or once per layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmOp {
+    /// Operation role.
+    pub kind: OpKind,
+    /// Rows of the left operand.
+    pub m: usize,
+    /// Shared (inner) dimension.
+    pub k: usize,
+    /// Columns of the right operand.
+    pub n: usize,
+    /// Number of times this GEMM executes per inference.
+    pub count: usize,
+}
+
+impl GemmOp {
+    /// Creates an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the count is zero.
+    pub fn new(kind: OpKind, m: usize, k: usize, n: usize, count: usize) -> Self {
+        assert!(
+            m > 0 && k > 0 && n > 0 && count > 0,
+            "GEMM dimensions and count must be positive"
+        );
+        GemmOp { kind, m, k, n, count }
+    }
+
+    /// MACs of a single execution.
+    pub fn macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64)
+    }
+
+    /// MACs of all `count` executions.
+    pub fn total_macs(&self) -> u64 {
+        self.macs() * self.count as u64
+    }
+
+    /// Parameters if the right operand is a weight matrix (`k x n` each).
+    pub fn weight_params(&self) -> u64 {
+        (self.k as u64) * (self.n as u64) * self.count as u64
+    }
+
+    /// Whether both operands are runtime activations.
+    pub fn dynamics(&self) -> OperandDynamics {
+        match self.kind {
+            OpKind::AttnQk | OpKind::AttnAv => OperandDynamics::BothDynamic,
+            _ => OperandDynamics::WeightStatic,
+        }
+    }
+
+    /// Module attribution per the paper's Table V.
+    pub fn module(&self) -> Module {
+        match self.kind {
+            OpKind::AttnQk | OpKind::AttnAv => Module::Mha,
+            OpKind::Ffn1 | OpKind::Ffn2 => Module::Ffn,
+            _ => Module::Other,
+        }
+    }
+}
+
+/// Generates the per-inference GEMM trace of a Transformer (batch size 1,
+/// as in the paper's simulator).
+pub fn trace(model: &TransformerConfig) -> Vec<GemmOp> {
+    let l = model.seq_len;
+    let d = model.dim;
+    let h = model.heads;
+    let dh = model.head_dim();
+    let f = model.ffn_dim;
+    let mut ops = Vec::new();
+
+    // Input embedding.
+    if let InputKind::VisionPatches { patch_size, .. } = model.input {
+        let patch_vec = 3 * patch_size * patch_size;
+        ops.push(GemmOp::new(OpKind::PatchEmbed, l - 1, patch_vec, d, 1));
+    }
+
+    // Encoder blocks.
+    let per_layer = [
+        // Q, K, V projections: three [L, D] x [D, D] GEMMs.
+        GemmOp::new(OpKind::QkvProj, l, d, d, 3),
+        // Q K^T per head: [L, dh] x [dh, L].
+        GemmOp::new(OpKind::AttnQk, l, dh, l, h),
+        // A V per head: [L, L] x [L, dh].
+        GemmOp::new(OpKind::AttnAv, l, l, dh, h),
+        // Output projection.
+        GemmOp::new(OpKind::OutProj, l, d, d, 1),
+        // FFN.
+        GemmOp::new(OpKind::Ffn1, l, d, f, 1),
+        GemmOp::new(OpKind::Ffn2, l, f, d, 1),
+    ];
+    for op in per_layer {
+        ops.push(GemmOp { count: op.count * model.layers, ..op });
+    }
+
+    // Task head on the CLS token.
+    ops.push(GemmOp::new(OpKind::Classifier, 1, d, model.num_classes, 1));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_all_roles() {
+        let ops = trace(&TransformerConfig::deit_tiny());
+        let kinds: Vec<OpKind> = ops.iter().map(|o| o.kind).collect();
+        for k in [
+            OpKind::PatchEmbed,
+            OpKind::QkvProj,
+            OpKind::AttnQk,
+            OpKind::AttnAv,
+            OpKind::OutProj,
+            OpKind::Ffn1,
+            OpKind::Ffn2,
+            OpKind::Classifier,
+        ] {
+            assert!(kinds.contains(&k), "missing {k:?}");
+        }
+    }
+
+    #[test]
+    fn bert_has_no_patch_embed() {
+        let ops = trace(&TransformerConfig::bert_base(128));
+        assert!(ops.iter().all(|o| o.kind != OpKind::PatchEmbed));
+    }
+
+    #[test]
+    fn attention_shapes_are_per_head() {
+        let m = TransformerConfig::deit_tiny();
+        let ops = trace(&m);
+        let qk = ops.iter().find(|o| o.kind == OpKind::AttnQk).unwrap();
+        assert_eq!((qk.m, qk.k, qk.n), (197, 64, 197));
+        assert_eq!(qk.count, 3 * 12, "heads x layers");
+        let av = ops.iter().find(|o| o.kind == OpKind::AttnAv).unwrap();
+        assert_eq!((av.m, av.k, av.n), (197, 197, 64));
+    }
+
+    #[test]
+    fn dynamics_classification() {
+        let ops = trace(&TransformerConfig::deit_tiny());
+        for op in &ops {
+            match op.kind {
+                OpKind::AttnQk | OpKind::AttnAv => {
+                    assert_eq!(op.dynamics(), OperandDynamics::BothDynamic);
+                    assert_eq!(op.module(), Module::Mha);
+                }
+                OpKind::Ffn1 | OpKind::Ffn2 => {
+                    assert_eq!(op.dynamics(), OperandDynamics::WeightStatic);
+                    assert_eq!(op.module(), Module::Ffn);
+                }
+                _ => assert_eq!(op.module(), Module::Other),
+            }
+        }
+    }
+
+    #[test]
+    fn ffn_dominates_macs_in_deit() {
+        // In DeiT the FFN is the largest MAC consumer (the paper's Table V
+        // shows FFN energy well above MHA energy).
+        let ops = trace(&TransformerConfig::deit_tiny());
+        let macs = |m: Module| -> u64 {
+            ops.iter()
+                .filter(|o| o.module() == m)
+                .map(|o| o.total_macs())
+                .sum()
+        };
+        assert!(macs(Module::Ffn) > macs(Module::Mha));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dims_rejected() {
+        GemmOp::new(OpKind::Ffn1, 0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Transformer workload models for the Lightening-Transformer evaluation.
+//!
+//! The accelerator simulators in `lt-arch` and `lt-baselines` consume
+//! *GEMM traces*: lists of matrix-multiplication operations with shapes,
+//! repetition counts, and operand dynamics (weight-static vs. dynamic).
+//! This crate generates those traces for the paper's benchmarks — the
+//! DeiT vision Transformers on 224x224 ImageNet shapes and BERT on
+//! configurable sequence lengths — plus the sparse-attention and
+//! autoregressive-LLM extensions of the paper's Section VI.
+//!
+//! # Example
+//!
+//! ```
+//! use lt_workloads::{TransformerConfig, Module};
+//! let deit_t = TransformerConfig::deit_tiny();
+//! let trace = deit_t.gemm_trace();
+//! let mha_macs: u64 = trace.iter()
+//!     .filter(|op| op.module() == Module::Mha)
+//!     .map(|op| op.total_macs())
+//!     .sum();
+//! assert!(mha_macs > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gemm;
+pub mod llm;
+pub mod model;
+pub mod nonlinear;
+pub mod sparse;
+
+pub use gemm::{GemmOp, Module, OpKind, OperandDynamics};
+pub use llm::DecodeTrace;
+pub use model::TransformerConfig;
+pub use nonlinear::NonGemmProfile;
+pub use sparse::WindowAttention;

@@ -1,0 +1,149 @@
+//! Autoregressive LLM decode workloads (paper Section VI-B).
+//!
+//! Token-by-token generation turns the attention GEMMs into small
+//! matrix-vector products against the KV cache, collapsing arithmetic
+//! intensity and making decoding memory-bound — the exact challenge the
+//! paper discusses for photonic acceleration of LLMs. This module builds
+//! per-token decode traces and quantifies intensity, KV-cache footprint,
+//! and the batching remedy.
+
+use crate::gemm::{GemmOp, OpKind};
+use crate::model::TransformerConfig;
+
+/// A single-token decode step against a KV cache of `context_len` tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeTrace {
+    model: TransformerConfig,
+    context_len: usize,
+    batch: usize,
+}
+
+impl DecodeTrace {
+    /// Creates a decode-step trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context_len == 0` or `batch == 0`.
+    pub fn new(model: TransformerConfig, context_len: usize, batch: usize) -> Self {
+        assert!(context_len > 0, "context length must be positive");
+        assert!(batch > 0, "batch must be positive");
+        DecodeTrace {
+            model,
+            context_len,
+            batch,
+        }
+    }
+
+    /// The model being decoded.
+    pub fn model(&self) -> &TransformerConfig {
+        &self.model
+    }
+
+    /// Current context (KV cache) length in tokens.
+    pub fn context_len(&self) -> usize {
+        self.context_len
+    }
+
+    /// GEMM trace of generating one token for the whole batch.
+    pub fn gemm_trace(&self) -> Vec<GemmOp> {
+        let d = self.model.dim;
+        let h = self.model.heads;
+        let dh = self.model.head_dim();
+        let f = self.model.ffn_dim;
+        let layers = self.model.layers;
+        let ctx = self.context_len;
+        let b = self.batch;
+        vec![
+            // Q/K/V projections for the single new token (batched rows).
+            GemmOp::new(OpKind::QkvProj, b, d, d, 3 * layers),
+            // q . K^T against the cache, per head: [b, dh] x [dh, ctx].
+            GemmOp::new(OpKind::AttnQk, b, dh, ctx, h * layers),
+            // a . V: [b, ctx] x [ctx, dh].
+            GemmOp::new(OpKind::AttnAv, b, ctx, dh, h * layers),
+            GemmOp::new(OpKind::OutProj, b, d, d, layers),
+            GemmOp::new(OpKind::Ffn1, b, d, f, layers),
+            GemmOp::new(OpKind::Ffn2, b, f, d, layers),
+        ]
+    }
+
+    /// MACs for one generated token.
+    pub fn macs_per_token(&self) -> u64 {
+        self.gemm_trace().iter().map(|op| op.total_macs()).sum()
+    }
+
+    /// KV-cache footprint in bytes at `bits` precision (keys + values, all
+    /// layers, all heads, whole batch).
+    pub fn kv_cache_bytes(&self, bits: u32) -> u64 {
+        let per_token = 2 * self.model.layers as u64 * self.model.dim as u64;
+        per_token * self.context_len as u64 * self.batch as u64 * bits as u64 / 8
+    }
+
+    /// Arithmetic intensity in MACs per byte touched (weights + KV cache
+    /// read once per token at `bits` precision). Low intensity (< compute
+    /// to bandwidth ratio) means the decode step is memory-bound.
+    pub fn arithmetic_intensity(&self, bits: u32) -> f64 {
+        let bytes_weights = self.model.param_count() * bits as u64 / 8;
+        let bytes_kv = self.kv_cache_bytes(bits);
+        self.macs_per_token() as f64 / (bytes_weights + bytes_kv) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt_like() -> TransformerConfig {
+        // A small GPT-style decoder reusing the BERT-base geometry.
+        TransformerConfig::gpt2_small(1)
+    }
+
+    #[test]
+    fn decode_trace_shapes() {
+        let t = DecodeTrace::new(gpt_like(), 512, 1);
+        let ops = t.gemm_trace();
+        let qk = ops.iter().find(|o| o.kind == OpKind::AttnQk).unwrap();
+        assert_eq!((qk.m, qk.k, qk.n), (1, 64, 512));
+        let av = ops.iter().find(|o| o.kind == OpKind::AttnAv).unwrap();
+        assert_eq!((av.m, av.k, av.n), (1, 512, 64));
+    }
+
+    #[test]
+    fn decode_is_memory_bound_at_batch_1() {
+        let t = DecodeTrace::new(gpt_like(), 512, 1);
+        // ~1 MAC/byte at batch 1: decisively memory-bound against any
+        // accelerator with > 10 MACs/byte of compute-to-bandwidth ratio.
+        let ai = t.arithmetic_intensity(8);
+        assert!(ai < 4.0, "batch-1 decode intensity {ai}");
+    }
+
+    #[test]
+    fn batching_raises_intensity() {
+        let b1 = DecodeTrace::new(gpt_like(), 512, 1).arithmetic_intensity(8);
+        let b16 = DecodeTrace::new(gpt_like(), 512, 16).arithmetic_intensity(8);
+        assert!(
+            b16 > 5.0 * b1,
+            "batching must amortize weight reads: {b1} -> {b16}"
+        );
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly() {
+        let a = DecodeTrace::new(gpt_like(), 256, 1).kv_cache_bytes(8);
+        let b = DecodeTrace::new(gpt_like(), 512, 1).kv_cache_bytes(8);
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn recompute_tradeoff_is_visible() {
+        // Recalculating K/V (paper's suggestion, ref [61]) trades MACs for
+        // memory: the recompute MACs exceed the cached-read bytes saved.
+        let t = DecodeTrace::new(gpt_like(), 512, 1);
+        let cache_bytes = t.kv_cache_bytes(8);
+        let recompute_macs = 2u64 // K and V projections
+            * t.model().layers as u64
+            * (t.context_len() as u64)
+            * (t.model().dim as u64)
+            * (t.model().dim as u64);
+        assert!(recompute_macs > cache_bytes, "optics buys compute, not bytes");
+    }
+}

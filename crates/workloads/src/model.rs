@@ -1,0 +1,267 @@
+//! Transformer model configurations (the paper's benchmarks, Section V-A).
+
+use crate::gemm::GemmOp;
+use crate::nonlinear::NonGemmProfile;
+
+/// Whether the model embeds image patches (DeiT) or tokens (BERT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputKind {
+    /// Vision Transformer: patch embedding is a GEMM over flattened patches.
+    VisionPatches {
+        /// Input image side length in pixels (e.g. 224).
+        image_size: usize,
+        /// Patch side length in pixels (e.g. 16).
+        patch_size: usize,
+    },
+    /// Text Transformer: embedding is a table lookup (no GEMM).
+    TextTokens,
+}
+
+/// An encoder-style Transformer configuration.
+///
+/// ```
+/// use lt_workloads::TransformerConfig;
+/// let m = TransformerConfig::deit_tiny();
+/// assert_eq!(m.seq_len, 197);
+/// assert_eq!(m.head_dim(), 64);
+/// // DeiT-T is ~1.1 GMACs at 224x224.
+/// let gmacs = m.total_macs() as f64 / 1e9;
+/// assert!(gmacs > 0.9 && gmacs < 1.5, "gmacs = {gmacs}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Human-readable name (e.g. `DeiT-T-224`).
+    pub name: String,
+    /// Number of encoder blocks.
+    pub layers: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Hidden dimension of the FFN.
+    pub ffn_dim: usize,
+    /// Sequence length (tokens, including CLS for vision models).
+    pub seq_len: usize,
+    /// Number of output classes of the task head.
+    pub num_classes: usize,
+    /// Input embedding kind.
+    pub input: InputKind,
+}
+
+impl TransformerConfig {
+    /// DeiT-Tiny at 224x224: 12 layers, dim 192, 3 heads, FFN 768.
+    pub fn deit_tiny() -> Self {
+        Self::vision("DeiT-T-224", 12, 192, 3, 768)
+    }
+
+    /// DeiT-Small at 224x224: 12 layers, dim 384, 6 heads, FFN 1536.
+    pub fn deit_small() -> Self {
+        Self::vision("DeiT-S-224", 12, 384, 6, 1536)
+    }
+
+    /// DeiT-Base at 224x224: 12 layers, dim 768, 12 heads, FFN 3072.
+    pub fn deit_base() -> Self {
+        Self::vision("DeiT-B-224", 12, 768, 12, 3072)
+    }
+
+    /// BERT-base with a configurable sequence length (the paper uses 128).
+    pub fn bert_base(seq_len: usize) -> Self {
+        Self::text(&format!("BERT-base-{seq_len}"), 12, 768, 12, 3072, seq_len)
+    }
+
+    /// BERT-large with a configurable sequence length (the paper uses 320).
+    pub fn bert_large(seq_len: usize) -> Self {
+        Self::text(&format!("BERT-large-{seq_len}"), 24, 1024, 16, 4096, seq_len)
+    }
+
+    /// GPT-2-small geometry (124M class): 12 layers, dim 768, 12 heads —
+    /// the decoder stand-in for the paper's LLM discussion (Section VI-B).
+    pub fn gpt2_small(seq_len: usize) -> Self {
+        Self::text(&format!("GPT2-small-{seq_len}"), 12, 768, 12, 3072, seq_len)
+    }
+
+    /// GPT-2-medium geometry (355M class): 24 layers, dim 1024, 16 heads.
+    pub fn gpt2_medium(seq_len: usize) -> Self {
+        Self::text(&format!("GPT2-medium-{seq_len}"), 24, 1024, 16, 4096, seq_len)
+    }
+
+    /// All five benchmark models of the paper's Fig. 13.
+    pub fn paper_benchmarks() -> Vec<TransformerConfig> {
+        vec![
+            Self::deit_tiny(),
+            Self::deit_small(),
+            Self::deit_base(),
+            Self::bert_base(128),
+            Self::bert_large(320),
+        ]
+    }
+
+    fn vision(name: &str, layers: usize, dim: usize, heads: usize, ffn: usize) -> Self {
+        let image_size = 224;
+        let patch_size = 16;
+        let patches = (image_size / patch_size) * (image_size / patch_size);
+        TransformerConfig {
+            name: name.to_string(),
+            layers,
+            dim,
+            heads,
+            ffn_dim: ffn,
+            seq_len: patches + 1, // + CLS token
+            num_classes: 1000,
+            input: InputKind::VisionPatches {
+                image_size,
+                patch_size,
+            },
+        }
+    }
+
+    fn text(
+        name: &str,
+        layers: usize,
+        dim: usize,
+        heads: usize,
+        ffn: usize,
+        seq_len: usize,
+    ) -> Self {
+        assert!(seq_len > 0, "sequence length must be positive");
+        TransformerConfig {
+            name: name.to_string(),
+            layers,
+            dim,
+            heads,
+            ffn_dim: ffn,
+            seq_len,
+            num_classes: 2, // SST-2-style classification head
+            input: InputKind::TextTokens,
+        }
+    }
+
+    /// Per-head dimension `d_k = dim / heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(
+            self.dim % self.heads,
+            0,
+            "dim {} not divisible by heads {}",
+            self.dim,
+            self.heads
+        );
+        self.dim / self.heads
+    }
+
+    /// The GEMM trace of one single-batch inference (see [`GemmOp`]).
+    pub fn gemm_trace(&self) -> Vec<GemmOp> {
+        crate::gemm::trace(self)
+    }
+
+    /// Total multiply-accumulate count of one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.gemm_trace().iter().map(|op| op.total_macs()).sum()
+    }
+
+    /// Parameter count of the GEMM weights (attention + FFN + heads).
+    pub fn param_count(&self) -> u64 {
+        self.gemm_trace()
+            .iter()
+            .filter(|op| op.dynamics() == crate::gemm::OperandDynamics::WeightStatic)
+            .map(|op| op.weight_params())
+            .sum()
+    }
+
+    /// The non-GEMM (digital) operation profile of one inference.
+    pub fn non_gemm_profile(&self) -> NonGemmProfile {
+        NonGemmProfile::for_model(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_family_shapes() {
+        let t = TransformerConfig::deit_tiny();
+        assert_eq!((t.layers, t.dim, t.heads, t.ffn_dim), (12, 192, 3, 768));
+        assert_eq!(t.seq_len, 197);
+        let s = TransformerConfig::deit_small();
+        assert_eq!(s.dim, 384);
+        let b = TransformerConfig::deit_base();
+        assert_eq!(b.dim, 768);
+        assert_eq!(b.head_dim(), 64);
+    }
+
+    #[test]
+    fn bert_profiles() {
+        let b = TransformerConfig::bert_base(128);
+        assert_eq!(b.seq_len, 128);
+        assert_eq!(b.head_dim(), 64);
+        let l = TransformerConfig::bert_large(320);
+        assert_eq!((l.layers, l.dim, l.heads), (24, 1024, 16));
+        assert_eq!(l.head_dim(), 64);
+    }
+
+    #[test]
+    fn mac_counts_are_plausible() {
+        // Published MAC counts (~FLOPs/2): DeiT-T ~1.1 G, DeiT-S ~4.3 G,
+        // DeiT-B ~16.9 G at 224x224.
+        let gmacs = |m: &TransformerConfig| m.total_macs() as f64 / 1e9;
+        let t = gmacs(&TransformerConfig::deit_tiny());
+        let s = gmacs(&TransformerConfig::deit_small());
+        let b = gmacs(&TransformerConfig::deit_base());
+        assert!((0.9..1.5).contains(&t), "DeiT-T {t} GMACs");
+        assert!((3.8..5.0).contains(&s), "DeiT-S {s} GMACs");
+        assert!((15.0..19.0).contains(&b), "DeiT-B {b} GMACs");
+        assert!(s > 3.0 * t && b > 3.0 * s, "family scales ~4x per step");
+    }
+
+    #[test]
+    fn param_counts_are_plausible() {
+        // DeiT-T ~5-6 M, DeiT-B ~86 M (GEMM weights only, no embeddings).
+        let t = TransformerConfig::deit_tiny().param_count() as f64 / 1e6;
+        let b = TransformerConfig::deit_base().param_count() as f64 / 1e6;
+        assert!((4.0..7.0).contains(&t), "DeiT-T params {t} M");
+        assert!((80.0..90.0).contains(&b), "DeiT-B params {b} M");
+    }
+
+    #[test]
+    fn bert_macs_scale_with_sequence() {
+        let short = TransformerConfig::bert_base(128).total_macs();
+        let long = TransformerConfig::bert_base(320).total_macs();
+        assert!(long > 2 * short);
+    }
+
+    #[test]
+    fn gpt_presets_have_decoder_geometries() {
+        let s = TransformerConfig::gpt2_small(1);
+        assert_eq!((s.layers, s.dim, s.heads), (12, 768, 12));
+        assert_eq!(s.head_dim(), 64);
+        let m = TransformerConfig::gpt2_medium(1);
+        assert_eq!((m.layers, m.dim, m.heads), (24, 1024, 16));
+        // Parameter counts in the published ballparks (GEMM weights only).
+        let sp = s.param_count() as f64 / 1e6;
+        let mp = m.param_count() as f64 / 1e6;
+        assert!((70.0..110.0).contains(&sp), "GPT2-small {sp} M");
+        assert!((250.0..350.0).contains(&mp), "GPT2-medium {mp} M");
+    }
+
+    #[test]
+    fn paper_benchmark_list_is_complete() {
+        let names: Vec<String> = TransformerConfig::paper_benchmarks()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "DeiT-T-224",
+                "DeiT-S-224",
+                "DeiT-B-224",
+                "BERT-base-128",
+                "BERT-large-320"
+            ]
+        );
+    }
+}

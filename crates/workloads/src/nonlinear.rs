@@ -1,0 +1,68 @@
+//! Non-GEMM (digital) operation accounting.
+//!
+//! The paper assumes all non-GEMM operations — softmax, LayerNorm, GELU,
+//! residual additions, and requantization — run on digital processing
+//! units (Section IV-A). Their energy is modeled per element in `lt-arch`;
+//! this module counts the elements.
+
+use crate::model::TransformerConfig;
+
+/// Element counts of the digital operations in one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NonGemmProfile {
+    /// Softmax elements (attention scores): `layers * heads * L * L`.
+    pub softmax_elems: u64,
+    /// LayerNorm elements: two norms per block over `L * D`.
+    pub layernorm_elems: u64,
+    /// GELU elements: `layers * L * ffn_dim`.
+    pub gelu_elems: u64,
+    /// Residual-addition elements: two shortcuts per block over `L * D`.
+    pub residual_elems: u64,
+}
+
+impl NonGemmProfile {
+    /// Computes the profile for a model.
+    pub fn for_model(model: &TransformerConfig) -> Self {
+        let l = model.seq_len as u64;
+        let d = model.dim as u64;
+        let h = model.heads as u64;
+        let f = model.ffn_dim as u64;
+        let layers = model.layers as u64;
+        NonGemmProfile {
+            softmax_elems: layers * h * l * l,
+            layernorm_elems: layers * 2 * l * d,
+            gelu_elems: layers * l * f,
+            residual_elems: layers * 2 * l * d,
+        }
+    }
+
+    /// Total digital elements processed.
+    pub fn total_elems(&self) -> u64 {
+        self.softmax_elems + self.layernorm_elems + self.gelu_elems + self.residual_elems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_tiny_profile() {
+        let p = NonGemmProfile::for_model(&TransformerConfig::deit_tiny());
+        assert_eq!(p.softmax_elems, 12 * 3 * 197 * 197);
+        assert_eq!(p.layernorm_elems, 12 * 2 * 197 * 192);
+        assert_eq!(p.gelu_elems, 12 * 197 * 768);
+        assert_eq!(p.residual_elems, p.layernorm_elems);
+        assert_eq!(
+            p.total_elems(),
+            p.softmax_elems + p.layernorm_elems + p.gelu_elems + p.residual_elems
+        );
+    }
+
+    #[test]
+    fn softmax_grows_quadratically_with_sequence() {
+        let short = NonGemmProfile::for_model(&TransformerConfig::bert_base(128));
+        let long = NonGemmProfile::for_model(&TransformerConfig::bert_base(256));
+        assert_eq!(long.softmax_elems, short.softmax_elems * 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! # Lightening-Transformer (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of *Lightening-Transformer: A
+//! Dynamically-Operated Optically-Interconnected Photonic Transformer
+//! Accelerator* (HPCA 2024, arXiv:2305.19533).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`photonics`] — optical device substrate (devices, WDM, noise, link budgets)
+//! * [`dptc`] — the paper's core contribution: the DDot dot-product engine and
+//!   the DPTC dynamically-operated photonic tensor core
+//! * [`arch`] — the accelerator architecture simulator (memory, dataflow,
+//!   energy/latency/area/power)
+//! * [`baselines`] — MZI-array and MRR-bank photonic baselines plus
+//!   electronic platform models
+//! * [`workloads`] — DeiT/BERT GEMM traces, sparse attention, LLM decode
+//! * [`nn`] — pure-Rust NN stack for the accuracy/robustness experiments
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightening_transformer::dptc::{Dptc, DptcConfig, NoiseModel};
+//!
+//! // A 4x4 crossbar with 4 wavelengths, paper-default noise.
+//! let core = Dptc::new(DptcConfig::new(4, 4, 4));
+//! let a = vec![vec![0.5, -0.2, 0.1, 0.8]; 4];
+//! let b = vec![vec![0.3; 4]; 4];
+//! let exact = core.matmul_ideal(&a, &b);
+//! let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 42);
+//! assert_eq!(exact.len(), 4);
+//! assert_eq!(noisy.len(), 4);
+//! ```
+
+pub use lt_arch as arch;
+pub use lt_baselines as baselines;
+pub use lt_dptc as dptc;
+pub use lt_nn as nn;
+pub use lt_photonics as photonics;
+pub use lt_workloads as workloads;

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the paper's headline claims.
+//!
+//! These tests exercise workloads + arch + baselines together and assert
+//! the *shape* of the paper's results — who wins, by roughly what factor.
+
+use lightening_transformer::arch::{ArchConfig, Simulator};
+use lightening_transformer::baselines::{ElectronicPlatform, MrrAccelerator, MziAccelerator};
+use lightening_transformer::workloads::TransformerConfig;
+
+/// ">2.6x energy and >12x latency reductions compared to prior photonic
+/// accelerators" (abstract), averaged over DeiT-T and DeiT-B.
+#[test]
+fn beats_photonic_baselines_by_paper_margins() {
+    for bits in [4u32, 8] {
+        let mut mrr_energy_ratio = 0.0;
+        let mut mrr_latency_ratio = 0.0;
+        let mut mzi_energy_ratio = 0.0;
+        let mut mzi_latency_ratio = 0.0;
+        let models = [TransformerConfig::deit_tiny(), TransformerConfig::deit_base()];
+        for model in &models {
+            let lt = Simulator::new(ArchConfig::lt_base(bits)).run_model(model);
+            let mrr = MrrAccelerator::paper_baseline(bits).run_model(model);
+            let mzi = MziAccelerator::paper_baseline(bits).run_model(model);
+            mrr_energy_ratio += mrr.all.energy.value() / lt.all.energy.total().value();
+            mrr_latency_ratio += mrr.all.latency.value() / lt.all.latency.value();
+            mzi_energy_ratio += mzi.all.energy.value() / lt.all.energy.total().value();
+            mzi_latency_ratio += mzi.all.latency.value() / lt.all.latency.value();
+        }
+        let n = models.len() as f64;
+        let (mrr_e, mrr_l) = (mrr_energy_ratio / n, mrr_latency_ratio / n);
+        let (mzi_e, mzi_l) = (mzi_energy_ratio / n, mzi_latency_ratio / n);
+        assert!(mrr_e > 2.0, "[{bits}-bit] MRR energy ratio {mrr_e} (paper >2.6)");
+        assert!(mrr_l > 8.0, "[{bits}-bit] MRR latency ratio {mrr_l} (paper ~12.8)");
+        assert!(mzi_e > 4.0, "[{bits}-bit] MZI energy ratio {mzi_e} (paper 8-32x)");
+        assert!(
+            mzi_l > 100.0,
+            "[{bits}-bit] MZI latency ratio {mzi_l} (paper ~676x)"
+        );
+    }
+}
+
+/// "2 to 3 orders of magnitude lower energy-delay product compared to the
+/// electronic Transformer accelerator" and "lowest energy cost".
+#[test]
+fn edp_beats_electronic_platforms_by_orders_of_magnitude() {
+    let model = TransformerConfig::deit_tiny();
+    let lt = Simulator::new(ArchConfig::lt_base(4)).run_model(&model);
+    let lt_edp = lt.all.edp();
+    for p in ElectronicPlatform::fig13_platforms() {
+        let edp = p.energy(&model).value() * p.latency(&model).value();
+        let ratio = edp / lt_edp;
+        assert!(
+            ratio > 100.0,
+            "{}: EDP ratio {ratio} should be >= 2 orders of magnitude",
+            p.name
+        );
+        assert!(
+            p.energy(&model).value() > lt.all.energy.total().value(),
+            "{}: LT must have the lowest energy",
+            p.name
+        );
+    }
+}
+
+/// LT-B throughput tops every platform in Fig. 13.
+#[test]
+fn highest_fps_of_all_platforms() {
+    for model in TransformerConfig::paper_benchmarks() {
+        let lt = Simulator::new(ArchConfig::lt_base(4)).run_model(&model);
+        for p in ElectronicPlatform::fig13_platforms() {
+            assert!(
+                lt.fps() > p.fps(&model),
+                "{} beats LT-B on {} ({} vs {})",
+                p.name,
+                model.name,
+                p.fps(&model),
+                lt.fps()
+            );
+        }
+    }
+}
+
+/// Even without the architecture-level optimizations, the DPTC topology
+/// alone still beats the baselines (Table V's "Energy w/o Arch Opt").
+#[test]
+fn bare_crossbar_still_beats_baselines() {
+    let model = TransformerConfig::deit_tiny();
+    let bare = Simulator::new(ArchConfig::lt_crossbar_base(4)).run_model(&model);
+    let mrr = MrrAccelerator::paper_baseline(4).run_model(&model);
+    assert!(
+        mrr.all.energy.value() > bare.all.energy.total().value(),
+        "MRR {} mJ vs bare LT {} mJ",
+        mrr.all.energy.value(),
+        bare.all.energy.total().value()
+    );
+}
+
+/// The weight-static MZI array loses even on the weight-static linear
+/// layers (the paper's "counterintuitive but well-explained" result).
+#[test]
+fn lt_wins_linear_layers_despite_dynamic_encoding() {
+    let model = TransformerConfig::deit_tiny();
+    let lt = Simulator::new(ArchConfig::lt_base(4)).run_model(&model);
+    let mzi = MziAccelerator::paper_baseline(4).run_model(&model);
+    assert!(
+        mzi.ffn.energy.value() > 2.0 * lt.ffn.energy.total().value(),
+        "MZI FFN {} mJ vs LT FFN {} mJ",
+        mzi.ffn.energy.value(),
+        lt.ffn.energy.total().value()
+    );
+}
+
+/// Latency ordering across model scale: bigger models take longer, and
+/// LT-L catches up on the big ones.
+#[test]
+fn latency_scales_sensibly_across_models() {
+    let sim_b = Simulator::new(ArchConfig::lt_base(4));
+    let t = sim_b.run_model(&TransformerConfig::deit_tiny()).all.latency.value();
+    let s = sim_b.run_model(&TransformerConfig::deit_small()).all.latency.value();
+    let b = sim_b.run_model(&TransformerConfig::deit_base()).all.latency.value();
+    assert!(t < s && s < b, "latency must grow with model size");
+    let sim_l = Simulator::new(ArchConfig::lt_large(4));
+    let b_large = sim_l.run_model(&TransformerConfig::deit_base()).all.latency.value();
+    assert!(b_large < b, "LT-L must be faster than LT-B on DeiT-B");
+}

@@ -1,0 +1,106 @@
+//! Cross-crate consistency: the circuit-level netlist, the analytic Eq. 9
+//! model, and the tensor-core GEMM must all tell the same story.
+
+use lightening_transformer::dptc::{DDot, DdotCircuit, Dptc, DptcConfig, NoiseModel};
+use lightening_transformer::photonics::noise::GaussianSampler;
+use lightening_transformer::photonics::wdm::DispersionModel;
+
+fn rand_vec(rng: &mut GaussianSampler, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+/// Deterministic (noise-free) circuit and analytic outputs agree to
+/// numerical precision, across wavelength counts.
+#[test]
+fn circuit_and_analytic_agree_without_stochastic_noise() {
+    let noise = NoiseModel::noiseless().with_dispersion(DispersionModel::paper());
+    let mut rng = GaussianSampler::new(1);
+    for n in [4usize, 12, 25, 40] {
+        let circuit = DdotCircuit::paper(n);
+        let analytic = DDot::new(n);
+        for _ in 0..20 {
+            let x = rand_vec(&mut rng, n);
+            let y = rand_vec(&mut rng, n);
+            let c = circuit.dot(&x, &y);
+            let a = analytic.dot_noisy(&x, &y, &noise, 0);
+            assert!(
+                (c - a).abs() < 1e-2,
+                "n={n}: circuit {c} vs analytic {a}"
+            );
+        }
+    }
+}
+
+/// With stochastic noise, circuit and analytic models have statistically
+/// matching error magnitudes.
+#[test]
+fn circuit_and_analytic_error_statistics_match() {
+    let noise = NoiseModel::paper_default();
+    let mut rng = GaussianSampler::new(2);
+    let circuit = DdotCircuit::paper(12);
+    let analytic = DDot::new(12);
+    let trials = 300;
+    let mut circuit_err = 0.0;
+    let mut analytic_err = 0.0;
+    for t in 0..trials {
+        let x = rand_vec(&mut rng, 12);
+        let y = rand_vec(&mut rng, 12);
+        let exact: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        circuit_err += (circuit.dot_noisy(&x, &y, &noise, t) - exact).abs();
+        analytic_err += (analytic.dot_noisy(&x, &y, &noise, 10_000 + t) - exact).abs();
+    }
+    let ratio = circuit_err / analytic_err;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "mean-error ratio circuit/analytic = {ratio}"
+    );
+}
+
+/// A DPTC one-shot MM at zero noise equals the exact product; at paper
+/// noise it stays within a bounded envelope; more wavelengths do not blow
+/// up the error (the dispersion-robustness claim).
+#[test]
+fn dptc_error_envelope_is_stable_across_wavelength_counts() {
+    let mut rng = GaussianSampler::new(3);
+    for nlambda in [6usize, 12, 24] {
+        let core = Dptc::new(DptcConfig::new(8, 8, nlambda));
+        let a: Vec<Vec<f64>> = (0..8).map(|_| rand_vec(&mut rng, nlambda)).collect();
+        let b: Vec<Vec<f64>> = (0..nlambda).map(|_| rand_vec(&mut rng, 8)).collect();
+        let exact = core.matmul_ideal(&a, &b);
+        let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 5);
+        let mut max_rel = 0.0f64;
+        for i in 0..8 {
+            for j in 0..8 {
+                let rel = (noisy[i][j] - exact[i][j]).abs() / (nlambda as f64).sqrt();
+                max_rel = max_rel.max(rel);
+            }
+        }
+        assert!(
+            max_rel < 0.25,
+            "nlambda={nlambda}: normalized max error {max_rel}"
+        );
+    }
+}
+
+/// End-to-end: a tiled GEMM through the noisy core approximates the exact
+/// product with a relative Frobenius error of a few percent.
+#[test]
+fn tiled_gemm_relative_error_is_small() {
+    let mut rng = GaussianSampler::new(4);
+    let core = Dptc::new(DptcConfig::lt_paper());
+    let (m, k, n) = (30, 50, 20);
+    let a: Vec<f64> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+    let noisy = core.gemm(&a, &b, m, k, n, 8, &NoiseModel::paper_default(), 6);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..m {
+        for j in 0..n {
+            let exact: f64 = (0..k).map(|l| a[i * k + l] * b[l * n + j]).sum();
+            num += (noisy[i * n + j] - exact) * (noisy[i * n + j] - exact);
+            den += exact * exact;
+        }
+    }
+    let rel = (num / den).sqrt();
+    assert!(rel < 0.15, "relative Frobenius error {rel}");
+}
