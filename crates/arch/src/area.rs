@@ -57,9 +57,8 @@ impl AreaBreakdown {
             + rack.microdisk_count() as f64 * rack.microdisk.area.value())
             / 1e6;
         // One comb per chip plus one pump laser per wavelength.
-        let laser_comb = (rack.comb.area.value()
-            + config.core.nlambda as f64 * rack.laser.area.value())
-            / 1e6;
+        let laser_comb =
+            (rack.comb.area.value() + config.core.nlambda as f64 * rack.laser.area.value()) / 1e6;
         let memory = mem.area().to_mm2().value();
         let digital = if config.global_sram_bytes == 0 {
             0.0 // single-core scaling studies exclude the digital system
@@ -113,7 +112,11 @@ impl AreaBreakdown {
 impl fmt::Display for AreaBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (label, mm2, share) in self.rows() {
-            writeln!(f, "  {label:<22} {mm2:>8.2} mm^2  ({:>5.1}%)", share * 100.0)?;
+            writeln!(
+                f,
+                "  {label:<22} {mm2:>8.2} mm^2  ({:>5.1}%)",
+                share * 100.0
+            )?;
         }
         write!(f, "  {:<22} {:>8.2} mm^2", "TOTAL", self.total().value())
     }
@@ -137,7 +140,9 @@ mod tests {
         let a = AreaBreakdown::for_config(&ArchConfig::lt_large(4));
         let total = a.total().value();
         assert!((95.0..130.0).contains(&total), "LT-L area {total} mm^2");
-        let b = AreaBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
+        let b = AreaBreakdown::for_config(&ArchConfig::lt_base(4))
+            .total()
+            .value();
         let ratio = total / b;
         assert!((1.6..2.2).contains(&ratio), "LT-L/LT-B ratio {ratio}");
     }
@@ -151,23 +156,34 @@ mod tests {
         assert!((0.12..0.30).contains(&share(a.photonic_core)), "core share");
         assert!((0.17..0.33).contains(&share(a.memory)), "memory share");
         assert!((0.17..0.33).contains(&share(a.dac)), "DAC share");
-        let rest = share(a.adc) + share(a.modulation) + share(a.laser_comb)
-            + share(a.digital) + share(a.overhead);
+        let rest = share(a.adc)
+            + share(a.modulation)
+            + share(a.laser_comb)
+            + share(a.digital)
+            + share(a.overhead);
         assert!(rest < 0.40, "remaining share {rest}");
     }
 
     #[test]
     fn area_is_precision_independent() {
-        let a4 = AreaBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
-        let a8 = AreaBreakdown::for_config(&ArchConfig::lt_base(8)).total().value();
+        let a4 = AreaBreakdown::for_config(&ArchConfig::lt_base(4))
+            .total()
+            .value();
+        let a8 = AreaBreakdown::for_config(&ArchConfig::lt_base(8))
+            .total()
+            .value();
         assert!((a4 - a8).abs() < 1e-9);
     }
 
     #[test]
     fn single_core_scaling_matches_fig9_band() {
         // Fig. 9: single 4-bit core area 5.9 mm^2 (N=8) to 49.3 mm^2 (N=32).
-        let a8 = AreaBreakdown::for_config(&ArchConfig::single_core(8, 4)).total().value();
-        let a32 = AreaBreakdown::for_config(&ArchConfig::single_core(32, 4)).total().value();
+        let a8 = AreaBreakdown::for_config(&ArchConfig::single_core(8, 4))
+            .total()
+            .value();
+        let a32 = AreaBreakdown::for_config(&ArchConfig::single_core(32, 4))
+            .total()
+            .value();
         assert!((4.0..8.5).contains(&a8), "N=8 area {a8}");
         assert!((40.0..60.0).contains(&a32), "N=32 area {a32}");
     }

@@ -155,11 +155,7 @@ impl DeviceRack {
             format!("intra-core broadcast 1:{}", c.core.nv),
             self.ybranch.broadcast_loss(c.core.nv),
         );
-        budget.add_repeated(
-            "crossings",
-            self.crossing.insertion_loss,
-            c.core.nv / 2,
-        );
+        budget.add_repeated("crossings", self.crossing.insertion_loss, c.core.nv / 2);
         budget.add("DDot coupler", self.coupler.insertion_loss());
         budget.add("DDot phase shifter", Decibels(0.33));
         budget.add("system margin", Decibels(LASER_MARGIN_DB));
@@ -184,11 +180,7 @@ impl DeviceRack {
             format!("intra-core broadcast 1:{}", c.core.nh),
             self.ybranch.broadcast_loss(c.core.nh),
         );
-        budget.add_repeated(
-            "crossings",
-            self.crossing.insertion_loss,
-            c.core.nh / 2,
-        );
+        budget.add_repeated("crossings", self.crossing.insertion_loss, c.core.nh / 2);
         budget.add("DDot coupler", self.coupler.insertion_loss());
         budget.add("DDot phase shifter", Decibels(0.33));
         budget.add("system margin", Decibels(LASER_MARGIN_DB));
@@ -201,12 +193,17 @@ impl DeviceRack {
     /// carries `sensitivity / N_lambda`.
     pub fn laser_power(&self) -> MilliWatts {
         let c = &self.config;
-        let per_wavelength =
-            MilliWatts(self.pd.sensitivity().value() / c.core.nlambda as f64);
+        let per_wavelength = MilliWatts(self.pd.sensitivity().value() / c.core.nlambda as f64);
         let precision = 2f64.powi(c.precision_bits as i32 - 4);
-        let m1 = self.m1_link_budget().required_input_power(per_wavelength).value()
+        let m1 = self
+            .m1_link_budget()
+            .required_input_power(per_wavelength)
+            .value()
             * self.m1_signal_count() as f64;
-        let m2 = self.m2_link_budget().required_input_power(per_wavelength).value()
+        let m2 = self
+            .m2_link_budget()
+            .required_input_power(per_wavelength)
+            .value()
             * self.m2_signal_count() as f64;
         self.laser
             .electrical_power(MilliWatts((m1 + m2) * precision))

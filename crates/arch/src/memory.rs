@@ -190,10 +190,7 @@ mod tests {
     #[test]
     fn hierarchy_totals() {
         let h = MemoryHierarchy::for_config(&crate::config::ArchConfig::lt_base(4));
-        assert_eq!(
-            h.total_bytes(),
-            (2 << 20) + 4 * ((4 << 10) + (64 << 10))
-        );
+        assert_eq!(h.total_bytes(), (2 << 20) + 4 * ((4 << 10) + (64 << 10)));
         assert!(h.leakage().value() > 0.0);
         assert!(h.operand_byte_energy().value() > 0.0);
         assert!(h.output_byte_energy().value() > 0.0);

@@ -37,11 +37,8 @@ impl PowerBreakdown {
         let bits = config.precision_bits;
         let clock = config.clock;
 
-        let dac_mw =
-            rack.dac_count() as f64 * rack.dac.scaled_power(bits, clock).value();
-        let adc_rate = GigaHertz(
-            clock.value() / config.opts.adc_reduction(config.nc),
-        );
+        let dac_mw = rack.dac_count() as f64 * rack.dac.scaled_power(bits, clock).value();
+        let adc_rate = GigaHertz(clock.value() / config.opts.adc_reduction(config.nc));
         let adc_mw = rack.adc_count() as f64 * rack.adc.scaled_power(bits, adc_rate).value();
         let modulation_mw = rack.mzm_count() as f64 * rack.mzm.tuning_power().value()
             + rack.microdisk_count() as f64 * rack.microdisk.locking_power.value();
@@ -52,9 +49,8 @@ impl PowerBreakdown {
         // Memory: leakage + peak streaming power (fresh operands every
         // cycle out of the tile SRAMs, with ~Nv-fold reuse before the
         // global SRAM is touched again).
-        let fresh_bytes_per_cycle = (rack.m1_signal_count() + rack.m2_signal_count()) as f64
-            * bits as f64
-            / 8.0;
+        let fresh_bytes_per_cycle =
+            (rack.m1_signal_count() + rack.m2_signal_count()) as f64 * bits as f64 / 8.0;
         let cycles_per_s = clock.to_hz();
         let tile_stream_w = fresh_bytes_per_cycle
             * mem.tile_m1.read_energy_per_byte().value()
@@ -86,7 +82,12 @@ impl PowerBreakdown {
 
     /// Total operating power.
     pub fn total(&self) -> Watts {
-        self.dac + self.adc + self.modulation + self.detection + self.laser + self.memory
+        self.dac
+            + self.adc
+            + self.modulation
+            + self.detection
+            + self.laser
+            + self.memory
             + self.digital
     }
 
@@ -141,15 +142,21 @@ mod tests {
             p.dac.value() / total
         );
         // 8-bit draws more than 3x the 4-bit power (paper text).
-        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_base(4)).total().value();
+        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_base(4))
+            .total()
+            .value();
         assert!(total / p4 > 3.0, "8-bit/4-bit power ratio {}", total / p4);
     }
 
     #[test]
     fn ltl_power_near_paper() {
         // Paper: LT-L draws 28.06 W at 4-bit, 95.92 W at 8-bit.
-        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4)).total().value();
-        let p8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8)).total().value();
+        let p4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4))
+            .total()
+            .value();
+        let p8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8))
+            .total()
+            .value();
         assert!((19.0..36.0).contains(&p4), "LT-L 4-bit {p4} W");
         assert!((70.0..120.0).contains(&p8), "LT-L 8-bit {p8} W");
     }

@@ -49,9 +49,7 @@ pub fn evaluate_core(n: usize, bits: u32) -> CoreScalingPoint {
 
     let tops = config.peak_tops();
     // "Optical computing part (ADC/DAC excluded)" — Fig. 10's caption.
-    let optical_w = power.modulation.value()
-        + power.detection.value()
-        + power.laser.value();
+    let optical_w = power.modulation.value() + power.detection.value() + power.laser.value();
     let area_mm2 = area.total().value();
     let tops_per_w = tops / optical_w;
     let tops_per_mm2 = tops / area_mm2;
@@ -123,7 +121,9 @@ mod tests {
         let pts = fig10_sweep();
         assert!(pts.windows(2).all(|w| w[1].tops > w[0].tops));
         assert!(pts.windows(2).all(|w| w[1].tops_per_w > w[0].tops_per_w));
-        assert!(pts.windows(2).all(|w| w[1].tops_per_mm2 > w[0].tops_per_mm2));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].tops_per_mm2 > w[0].tops_per_mm2));
         assert!(
             pts.first().unwrap().tops_per_w_per_mm2 > pts.last().unwrap().tops_per_w_per_mm2,
             "efficiency per area must fall with size"
@@ -135,6 +135,10 @@ mod tests {
         // N=60 should be thousands of TOPS and tens of TOPS/W.
         let p = evaluate_core(60, 4);
         assert!((1500.0..4000.0).contains(&p.tops), "TOPS {}", p.tops);
-        assert!((20.0..120.0).contains(&p.tops_per_w), "TOPS/W {}", p.tops_per_w);
+        assert!(
+            (20.0..120.0).contains(&p.tops_per_w),
+            "TOPS/W {}",
+            p.tops_per_w
+        );
     }
 }

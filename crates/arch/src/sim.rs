@@ -152,8 +152,7 @@ impl Simulator {
         let e_tia: PicoJoules = self.rack.tia.power * period;
         // Per-conversion ADC energy (power scales with rate, so the energy
         // per conversion is rate-independent).
-        let e_adc: PicoJoules =
-            self.rack.adc.scaled_power(bits, c.clock) * period;
+        let e_adc: PicoJoules = self.rack.adc.scaled_power(bits, c.clock) * period;
 
         // Encoded elements. op1 = M1 (nh rows), op2 = M2 (nv columns).
         let op1_elems = t_invocations * (core.nh * core.nlambda) as u64 * count;
@@ -209,7 +208,9 @@ impl Simulator {
             op1_mod: to_mj(op1_elems as f64 * e_mzm.value()),
             op2_dac: to_mj(op2_elems as f64 * e_dac.value()),
             op2_mod: to_mj(op2_elems as f64 * e_mzm.value()),
-            det: to_mj(ddot_outputs as f64 * 2.0 * e_pd.value() + tia_events as f64 * e_tia.value()),
+            det: to_mj(
+                ddot_outputs as f64 * 2.0 * e_pd.value() + tia_events as f64 * e_tia.value(),
+            ),
             adc: to_mj(adc_convs as f64 * e_adc.value()),
             data_movement: to_mj(data_movement_pj),
             digital: MilliJoules(0.0),
@@ -297,7 +298,10 @@ mod tests {
         assert!((0.08..0.6).contains(&ffn_mj), "FFN {ffn_mj} mJ");
         assert!((0.15..0.9).contains(&all_mj), "All {all_mj} mJ");
         let all_ms = r.all.latency.value();
-        assert!((0.8e-2..4.0e-2).contains(&all_ms), "All latency {all_ms} ms");
+        assert!(
+            (0.8e-2..4.0e-2).contains(&all_ms),
+            "All latency {all_ms} ms"
+        );
         let mha_ms = r.mha.latency.value();
         assert!((1.5e-3..7e-3).contains(&mha_ms), "MHA latency {mha_ms} ms");
     }
@@ -308,7 +312,10 @@ mod tests {
         let sim8 = Simulator::new(ArchConfig::lt_base(8));
         let r4 = sim4.run_model(&deit_t());
         let r8 = sim8.run_model(&deit_t());
-        assert_eq!(r4.all.cycles, r8.all.cycles, "precision doesn't change cycles");
+        assert_eq!(
+            r4.all.cycles, r8.all.cycles,
+            "precision doesn't change cycles"
+        );
         let ratio = r8.all.energy.total().value() / r4.all.energy.total().value();
         // Paper: 1.21 mJ vs 0.38 mJ => ~3.2x.
         assert!((2.0..5.5).contains(&ratio), "8/4-bit energy ratio {ratio}");

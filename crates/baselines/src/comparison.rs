@@ -17,7 +17,11 @@ impl fmt::Display for OperandSupport {
             f,
             "{}, {}",
             if self.dynamic { "Dynamic" } else { "Static" },
-            if self.full_range { "Full-range" } else { "Positive only" }
+            if self.full_range {
+                "Full-range"
+            } else {
+                "Positive only"
+            }
         )
     }
 }
@@ -76,36 +80,66 @@ pub fn ptc_design_table() -> Vec<PtcDesign> {
     vec![
         PtcDesign {
             name: "MZI array [47]",
-            operand1: OperandSupport { dynamic: false, full_range: true },
-            operand2: OperandSupport { dynamic: true, full_range: true },
+            operand1: OperandSupport {
+                dynamic: false,
+                full_range: true,
+            },
+            operand2: OperandSupport {
+                dynamic: true,
+                full_range: true,
+            },
             mapping_cost: MappingCost::High,
             operation: OperationType::Mvm,
         },
         PtcDesign {
             name: "PCM crossbar [16]",
-            operand1: OperandSupport { dynamic: false, full_range: false },
-            operand2: OperandSupport { dynamic: true, full_range: false },
+            operand1: OperandSupport {
+                dynamic: false,
+                full_range: false,
+            },
+            operand2: OperandSupport {
+                dynamic: true,
+                full_range: false,
+            },
             mapping_cost: MappingCost::Medium,
             operation: OperationType::Mm,
         },
         PtcDesign {
             name: "MRR bank 1 [52]",
-            operand1: OperandSupport { dynamic: true, full_range: true },
-            operand2: OperandSupport { dynamic: true, full_range: false },
+            operand1: OperandSupport {
+                dynamic: true,
+                full_range: true,
+            },
+            operand2: OperandSupport {
+                dynamic: true,
+                full_range: false,
+            },
             mapping_cost: MappingCost::Low,
             operation: OperationType::Mvm,
         },
         PtcDesign {
             name: "MRR bank 2 [51]",
-            operand1: OperandSupport { dynamic: true, full_range: false },
-            operand2: OperandSupport { dynamic: true, full_range: false },
+            operand1: OperandSupport {
+                dynamic: true,
+                full_range: false,
+            },
+            operand2: OperandSupport {
+                dynamic: true,
+                full_range: false,
+            },
             mapping_cost: MappingCost::Low,
             operation: OperationType::Mvm,
         },
         PtcDesign {
             name: "DPTC (ours)",
-            operand1: OperandSupport { dynamic: true, full_range: true },
-            operand2: OperandSupport { dynamic: true, full_range: true },
+            operand1: OperandSupport {
+                dynamic: true,
+                full_range: true,
+            },
+            operand2: OperandSupport {
+                dynamic: true,
+                full_range: true,
+            },
             mapping_cost: MappingCost::Low,
             operation: OperationType::Mm,
         },
@@ -151,7 +185,11 @@ mod tests {
 
     #[test]
     fn display_formats_match_paper_wording() {
-        let s = OperandSupport { dynamic: true, full_range: false }.to_string();
+        let s = OperandSupport {
+            dynamic: true,
+            full_range: false,
+        }
+        .to_string();
         assert_eq!(s, "Dynamic, Positive only");
     }
 }

@@ -12,10 +12,14 @@
 //! * [`electronic`] — analytic models of the CPU/GPU/TPU/FPGA platforms of
 //!   Fig. 13, calibrated to the paper's published ratios.
 //! * [`comparison`] — the qualitative PTC feature matrix of Table I.
+//! * [`backend`] — numeric [`lt_core::ComputeBackend`] implementations of
+//!   every baseline, so baseline-vs-DPTC accuracy comparisons are a
+//!   backend swap rather than a parallel code path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod comparison;
 pub mod electronic;
 pub mod mrr;
@@ -23,6 +27,7 @@ pub mod mzi;
 pub mod pcm;
 pub mod svd;
 
+pub use backend::{MrrBackend, MziBackend, PcmBackend, SvdBackend};
 pub use comparison::{ptc_design_table, PtcDesign};
 pub use electronic::ElectronicPlatform;
 pub use mrr::MrrAccelerator;

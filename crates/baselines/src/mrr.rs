@@ -16,7 +16,9 @@
 
 use crate::BaselineReport;
 use lt_photonics::constants::PTC_CLOCK_GHZ;
-use lt_photonics::devices::{Adc, Dac, MachZehnderModulator, MicroringResonator, Photodetector, Tia};
+use lt_photonics::devices::{
+    Adc, Dac, MachZehnderModulator, MicroringResonator, Photodetector, Tia,
+};
 use lt_photonics::units::{GigaHertz, MilliJoules, MilliWatts, Milliseconds};
 use lt_workloads::{GemmOp, Module, TransformerConfig};
 
@@ -97,6 +99,13 @@ impl MrrAccelerator {
     /// Bank (weight block) size `k`.
     pub fn bank_size(&self) -> usize {
         self.k
+    }
+
+    /// The numeric [`lt_core::ComputeBackend`] matching this
+    /// accelerator's precision (4-pass non-negative decomposition), for
+    /// accuracy experiments.
+    pub fn compute_backend(&self) -> crate::backend::MrrBackend {
+        crate::backend::MrrBackend::new(self.bits)
     }
 
     /// Number of bank systems.
@@ -201,7 +210,12 @@ impl MrrAccelerator {
         all.merge(&mha);
         all.merge(&ffn);
         all.merge(&other);
-        MrrModelReport { mha, ffn, other, all }
+        MrrModelReport {
+            mha,
+            ffn,
+            other,
+            all,
+        }
     }
 
     /// Electrical laser power (short incoherent link; sensitivity-limited).
@@ -244,9 +258,21 @@ mod tests {
         assert!((0.07..0.4).contains(&mha), "MHA {mha} mJ");
         assert!((0.4..1.8).contains(&ffn), "FFN {ffn} mJ");
         assert!((0.7..3.0).contains(&all), "All {all} mJ");
-        assert!((0.015..0.06).contains(&r.mha.latency.value()), "MHA {} ms", r.mha.latency.value());
-        assert!((0.07..0.28).contains(&r.ffn.latency.value()), "FFN {} ms", r.ffn.latency.value());
-        assert!((0.12..0.48).contains(&r.all.latency.value()), "All {} ms", r.all.latency.value());
+        assert!(
+            (0.015..0.06).contains(&r.mha.latency.value()),
+            "MHA {} ms",
+            r.mha.latency.value()
+        );
+        assert!(
+            (0.07..0.28).contains(&r.ffn.latency.value()),
+            "FFN {} ms",
+            r.ffn.latency.value()
+        );
+        assert!(
+            (0.12..0.48).contains(&r.all.latency.value()),
+            "All {} ms",
+            r.all.latency.value()
+        );
     }
 
     #[test]

@@ -105,6 +105,13 @@ impl MziAccelerator {
         self.n
     }
 
+    /// The numeric [`lt_core::ComputeBackend`] matching this
+    /// accelerator's mesh size and precision (SVD mapping + quantized
+    /// diagonal), for accuracy experiments.
+    pub fn compute_backend(&self) -> crate::backend::MziBackend {
+        crate::backend::MziBackend::new(self.n, self.bits)
+    }
+
     /// Number of core systems.
     pub fn cores(&self) -> usize {
         self.cores
@@ -215,7 +222,12 @@ impl MziAccelerator {
         all.merge(&mha);
         all.merge(&ffn);
         all.merge(&other);
-        MziModelReport { mha, ffn, other, all }
+        MziModelReport {
+            mha,
+            ffn,
+            other,
+            all,
+        }
     }
 }
 
@@ -296,7 +308,9 @@ mod tests {
     #[test]
     fn mesh_loss_grows_linearly_in_db() {
         let small = MziAccelerator::area_matched(8, 60.0, 4).mesh_loss().value();
-        let large = MziAccelerator::area_matched(16, 60.0, 4).mesh_loss().value();
+        let large = MziAccelerator::area_matched(16, 60.0, 4)
+            .mesh_loss()
+            .value();
         assert!((large - small - 8.0 * 2.0 * MZI_STAGE_LOSS_DB).abs() < 1e-9);
     }
 

@@ -78,7 +78,10 @@ impl PcmAccelerator {
         assert!(k > 0, "crossbar size must be positive");
         assert!((2..=16).contains(&bits), "precision {bits} out of range");
         let crossbars = (target_mm2 / CROSSBAR_SYSTEM_MM2).floor() as usize;
-        assert!(crossbars > 0, "target area {target_mm2} mm^2 fits no crossbars");
+        assert!(
+            crossbars > 0,
+            "target area {target_mm2} mm^2 fits no crossbars"
+        );
         PcmAccelerator {
             k,
             crossbars,
@@ -95,6 +98,13 @@ impl PcmAccelerator {
     /// Crossbar (weight block) size `k`.
     pub fn crossbar_size(&self) -> usize {
         self.k
+    }
+
+    /// The numeric [`lt_core::ComputeBackend`] matching this
+    /// accelerator's precision (discrete conductance levels + programming
+    /// variability), for accuracy experiments.
+    pub fn compute_backend(&self) -> crate::backend::PcmBackend {
+        crate::backend::PcmBackend::paper(self.bits)
     }
 
     /// Number of crossbar systems.
@@ -199,7 +209,12 @@ impl PcmAccelerator {
         all.merge(&mha);
         all.merge(&ffn);
         all.merge(&other);
-        PcmModelReport { mha, ffn, other, all }
+        PcmModelReport {
+            mha,
+            ffn,
+            other,
+            all,
+        }
     }
 }
 
@@ -237,7 +252,13 @@ mod tests {
         // (latency = sum), so static must be strictly faster.
         let pcm = PcmAccelerator::paper_matched(4);
         let stat = pcm.run_op(&GemmOp::new(lt_workloads::OpKind::Ffn1, 197, 192, 768, 12));
-        let dynamic = pcm.run_op(&GemmOp::new(lt_workloads::OpKind::AttnAv, 197, 192, 768, 12));
+        let dynamic = pcm.run_op(&GemmOp::new(
+            lt_workloads::OpKind::AttnAv,
+            197,
+            192,
+            768,
+            12,
+        ));
         assert!(
             stat.latency.value() < dynamic.latency.value(),
             "static {} ms vs dynamic {} ms",

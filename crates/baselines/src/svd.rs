@@ -98,7 +98,10 @@ pub fn jacobi_svd(a: &[f64], m: usize, n: usize) -> Svd {
     let mut order: Vec<usize> = (0..n).collect();
     let mut s = vec![0.0; n];
     for (j, sj) in s.iter_mut().enumerate() {
-        let norm = (0..m).map(|i| u[i * n + j] * u[i * n + j]).sum::<f64>().sqrt();
+        let norm = (0..m)
+            .map(|i| u[i * n + j] * u[i * n + j])
+            .sum::<f64>()
+            .sqrt();
         *sj = norm;
     }
     order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap());

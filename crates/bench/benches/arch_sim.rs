@@ -1,47 +1,32 @@
-//! Criterion benches for the architecture simulator: full-model runs and
-//! the scaling sweeps.
+//! Benches for the architecture simulator: full-model runs and the
+//! scaling sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lt_arch::{ArchConfig, Simulator};
+use lt_bench::timing::bench;
 use lt_workloads::TransformerConfig;
-use std::hint::black_box;
 
-fn bench_run_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator_run_model");
+fn main() {
+    println!("arch benches\n");
     let sim = Simulator::new(ArchConfig::lt_base(4));
     for model in [
         TransformerConfig::deit_tiny(),
         TransformerConfig::deit_base(),
         TransformerConfig::bert_base(128),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name.clone()),
-            &model,
-            |bch, m| bch.iter(|| black_box(sim.run_model(black_box(m)))),
-        );
+        let r = bench(&format!("simulator_run_model/{}", model.name), || {
+            sim.run_model(&model)
+        });
+        println!("{}", r.row());
     }
-    group.finish();
-}
 
-fn bench_scaling_sweep(c: &mut Criterion) {
-    c.bench_function("fig9_sweep", |bch| {
-        bch.iter(|| black_box(lt_arch::scaling::fig9_sweep()))
-    });
-}
+    let r = bench("fig9_sweep", lt_arch::scaling::fig9_sweep);
+    println!("{}", r.row());
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_run_model");
     let deit = TransformerConfig::deit_tiny();
     let mrr = lt_baselines::MrrAccelerator::paper_baseline(4);
-    group.bench_function("mrr_deit_t", |bch| {
-        bch.iter(|| black_box(mrr.run_model(black_box(&deit))))
-    });
+    let r = bench("baseline_run_model/mrr_deit_t", || mrr.run_model(&deit));
+    println!("{}", r.row());
     let mzi = lt_baselines::MziAccelerator::paper_baseline(4);
-    group.bench_function("mzi_deit_t", |bch| {
-        bch.iter(|| black_box(mzi.run_model(black_box(&deit))))
-    });
-    group.finish();
+    let r = bench("baseline_run_model/mzi_deit_t", || mzi.run_model(&deit));
+    println!("{}", r.row());
 }
-
-criterion_group!(benches, bench_run_model, bench_scaling_sweep, bench_baselines);
-criterion_main!(benches);

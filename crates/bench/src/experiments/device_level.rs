@@ -36,7 +36,11 @@ pub fn table1() -> String {
                 OperationType::Mvm => "MVM",
             },
             if d.supports_dynamic_mm() { "yes" } else { "NO" },
-            if d.supports_full_range_without_overhead() { "yes" } else { "NO" },
+            if d.supports_full_range_without_overhead() {
+                "yes"
+            } else {
+                "NO"
+            },
         )
         .unwrap();
     }
@@ -47,15 +51,26 @@ pub fn table1() -> String {
 /// 25-wavelength DWDM sweep.
 pub fn fig3() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 3: dispersion across 25 DWDM channels (0.4 nm spacing)").unwrap();
-    writeln!(out, "{:>12} {:>10} {:>12}", "lambda (nm)", "kappa", "phase (deg)").unwrap();
+    writeln!(
+        out,
+        "Fig. 3: dispersion across 25 DWDM channels (0.4 nm spacing)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>10} {:>12}",
+        "lambda (nm)", "kappa", "phase (deg)"
+    )
+    .unwrap();
     let grid = WavelengthGrid::dwdm(25);
     let d = DispersionModel::paper();
     let mut max_kappa_rel = 0.0f64;
     let mut max_phase_err = 0.0f64;
     for &lambda in grid.wavelengths_nm() {
         let kappa = d.coupling_factor(lambda);
-        let phase = d.phase_shift(-std::f64::consts::FRAC_PI_2, lambda).to_degrees();
+        let phase = d
+            .phase_shift(-std::f64::consts::FRAC_PI_2, lambda)
+            .to_degrees();
         max_kappa_rel = max_kappa_rel.max((kappa - 0.5).abs() / 0.5);
         max_phase_err = max_phase_err.max((phase + 90.0).abs());
         writeln!(out, "{lambda:>12.2} {kappa:>10.5} {phase:>12.3}").unwrap();
@@ -78,8 +93,16 @@ pub fn fig3() -> String {
 /// noise point, 4-bit and 8-bit.
 pub fn fig6() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 6: optical simulation of random length-12 dot products").unwrap();
-    writeln!(out, "(circuit-level DDot, sigma_mag = 0.03, sigma_phase = 2 deg, dispersion on)").unwrap();
+    writeln!(
+        out,
+        "Fig. 6: optical simulation of random length-12 dot products"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(circuit-level DDot, sigma_mag = 0.03, sigma_phase = 2 deg, dispersion on)"
+    )
+    .unwrap();
     let circuit = DdotCircuit::paper(12);
     let nm = NoiseModel::paper_default();
     let mut rng = GaussianSampler::new(2024);
@@ -129,7 +152,13 @@ pub fn eq6() -> String {
         "Nh", "Nv", "Nl", "shared", "unshared", "saving"
     )
     .unwrap();
-    for (nh, nv, nl) in [(12, 12, 12), (8, 8, 8), (24, 24, 24), (12, 24, 12), (1, 12, 12)] {
+    for (nh, nv, nl) in [
+        (12, 12, 12),
+        (8, 8, 8),
+        (24, 24, 24),
+        (12, 24, 12),
+        (1, 12, 12),
+    ] {
         let core = Dptc::new(DptcConfig::new(nh, nv, nl));
         let c = core.encoding_cost();
         writeln!(
@@ -141,7 +170,11 @@ pub fn eq6() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(paper: Nh = Nv = Nl = 12 gives 12x less encoding cost)").unwrap();
+    writeln!(
+        out,
+        "(paper: Nh = Nv = Nl = 12 gives 12x less encoding cost)"
+    )
+    .unwrap();
     out
 }
 
@@ -160,9 +193,15 @@ pub fn eq10() -> String {
 /// Jacobi SVD, and relates it to the photonic cycle time.
 pub fn svd_mapping() -> String {
     let mut out = String::new();
-    writeln!(out, "MZI operand mapping cost (one-sided Jacobi SVD, 12x12)").unwrap();
+    writeln!(
+        out,
+        "MZI operand mapping cost (one-sided Jacobi SVD, 12x12)"
+    )
+    .unwrap();
     // Correctness spot check first.
-    let a: Vec<f64> = (0..144).map(|i| ((i * 37 % 100) as f64 / 50.0) - 1.0).collect();
+    let a: Vec<f64> = (0..144)
+        .map(|i| ((i * 37 % 100) as f64 / 50.0) - 1.0)
+        .collect();
     let svd = jacobi_svd(&a, 12, 12);
     let back = reconstruct(&svd, 12, 12);
     let max_err = a
@@ -170,7 +209,12 @@ pub fn svd_mapping() -> String {
         .zip(&back)
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f64, f64::max);
-    writeln!(out, "reconstruction max error: {max_err:.2e} ({} sweeps)", svd.sweeps).unwrap();
+    writeln!(
+        out,
+        "reconstruction max error: {max_err:.2e} ({} sweeps)",
+        svd.sweeps
+    )
+    .unwrap();
     let secs = measure_mapping_seconds(12, 200);
     let cycles = secs / 200e-12;
     writeln!(

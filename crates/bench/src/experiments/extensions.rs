@@ -103,7 +103,11 @@ pub fn ext_search() -> String {
     let mut out = String::new();
     let budget = 120.0;
 
-    writeln!(out, "Core-geometry search (area budget {budget} mm^2, N_lambda = 12)").unwrap();
+    writeln!(
+        out,
+        "Core-geometry search (area budget {budget} mm^2, N_lambda = 12)"
+    )
+    .unwrap();
     writeln!(out, "\ndense DeiT-T trace:").unwrap();
     let dense = TransformerConfig::deit_tiny().gemm_trace();
     writeln!(
@@ -116,7 +120,11 @@ pub fn ext_search() -> String {
         writeln!(
             out,
             "{:<16} {:>10.1} {:>12.5} {:>12.5} {:>7.0}%",
-            c.config.name, c.area_mm2, c.latency_ms, c.edp, c.utilization * 100.0
+            c.config.name,
+            c.area_mm2,
+            c.latency_ms,
+            c.edp,
+            c.utilization * 100.0
         )
         .unwrap();
     }
@@ -141,7 +149,11 @@ pub fn ext_search() -> String {
         writeln!(
             out,
             "{:<16} {:>10.1} {:>12.6} {:>12.6} {:>7.0}%",
-            c.config.name, c.area_mm2, c.latency_ms, c.edp, c.utilization * 100.0
+            c.config.name,
+            c.area_mm2,
+            c.latency_ms,
+            c.edp,
+            c.utilization * 100.0
         )
         .unwrap();
     }

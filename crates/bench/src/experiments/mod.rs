@@ -19,11 +19,23 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             device_level::table1 as ExperimentFn,
         ),
         ("fig3", "Fig. 3: dispersion robustness", device_level::fig3),
-        ("fig6", "Fig. 6: optical dot-product error", device_level::fig6),
+        (
+            "fig6",
+            "Fig. 6: optical dot-product error",
+            device_level::fig6,
+        ),
         ("eq6", "Eq. 6: encoding-cost saving", device_level::eq6),
         ("eq10", "Eq. 10: FSR wavelength bound", device_level::eq10),
-        ("svd", "MZI mapping cost (Jacobi SVD)", device_level::svd_mapping),
-        ("table4", "Table IV: LT-B / LT-L configs", system_level::table4),
+        (
+            "svd",
+            "MZI mapping cost (Jacobi SVD)",
+            device_level::svd_mapping,
+        ),
+        (
+            "table4",
+            "Table IV: LT-B / LT-L configs",
+            system_level::table4,
+        ),
         ("fig7", "Fig. 7: area breakdown", system_level::fig7),
         ("fig8", "Fig. 8: power breakdown", system_level::fig8),
         ("fig9", "Fig. 9: core-size scaling", system_level::fig9),
@@ -31,13 +43,37 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
         ("fig11", "Fig. 11: energy vs MRR/MZI", comparison::fig11),
         ("fig12", "Fig. 12: LT variant ablation", comparison::fig12),
         ("table5", "Table V: DeiT vs baselines", comparison::table5),
-        ("fig13", "Fig. 13: cross-platform comparison", comparison::fig13),
+        (
+            "fig13",
+            "Fig. 13: cross-platform comparison",
+            comparison::fig13,
+        ),
         ("fig14", "Fig. 14: accuracy vs wavelengths", accuracy::fig14),
-        ("fig15", "Fig. 15: accuracy vs encoding noise", accuracy::fig15),
+        (
+            "fig15",
+            "Fig. 15: accuracy vs encoding noise",
+            accuracy::fig15,
+        ),
         ("fig16", "Fig. 16: sparse attention support", sparse::fig16),
-        ("ext-lambda", "Extension: wavelength scaling (Sec. V-B)", extensions::ext_lambda),
-        ("ext-accum", "Extension: temporal-accumulation ablation (Sec. IV-C2)", extensions::ext_accum),
-        ("ext-search", "Extension: heterogeneous core search (Sec. VI-A)", extensions::ext_search),
-        ("ext-pcm", "Extension: PCM crossbar quantified (Table I)", extensions::ext_pcm),
+        (
+            "ext-lambda",
+            "Extension: wavelength scaling (Sec. V-B)",
+            extensions::ext_lambda,
+        ),
+        (
+            "ext-accum",
+            "Extension: temporal-accumulation ablation (Sec. IV-C2)",
+            extensions::ext_accum,
+        ),
+        (
+            "ext-search",
+            "Extension: heterogeneous core search (Sec. VI-A)",
+            extensions::ext_search,
+        ),
+        (
+            "ext-pcm",
+            "Extension: PCM crossbar quantified (Table I)",
+            extensions::ext_pcm,
+        ),
     ]
 }

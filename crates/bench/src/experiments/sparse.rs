@@ -49,7 +49,11 @@ pub fn fig16() -> String {
             w.mac_saving(),
             dense.energy.total().value() / sparse.energy.total().value(),
             dense.latency.value() / sparse.latency.value(),
-            if aligned { "" } else { "   <- misaligned block" },
+            if aligned {
+                ""
+            } else {
+                "   <- misaligned block"
+            },
         )
         .unwrap();
     }

@@ -61,8 +61,12 @@ pub fn fig8() -> String {
         writeln!(out, "{power}").unwrap();
         writeln!(out).unwrap();
     }
-    let l4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4)).total().value();
-    let l8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8)).total().value();
+    let l4 = PowerBreakdown::for_config(&ArchConfig::lt_large(4))
+        .total()
+        .value();
+    let l8 = PowerBreakdown::for_config(&ArchConfig::lt_large(8))
+        .total()
+        .value();
     writeln!(out, "LT-L totals: {l4:.2} W (4-bit), {l8:.2} W (8-bit)").unwrap();
     writeln!(
         out,
@@ -75,7 +79,11 @@ pub fn fig8() -> String {
 /// Fig. 9: single-core area / power / latency scaling, core size 8..32.
 pub fn fig9() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 9: single 4-bit core scaling (no cross-tile sharing)").unwrap();
+    writeln!(
+        out,
+        "Fig. 9: single 4-bit core scaling (no cross-tile sharing)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>4} {:>12} {:>10} {:>12} {:>12} {:>12}",
@@ -106,7 +114,11 @@ pub fn fig9() -> String {
 /// Fig. 10: performance / efficiency scaling of the optical computing part.
 pub fn fig10() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 10: optical-part performance scaling (ADC/DAC excluded)").unwrap();
+    writeln!(
+        out,
+        "Fig. 10: optical-part performance scaling (ADC/DAC excluded)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>4} {:>10} {:>10} {:>12} {:>14}",

@@ -29,5 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::all_experiments;

@@ -1,0 +1,103 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! benches cannot link `criterion`; this module provides the small subset
+//! we need: warmup, a timed measurement window, and a one-line report
+//! with mean time per iteration and relative comparisons.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark: mean wall-clock time per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations measured (after warmup).
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl BenchReport {
+    /// Mean time per iteration in microseconds.
+    pub fn us_per_iter(&self) -> f64 {
+        self.ns_per_iter / 1e3
+    }
+
+    /// Speedup of `self` relative to `other` (how many times faster
+    /// `self` is).
+    pub fn speedup_vs(&self, other: &BenchReport) -> f64 {
+        other.ns_per_iter / self.ns_per_iter
+    }
+
+    /// Formats the report as a fixed-width table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<44} {:>12.2} us/iter  ({} iters)",
+            self.name,
+            self.us_per_iter(),
+            self.iters
+        )
+    }
+}
+
+/// Runs `f` repeatedly: a short warmup, then a measurement window of at
+/// least `window` (and at least 10 iterations), and returns the mean
+/// time per iteration. The closure's result is `black_box`ed so the
+/// optimizer cannot elide the work.
+pub fn bench_for<R>(name: &str, window: Duration, mut f: impl FnMut() -> R) -> BenchReport {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        black_box(f());
+        iters += 1;
+        if iters >= 10 && start.elapsed() >= window {
+            break;
+        }
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    BenchReport {
+        name: name.to_string(),
+        iters,
+        ns_per_iter,
+    }
+}
+
+/// [`bench_for`] with the default 200 ms measurement window.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> BenchReport {
+    bench_for(name, Duration::from_millis(200), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_positive_timings() {
+        let r = bench_for("spin", Duration::from_millis(5), || {
+            (0..1000u64).sum::<u64>()
+        });
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 10);
+        assert!(r.row().contains("spin"));
+    }
+
+    #[test]
+    fn speedup_is_a_ratio() {
+        let fast = BenchReport {
+            name: "fast".into(),
+            iters: 1,
+            ns_per_iter: 100.0,
+        };
+        let slow = BenchReport {
+            name: "slow".into(),
+            iters: 1,
+            ns_per_iter: 400.0,
+        };
+        assert!((fast.speedup_vs(&slow) - 4.0).abs() < 1e-12);
+    }
+}

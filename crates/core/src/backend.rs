@@ -1,0 +1,205 @@
+//! The pluggable compute-backend abstraction.
+//!
+//! Every matrix-multiplication provider in the workspace — the exact CPU
+//! kernel, the DPTC photonic tensor core at its three fidelities, and the
+//! MZI/MRR/PCM/SVD baseline accelerators — implements [`ComputeBackend`].
+//! Swapping the physics under a workload is a backend swap, not a code
+//! path: the algorithmic layers (`lt-nn`, experiments, examples) only see
+//! `gemm(a, b, ctx)`.
+//!
+//! [`RunCtx`] carries the reproducibility state: a run seed and a call
+//! counter from which stochastic backends derive fresh, deterministic
+//! per-call noise streams.
+
+use crate::matrix::{Matrix64, MatrixView};
+use std::fmt;
+
+/// Per-run execution context shared by every backend call.
+///
+/// Stochastic backends (analog noise, programming variability) must draw
+/// their randomness from seeds produced by [`RunCtx::next_seed`] so that a
+/// whole run is reproducible from one root seed while every call still
+/// sees a fresh noise realization.
+///
+/// ```
+/// use lt_core::RunCtx;
+/// let mut a = RunCtx::new(42);
+/// let mut b = RunCtx::new(42);
+/// assert_eq!(a.next_seed(), b.next_seed(), "same root seed, same stream");
+/// assert_ne!(a.next_seed(), b.seed(), "per-call seeds differ from the root");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunCtx {
+    seed: u64,
+    calls: u64,
+}
+
+impl RunCtx {
+    /// Creates a context from a root seed.
+    pub fn new(seed: u64) -> Self {
+        RunCtx { seed, calls: 0 }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of per-call seeds handed out so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Derives the next per-call seed (SplitMix64 over root seed and call
+    /// index) and advances the call counter.
+    pub fn next_seed(&mut self) -> u64 {
+        self.calls += 1;
+        let mut z = self
+            .seed
+            .wrapping_add(self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx::new(0)
+    }
+}
+
+/// A pluggable matrix-multiplication provider.
+///
+/// The contract is shape-polymorphic: `gemm` accepts arbitrary `m x d`
+/// by `d x n` operands; hardware-tiled backends do their own tiling
+/// internally. Deterministic backends ignore the context; stochastic ones
+/// must derive all randomness from [`RunCtx::next_seed`].
+pub trait ComputeBackend: fmt::Debug {
+    /// A short human-readable backend name (for reports and logs).
+    fn name(&self) -> &str;
+
+    /// Computes `a x b`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the inner dimensions disagree.
+    fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, ctx: &mut RunCtx) -> Matrix64;
+
+    /// Computes a batch of independent products. The default forwards to
+    /// [`ComputeBackend::gemm`] per pair; hardware backends may override
+    /// to amortize setup (e.g. one wavelength-coefficient table per
+    /// batch).
+    fn gemm_batch(
+        &self,
+        pairs: &[(MatrixView<'_, f64>, MatrixView<'_, f64>)],
+        ctx: &mut RunCtx,
+    ) -> Vec<Matrix64> {
+        pairs.iter().map(|&(a, b)| self.gemm(a, b, ctx)).collect()
+    }
+
+    /// Computes `out += a x b` — the tiled/streaming entry point used when
+    /// a caller accumulates partial products (e.g. blocked attention).
+    /// The default computes the product and accumulates; backends with
+    /// analog accumulation may override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `a.rows() x b.cols()`.
+    fn gemm_accumulate(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        out: &mut Matrix64,
+        ctx: &mut RunCtx,
+    ) {
+        let partial = self.gemm(a, b, ctx);
+        assert_eq!(
+            out.shape(),
+            partial.shape(),
+            "gemm_accumulate output shape mismatch"
+        );
+        out.add_assign(&partial);
+    }
+}
+
+/// The exact in-process backend: the shared tiled CPU kernel, full `f64`
+/// precision, no noise. This is both the fastest backend and the
+/// reference every physical backend is validated against.
+///
+/// ```
+/// use lt_core::{ComputeBackend, Matrix64, NativeBackend, RunCtx};
+/// let a = Matrix64::from_fn(3, 4, |i, j| (i + j) as f64);
+/// let b = Matrix64::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
+/// let out = NativeBackend.gemm(a.view(), b.view(), &mut RunCtx::new(0));
+/// assert_eq!(out, a.matmul(&b));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeBackend;
+
+impl ComputeBackend for NativeBackend {
+    fn name(&self) -> &str {
+        "native"
+    }
+
+    fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, _ctx: &mut RunCtx) -> Matrix64 {
+        a.matmul(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::reference_gemm;
+    use crate::noise::GaussianSampler;
+
+    #[test]
+    fn native_backend_is_the_shared_kernel() {
+        let mut rng = GaussianSampler::new(1);
+        let a = Matrix64::randn(7, 5, 1.0, &mut rng);
+        let b = Matrix64::randn(5, 9, 1.0, &mut rng);
+        let mut ctx = RunCtx::new(0);
+        let got = NativeBackend.gemm(a.view(), b.view(), &mut ctx);
+        assert_eq!(got, a.matmul(&b), "bit-for-bit the shared kernel");
+        let reference = reference_gemm(&a.view(), &b.view());
+        assert!(got.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn batch_default_matches_individual_calls() {
+        let mut rng = GaussianSampler::new(2);
+        let a = Matrix64::randn(4, 3, 1.0, &mut rng);
+        let b = Matrix64::randn(3, 4, 1.0, &mut rng);
+        let c = Matrix64::randn(4, 2, 1.0, &mut rng);
+        let outs = NativeBackend.gemm_batch(
+            &[(a.view(), b.view()), (b.view(), c.view())],
+            &mut RunCtx::new(0),
+        );
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0], a.matmul(&b));
+        assert_eq!(outs[1], b.matmul(&c));
+    }
+
+    #[test]
+    fn accumulate_adds_partials() {
+        let a = Matrix64::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix64::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let mut out = Matrix64::zeros(2, 2);
+        let mut ctx = RunCtx::new(0);
+        NativeBackend.gemm_accumulate(a.view(), b.view(), &mut out, &mut ctx);
+        NativeBackend.gemm_accumulate(a.view(), b.view(), &mut out, &mut ctx);
+        assert_eq!(out, a.matmul(&b).scale(2.0));
+    }
+
+    #[test]
+    fn run_ctx_streams_are_deterministic_and_fresh() {
+        let mut a = RunCtx::new(7);
+        let mut b = RunCtx::new(7);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_seed()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_seed()).collect();
+        assert_eq!(sa, sb);
+        let unique: std::collections::HashSet<u64> = sa.iter().copied().collect();
+        assert_eq!(unique.len(), sa.len(), "every call gets a fresh seed");
+        assert_eq!(a.calls(), 8);
+    }
+}

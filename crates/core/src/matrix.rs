@@ -1,0 +1,696 @@
+//! A single flat, contiguous, row-major matrix type shared by the whole
+//! compute stack.
+//!
+//! The workspace previously carried two incompatible representations —
+//! ragged `Vec<Vec<f64>>` in the photonic simulators and a flat `f32`
+//! tensor in the NN stack. [`Matrix`] replaces both: one contiguous
+//! buffer, generic over the scalar ([`Matrix64`] for device physics,
+//! [`Matrix32`] for NN workloads), with borrow-based [`MatrixView`]s for
+//! zero-copy slicing and a cache-friendly tiled matmul kernel.
+
+use crate::noise::GaussianSampler;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar element types a [`Matrix`] can hold (`f32` and `f64`).
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+/// A dense 2-D matrix with flat, contiguous, row-major storage.
+///
+/// ```
+/// use lt_core::Matrix;
+/// let t = Matrix::<f32>::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+/// assert_eq!(t.get(1, 2), 5.0);
+/// assert_eq!(t.transpose().get(2, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// Double-precision matrix — the compute-backend interchange type.
+pub type Matrix64 = Matrix<f64>;
+/// Single-precision matrix — the NN stack's tensor type.
+pub type Matrix32 = Matrix<f32>;
+
+impl<T: Scalar> Matrix<T> {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from ragged rows (the legacy `Vec<Vec<_>>`
+    /// representation). Exists for the deprecated compatibility shims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows cannot form a matrix"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Converts to ragged rows (legacy representation, shims only).
+    pub fn to_rows(&self) -> Vec<Vec<T>> {
+        (0..self.rows).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Gaussian-initialized matrix (mean 0, the given std), deterministic
+    /// per seed source.
+    pub fn randn(rows: usize, cols: usize, std: T, rng: &mut GaussianSampler) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.sample()) * std)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// A borrowed view of the whole matrix.
+    pub fn view(&self) -> MatrixView<'_, T> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self x rhs` through the shared tiled kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        self.view().matmul(&rhs.view())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Element-wise sum with another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place element-wise accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.cols() != self.cols()` or `bias.rows() != 1`.
+    pub fn add_row_broadcast(&self, bias: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), self.cols, "bias width mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j) + bias.get(0, j))
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, s: T) -> Matrix<T> {
+        let data = self.data.iter().map(|&v| v * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies a function element-wise.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Matrix<T> {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Sums each column into a `1 x cols` row vector.
+    pub fn col_sum(&self) -> Matrix<T> {
+        let mut out = vec![T::ZERO; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        Matrix::from_vec(1, self.cols, out)
+    }
+
+    /// Extracts a contiguous block of columns `[start, start + width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix width.
+    pub fn col_slice(&self, start: usize, width: usize) -> Matrix<T> {
+        assert!(start + width <= self.cols, "column slice out of bounds");
+        Matrix::from_fn(self.rows, width, |i, j| self.get(i, start + j))
+    }
+
+    /// Writes a block into the given column offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_col_slice(&mut self, start: usize, block: &Matrix<T>) {
+        assert_eq!(block.rows(), self.rows, "row count mismatch");
+        assert!(
+            start + block.cols() <= self.cols,
+            "column slice out of bounds"
+        );
+        for i in 0..block.rows() {
+            for j in 0..block.cols() {
+                self.set(i, start + j, block.get(i, j));
+            }
+        }
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::ZERO, |m, v| if v.abs() > m { v.abs() } else { m })
+    }
+
+    /// Largest absolute difference from another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, rhs: &Matrix<T>) -> T {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .fold(T::ZERO, |m, (&a, &b)| {
+                let d = (a - b).abs();
+                if d > m {
+                    d
+                } else {
+                    m
+                }
+            })
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> T {
+        if self.data.is_empty() {
+            return T::ZERO;
+        }
+        let sum = self.data.iter().fold(T::ZERO, |acc, &v| acc + v);
+        T::from_f64(sum.to_f64() / self.data.len() as f64)
+    }
+}
+
+impl Matrix<f32> {
+    /// Widens to a double-precision matrix (for the f64 compute backends).
+    pub fn to_f64(&self) -> Matrix64 {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+        }
+    }
+}
+
+impl Matrix<f64> {
+    /// Narrows to a single-precision matrix (back to the NN stack).
+    pub fn to_f32(&self) -> Matrix32 {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v as f32).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(6) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>8.4} ", self.get(i, j).to_f64())?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        write!(f, "{}]", if self.rows > 6 { "  ...\n" } else { "" })
+    }
+}
+
+/// A borrowed, possibly strided view of a [`Matrix`] block.
+///
+/// Views are `Copy` and cost nothing to take; the compute backends accept
+/// views so callers can hand in whole matrices or sub-blocks without
+/// copies.
+///
+/// ```
+/// use lt_core::Matrix64;
+/// let m = Matrix64::from_fn(4, 6, |i, j| (i * 6 + j) as f64);
+/// let block = m.view().block(1, 2, 2, 3);
+/// assert_eq!(block.shape(), (2, 3));
+/// assert_eq!(block.get(0, 0), m.get(1, 2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a, T> {
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Scalar> MatrixView<'a, T> {
+    /// Wraps a flat row-major slice as a view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &'a [T]) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        MatrixView {
+            rows,
+            cols,
+            stride: cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        self.data[i * self.stride + j]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &'a [T] {
+        &self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// A sub-block view `[r0, r0 + nrows) x [c0, c0 + ncols)` sharing the
+    /// same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the view bounds.
+    pub fn block(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatrixView<'a, T> {
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "block [{r0}+{nrows}, {c0}+{ncols}] exceeds a {}x{} view",
+            self.rows,
+            self.cols
+        );
+        let start = r0 * self.stride + c0;
+        let end = if nrows == 0 || ncols == 0 {
+            start
+        } else {
+            start + (nrows - 1) * self.stride + ncols
+        };
+        MatrixView {
+            rows: nrows,
+            cols: ncols,
+            stride: self.stride,
+            data: &self.data[start..end],
+        }
+    }
+
+    /// Copies the viewed block into an owned matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        if self.stride == self.cols {
+            return Matrix::from_vec(self.rows, self.cols, self.data.to_vec());
+        }
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Matrix product through the shared kernel: `self x rhs`.
+    ///
+    /// The kernel walks `i-k-j` with contiguous row slices (cache-friendly
+    /// for row-major storage) and skips zero multipliers, which both the
+    /// NN stack's sparse activations and the DPTC's zero-padded edge tiles
+    /// benefit from. All backends that advertise exact arithmetic route
+    /// through this one kernel so "exact" is bit-for-bit reproducible
+    /// across the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &MatrixView<'_, T>) -> Matrix<T> {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![T::ZERO; m * n];
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (l, &a) in a_row.iter().enumerate().take(k) {
+                if a == T::ZERO {
+                    continue;
+                }
+                let b_row = rhs.row(l);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Matrix::from_vec(m, n, out)
+    }
+}
+
+/// Naive triple-loop reference GEMM, kept deliberately simple for
+/// property tests to compare optimized kernels and backends against.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn reference_gemm<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "reference_gemm shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = T::ZERO;
+        for l in 0..k {
+            acc += a.get(i, l) * b.get(l, j);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = Matrix64::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix64::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+        let r = reference_gemm(&a.view(), &b.view());
+        assert_eq!(c, r);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = GaussianSampler::new(1);
+        let t = Matrix32::randn(5, 7, 1.0, &mut rng);
+        assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn ragged_round_trip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = Matrix64::from_rows(&rows);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.to_rows(), rows);
+    }
+
+    #[test]
+    fn views_slice_without_copying() {
+        let m = Matrix64::from_fn(6, 8, |i, j| (i * 8 + j) as f64);
+        let v = m.view();
+        let b = v.block(2, 3, 3, 4);
+        assert_eq!(b.shape(), (3, 4));
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(b.get(i, j), m.get(2 + i, 3 + j));
+            }
+        }
+        // A block of a block still lands on the right elements.
+        let bb = b.block(1, 1, 2, 2);
+        assert_eq!(bb.get(0, 0), m.get(3, 4));
+        assert_eq!(bb.to_matrix().get(1, 1), m.get(4, 5));
+    }
+
+    #[test]
+    fn strided_view_matmul_matches_owned() {
+        let m = Matrix64::from_fn(6, 6, |i, j| ((i * 6 + j) as f64 * 0.1).sin());
+        let a = m.view().block(1, 1, 3, 4);
+        let b = m.view().block(0, 2, 4, 3);
+        let got = a.matmul(&b);
+        let want = a.to_matrix().matmul(&b.to_matrix());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn broadcast_and_elementwise() {
+        let x = Matrix32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix32::from_vec(1, 2, vec![10.0, 20.0]);
+        assert_eq!(x.add_row_broadcast(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(x.hadamard(&x).data(), &[1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(x.col_sum().data(), &[4.0, 6.0]);
+        assert_eq!(x.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn col_slice_round_trip() {
+        let x = Matrix32::from_fn(3, 8, |i, j| (i * 8 + j) as f32);
+        let block = x.col_slice(2, 4);
+        assert_eq!(block.shape(), (3, 4));
+        assert_eq!(block.get(1, 0), 10.0);
+        let mut y = Matrix32::zeros(3, 8);
+        y.set_col_slice(2, &block);
+        assert_eq!(y.get(2, 3), x.get(2, 3));
+        assert_eq!(y.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let x = Matrix32::from_vec(1, 4, vec![-3.0, 1.0, 2.0, -0.5]);
+        assert_eq!(x.max_abs(), 3.0);
+        assert!((x.mean() + 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn f32_f64_round_trip() {
+        let mut rng = GaussianSampler::new(9);
+        let x = Matrix32::randn(4, 5, 1.0, &mut rng);
+        assert_eq!(x.to_f64().to_f32(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn bad_matmul_rejected() {
+        Matrix64::zeros(2, 3).matmul(&Matrix64::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_input_rejected() {
+        Matrix64::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Symmetric uniform quantization for MZM operand encoding.
+//!
+//! Operands are normalized into `[-1, 1]` (by their per-tile maximum
+//! absolute value, paper Section III-C) and driven onto the modulators by
+//! `b`-bit DACs; outputs are digitized by `b`-bit ADCs. This module
+//! provides the symmetric mid-tread quantizer used on both sides.
+
+/// A symmetric uniform quantizer over `[-1, 1]` with `2^(bits-1) - 1`
+/// positive levels (mid-tread, zero exactly representable).
+///
+/// ```
+/// use lt_core::Quantizer;
+/// let q = Quantizer::new(4);
+/// assert_eq!(q.positive_levels(), 7);
+/// assert_eq!(q.quantize_unit(1.0), 1.0);
+/// assert_eq!(q.quantize_unit(0.0), 0.0);
+/// // 4-bit step is 1/7.
+/// assert!((q.quantize_unit(0.1) - 1.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantizer {
+    bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a `bits`-bit quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (2..=16).contains(&bits),
+            "quantizer precision {bits} outside supported range [2, 16]"
+        );
+        Quantizer { bits }
+    }
+
+    /// The bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of positive quantization levels (`2^(bits-1) - 1`).
+    pub fn positive_levels(&self) -> u32 {
+        (1u32 << (self.bits - 1)) - 1
+    }
+
+    /// The quantization step size.
+    pub fn step(&self) -> f64 {
+        1.0 / self.positive_levels() as f64
+    }
+
+    /// Quantizes a value already normalized to `[-1, 1]`. Values outside
+    /// the range are clamped (saturating quantization).
+    pub fn quantize_unit(&self, v: f64) -> f64 {
+        let levels = self.positive_levels() as f64;
+        (v.clamp(-1.0, 1.0) * levels).round() / levels
+    }
+
+    /// Quantizes a slice in place (normalized values).
+    pub fn quantize_slice(&self, values: &mut [f64]) {
+        for v in values {
+            *v = self.quantize_unit(*v);
+        }
+    }
+
+    /// Quantizes a general value given its scale (`max_abs`), returning the
+    /// dequantized result. `scale <= 0` passes the value through unchanged
+    /// (an all-zero tensor has nothing to quantize).
+    pub fn fake_quantize(&self, v: f64, scale: f64) -> f64 {
+        if scale <= 0.0 {
+            return v;
+        }
+        self.quantize_unit(v / scale) * scale
+    }
+
+    /// Worst-case quantization error for normalized inputs (half a step).
+    pub fn max_error(&self) -> f64 {
+        self.step() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_bit_width() {
+        assert_eq!(Quantizer::new(4).positive_levels(), 7);
+        assert_eq!(Quantizer::new(8).positive_levels(), 127);
+        assert_eq!(Quantizer::new(2).positive_levels(), 1);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let q = Quantizer::new(4);
+        for i in -20..=20 {
+            let v = i as f64 / 20.0;
+            let once = q.quantize_unit(v);
+            assert_eq!(q.quantize_unit(once), once);
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_by_half_step() {
+        let q = Quantizer::new(8);
+        for i in -1000..=1000 {
+            let v = i as f64 / 1000.0;
+            assert!((q.quantize_unit(v) - v).abs() <= q.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let q = Quantizer::new(4);
+        assert_eq!(q.quantize_unit(2.5), 1.0);
+        assert_eq!(q.quantize_unit(-7.0), -1.0);
+    }
+
+    #[test]
+    fn symmetric_around_zero() {
+        let q = Quantizer::new(6);
+        for i in 0..=100 {
+            let v = i as f64 / 100.0;
+            assert_eq!(q.quantize_unit(v), -q.quantize_unit(-v));
+        }
+    }
+
+    #[test]
+    fn fake_quantize_respects_scale() {
+        let q = Quantizer::new(4);
+        let v = 3.1;
+        let scale = 4.0;
+        let fq = q.fake_quantize(v, scale);
+        assert!((fq - v).abs() <= q.max_error() * scale + 1e-12);
+        // Zero scale passes through.
+        assert_eq!(q.fake_quantize(v, 0.0), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn rejects_one_bit() {
+        Quantizer::new(1);
+    }
+}

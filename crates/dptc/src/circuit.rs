@@ -223,8 +223,8 @@ mod tests {
         // validates the analytic model the accuracy experiments rely on.
         let circuit = DdotCircuit::paper(25);
         let analytic = DDot::new(25);
-        let noise = NoiseModel::noiseless()
-            .with_dispersion(lt_photonics::wdm::DispersionModel::paper());
+        let noise =
+            NoiseModel::noiseless().with_dispersion(lt_photonics::wdm::DispersionModel::paper());
         let mut rng = GaussianSampler::new(3);
         for _ in 0..50 {
             let x = rand_vec(&mut rng, 25);

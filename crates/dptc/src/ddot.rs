@@ -18,6 +18,15 @@ pub struct WavelengthCoefficients {
     pub k: Vec<f64>,
     /// Dispersion-induced phase error `delta_phi_lambda_i`, radians.
     pub dphi: Vec<f64>,
+    /// Precomputed zero-phase-drift multiplier
+    /// `2 t_i k_i (-sin(-pi/2 + dphi_i))` — the whole multiplicative term
+    /// of Eq. 9 when no per-DDot phase noise is drawn. Hoisting it out of
+    /// the per-element loop removes the `sin` from every deterministic
+    /// MAC (the quantized digital reference and every zero-sigma tile).
+    pub mult0: Vec<f64>,
+    /// Precomputed coupler-imbalance coefficient `(t_i^2 - k_i^2) / 2`
+    /// multiplying the additive `(x^2 - y^2)` term of Eq. 9.
+    pub imbalance: Vec<f64>,
 }
 
 impl WavelengthCoefficients {
@@ -26,12 +35,25 @@ impl WavelengthCoefficients {
         let mut t = Vec::with_capacity(grid.len());
         let mut k = Vec::with_capacity(grid.len());
         let mut dphi = Vec::with_capacity(grid.len());
+        let mut mult0 = Vec::with_capacity(grid.len());
+        let mut imbalance = Vec::with_capacity(grid.len());
         for &lambda in grid.wavelengths_nm() {
-            t.push(dispersion.through_coefficient(lambda));
-            k.push(dispersion.cross_coefficient(lambda));
-            dphi.push(dispersion.phase_error(-FRAC_PI_2, lambda));
+            let ti = dispersion.through_coefficient(lambda);
+            let ki = dispersion.cross_coefficient(lambda);
+            let dphi_i = dispersion.phase_error(-FRAC_PI_2, lambda);
+            t.push(ti);
+            k.push(ki);
+            dphi.push(dphi_i);
+            mult0.push(2.0 * ti * ki * (-(dphi_i - FRAC_PI_2).sin()));
+            imbalance.push((ti * ti - ki * ki) / 2.0);
         }
-        WavelengthCoefficients { t, k, dphi }
+        WavelengthCoefficients {
+            t,
+            k,
+            dphi,
+            mult0,
+            imbalance,
+        }
     }
 
     /// Number of wavelengths covered.
@@ -137,15 +159,20 @@ impl DDot {
     ) -> f64 {
         self.check_lengths(x, y);
         let mut io = 0.0;
-        for i in 0..x.len() {
-            let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
-            let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
-            let dphi_d = if noise.sigma_phase_rad > 0.0 {
-                rng.normal(0.0, noise.sigma_phase_rad)
-            } else {
-                0.0
-            };
-            io += ddot_term(xh, yh, coeffs.t[i], coeffs.k[i], coeffs.dphi[i], dphi_d);
+        if noise.sigma_phase_rad > 0.0 {
+            for i in 0..x.len() {
+                let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
+                let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
+                let dphi_d = rng.normal(0.0, noise.sigma_phase_rad);
+                io += ddot_term(xh, yh, coeffs.t[i], coeffs.k[i], coeffs.dphi[i], dphi_d);
+            }
+        } else {
+            // Zero phase drift: use the precomputed Eq. 9 multiplier.
+            for i in 0..x.len() {
+                let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
+                let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
+                io += coeffs.mult0[i] * xh * yh + coeffs.imbalance[i] * (xh * xh - yh * yh);
+            }
         }
         apply_systematic(io, noise, rng)
     }
@@ -243,8 +270,8 @@ mod tests {
         let ddot = DDot::new(25);
         let x = ramp(25, -1.0, 1.0);
         let y = ramp(25, 0.5, -1.0);
-        let noise = NoiseModel::noiseless()
-            .with_dispersion(lt_photonics::wdm::DispersionModel::paper());
+        let noise =
+            NoiseModel::noiseless().with_dispersion(lt_photonics::wdm::DispersionModel::paper());
         let out = ddot.dot_noisy(&x, &y, &noise, 0);
         let exact = ddot.dot_ideal(&x, &y);
         let rel = (out - exact).abs() / exact.abs().max(1e-9);

@@ -7,11 +7,19 @@
 //! ("intra-core optical broadcast"), so a one-shot MM costs only
 //! `Nh*N_lambda + N_lambda*Nv` signal encodings instead of
 //! `2*Nh*Nv*N_lambda` (Eq. 6).
+//!
+//! Simulation fidelity is selected by [`Fidelity`], not by calling a
+//! different method: [`Dptc::matmul`] (one-shot, core-geometry operands)
+//! and [`Dptc::gemm`] (tiled, arbitrary shapes) are the whole compute
+//! API. The legacy ragged-`Vec<Vec<f64>>` methods remain as deprecated
+//! shims for one release.
 
+use crate::backend::Fidelity;
+use crate::circuit::DdotCircuit;
 use crate::ddot::{ddot_term, perturb_magnitude, DDot, WavelengthCoefficients};
 use crate::noise_model::NoiseModel;
 use crate::quant::Quantizer;
-use lt_photonics::noise::GaussianSampler;
+use lt_core::{GaussianSampler, Matrix64, MatrixView};
 
 /// Geometry of a DPTC crossbar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,39 +141,357 @@ impl Dptc {
         }
     }
 
-    /// One-shot exact matrix product: `a` is `[Nh][N_lambda]`, `b` is
-    /// `[N_lambda][Nv]`, the result is `[Nh][Nv]`.
+    /// One-shot matrix product at the selected [`Fidelity`]: `a` is
+    /// `[Nh, N_lambda]`, `b` is `[N_lambda, Nv]`, the result is
+    /// `[Nh, Nv]`.
+    ///
+    /// * [`Fidelity::Ideal`] — the functional contract: the exact product
+    ///   through the workspace's shared kernel.
+    /// * [`Fidelity::AnalyticNoisy`] — the paper's Eq. 9 transfer with
+    ///   encoding magnitude/phase noise, per-wavelength dispersion, and
+    ///   systematic output noise. Noise realizations follow the
+    ///   hardware's sharing structure: each operand element is *encoded
+    ///   once* and broadcast, so its magnitude drift is shared by every
+    ///   DDot in its row/column; relative phase drift is drawn per DDot
+    ///   per wavelength; systematic noise per detected output.
+    /// * [`Fidelity::Circuit`] — field propagation through the actual
+    ///   device netlist ([`DdotCircuit`]); roughly an order of magnitude
+    ///   slower, use for validation.
     ///
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
-    pub fn matmul_ideal(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    pub fn matmul(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        fidelity: &Fidelity,
+    ) -> Matrix64 {
+        self.check_shapes(a, b);
+        match *fidelity {
+            Fidelity::Ideal => a.matmul(&b),
+            Fidelity::AnalyticNoisy { noise, seed } => {
+                let mut rng = GaussianSampler::new(seed);
+                let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
+                self.mm_noisy_with(a, b, &noise, &coeffs, &mut rng)
+            }
+            Fidelity::Circuit { noise, seed } => {
+                let mut rng = GaussianSampler::new(seed);
+                let circuit = DdotCircuit::paper(self.config.nlambda);
+                self.mm_circuit_with(a, b, &noise, &circuit, &mut rng)
+            }
+        }
+    }
+
+    /// Tiled GEMM of arbitrary dimensions at the selected [`Fidelity`],
+    /// with per-tile operand normalization (`beta = max|.|`, paper
+    /// Section III-C) and `bits`-bit operand quantization.
+    ///
+    /// Partial sums accumulate at full precision, mirroring the analog
+    /// photocurrent summation and temporal accumulation of Section IV
+    /// (A/D conversion happens after analog accumulation, so no
+    /// intermediate quantization is modeled).
+    ///
+    /// [`Fidelity::Ideal`] bypasses tiling and quantization entirely and
+    /// returns the exact product — the functional contract, bit-for-bit
+    /// identical to [`lt_core::NativeBackend`]. Use
+    /// [`Dptc::gemm_quantized`] for the quantized-but-noiseless digital
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn gemm(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        bits: u32,
+        fidelity: &Fidelity,
+    ) -> Matrix64 {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "gemm shape mismatch: {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        );
+        match *fidelity {
+            Fidelity::Ideal => a.matmul(&b),
+            Fidelity::AnalyticNoisy { noise, seed } => {
+                self.gemm_tiled(a, b, bits, &noise, seed, false)
+            }
+            Fidelity::Circuit { noise, seed } => self.gemm_tiled(a, b, bits, &noise, seed, true),
+        }
+    }
+
+    /// Exact tiled GEMM (same tiling and quantization as the noisy path,
+    /// no analog noise) — the "quantized digital" reference the accuracy
+    /// experiments compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn gemm_quantized(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        bits: u32,
+    ) -> Matrix64 {
+        self.gemm(
+            a,
+            b,
+            bits,
+            &Fidelity::AnalyticNoisy {
+                noise: NoiseModel::noiseless(),
+                seed: 0,
+            },
+        )
+    }
+
+    /// The analytic Eq. 9 one-shot MM with precomputed coefficients and a
+    /// caller-managed RNG — the hot path shared by [`Dptc::gemm`] and the
+    /// fault-injection entry points.
+    pub(crate) fn mm_noisy_with(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        noise: &NoiseModel,
+        coeffs: &WavelengthCoefficients,
+        rng: &mut GaussianSampler,
+    ) -> Matrix64 {
         self.check_shapes(a, b);
         let DptcConfig { nh, nv, nlambda } = self.config;
-        let mut out = vec![vec![0.0; nv]; nh];
-        for (i, row) in a.iter().enumerate() {
-            for j in 0..nv {
-                let mut acc = 0.0;
-                for (l, b_row) in b.iter().enumerate().take(nlambda) {
-                    acc += row[l] * b_row[j];
+
+        // Encode each operand element once (shared noise realization).
+        let mut a_hat = a.to_matrix();
+        for v in a_hat.data_mut() {
+            *v = perturb_magnitude(*v, noise.sigma_magnitude, rng);
+        }
+        let mut b_hat = b.to_matrix();
+        for v in b_hat.data_mut() {
+            *v = perturb_magnitude(*v, noise.sigma_magnitude, rng);
+        }
+
+        let mut out = Matrix64::zeros(nh, nv);
+        let drift = noise.sigma_phase_rad > 0.0;
+        for i in 0..nh {
+            let a_row = a_hat.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_ij) in out_row.iter_mut().enumerate() {
+                let mut io = 0.0;
+                if drift {
+                    for l in 0..nlambda {
+                        let dphi_d = rng.normal(0.0, noise.sigma_phase_rad);
+                        io += ddot_term(
+                            a_row[l],
+                            b_hat.get(l, j),
+                            coeffs.t[l],
+                            coeffs.k[l],
+                            coeffs.dphi[l],
+                            dphi_d,
+                        );
+                    }
+                } else {
+                    // Zero phase drift: the whole Eq. 9 multiplier is the
+                    // precomputed per-wavelength constant — no `sin` in
+                    // the MAC loop.
+                    for l in 0..nlambda {
+                        let (x, y) = (a_row[l], b_hat.get(l, j));
+                        io += coeffs.mult0[l] * x * y + coeffs.imbalance[l] * (x * x - y * y);
+                    }
                 }
-                out[i][j] = acc;
+                *out_ij = crate::ddot::apply_systematic(io, noise, rng);
             }
         }
         out
     }
 
-    /// One-shot noisy matrix product using the analytic Eq. 9 transfer.
-    ///
-    /// Noise realizations follow the hardware's sharing structure: each
-    /// operand element is *encoded once* and broadcast, so its magnitude
-    /// drift is shared by every DDot in its row/column; the relative phase
-    /// drift is drawn per DDot per wavelength; the systematic output noise
-    /// is drawn per detected output.
+    /// Circuit-level one-shot MM: every DDot output is obtained by
+    /// propagating fields through the device netlist.
+    pub(crate) fn mm_circuit_with(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        noise: &NoiseModel,
+        circuit: &DdotCircuit,
+        rng: &mut GaussianSampler,
+    ) -> Matrix64 {
+        self.check_shapes(a, b);
+        let DptcConfig { nh, nv, nlambda } = self.config;
+
+        // Shared encoding noise, exactly as in `mm_noisy_with`, clamped to
+        // the MZM's encoding range.
+        let mut a_hat = a.to_matrix();
+        for v in a_hat.data_mut() {
+            *v = perturb_magnitude(*v, noise.sigma_magnitude, rng).clamp(-1.0, 1.0);
+        }
+        let mut b_hat = b.to_matrix();
+        for v in b_hat.data_mut() {
+            *v = perturb_magnitude(*v, noise.sigma_magnitude, rng).clamp(-1.0, 1.0);
+        }
+
+        // The per-DDot netlist then only adds phase drift + systematic
+        // noise (magnitudes were already perturbed above).
+        let ddot_noise = NoiseModel {
+            sigma_magnitude: 0.0,
+            ..*noise
+        };
+        let mut out = Matrix64::zeros(nh, nv);
+        let mut y = vec![0.0; nlambda];
+        for i in 0..nh {
+            let a_row = a_hat.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_ij) in out_row.iter_mut().enumerate().take(nv) {
+                for (l, yl) in y.iter_mut().enumerate() {
+                    *yl = b_hat.get(l, j);
+                }
+                *out_ij = circuit.dot_noisy_with(a_row, &y, &ddot_noise, rng);
+            }
+        }
+        out
+    }
+
+    /// The shared tiled-GEMM loop over flat tile buffers (no per-row
+    /// allocations on the hot path).
+    fn gemm_tiled(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        bits: u32,
+        noise: &NoiseModel,
+        seed: u64,
+        circuit_level: bool,
+    ) -> Matrix64 {
+        let (m, d) = a.shape();
+        let n = b.cols();
+        let quant = Quantizer::new(bits);
+        let mut rng = GaussianSampler::new(seed);
+        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
+        let circuit = circuit_level.then(|| DdotCircuit::paper(self.config.nlambda));
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        let mut out = Matrix64::zeros(m, n);
+
+        let mut tile_a = Matrix64::zeros(nh, nlambda);
+        let mut tile_b = Matrix64::zeros(nlambda, nv);
+        for mi in (0..m).step_by(nh) {
+            for ni in (0..n).step_by(nv) {
+                for di in (0..d).step_by(nlambda) {
+                    // Gather tiles (zero-padded at the edges).
+                    let mut beta_a = 0.0f64;
+                    for ti in 0..nh {
+                        let gi = mi + ti;
+                        let row = tile_a.row_mut(ti);
+                        for (tl, v) in row.iter_mut().enumerate() {
+                            let gl = di + tl;
+                            *v = if gi < m && gl < d { a.get(gi, gl) } else { 0.0 };
+                            beta_a = beta_a.max(v.abs());
+                        }
+                    }
+                    let mut beta_b = 0.0f64;
+                    for tl in 0..nlambda {
+                        let gl = di + tl;
+                        let row = tile_b.row_mut(tl);
+                        for (tj, v) in row.iter_mut().enumerate() {
+                            let gj = ni + tj;
+                            *v = if gl < d && gj < n { b.get(gl, gj) } else { 0.0 };
+                            beta_b = beta_b.max(v.abs());
+                        }
+                    }
+                    if beta_a == 0.0 || beta_b == 0.0 {
+                        continue; // all-zero tile contributes nothing
+                    }
+                    // Normalize into [-1, 1] and quantize (the DAC).
+                    for v in tile_a.data_mut() {
+                        *v = quant.quantize_unit(*v / beta_a);
+                    }
+                    for v in tile_b.data_mut() {
+                        *v = quant.quantize_unit(*v / beta_b);
+                    }
+                    let tile_out = match &circuit {
+                        Some(c) => {
+                            self.mm_circuit_with(tile_a.view(), tile_b.view(), noise, c, &mut rng)
+                        }
+                        None => self.mm_noisy_with(
+                            tile_a.view(),
+                            tile_b.view(),
+                            noise,
+                            &coeffs,
+                            &mut rng,
+                        ),
+                    };
+                    // Rescale and accumulate (analog-domain accumulation).
+                    let scale = beta_a * beta_b;
+                    for ti in 0..nh {
+                        let gi = mi + ti;
+                        if gi >= m {
+                            break;
+                        }
+                        let src = tile_out.row(ti);
+                        let dst = out.row_mut(gi);
+                        for tj in 0..nv {
+                            let gj = ni + tj;
+                            if gj >= n {
+                                break;
+                            }
+                            dst[gj] += src[tj] * scale;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn check_shapes(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>) {
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        assert_eq!(a.rows(), nh, "left operand must have Nh = {nh} rows");
+        assert_eq!(
+            a.cols(),
+            nlambda,
+            "left operand rows must have N_lambda = {nlambda} entries"
+        );
+        assert_eq!(
+            b.rows(),
+            nlambda,
+            "right operand must have N_lambda = {nlambda} rows"
+        );
+        assert_eq!(
+            b.cols(),
+            nv,
+            "right operand rows must have Nv = {nv} entries"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated ragged-`Vec<Vec<f64>>` shims (one release of compatibility).
+// ---------------------------------------------------------------------------
+
+impl Dptc {
+    /// One-shot exact matrix product over ragged rows.
     ///
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Ideal)` with `lt_core::Matrix64`"
+    )]
+    pub fn matmul_ideal(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
+        self.matmul(am.view(), bm.view(), &Fidelity::Ideal)
+            .to_rows()
+    }
+
+    /// One-shot noisy matrix product over ragged rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match the core geometry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::AnalyticNoisy { noise, seed })`"
+    )]
     pub fn matmul_noisy(
         &self,
         a: &[Vec<f64>],
@@ -173,17 +499,28 @@ impl Dptc {
         noise: &NoiseModel,
         seed: u64,
     ) -> Vec<Vec<f64>> {
-        let mut rng = GaussianSampler::new(seed);
-        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
-        self.matmul_noisy_with(a, b, noise, &coeffs, &mut rng)
+        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
+        self.matmul(
+            am.view(),
+            bm.view(),
+            &Fidelity::AnalyticNoisy {
+                noise: *noise,
+                seed,
+            },
+        )
+        .to_rows()
     }
 
     /// Noisy one-shot MM with caller-managed RNG and precomputed
-    /// coefficients (the hot path for tiled GEMM).
+    /// coefficients, over ragged rows.
     ///
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dptc::matmul` with `Fidelity::AnalyticNoisy`; the coefficient cache is now internal"
+    )]
     pub fn matmul_noisy_with(
         &self,
         a: &[Vec<f64>],
@@ -192,65 +529,20 @@ impl Dptc {
         coeffs: &WavelengthCoefficients,
         rng: &mut GaussianSampler,
     ) -> Vec<Vec<f64>> {
-        self.check_shapes(a, b);
-        let DptcConfig { nh, nv, nlambda } = self.config;
-
-        // Encode each operand element once (shared noise realization).
-        let a_hat: Vec<Vec<f64>> = a
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, rng))
-                    .collect()
-            })
-            .collect();
-        let b_hat: Vec<Vec<f64>> = b
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, rng))
-                    .collect()
-            })
-            .collect();
-
-        let mut out = vec![vec![0.0; nv]; nh];
-        for i in 0..nh {
-            for j in 0..nv {
-                let mut io = 0.0;
-                for l in 0..nlambda {
-                    let dphi_d = if noise.sigma_phase_rad > 0.0 {
-                        rng.normal(0.0, noise.sigma_phase_rad)
-                    } else {
-                        0.0
-                    };
-                    io += ddot_term(
-                        a_hat[i][l],
-                        b_hat[l][j],
-                        coeffs.t[l],
-                        coeffs.k[l],
-                        coeffs.dphi[l],
-                        dphi_d,
-                    );
-                }
-                out[i][j] = crate::ddot::apply_systematic(io, noise, rng);
-            }
-        }
-        out
+        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
+        self.mm_noisy_with(am.view(), bm.view(), noise, coeffs, rng)
+            .to_rows()
     }
 
-    /// One-shot MM at *circuit-level* fidelity: every DDot output is
-    /// obtained by propagating fields through the device netlist
-    /// ([`crate::DdotCircuit`]) instead of the analytic Eq. 9 transfer.
-    ///
-    /// Operand magnitude noise follows the hardware sharing structure
-    /// (each element encoded once, broadcast to its row/column); phase
-    /// drift and systematic noise are drawn per DDot inside the netlist.
-    /// Roughly an order of magnitude slower than
-    /// [`Dptc::matmul_noisy`] — use it for validation, not for tiled GEMM.
+    /// One-shot MM at circuit-level fidelity over ragged rows.
     ///
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Circuit { noise, seed })`"
+    )]
     pub fn matmul_circuit(
         &self,
         a: &[Vec<f64>],
@@ -258,148 +550,27 @@ impl Dptc {
         noise: &NoiseModel,
         seed: u64,
     ) -> Vec<Vec<f64>> {
-        self.check_shapes(a, b);
-        let DptcConfig { nh, nv, nlambda } = self.config;
-        let mut rng = GaussianSampler::new(seed);
-
-        // Shared encoding noise, exactly as in `matmul_noisy_with`.
-        let a_hat: Vec<Vec<f64>> = a
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, &mut rng).clamp(-1.0, 1.0))
-                    .collect()
-            })
-            .collect();
-        let b_hat: Vec<Vec<f64>> = b
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| perturb_magnitude(v, noise.sigma_magnitude, &mut rng).clamp(-1.0, 1.0))
-                    .collect()
-            })
-            .collect();
-
-        // The per-DDot netlist then only adds phase drift + systematic
-        // noise (magnitudes were already perturbed above).
-        let ddot_noise = NoiseModel {
-            sigma_magnitude: 0.0,
-            ..*noise
-        };
-        let circuit = crate::circuit::DdotCircuit::paper(nlambda);
-        let mut out = vec![vec![0.0; nv]; nh];
-        let mut y = vec![0.0; nlambda];
-        for i in 0..nh {
-            for (j, out_ij) in out[i].iter_mut().enumerate().take(nv) {
-                for (l, yl) in y.iter_mut().enumerate() {
-                    *yl = b_hat[l][j];
-                }
-                *out_ij = circuit.dot_noisy_with(&a_hat[i], &y, &ddot_noise, &mut rng);
-            }
-        }
-        out
+        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
+        self.matmul(
+            am.view(),
+            bm.view(),
+            &Fidelity::Circuit {
+                noise: *noise,
+                seed,
+            },
+        )
+        .to_rows()
     }
 
-    /// Tiled GEMM of arbitrary dimensions through the noisy core, with
-    /// per-tile operand normalization (`beta = max|.|`, paper Section
-    /// III-C) and `bits`-bit operand quantization.
-    ///
-    /// Partial sums accumulate at full precision, mirroring the analog
-    /// photocurrent summation and temporal accumulation of Section IV
-    /// (A/D conversion happens after analog accumulation, so no
-    /// intermediate quantization is modeled).
-    ///
-    /// `a` is row-major `m x d`, `b` is row-major `d x n`; the result is
-    /// row-major `m x n`.
+    /// Exact tiled GEMM over flat slices with explicit dimensions.
     ///
     /// # Panics
     ///
     /// Panics if slice lengths do not match the given dimensions.
-    #[allow(clippy::too_many_arguments)]
-    pub fn gemm(
-        &self,
-        a: &[f64],
-        b: &[f64],
-        m: usize,
-        d: usize,
-        n: usize,
-        bits: u32,
-        noise: &NoiseModel,
-        seed: u64,
-    ) -> Vec<f64> {
-        assert_eq!(a.len(), m * d, "left operand length mismatch");
-        assert_eq!(b.len(), d * n, "right operand length mismatch");
-        let quant = Quantizer::new(bits);
-        let mut rng = GaussianSampler::new(seed);
-        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
-        let DptcConfig { nh, nv, nlambda } = self.config;
-        let mut out = vec![0.0; m * n];
-
-        let mut tile_a = vec![vec![0.0; nlambda]; nh];
-        let mut tile_b = vec![vec![0.0; nv]; nlambda];
-        for mi in (0..m).step_by(nh) {
-            for ni in (0..n).step_by(nv) {
-                for di in (0..d).step_by(nlambda) {
-                    // Gather tiles (zero-padded at the edges).
-                    let mut beta_a = 0.0f64;
-                    for (ti, row) in tile_a.iter_mut().enumerate() {
-                        for (tl, v) in row.iter_mut().enumerate() {
-                            let (gi, gl) = (mi + ti, di + tl);
-                            *v = if gi < m && gl < d { a[gi * d + gl] } else { 0.0 };
-                            beta_a = beta_a.max(v.abs());
-                        }
-                    }
-                    let mut beta_b = 0.0f64;
-                    for (tl, row) in tile_b.iter_mut().enumerate() {
-                        for (tj, v) in row.iter_mut().enumerate() {
-                            let (gl, gj) = (di + tl, ni + tj);
-                            *v = if gl < d && gj < n { b[gl * n + gj] } else { 0.0 };
-                            beta_b = beta_b.max(v.abs());
-                        }
-                    }
-                    if beta_a == 0.0 || beta_b == 0.0 {
-                        continue; // all-zero tile contributes nothing
-                    }
-                    // Normalize into [-1, 1] and quantize (the DAC).
-                    for row in tile_a.iter_mut() {
-                        for v in row.iter_mut() {
-                            *v = quant.quantize_unit(*v / beta_a);
-                        }
-                    }
-                    for row in tile_b.iter_mut() {
-                        for v in row.iter_mut() {
-                            *v = quant.quantize_unit(*v / beta_b);
-                        }
-                    }
-                    let tile_out = self.matmul_noisy_with(&tile_a, &tile_b, noise, &coeffs, &mut rng);
-                    // Rescale and accumulate (analog-domain accumulation).
-                    let scale = beta_a * beta_b;
-                    for ti in 0..nh {
-                        let gi = mi + ti;
-                        if gi >= m {
-                            break;
-                        }
-                        for tj in 0..nv {
-                            let gj = ni + tj;
-                            if gj >= n {
-                                break;
-                            }
-                            out[gi * n + gj] += tile_out[ti][tj] * scale;
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Exact tiled GEMM (same tiling and quantization, no analog noise) —
-    /// the "quantized digital" reference the accuracy experiments compare
-    /// against.
-    ///
-    /// # Panics
-    ///
-    /// Panics if slice lengths do not match the given dimensions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dptc::gemm_quantized(a.view(), b.view(), bits)` with `lt_core::Matrix64`"
+    )]
     pub fn gemm_exact_quantized(
         &self,
         a: &[f64],
@@ -409,21 +580,14 @@ impl Dptc {
         n: usize,
         bits: u32,
     ) -> Vec<f64> {
-        self.gemm(a, b, m, d, n, bits, &NoiseModel::noiseless(), 0)
-    }
-
-    fn check_shapes(&self, a: &[Vec<f64>], b: &[Vec<f64>]) {
-        let DptcConfig { nh, nv, nlambda } = self.config;
-        assert_eq!(a.len(), nh, "left operand must have Nh = {nh} rows");
-        assert!(
-            a.iter().all(|r| r.len() == nlambda),
-            "left operand rows must have N_lambda = {nlambda} entries"
-        );
-        assert_eq!(b.len(), nlambda, "right operand must have N_lambda = {nlambda} rows");
-        assert!(
-            b.iter().all(|r| r.len() == nv),
-            "right operand rows must have Nv = {nv} entries"
-        );
+        assert_eq!(a.len(), m * d, "left operand length mismatch");
+        assert_eq!(b.len(), d * n, "right operand length mismatch");
+        self.gemm_quantized(
+            MatrixView::from_slice(m, d, a),
+            MatrixView::from_slice(d, n, b),
+            bits,
+        )
+        .into_vec()
     }
 }
 
@@ -431,14 +595,19 @@ impl Dptc {
 mod tests {
     use super::*;
 
-    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Vec<Vec<f64>> {
-        (0..r)
-            .map(|_| (0..c).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
-            .collect()
+    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Matrix64 {
+        Matrix64::from_fn(r, c, |_, _| rng.uniform_in(-1.0, 1.0))
     }
 
-    fn rand_flat(rng: &mut GaussianSampler, n: usize, scale: f64) -> Vec<f64> {
-        (0..n).map(|_| rng.uniform_in(-scale, scale)).collect()
+    fn rand_scaled(rng: &mut GaussianSampler, r: usize, c: usize, scale: f64) -> Matrix64 {
+        Matrix64::from_fn(r, c, |_, _| rng.uniform_in(-scale, scale))
+    }
+
+    fn paper_noisy(seed: u64) -> Fidelity {
+        Fidelity::AnalyticNoisy {
+            noise: NoiseModel::paper_default(),
+            seed,
+        }
     }
 
     #[test]
@@ -447,13 +616,9 @@ mod tests {
         let mut rng = GaussianSampler::new(1);
         let a = rand_matrix(&mut rng, 3, 4);
         let b = rand_matrix(&mut rng, 4, 5);
-        let out = core.matmul_ideal(&a, &b);
-        for i in 0..3 {
-            for j in 0..5 {
-                let expect: f64 = (0..4).map(|l| a[i][l] * b[l][j]).sum();
-                assert!((out[i][j] - expect).abs() < 1e-12);
-            }
-        }
+        let out = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let reference = lt_core::reference_gemm(&a.view(), &b.view());
+        assert!(out.max_abs_diff(&reference) < 1e-12);
     }
 
     #[test]
@@ -491,14 +656,9 @@ mod tests {
         let mut rng = GaussianSampler::new(5);
         let a = rand_matrix(&mut rng, 12, 12);
         let b = rand_matrix(&mut rng, 12, 12);
-        let ideal = core.matmul_ideal(&a, &b);
-        let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 7);
-        let mut max_err = 0.0f64;
-        for i in 0..12 {
-            for j in 0..12 {
-                max_err = max_err.max((ideal[i][j] - noisy[i][j]).abs());
-            }
-        }
+        let ideal = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let noisy = core.matmul(a.view(), b.view(), &paper_noisy(7));
+        let max_err = ideal.max_abs_diff(&noisy);
         // Errors stay in the few-percent band relative to the length-12
         // dot-product scale.
         assert!(max_err > 0.0 && max_err < 0.8, "max_err {max_err}");
@@ -510,19 +670,23 @@ mod tests {
         let mut rng = GaussianSampler::new(21);
         let a = rand_matrix(&mut rng, 12, 12);
         let b = rand_matrix(&mut rng, 12, 12);
-        let ideal = core.matmul_ideal(&a, &b);
-        let circuit = core.matmul_circuit(&a, &b, &NoiseModel::paper_default(), 9);
-        let analytic = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 9);
-        let mut max_circuit = 0.0f64;
-        let mut max_analytic = 0.0f64;
-        for i in 0..12 {
-            for j in 0..12 {
-                max_circuit = max_circuit.max((circuit[i][j] - ideal[i][j]).abs());
-                max_analytic = max_analytic.max((analytic[i][j] - ideal[i][j]).abs());
-            }
-        }
+        let ideal = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let circuit = core.matmul(
+            a.view(),
+            b.view(),
+            &Fidelity::Circuit {
+                noise: NoiseModel::paper_default(),
+                seed: 9,
+            },
+        );
+        let analytic = core.matmul(a.view(), b.view(), &paper_noisy(9));
+        let max_circuit = circuit.max_abs_diff(&ideal);
+        let max_analytic = analytic.max_abs_diff(&ideal);
         // Both fidelities stay in the same error envelope.
-        assert!(max_circuit > 0.0 && max_circuit < 0.8, "circuit err {max_circuit}");
+        assert!(
+            max_circuit > 0.0 && max_circuit < 0.8,
+            "circuit err {max_circuit}"
+        );
         assert!(
             max_circuit < 3.0 * max_analytic.max(0.05),
             "circuit {max_circuit} vs analytic {max_analytic}"
@@ -535,20 +699,15 @@ mod tests {
         let mut rng = GaussianSampler::new(23);
         let a = rand_matrix(&mut rng, 12, 12);
         let b = rand_matrix(&mut rng, 12, 12);
-        let ideal = core.matmul_ideal(&a, &b);
-        let noise = NoiseModel::noiseless()
-            .with_dispersion(lt_photonics::wdm::DispersionModel::paper());
-        let circuit = core.matmul_circuit(&a, &b, &noise, 0);
-        for i in 0..12 {
-            for j in 0..12 {
-                assert!(
-                    (circuit[i][j] - ideal[i][j]).abs() < 0.05,
-                    "({i},{j}): {} vs {}",
-                    circuit[i][j],
-                    ideal[i][j]
-                );
-            }
-        }
+        let ideal = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let noise =
+            NoiseModel::noiseless().with_dispersion(lt_photonics::wdm::DispersionModel::paper());
+        let circuit = core.matmul(a.view(), b.view(), &Fidelity::Circuit { noise, seed: 0 });
+        assert!(
+            circuit.max_abs_diff(&ideal) < 0.05,
+            "max dispersion bias {}",
+            circuit.max_abs_diff(&ideal)
+        );
     }
 
     #[test]
@@ -556,21 +715,27 @@ mod tests {
         let core = Dptc::new(DptcConfig::lt_paper());
         let mut rng = GaussianSampler::new(9);
         let (m, d, n) = (20, 30, 17);
-        let a = rand_flat(&mut rng, m * d, 2.0);
-        let b = rand_flat(&mut rng, d * n, 3.0);
-        let out = core.gemm_exact_quantized(&a, &b, m, d, n, 8);
+        let a = rand_scaled(&mut rng, m, d, 2.0);
+        let b = rand_scaled(&mut rng, d, n, 3.0);
+        let out = core.gemm_quantized(a.view(), b.view(), 8);
         // Compare against a straightforward f64 matmul; 8-bit quantization
         // keeps per-tile error small.
-        for i in 0..m {
-            for j in 0..n {
-                let exact: f64 = (0..d).map(|l| a[i * d + l] * b[l * n + j]).sum();
-                let got = out[i * n + j];
-                assert!(
-                    (got - exact).abs() < 0.3,
-                    "({i},{j}): got {got}, exact {exact}"
-                );
-            }
-        }
+        let exact = lt_core::reference_gemm(&a.view(), &b.view());
+        assert!(
+            out.max_abs_diff(&exact) < 0.3,
+            "max quantization error {}",
+            out.max_abs_diff(&exact)
+        );
+    }
+
+    #[test]
+    fn ideal_gemm_is_bit_exact_with_shared_kernel() {
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(31);
+        let a = rand_scaled(&mut rng, 19, 37, 2.0);
+        let b = rand_scaled(&mut rng, 37, 23, 2.0);
+        let out = core.gemm(a.view(), b.view(), 4, &Fidelity::Ideal);
+        assert_eq!(out, a.matmul(&b), "Ideal fidelity is the exact contract");
     }
 
     #[test]
@@ -578,46 +743,83 @@ mod tests {
         let core = Dptc::new(DptcConfig::new(4, 4, 4));
         let mut rng = GaussianSampler::new(11);
         let (m, d, n) = (5, 7, 3);
-        let a = rand_flat(&mut rng, m * d, 1.0);
-        let b = rand_flat(&mut rng, d * n, 1.0);
-        let out = core.gemm(&a, &b, m, d, n, 8, &NoiseModel::noiseless(), 0);
-        assert_eq!(out.len(), m * n);
-        for i in 0..m {
-            for j in 0..n {
-                let exact: f64 = (0..d).map(|l| a[i * d + l] * b[l * n + j]).sum();
-                assert!((out[i * n + j] - exact).abs() < 0.1);
-            }
-        }
+        let a = rand_matrix(&mut rng, m, d);
+        let b = rand_matrix(&mut rng, d, n);
+        let out = core.gemm(
+            a.view(),
+            b.view(),
+            8,
+            &Fidelity::AnalyticNoisy {
+                noise: NoiseModel::noiseless(),
+                seed: 0,
+            },
+        );
+        assert_eq!(out.shape(), (m, n));
+        let exact = lt_core::reference_gemm(&a.view(), &b.view());
+        assert!(out.max_abs_diff(&exact) < 0.1);
     }
 
     #[test]
     fn zero_tiles_are_skipped() {
         let core = Dptc::new(DptcConfig::new(4, 4, 4));
-        let a = vec![0.0; 16];
-        let b = vec![1.0; 16];
-        let out = core.gemm(&a, &b, 4, 4, 4, 4, &NoiseModel::paper_default(), 3);
-        assert!(out.iter().all(|&v| v == 0.0));
+        let a = Matrix64::zeros(4, 4);
+        let b = Matrix64::from_fn(4, 4, |_, _| 1.0);
+        let out = core.gemm(a.view(), b.view(), 4, &paper_noisy(3));
+        assert!(out.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn gemm_noise_is_seed_deterministic() {
         let core = Dptc::new(DptcConfig::lt_paper());
         let mut rng = GaussianSampler::new(13);
-        let a = rand_flat(&mut rng, 24 * 24, 1.0);
-        let b = rand_flat(&mut rng, 24 * 24, 1.0);
-        let nm = NoiseModel::paper_default();
-        let o1 = core.gemm(&a, &b, 24, 24, 24, 4, &nm, 42);
-        let o2 = core.gemm(&a, &b, 24, 24, 24, 4, &nm, 42);
+        let a = rand_matrix(&mut rng, 24, 24);
+        let b = rand_matrix(&mut rng, 24, 24);
+        let o1 = core.gemm(a.view(), b.view(), 4, &paper_noisy(42));
+        let o2 = core.gemm(a.view(), b.view(), 4, &paper_noisy(42));
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn deprecated_shims_forward_to_the_new_api() {
+        #![allow(deprecated)]
+        let core = Dptc::new(DptcConfig::lt_paper());
+        let mut rng = GaussianSampler::new(17);
+        let a = rand_matrix(&mut rng, 12, 12);
+        let b = rand_matrix(&mut rng, 12, 12);
+        let ragged_a = a.to_rows();
+        let ragged_b = b.to_rows();
+
+        let ideal_new = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let ideal_old = core.matmul_ideal(&ragged_a, &ragged_b);
+        assert_eq!(Matrix64::from_rows(&ideal_old), ideal_new);
+
+        let nm = NoiseModel::paper_default();
+        let noisy_new = core.matmul(a.view(), b.view(), &paper_noisy(5));
+        let noisy_old = core.matmul_noisy(&ragged_a, &ragged_b, &nm, 5);
+        assert_eq!(Matrix64::from_rows(&noisy_old), noisy_new);
+
+        let circuit_new = core.matmul(
+            a.view(),
+            b.view(),
+            &Fidelity::Circuit { noise: nm, seed: 5 },
+        );
+        let circuit_old = core.matmul_circuit(&ragged_a, &ragged_b, &nm, 5);
+        assert_eq!(Matrix64::from_rows(&circuit_old), circuit_new);
+
+        let flat_a: Vec<f64> = a.data().to_vec();
+        let flat_b: Vec<f64> = b.data().to_vec();
+        let q_old = core.gemm_exact_quantized(&flat_a, &flat_b, 12, 12, 12, 8);
+        let q_new = core.gemm_quantized(a.view(), b.view(), 8);
+        assert_eq!(q_old, q_new.data());
     }
 
     #[test]
     #[should_panic(expected = "must have Nh")]
     fn wrong_shapes_rejected() {
         let core = Dptc::new(DptcConfig::lt_paper());
-        let a = vec![vec![0.0; 12]; 5];
-        let b = vec![vec![0.0; 12]; 12];
-        core.matmul_ideal(&a, &b);
+        let a = Matrix64::zeros(5, 12);
+        let b = Matrix64::zeros(12, 12);
+        core.matmul(a.view(), b.view(), &Fidelity::Ideal);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::ddot::WavelengthCoefficients;
 use crate::dptc::Dptc;
 use crate::noise_model::NoiseModel;
-use lt_photonics::noise::GaussianSampler;
+use lt_core::{GaussianSampler, Matrix64, MatrixView};
 
 /// A hard fault in one wavelength channel of a DPTC core.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,26 +67,30 @@ impl FaultSet {
     ///
     /// Panics if a fault references a row/channel outside the operand
     /// shapes.
-    pub fn apply(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let mut a = a.to_vec();
-        let mut b = b.to_vec();
+    pub fn apply(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>) -> (Matrix64, Matrix64) {
+        let mut a = a.to_matrix();
+        let mut b = b.to_matrix();
         for fault in &self.faults {
             match *fault {
                 ChannelFault::DeadWavelength { channel } => {
-                    assert!(channel < b.len(), "channel {channel} out of range");
-                    for row in a.iter_mut() {
-                        row[channel] = 0.0;
+                    assert!(channel < b.rows(), "channel {channel} out of range");
+                    for i in 0..a.rows() {
+                        a.set(i, channel, 0.0);
                     }
                     // Zeroing one side suffices; zero the other too so the
                     // additive dispersion term also vanishes.
-                    for v in b[channel].iter_mut() {
+                    for v in b.row_mut(channel) {
                         *v = 0.0;
                     }
                 }
-                ChannelFault::StuckModulator { row, channel, value } => {
-                    assert!(row < a.len(), "row {row} out of range");
-                    assert!(channel < a[row].len(), "channel {channel} out of range");
-                    a[row][channel] = value.clamp(-1.0, 1.0);
+                ChannelFault::StuckModulator {
+                    row,
+                    channel,
+                    value,
+                } => {
+                    assert!(row < a.rows(), "row {row} out of range");
+                    assert!(channel < a.cols(), "channel {channel} out of range");
+                    a.set(row, channel, value.clamp(-1.0, 1.0));
                 }
             }
         }
@@ -103,28 +107,27 @@ impl Dptc {
     /// is out of range.
     pub fn matmul_noisy_faulty(
         &self,
-        a: &[Vec<f64>],
-        b: &[Vec<f64>],
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
         noise: &NoiseModel,
         faults: &FaultSet,
         seed: u64,
-    ) -> Vec<Vec<f64>> {
+    ) -> Matrix64 {
         let (fa, fb) = faults.apply(a, b);
         let mut rng = GaussianSampler::new(seed);
         let coeffs = WavelengthCoefficients::compute(self.ddot().grid(), &noise.dispersion);
-        self.matmul_noisy_with(&fa, &fb, noise, &coeffs, &mut rng)
+        self.mm_noisy_with(fa.view(), fb.view(), noise, &coeffs, &mut rng)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Fidelity;
     use crate::dptc::DptcConfig;
 
-    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Vec<Vec<f64>> {
-        (0..r)
-            .map(|_| (0..c).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
-            .collect()
+    fn rand_matrix(rng: &mut GaussianSampler, r: usize, c: usize) -> Matrix64 {
+        Matrix64::from_fn(r, c, |_, _| rng.uniform_in(-1.0, 1.0))
     }
 
     #[test]
@@ -134,14 +137,15 @@ mod tests {
         let a = rand_matrix(&mut rng, 12, 12);
         let b = rand_matrix(&mut rng, 12, 12);
         let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 5 });
-        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        let got =
+            core.matmul_noisy_faulty(a.view(), b.view(), &NoiseModel::noiseless(), &faults, 0);
         for i in 0..12 {
             for j in 0..12 {
                 let expect: f64 = (0..12)
                     .filter(|&l| l != 5)
-                    .map(|l| a[i][l] * b[l][j])
+                    .map(|l| a.get(i, l) * b.get(l, j))
                     .sum();
-                assert!((got[i][j] - expect).abs() < 1e-9);
+                assert!((got.get(i, j) - expect).abs() < 1e-9);
             }
         }
     }
@@ -156,20 +160,18 @@ mod tests {
         let a = rand_matrix(&mut rng, 12, 11);
         let b = rand_matrix(&mut rng, 11, 12);
         // Pack the 11 live lanes into channels 0..11, leave channel 11 dark.
-        let mut a_pad = a.clone();
-        for row in a_pad.iter_mut() {
-            row.push(0.0);
-        }
-        let mut b_pad = b.clone();
-        b_pad.push(vec![0.0; 12]);
+        let a_pad = Matrix64::from_fn(12, 12, |i, j| if j < 11 { a.get(i, j) } else { 0.0 });
+        let b_pad = Matrix64::from_fn(12, 12, |i, j| if i < 11 { b.get(i, j) } else { 0.0 });
         let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 11 });
-        let got = core.matmul_noisy_faulty(&a_pad, &b_pad, &NoiseModel::noiseless(), &faults, 0);
-        for i in 0..12 {
-            for j in 0..12 {
-                let expect: f64 = (0..11).map(|l| a[i][l] * b[l][j]).sum();
-                assert!((got[i][j] - expect).abs() < 1e-9);
-            }
-        }
+        let got = core.matmul_noisy_faulty(
+            a_pad.view(),
+            b_pad.view(),
+            &NoiseModel::noiseless(),
+            &faults,
+            0,
+        );
+        let exact = lt_core::reference_gemm(&a.view(), &b.view());
+        assert!(got.max_abs_diff(&exact) < 1e-9);
     }
 
     #[test]
@@ -178,18 +180,19 @@ mod tests {
         let mut rng = GaussianSampler::new(3);
         let a = rand_matrix(&mut rng, 12, 12);
         let b = rand_matrix(&mut rng, 12, 12);
-        let clean = core.matmul_ideal(&a, &b);
+        let clean = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
         let faults = FaultSet::none().with(ChannelFault::StuckModulator {
             row: 3,
             channel: 7,
             value: 0.9,
         });
-        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        let got =
+            core.matmul_noisy_faulty(a.view(), b.view(), &NoiseModel::noiseless(), &faults, 0);
         for i in 0..12 {
             for j in 0..12 {
-                let err = (got[i][j] - clean[i][j]).abs();
+                let err = (got.get(i, j) - clean.get(i, j)).abs();
                 if i == 3 {
-                    let expect_err = ((0.9 - a[3][7]) * b[7][j]).abs();
+                    let expect_err = ((0.9 - a.get(3, 7)) * b.get(7, j)).abs();
                     assert!((err - expect_err).abs() < 1e-9);
                 } else {
                     assert!(err < 1e-12, "row {i} must be unaffected");
@@ -206,14 +209,19 @@ mod tests {
         let b = rand_matrix(&mut rng, 12, 12);
         let faults = FaultSet::none()
             .with(ChannelFault::DeadWavelength { channel: 0 })
-            .with(ChannelFault::StuckModulator { row: 1, channel: 2, value: -1.0 });
+            .with(ChannelFault::StuckModulator {
+                row: 1,
+                channel: 2,
+                value: -1.0,
+            });
         assert_eq!(faults.faults().len(), 2);
         assert!(!faults.is_empty());
-        let got = core.matmul_noisy_faulty(&a, &b, &NoiseModel::noiseless(), &faults, 0);
+        let got =
+            core.matmul_noisy_faulty(a.view(), b.view(), &NoiseModel::noiseless(), &faults, 0);
         // Spot-check one unaffected row.
         for j in 0..12 {
-            let expect: f64 = (1..12).map(|l| a[5][l] * b[l][j]).sum();
-            assert!((got[5][j] - expect).abs() < 1e-9);
+            let expect: f64 = (1..12).map(|l| a.get(5, l) * b.get(l, j)).sum();
+            assert!((got.get(5, j) - expect).abs() < 1e-9);
         }
     }
 
@@ -221,8 +229,8 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_fault_rejected() {
         let faults = FaultSet::none().with(ChannelFault::DeadWavelength { channel: 99 });
-        let a = vec![vec![0.0; 12]; 12];
-        let b = vec![vec![0.0; 12]; 12];
-        faults.apply(&a, &b);
+        let a = Matrix64::zeros(12, 12);
+        let b = Matrix64::zeros(12, 12);
+        faults.apply(a.view(), b.view());
     }
 }

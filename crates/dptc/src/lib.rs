@@ -12,37 +12,36 @@
 //!   while broadcasting each modulated operand to a whole row/column of
 //!   units, amortizing the encoding cost (Eq. 6).
 //!
-//! Three simulation fidelities are provided:
-//!
-//! 1. **Ideal** — exact arithmetic (the functional contract).
-//! 2. **Analytic noisy** — the paper's Eq. 9 transfer with encoding
-//!    magnitude/phase noise, per-wavelength dispersion, and systematic
-//!    output noise. This is the model used for all accuracy experiments.
-//! 3. **Circuit-level** — field propagation through the actual device
-//!    transfer matrices from [`lt_photonics`] (our substitute for the
-//!    paper's Lumerical INTERCONNECT validation).
+//! Simulation fidelity is a *value*, not a method: [`Fidelity`] selects
+//! between exact arithmetic, the paper's analytic Eq. 9 noise transfer,
+//! and circuit-level field propagation, all behind the same
+//! [`Dptc::matmul`] / [`Dptc::gemm`] API. [`DptcBackend`] additionally
+//! exposes the core as a pluggable [`lt_core::ComputeBackend`] so the
+//! whole workspace (NN engines, baselines, experiments) can swap compute
+//! physics without touching algorithm code.
 //!
 //! # Example
 //!
 //! ```
-//! use lt_dptc::{Dptc, DptcConfig, NoiseModel};
+//! use lt_core::Matrix64;
+//! use lt_dptc::{Dptc, DptcConfig, Fidelity, NoiseModel};
 //!
 //! let core = Dptc::new(DptcConfig::lt_paper()); // 12 x 12 x 12
-//! let a = vec![vec![0.25; 12]; 12];
-//! let b = vec![vec![-0.5; 12]; 12];
-//! let ideal = core.matmul_ideal(&a, &b);
-//! assert!((ideal[0][0] - 12.0 * 0.25 * -0.5).abs() < 1e-12);
+//! let a = Matrix64::from_fn(12, 12, |_, _| 0.25);
+//! let b = Matrix64::from_fn(12, 12, |_, _| -0.5);
+//! let ideal = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+//! assert!((ideal.get(0, 0) - 12.0 * 0.25 * -0.5).abs() < 1e-12);
 //!
-//! let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 7);
-//! let err = (noisy[0][0] - ideal[0][0]).abs();
+//! let noisy = core.matmul(a.view(), b.view(), &Fidelity::paper_noisy(7));
+//! let err = (noisy.get(0, 0) - ideal.get(0, 0)).abs();
 //! assert!(err < 0.5, "noise is bounded at the paper's operating point");
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-
 #![allow(clippy::needless_range_loop)] // index loops are the idiom for matrix kernels
 
+pub mod backend;
 pub mod circuit;
 pub mod ddot;
 pub mod dptc;
@@ -50,6 +49,7 @@ pub mod faults;
 pub mod noise_model;
 pub mod quant;
 
+pub use backend::{DptcBackend, Fidelity};
 pub use circuit::DdotCircuit;
 pub use ddot::DDot;
 pub use dptc::{Dptc, DptcConfig, EncodingCost};

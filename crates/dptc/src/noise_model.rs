@@ -83,9 +83,7 @@ impl NoiseModel {
     /// Whether every stochastic term is zero (dispersion may still bias the
     /// result deterministically).
     pub fn is_deterministic(&self) -> bool {
-        self.sigma_magnitude == 0.0
-            && self.sigma_phase_rad == 0.0
-            && self.sigma_systematic == 0.0
+        self.sigma_magnitude == 0.0 && self.sigma_phase_rad == 0.0 && self.sigma_systematic == 0.0
     }
 }
 

@@ -94,7 +94,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("MultiHeadAttention::forward not called");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("MultiHeadAttention::forward not called");
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 

@@ -70,10 +70,7 @@ impl From<io::Error> for LoadCheckpointError {
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn save<I: ?Sized, M: Classifier<I>, W: Write>(
-    model: &mut M,
-    mut writer: W,
-) -> io::Result<()> {
+pub fn save<I: ?Sized, M: Classifier<I>, W: Write>(model: &mut M, mut writer: W) -> io::Result<()> {
     let mut tensors: Vec<(usize, usize, Vec<f32>)> = Vec::new();
     model.visit_params(&mut |p: &mut Param| {
         tensors.push((p.value.rows(), p.value.cols(), p.value.data().to_vec()));
@@ -207,8 +204,12 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut rng = GaussianSampler::new(3);
-        let mut model =
-            TextClassifier::new(ModelConfig::tiny_text(), data::VOCAB, data::SEQ_LEN, &mut rng);
+        let mut model = TextClassifier::new(
+            ModelConfig::tiny_text(),
+            data::VOCAB,
+            data::SEQ_LEN,
+            &mut rng,
+        );
         let junk = b"NOTACKPT.......".to_vec();
         match load(&mut model, junk.as_slice()) {
             Err(LoadCheckpointError::BadMagic) => {}
@@ -228,8 +229,12 @@ mod tests {
         let mut buf = Vec::new();
         save(&mut vision, &mut buf).unwrap();
 
-        let mut text =
-            TextClassifier::new(ModelConfig::tiny_text(), data::VOCAB, data::SEQ_LEN, &mut rng);
+        let mut text = TextClassifier::new(
+            ModelConfig::tiny_text(),
+            data::VOCAB,
+            data::SEQ_LEN,
+            &mut rng,
+        );
         let err = load(&mut text, buf.as_slice()).unwrap_err();
         // The two architectures differ in parameter count (and would also
         // differ in shapes); either structured error is acceptable.

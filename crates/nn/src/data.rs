@@ -125,7 +125,10 @@ mod tests {
             let mut best_patch = 0;
             let mut best = f32::NEG_INFINITY;
             for p in 0..NUM_PATCHES {
-                let m = patches.row(p).iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                let m = patches
+                    .row(p)
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
                 if m > best {
                     best = m;
                     best_patch = p;
@@ -137,7 +140,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 85, "blob found in labelled quadrant {hits}/100 times");
+        assert!(
+            hits > 85,
+            "blob found in labelled quadrant {hits}/100 times"
+        );
     }
 
     #[test]

@@ -1,19 +1,23 @@
-//! Matmul execution engines.
+//! Matmul execution engines — thin `f32` adapters over the workspace's
+//! pluggable [`ComputeBackend`]s.
 //!
-//! Inference can execute every matrix product on one of three backends:
-//! exact fp32 (the "GPU" reference), exact-with-quantization (the paper's
-//! "quantized models running on GPU" baseline of Fig. 14), or the photonic
-//! backend that tiles the product through [`lt_dptc::Dptc`] with the
-//! noisy analytic transfer of paper Eq. 9.
+//! Inference can execute every matrix product on any backend: the exact
+//! shared kernel ([`ExactEngine`]), the quantized-but-noiseless digital
+//! reference of Fig. 14 ([`QuantizedEngine`]), the noisy photonic DPTC
+//! ([`PhotonicEngine`]), or *any* other [`ComputeBackend`] — including
+//! the MZI/MRR/PCM baselines — via the generic [`BackendEngine`]. The
+//! engines only widen `f32 -> f64`, delegate, and narrow back; all
+//! compute semantics live in the backends.
 
 use crate::tensor::Tensor;
-use lt_dptc::{Dptc, DptcConfig, NoiseModel};
+use lt_core::{ComputeBackend, RunCtx};
+use lt_dptc::{DptcBackend, NoiseModel};
 use std::fmt;
 
-/// A pluggable matrix-multiplication backend.
+/// A pluggable matrix-multiplication engine for the `f32` NN stack.
 ///
-/// Engines may be stateful (the photonic engine advances its noise stream
-/// every call), hence `&mut self`.
+/// Engines may be stateful (stochastic backends advance their noise
+/// stream every call), hence `&mut self`.
 pub trait MatmulEngine: fmt::Debug {
     /// Computes `a x b`.
     fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor;
@@ -22,7 +26,71 @@ pub trait MatmulEngine: fmt::Debug {
     fn name(&self) -> &str;
 }
 
-/// Exact fp32 execution.
+/// Widens, delegates to a [`ComputeBackend`], and narrows back.
+fn run_backend(backend: &dyn ComputeBackend, ctx: &mut RunCtx, a: &Tensor, b: &Tensor) -> Tensor {
+    let a64 = a.to_f64();
+    let b64 = b.to_f64();
+    backend.gemm(a64.view(), b64.view(), ctx).to_f32()
+}
+
+/// Adapts any [`ComputeBackend`] into a [`MatmulEngine`], carrying the
+/// [`RunCtx`] that keeps stochastic backends reproducible per-run.
+///
+/// ```
+/// use lt_core::NativeBackend;
+/// use lt_nn::engine::{BackendEngine, MatmulEngine};
+/// use lt_nn::Tensor;
+///
+/// let mut engine = BackendEngine::new(NativeBackend, 0);
+/// let a = Tensor::from_fn(2, 3, |i, j| (i + j) as f32);
+/// let b = Tensor::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+/// assert_eq!(engine.matmul(&a, &b), a.matmul(&b));
+/// assert_eq!(engine.name(), "native");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackendEngine<B> {
+    backend: B,
+    ctx: RunCtx,
+}
+
+impl<B: ComputeBackend> BackendEngine<B> {
+    /// Wraps a backend with a root seed for its noise stream.
+    pub fn new(backend: B, seed: u64) -> Self {
+        BackendEngine {
+            backend,
+            ctx: RunCtx::new(seed),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Number of matmuls executed so far.
+    pub fn calls(&self) -> u64 {
+        self.ctx.calls()
+    }
+}
+
+impl<B: ComputeBackend> MatmulEngine for BackendEngine<B> {
+    fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        run_backend(&self.backend, &mut self.ctx, a, b)
+    }
+
+    fn name(&self) -> &str {
+        self.backend.name()
+    }
+}
+
+/// Exact execution on the shared kernel at fp32 (the "GPU" reference).
+///
+/// This is the one engine that stays in single precision end to end:
+/// it runs `lt_core`'s shared kernel directly on the `f32` tensors, so
+/// the "digital fp32 reference" accuracies keep fp32 accumulation
+/// semantics and the training hot path pays no widening copies. Wrap
+/// [`lt_core::NativeBackend`] in a [`BackendEngine`] when `f64`
+/// reference numerics are wanted instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactEngine;
 
@@ -37,7 +105,8 @@ impl MatmulEngine for ExactEngine {
 }
 
 /// Exact execution on operands quantized to `bits` — the digital
-/// quantized reference accuracy ("GPU" lines in Figs. 14-15).
+/// quantized reference accuracy ("GPU" lines in Figs. 14-15). A thin
+/// adapter over [`DptcBackend::quantized`].
 #[derive(Debug, Clone, Copy)]
 pub struct QuantizedEngine {
     /// Operand bit-width.
@@ -46,13 +115,8 @@ pub struct QuantizedEngine {
 
 impl MatmulEngine for QuantizedEngine {
     fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
-        let core = Dptc::new(DptcConfig::lt_paper());
-        let (m, k) = a.shape();
-        let n = b.cols();
-        let af: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
-        let bf: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
-        let out = core.gemm_exact_quantized(&af, &bf, m, k, n, self.bits);
-        Tensor::from_vec(m, n, out.into_iter().map(|v| v as f32).collect())
+        let backend = DptcBackend::quantized(self.bits);
+        run_backend(&backend, &mut RunCtx::new(0), a, b)
     }
 
     fn name(&self) -> &str {
@@ -61,63 +125,55 @@ impl MatmulEngine for QuantizedEngine {
 }
 
 /// Photonic execution: tiled through a DPTC core with the paper's noise
-/// model. Every call advances the seed so noise realizations are fresh but
-/// the whole run stays reproducible.
+/// model, via [`DptcBackend`]. Every call advances the seed stream so
+/// noise realizations are fresh but the whole run stays reproducible.
 #[derive(Debug, Clone)]
 pub struct PhotonicEngine {
-    core: Dptc,
-    /// Operand bit-width driven onto the modulators.
-    pub bits: u32,
-    /// The injected non-idealities.
-    pub noise: NoiseModel,
-    seed: u64,
-    calls: u64,
+    backend: DptcBackend,
+    ctx: RunCtx,
 }
 
 impl PhotonicEngine {
     /// A paper-default engine: `n_lambda`-wavelength core, paper noise.
     pub fn paper(bits: u32, n_lambda: usize, seed: u64) -> Self {
+        let config = lt_dptc::DptcConfig::new(12, 12, n_lambda.max(1));
+        let backend = DptcBackend::new(config, lt_dptc::Fidelity::paper_noisy(seed), bits);
         PhotonicEngine {
-            core: Dptc::new(DptcConfig::new(12, 12, n_lambda.max(1))),
-            bits,
-            noise: NoiseModel::paper_default(),
-            seed,
-            calls: 0,
+            backend,
+            ctx: RunCtx::new(seed),
         }
     }
 
     /// Overrides the noise model.
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
-        self.noise = noise;
+        self.backend = self.backend.with_noise(noise);
         self
+    }
+
+    /// The wrapped photonic backend.
+    pub fn backend(&self) -> &DptcBackend {
+        &self.backend
     }
 
     /// The number of WDM channels in use.
     pub fn wavelengths(&self) -> usize {
-        self.core.config().nlambda
+        self.backend.core().config().nlambda
+    }
+
+    /// The DAC bit-width driven onto the modulators.
+    pub fn bits(&self) -> u32 {
+        self.backend.bits()
     }
 
     /// Number of matmuls executed so far.
     pub fn calls(&self) -> u64 {
-        self.calls
+        self.ctx.calls()
     }
 }
 
 impl MatmulEngine for PhotonicEngine {
     fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = a.shape();
-        let n = b.cols();
-        let af: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
-        let bf: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
-        let call_seed = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.calls);
-        self.calls += 1;
-        let out = self
-            .core
-            .gemm(&af, &bf, m, k, n, self.bits, &self.noise, call_seed);
-        Tensor::from_vec(m, n, out.into_iter().map(|v| v as f32).collect())
+        run_backend(&self.backend, &mut self.ctx, a, b)
     }
 
     fn name(&self) -> &str {
@@ -128,7 +184,7 @@ impl MatmulEngine for PhotonicEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_photonics::noise::GaussianSampler;
+    use lt_core::{GaussianSampler, NativeBackend};
 
     fn rand_pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
         let mut rng = GaussianSampler::new(seed);
@@ -188,5 +244,21 @@ mod tests {
         let got = PhotonicEngine::paper(8, 6, 9).matmul(&a, &b);
         let rel = got.max_abs_diff(&exact) / exact.max_abs().max(1e-3);
         assert!(rel < 0.4, "6-wavelength relative error {rel}");
+    }
+
+    #[test]
+    fn generic_backend_engine_swaps_compute() {
+        // The same workload runs on the exact kernel and the photonic
+        // core by swapping the wrapped backend — the API redesign's whole
+        // point.
+        let (a, b) = rand_pair(10, 15, 9, 10);
+        let mut native = BackendEngine::new(NativeBackend, 0);
+        let mut photonic = BackendEngine::new(DptcBackend::paper(8, 3), 3);
+        let exact = native.matmul(&a, &b);
+        let noisy = photonic.matmul(&a, &b);
+        assert_eq!(native.name(), "native");
+        assert_eq!(photonic.name(), "dptc-analytic");
+        let rel = noisy.max_abs_diff(&exact) / exact.max_abs().max(1e-3);
+        assert!(rel < 0.5, "relative error across backends {rel}");
     }
 }

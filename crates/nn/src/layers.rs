@@ -97,7 +97,16 @@ impl<'a> ForwardCtx<'a> {
     pub fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
         let aq = self.quant.apply(a);
         let bq = self.quant.apply(b);
-        let mut y = self.engine.matmul(&aq, &bq);
+        self.matmul_prequantized(&aq, &bq)
+    }
+
+    /// As [`ForwardCtx::matmul`] but for operands the caller has already
+    /// fake-quantized (e.g. to cache them for backward) — skips the
+    /// redundant re-quantization, still injects training noise.
+    /// Quantization is idempotent, so the result is identical to
+    /// [`ForwardCtx::matmul`] on the raw operands.
+    pub fn matmul_prequantized(&mut self, aq: &Tensor, bq: &Tensor) -> Tensor {
+        let mut y = self.engine.matmul(aq, bq);
         if self.training && self.train_noise_std > 0.0 {
             let std = self.train_noise_std;
             let rng = &mut *self.rng;
@@ -134,7 +143,9 @@ impl Linear {
     pub fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let xq = ctx.quant.apply(x);
         let wq = ctx.quant.apply(&self.w.value);
-        let y = ctx.matmul(x, &self.w.value).add_row_broadcast(&self.b.value);
+        let y = ctx
+            .matmul_prequantized(&xq, &wq)
+            .add_row_broadcast(&self.b.value);
         self.cache_x = Some(xq);
         self.cache_w = Some(wq);
         y
@@ -213,8 +224,14 @@ impl LayerNorm {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let xhat = self.cache_xhat.as_ref().expect("LayerNorm::forward not called");
-        let inv_std = self.cache_inv_std.as_ref().expect("LayerNorm::forward not called");
+        let xhat = self
+            .cache_xhat
+            .as_ref()
+            .expect("LayerNorm::forward not called");
+        let inv_std = self
+            .cache_inv_std
+            .as_ref()
+            .expect("LayerNorm::forward not called");
         let (rows, cols) = dy.shape();
         self.gamma.grad.add_assign(&xhat.hadamard(dy).col_sum());
         self.beta.grad.add_assign(&dy.col_sum());
@@ -373,9 +390,8 @@ mod tests {
         let dx = layer.backward(&dy);
 
         // Loss L = sum(y * dy); dL/dw and dL/dx should match numerics.
-        let loss = |w: &Tensor, x: &Tensor| -> f32 {
-            x.matmul(w).hadamard(&dy).data().iter().sum()
-        };
+        let loss =
+            |w: &Tensor, x: &Tensor| -> f32 { x.matmul(w).hadamard(&dy).data().iter().sum() };
         // Check one weight entry and one input entry.
         let got_dw = layer.w.grad.get(1, 0);
         let num_dw = numerical_grad(
@@ -408,7 +424,12 @@ mod tests {
         let y = ln.forward(&x);
         for i in 0..4 {
             let mean: f32 = y.row(i).iter().sum::<f32>() / 16.0;
-            let var: f32 = y.row(i).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            let var: f32 = y
+                .row(i)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
             assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
         }

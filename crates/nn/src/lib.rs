@@ -6,7 +6,8 @@
 //! transform (Eq. 9). Reproducing that end to end needs a training stack,
 //! so this crate implements one from scratch:
 //!
-//! * [`tensor`] — a small row-major `f32` matrix type
+//! * [`tensor`] — the `f32` tensor alias over the workspace-wide
+//!   [`lt_core::Matrix`]
 //! * [`layers`] — Linear / LayerNorm / GELU / softmax with hand-written
 //!   backward passes
 //! * [`attention`] — multi-head self-attention (forward + backward)
@@ -15,8 +16,10 @@
 //! * [`quant`] — symmetric fake-quantization with straight-through
 //!   estimators (QAT)
 //! * [`train`] — Adam, seeded mini-batch training, noise-aware training
-//! * [`engine`] — the matmul execution engines: exact, quantized-exact,
-//!   and photonic (tiled through [`lt_dptc::Dptc`] with Eq. 9 noise)
+//! * [`engine`] — thin `f32` adapters over the workspace's pluggable
+//!   [`lt_core::ComputeBackend`]s: exact, quantized-exact, photonic
+//!   (tiled through [`lt_dptc::DptcBackend`] with Eq. 9 noise), and the
+//!   generic [`engine::BackendEngine`] for any other backend
 //! * [`data`] — deterministic synthetic vision / text datasets
 //!
 //! # Example
@@ -37,7 +40,6 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-
 #![allow(clippy::needless_range_loop)] // index loops are the idiom for matrix kernels
 
 pub mod attention;
@@ -51,6 +53,6 @@ pub mod quant;
 pub mod tensor;
 pub mod train;
 
-pub use engine::{ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
+pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use model::{TextClassifier, VisionTransformer};
 pub use tensor::Tensor;

@@ -110,7 +110,12 @@ impl fmt::Display for ConfusionMatrix {
             }
             writeln!(f, "   recall {:.2}", self.recall(i))?;
         }
-        write!(f, "accuracy {:.3}, macro-F1 {:.3}", self.accuracy(), self.macro_f1())
+        write!(
+            f,
+            "accuracy {:.3}, macro-F1 {:.3}",
+            self.accuracy(),
+            self.macro_f1()
+        )
     }
 }
 

@@ -1,282 +1,28 @@
-//! A minimal row-major `f32` matrix.
+//! The NN stack's tensor type — a thin alias over the workspace-wide
+//! [`lt_core::Matrix`].
+//!
+//! The seed carried its own row-major `f32` matrix here, incompatible
+//! with the ragged `Vec<Vec<f64>>` the photonic simulators used. Both
+//! are gone: every layer, engine, and experiment now shares
+//! [`lt_core::Matrix`], and `Tensor` is simply its single-precision
+//! alias. All the familiar methods (`from_fn`, `randn`, `matmul`,
+//! `transpose`, `col_slice`, ...) live on the shared type.
+//!
+//! ```
+//! use lt_nn::Tensor;
+//! let t = Tensor::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+//! assert_eq!(t.get(1, 2), 5.0);
+//! assert_eq!(t.transpose().get(2, 1), 5.0);
+//! ```
 
-use lt_photonics::noise::GaussianSampler;
-use std::fmt;
-
-/// A dense 2-D tensor (matrix), row-major.
-///
-/// ```
-/// use lt_nn::Tensor;
-/// let t = Tensor::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
-/// assert_eq!(t.get(1, 2), 5.0);
-/// assert_eq!(t.transpose().get(2, 1), 5.0);
-/// ```
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct Tensor {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
-
-impl Tensor {
-    /// A `rows x cols` tensor of zeros.
-    pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
-    }
-
-    /// Builds a tensor from a generator function.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for i in 0..rows {
-            for j in 0..cols {
-                data.push(f(i, j));
-            }
-        }
-        Tensor { rows, cols, data }
-    }
-
-    /// Wraps an existing buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
-        Tensor { rows, cols, data }
-    }
-
-    /// Gaussian-initialized tensor (mean 0, the given std), deterministic
-    /// per seed source.
-    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut GaussianSampler) -> Self {
-        Tensor::from_fn(rows, cols, |_, _| rng.sample() as f32 * std)
-    }
-
-    /// Number of rows.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of columns.
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
-
-    /// Shape as `(rows, cols)`.
-    pub fn shape(&self) -> (usize, usize) {
-        (self.rows, self.cols)
-    }
-
-    /// Raw data slice (row-major).
-    pub fn data(&self) -> &[f32] {
-        &self.data
-    }
-
-    /// Mutable raw data slice.
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
-    }
-
-    /// Element access.
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-bounds indices.
-    pub fn get(&self, i: usize, j: usize) -> f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
-        self.data[i * self.cols + j]
-    }
-
-    /// Element assignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-bounds indices.
-    pub fn set(&mut self, i: usize, j: usize, v: f32) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
-        self.data[i * self.cols + j] = v;
-    }
-
-    /// One row as a slice.
-    pub fn row(&self, i: usize) -> &[f32] {
-        &self.data[i * self.cols..(i + 1) * self.cols]
-    }
-
-    /// Matrix product `self x rhs`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the inner dimensions disagree.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul shape mismatch: {:?} x {:?}",
-            self.shape(),
-            rhs.shape()
-        );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (l, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[l * n..(l + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(m, n, out)
-    }
-
-    /// Transpose.
-    pub fn transpose(&self) -> Tensor {
-        Tensor::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
-    }
-
-    /// Element-wise sum with another tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatch.
-    pub fn add(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// In-place element-wise accumulate.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatch.
-    pub fn add_assign(&mut self, rhs: &Tensor) {
-        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
-    }
-
-    /// Adds a row vector to every row (broadcast).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bias.cols() != self.cols()` or `bias.rows() != 1`.
-    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
-        assert_eq!(bias.rows(), 1, "bias must be a row vector");
-        assert_eq!(bias.cols(), self.cols, "bias width mismatch");
-        Tensor::from_fn(self.rows, self.cols, |i, j| self.get(i, j) + bias.get(0, j))
-    }
-
-    /// Scales every element.
-    pub fn scale(&self, s: f32) -> Tensor {
-        let data = self.data.iter().map(|v| v * s).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Applies a function element-wise.
-    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Tensor {
-        let data = self.data.iter().map(|&v| f(v)).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Element-wise product.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatch.
-    pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Tensor::from_vec(self.rows, self.cols, data)
-    }
-
-    /// Sums each column into a `1 x cols` row vector.
-    pub fn col_sum(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.cols];
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[j] += self.get(i, j);
-            }
-        }
-        Tensor::from_vec(1, self.cols, out)
-    }
-
-    /// Extracts a contiguous block of columns `[start, start + width)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range exceeds the tensor width.
-    pub fn col_slice(&self, start: usize, width: usize) -> Tensor {
-        assert!(start + width <= self.cols, "column slice out of bounds");
-        Tensor::from_fn(self.rows, width, |i, j| self.get(i, start + j))
-    }
-
-    /// Writes a block into the given column offset.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the block does not fit.
-    pub fn set_col_slice(&mut self, start: usize, block: &Tensor) {
-        assert_eq!(block.rows(), self.rows, "row count mismatch");
-        assert!(start + block.cols() <= self.cols, "column slice out of bounds");
-        for i in 0..block.rows() {
-            for j in 0..block.cols() {
-                self.set(i, start + j, block.get(i, j));
-            }
-        }
-    }
-
-    /// Largest absolute element.
-    pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
-    }
-
-    /// Largest absolute difference from another tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatch.
-    pub fn max_abs_diff(&self, rhs: &Tensor) -> f32 {
-        assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
-    }
-
-    /// Mean of all elements.
-    pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
-            return 0.0;
-        }
-        self.data.iter().sum::<f32>() / self.data.len() as f32
-    }
-}
-
-impl fmt::Display for Tensor {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
-        for i in 0..self.rows.min(6) {
-            write!(f, "  ")?;
-            for j in 0..self.cols.min(8) {
-                write!(f, "{:>8.4} ", self.get(i, j))?;
-            }
-            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
-        }
-        write!(f, "{}]", if self.rows > 6 { "  ...\n" } else { "" })
-    }
-}
+/// A dense 2-D tensor (matrix), row-major `f32` — alias of
+/// [`lt_core::Matrix32`].
+pub type Tensor = lt_core::Matrix32;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lt_core::GaussianSampler;
 
     #[test]
     fn matmul_matches_reference() {
@@ -331,6 +77,13 @@ mod tests {
         let x = Tensor::from_vec(1, 4, vec![-3.0, 1.0, 2.0, -0.5]);
         assert_eq!(x.max_abs(), 3.0);
         assert!((x.mean() + 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn widening_round_trip_through_the_backend_type() {
+        let mut rng = GaussianSampler::new(3);
+        let x = Tensor::randn(3, 5, 1.0, &mut rng);
+        assert_eq!(x.to_f64().to_f32(), x);
     }
 
     #[test]

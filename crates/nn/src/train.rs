@@ -199,8 +199,12 @@ mod tests {
     #[test]
     fn text_model_learns_copy_detection() {
         let mut rng = GaussianSampler::new(20);
-        let mut model =
-            TextClassifier::new(ModelConfig::tiny_text(), data::VOCAB, data::SEQ_LEN, &mut rng);
+        let mut model = TextClassifier::new(
+            ModelConfig::tiny_text(),
+            data::VOCAB,
+            data::SEQ_LEN,
+            &mut rng,
+        );
         let train_set = data::text_dataset(1024, 3);
         let test_set = data::text_dataset(128, 4);
         let cfg = TrainConfig {

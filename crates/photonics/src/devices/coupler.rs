@@ -111,7 +111,10 @@ mod tests {
         let (o0, o1) = dc.couple(in0, in1, 1550.0);
         let pin = in0.norm_sqr() + in1.norm_sqr();
         let pout = o0.norm_sqr() + o1.norm_sqr();
-        assert!((pin - pout).abs() < 1e-12, "lossless coupler conserves power");
+        assert!(
+            (pin - pout).abs() < 1e-12,
+            "lossless coupler conserves power"
+        );
     }
 
     #[test]

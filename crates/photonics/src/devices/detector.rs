@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn detection_sums_wavelength_intensities() {
         let pd = Photodetector::paper();
-        let fields = [Complex::real(0.5), Complex::new(0.0, 0.5), Complex::real(-0.5)];
+        let fields = [
+            Complex::real(0.5),
+            Complex::new(0.0, 0.5),
+            Complex::real(-0.5),
+        ];
         assert!((pd.detect(&fields) - 0.75).abs() < 1e-12);
     }
 

@@ -55,7 +55,8 @@ impl Laser {
         let per_signal_at_pd = pd_sensitivity.value();
         let loss_factor = 1.0 / path_loss.to_linear();
         let precision_factor = 2f64.powi(bits as i32 - 4);
-        let optical = MilliWatts(per_signal_at_pd * loss_factor * precision_factor * n_signals as f64);
+        let optical =
+            MilliWatts(per_signal_at_pd * loss_factor * precision_factor * n_signals as f64);
         self.electrical_power(optical)
     }
 }

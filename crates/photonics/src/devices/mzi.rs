@@ -72,8 +72,7 @@ impl MachZehnderInterferometer {
     /// term is the shifters' 100 x 45 um^2 each — MZIs are *bulky*).
     pub fn area(&self) -> SquareMicrometers {
         SquareMicrometers(
-            2.0 * self.coupler.area().value()
-                + 2.0 * MemsPhaseShifter::paper().area.value(),
+            2.0 * self.coupler.area().value() + 2.0 * MemsPhaseShifter::paper().area.value(),
         )
     }
 

@@ -5,9 +5,7 @@
 //! wavelength-dependent device response ("dispersion") model of Section
 //! III-C, and the FSR-limited channel-count bound of Eq. 10.
 
-use crate::constants::{
-    CENTER_WAVELENGTH_NM, DWDM_CHANNEL_SPACING_NM, SPEED_OF_LIGHT_M_PER_S,
-};
+use crate::constants::{CENTER_WAVELENGTH_NM, DWDM_CHANNEL_SPACING_NM, SPEED_OF_LIGHT_M_PER_S};
 use crate::units::{Nanometers, TeraHertz};
 
 /// Speed of light expressed in nm * THz (so `lambda_nm = C / f_thz`).
@@ -39,7 +37,11 @@ impl WavelengthGrid {
     ///
     /// Panics if `n == 0`.
     pub fn dwdm(n: usize) -> Self {
-        Self::new(n, Nanometers(CENTER_WAVELENGTH_NM), Nanometers(DWDM_CHANNEL_SPACING_NM))
+        Self::new(
+            n,
+            Nanometers(CENTER_WAVELENGTH_NM),
+            Nanometers(DWDM_CHANNEL_SPACING_NM),
+        )
     }
 
     /// Creates a grid of `n` channels with an arbitrary centre and spacing.

@@ -74,7 +74,13 @@ impl GemmOp {
             m > 0 && k > 0 && n > 0 && count > 0,
             "GEMM dimensions and count must be positive"
         );
-        GemmOp { kind, m, k, n, count }
+        GemmOp {
+            kind,
+            m,
+            k,
+            n,
+            count,
+        }
     }
 
     /// MACs of a single execution.
@@ -141,7 +147,10 @@ pub fn trace(model: &TransformerConfig) -> Vec<GemmOp> {
         GemmOp::new(OpKind::Ffn2, l, f, d, 1),
     ];
     for op in per_layer {
-        ops.push(GemmOp { count: op.count * model.layers, ..op });
+        ops.push(GemmOp {
+            count: op.count * model.layers,
+            ..op
+        });
     }
 
     // Task head on the CLS token.

@@ -144,6 +144,9 @@ mod tests {
             * (t.context_len() as u64)
             * (t.model().dim as u64)
             * (t.model().dim as u64);
-        assert!(recompute_macs > cache_bytes, "optics buys compute, not bytes");
+        assert!(
+            recompute_macs > cache_bytes,
+            "optics buys compute, not bytes"
+        );
     }
 }

@@ -71,7 +71,14 @@ impl TransformerConfig {
 
     /// BERT-large with a configurable sequence length (the paper uses 320).
     pub fn bert_large(seq_len: usize) -> Self {
-        Self::text(&format!("BERT-large-{seq_len}"), 24, 1024, 16, 4096, seq_len)
+        Self::text(
+            &format!("BERT-large-{seq_len}"),
+            24,
+            1024,
+            16,
+            4096,
+            seq_len,
+        )
     }
 
     /// GPT-2-small geometry (124M class): 12 layers, dim 768, 12 heads —
@@ -82,7 +89,14 @@ impl TransformerConfig {
 
     /// GPT-2-medium geometry (355M class): 24 layers, dim 1024, 16 heads.
     pub fn gpt2_medium(seq_len: usize) -> Self {
-        Self::text(&format!("GPT2-medium-{seq_len}"), 24, 1024, 16, 4096, seq_len)
+        Self::text(
+            &format!("GPT2-medium-{seq_len}"),
+            24,
+            1024,
+            16,
+            4096,
+            seq_len,
+        )
     }
 
     /// All five benchmark models of the paper's Fig. 13.

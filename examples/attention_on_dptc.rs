@@ -9,14 +9,16 @@
 //! cargo run --release --example attention_on_dptc
 //! ```
 
-use lightening_transformer::dptc::{Dptc, DptcConfig, NoiseModel};
+use lightening_transformer::core::Matrix64;
+use lightening_transformer::dptc::{Dptc, DptcConfig, Fidelity};
 use lightening_transformer::photonics::noise::GaussianSampler;
 
 const TOKENS: usize = 32;
 const HEAD_DIM: usize = 64;
 
-fn softmax_rows(x: &mut [Vec<f64>]) {
-    for row in x {
+fn softmax_rows(x: &mut Matrix64) {
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut denom = 0.0;
         for v in row.iter_mut() {
@@ -29,62 +31,34 @@ fn softmax_rows(x: &mut [Vec<f64>]) {
     }
 }
 
-fn gemm_flat(core: &Dptc, a: &[Vec<f64>], b: &[Vec<f64>], noise: Option<&NoiseModel>, seed: u64) -> Vec<Vec<f64>> {
-    let (m, k, n) = (a.len(), b.len(), b[0].len());
-    let a_flat: Vec<f64> = a.iter().flatten().copied().collect();
-    let b_flat: Vec<f64> = b.iter().flatten().copied().collect();
-    let out = match noise {
-        Some(nm) => core.gemm(&a_flat, &b_flat, m, k, n, 8, nm, seed),
-        None => core.gemm_exact_quantized(&a_flat, &b_flat, m, k, n, 8),
-    };
-    out.chunks(n).map(|r| r.to_vec()).collect()
-}
-
 fn main() {
     let mut rng = GaussianSampler::new(7);
-    let q: Vec<Vec<f64>> = (0..TOKENS)
-        .map(|_| (0..HEAD_DIM).map(|_| rng.normal(0.0, 0.5)).collect())
-        .collect();
-    let k: Vec<Vec<f64>> = (0..TOKENS)
-        .map(|_| (0..HEAD_DIM).map(|_| rng.normal(0.0, 0.5)).collect())
-        .collect();
-    let v: Vec<Vec<f64>> = (0..TOKENS)
-        .map(|_| (0..HEAD_DIM).map(|_| rng.normal(0.0, 0.5)).collect())
-        .collect();
-    let k_t: Vec<Vec<f64>> = (0..HEAD_DIM)
-        .map(|j| (0..TOKENS).map(|i| k[i][j]).collect())
-        .collect();
+    let q = Matrix64::from_fn(TOKENS, HEAD_DIM, |_, _| rng.normal(0.0, 0.5));
+    let k = Matrix64::from_fn(TOKENS, HEAD_DIM, |_, _| rng.normal(0.0, 0.5));
+    let v = Matrix64::from_fn(TOKENS, HEAD_DIM, |_, _| rng.normal(0.0, 0.5));
+    let k_t = k.transpose();
 
     let core = Dptc::new(DptcConfig::lt_paper());
-    let noise = NoiseModel::paper_default();
+    let noisy = Fidelity::paper_noisy(1);
     let scale = 1.0 / (HEAD_DIM as f64).sqrt();
 
-    // Photonic path: both dynamic products on the DPTC.
-    let mut scores = gemm_flat(&core, &q, &k_t, Some(&noise), 1);
-    scores.iter_mut().for_each(|r| r.iter_mut().for_each(|x| *x *= scale));
+    // Photonic path: both dynamic products tiled through the DPTC.
+    let mut scores = core.gemm(q.view(), k_t.view(), 8, &noisy).scale(scale);
     softmax_rows(&mut scores);
-    let out_photonic = gemm_flat(&core, &scores, &v, Some(&noise), 2);
+    let out_photonic = core.gemm(scores.view(), v.view(), 8, &Fidelity::paper_noisy(2));
 
-    // Exact path.
-    let mut scores_exact = gemm_flat(&core, &q, &k_t, None, 0);
-    scores_exact.iter_mut().for_each(|r| r.iter_mut().for_each(|x| *x *= scale));
+    // Exact path: same API, quantized-but-noiseless reference.
+    let mut scores_exact = core.gemm_quantized(q.view(), k_t.view(), 8).scale(scale);
     softmax_rows(&mut scores_exact);
-    let out_exact = gemm_flat(&core, &scores_exact, &v, None, 0);
+    let out_exact = core.gemm_quantized(scores_exact.view(), v.view(), 8);
 
-    let mut max_err = 0.0f64;
+    let max_err = out_photonic.max_abs_diff(&out_exact);
     let mut rms = 0.0;
-    for i in 0..TOKENS {
-        for j in 0..HEAD_DIM {
-            let e = out_photonic[i][j] - out_exact[i][j];
-            max_err = max_err.max(e.abs());
-            rms += e * e;
-        }
+    for (a, b) in out_photonic.data().iter().zip(out_exact.data()) {
+        rms += (a - b) * (a - b);
     }
     rms = (rms / (TOKENS * HEAD_DIM) as f64).sqrt();
-    let out_scale = out_exact
-        .iter()
-        .flatten()
-        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let out_scale = out_exact.max_abs();
 
     println!("attention head ({TOKENS} tokens, d_k = {HEAD_DIM}) on DPTC:");
     println!("  output scale        : {out_scale:.3}");

@@ -34,7 +34,11 @@ fn main() {
         // Classify against the ridge using the *per-sequence* KV traffic
         // (each batch element reads its own cache).
         let intensity = trace.arithmetic_intensity(8);
-        let bound = if intensity >= ridge { Bound::Compute } else { Bound::Memory };
+        let bound = if intensity >= ridge {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        };
         println!(
             "{batch:>6} {:>14} {:>10.2} {:>13.2} {:>13.2} {:>8} {:>5.0}%",
             trace.macs_per_token(),

@@ -32,7 +32,12 @@ fn main() {
     };
     let stats = train(&mut vit, &train_set, &cfg);
     for (e, s) in stats.iter().enumerate() {
-        println!("  epoch {:>2}: loss {:.4}  train acc {:.1}%", e + 1, s.loss, s.accuracy * 100.0);
+        println!(
+            "  epoch {:>2}: loss {:.4}  train acc {:.1}%",
+            e + 1,
+            s.loss,
+            s.accuracy * 100.0
+        );
     }
 
     let quant = QuantConfig::low_bit(4);

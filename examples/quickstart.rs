@@ -6,28 +6,24 @@
 //! ```
 
 use lightening_transformer::arch::{ArchConfig, Simulator};
-use lightening_transformer::dptc::{Dptc, DptcConfig, NoiseModel};
+use lightening_transformer::core::Matrix64;
+use lightening_transformer::dptc::{Dptc, DptcConfig, Fidelity};
 use lightening_transformer::workloads::TransformerConfig;
 
 fn main() {
     // 1. A 12x12x12 DPTC core multiplies two dynamic, full-range matrices
-    //    in one shot — the paper's core capability.
+    //    in one shot — the paper's core capability. Fidelity is selected
+    //    by value; the same call serves ideal, analytic-noisy, and
+    //    circuit-level simulation.
     let core = Dptc::new(DptcConfig::lt_paper());
-    let a: Vec<Vec<f64>> = (0..12)
-        .map(|i| (0..12).map(|j| ((i * 12 + j) as f64 / 72.0) - 1.0).collect())
-        .collect();
-    let b: Vec<Vec<f64>> = (0..12)
-        .map(|i| (0..12).map(|j| 1.0 - ((i + j) as f64 / 12.0)).collect())
-        .collect();
-    let ideal = core.matmul_ideal(&a, &b);
-    let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 42);
-    let mut max_err = 0.0f64;
-    for i in 0..12 {
-        for j in 0..12 {
-            max_err = max_err.max((ideal[i][j] - noisy[i][j]).abs());
-        }
-    }
-    println!("one-shot 12x12x12 MM: max analog error = {max_err:.4}");
+    let a = Matrix64::from_fn(12, 12, |i, j| ((i * 12 + j) as f64 / 72.0) - 1.0);
+    let b = Matrix64::from_fn(12, 12, |i, j| 1.0 - ((i + j) as f64 / 12.0));
+    let ideal = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+    let noisy = core.matmul(a.view(), b.view(), &Fidelity::paper_noisy(42));
+    println!(
+        "one-shot 12x12x12 MM: max analog error = {:.4}",
+        noisy.max_abs_diff(&ideal)
+    );
     println!(
         "encoding-cost saving from the crossbar broadcast (Eq. 6): {:.0}x",
         core.encoding_cost().saving_factor()

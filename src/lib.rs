@@ -6,33 +6,39 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`core`] — the foundation: the shared flat [`core::Matrix`] type,
+//!   [`core::MatrixView`] slices, and the pluggable
+//!   [`core::ComputeBackend`] trait every compute provider implements
 //! * [`photonics`] — optical device substrate (devices, WDM, noise, link budgets)
 //! * [`dptc`] — the paper's core contribution: the DDot dot-product engine and
 //!   the DPTC dynamically-operated photonic tensor core
 //! * [`arch`] — the accelerator architecture simulator (memory, dataflow,
 //!   energy/latency/area/power)
 //! * [`baselines`] — MZI-array and MRR-bank photonic baselines plus
-//!   electronic platform models
+//!   electronic platform models, each also available as a numeric
+//!   [`core::ComputeBackend`]
 //! * [`workloads`] — DeiT/BERT GEMM traces, sparse attention, LLM decode
 //! * [`nn`] — pure-Rust NN stack for the accuracy/robustness experiments
 //!
 //! # Quickstart
 //!
 //! ```
-//! use lightening_transformer::dptc::{Dptc, DptcConfig, NoiseModel};
+//! use lightening_transformer::core::Matrix64;
+//! use lightening_transformer::dptc::{Dptc, DptcConfig, Fidelity};
 //!
-//! // A 4x4 crossbar with 4 wavelengths, paper-default noise.
+//! // A 4x4 crossbar with 4 wavelengths; fidelity is a value, not a method.
 //! let core = Dptc::new(DptcConfig::new(4, 4, 4));
-//! let a = vec![vec![0.5, -0.2, 0.1, 0.8]; 4];
-//! let b = vec![vec![0.3; 4]; 4];
-//! let exact = core.matmul_ideal(&a, &b);
-//! let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 42);
-//! assert_eq!(exact.len(), 4);
-//! assert_eq!(noisy.len(), 4);
+//! let a = Matrix64::from_fn(4, 4, |_, j| [0.5, -0.2, 0.1, 0.8][j]);
+//! let b = Matrix64::from_fn(4, 4, |_, _| 0.3);
+//! let exact = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+//! let noisy = core.matmul(a.view(), b.view(), &Fidelity::paper_noisy(42));
+//! assert_eq!(exact.shape(), (4, 4));
+//! assert!(noisy.max_abs_diff(&exact) < 0.5);
 //! ```
 
 pub use lt_arch as arch;
 pub use lt_baselines as baselines;
+pub use lt_core as core;
 pub use lt_dptc as dptc;
 pub use lt_nn as nn;
 pub use lt_photonics as photonics;

@@ -16,7 +16,10 @@ fn beats_photonic_baselines_by_paper_margins() {
         let mut mrr_latency_ratio = 0.0;
         let mut mzi_energy_ratio = 0.0;
         let mut mzi_latency_ratio = 0.0;
-        let models = [TransformerConfig::deit_tiny(), TransformerConfig::deit_base()];
+        let models = [
+            TransformerConfig::deit_tiny(),
+            TransformerConfig::deit_base(),
+        ];
         for model in &models {
             let lt = Simulator::new(ArchConfig::lt_base(bits)).run_model(model);
             let mrr = MrrAccelerator::paper_baseline(bits).run_model(model);
@@ -29,9 +32,18 @@ fn beats_photonic_baselines_by_paper_margins() {
         let n = models.len() as f64;
         let (mrr_e, mrr_l) = (mrr_energy_ratio / n, mrr_latency_ratio / n);
         let (mzi_e, mzi_l) = (mzi_energy_ratio / n, mzi_latency_ratio / n);
-        assert!(mrr_e > 2.0, "[{bits}-bit] MRR energy ratio {mrr_e} (paper >2.6)");
-        assert!(mrr_l > 8.0, "[{bits}-bit] MRR latency ratio {mrr_l} (paper ~12.8)");
-        assert!(mzi_e > 4.0, "[{bits}-bit] MZI energy ratio {mzi_e} (paper 8-32x)");
+        assert!(
+            mrr_e > 2.0,
+            "[{bits}-bit] MRR energy ratio {mrr_e} (paper >2.6)"
+        );
+        assert!(
+            mrr_l > 8.0,
+            "[{bits}-bit] MRR latency ratio {mrr_l} (paper ~12.8)"
+        );
+        assert!(
+            mzi_e > 4.0,
+            "[{bits}-bit] MZI energy ratio {mzi_e} (paper 8-32x)"
+        );
         assert!(
             mzi_l > 100.0,
             "[{bits}-bit] MZI latency ratio {mzi_l} (paper ~676x)"
@@ -115,11 +127,27 @@ fn lt_wins_linear_layers_despite_dynamic_encoding() {
 #[test]
 fn latency_scales_sensibly_across_models() {
     let sim_b = Simulator::new(ArchConfig::lt_base(4));
-    let t = sim_b.run_model(&TransformerConfig::deit_tiny()).all.latency.value();
-    let s = sim_b.run_model(&TransformerConfig::deit_small()).all.latency.value();
-    let b = sim_b.run_model(&TransformerConfig::deit_base()).all.latency.value();
+    let t = sim_b
+        .run_model(&TransformerConfig::deit_tiny())
+        .all
+        .latency
+        .value();
+    let s = sim_b
+        .run_model(&TransformerConfig::deit_small())
+        .all
+        .latency
+        .value();
+    let b = sim_b
+        .run_model(&TransformerConfig::deit_base())
+        .all
+        .latency
+        .value();
     assert!(t < s && s < b, "latency must grow with model size");
     let sim_l = Simulator::new(ArchConfig::lt_large(4));
-    let b_large = sim_l.run_model(&TransformerConfig::deit_base()).all.latency.value();
+    let b_large = sim_l
+        .run_model(&TransformerConfig::deit_base())
+        .all
+        .latency
+        .value();
     assert!(b_large < b, "LT-L must be faster than LT-B on DeiT-B");
 }

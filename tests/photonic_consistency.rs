@@ -1,8 +1,8 @@
 //! Cross-crate consistency: the circuit-level netlist, the analytic Eq. 9
 //! model, and the tensor-core GEMM must all tell the same story.
 
-use lightening_transformer::dptc::{DDot, DdotCircuit, Dptc, DptcConfig, NoiseModel};
-use lightening_transformer::photonics::noise::GaussianSampler;
+use lightening_transformer::core::{GaussianSampler, Matrix64};
+use lightening_transformer::dptc::{DDot, DdotCircuit, Dptc, DptcConfig, Fidelity, NoiseModel};
 use lightening_transformer::photonics::wdm::DispersionModel;
 
 fn rand_vec(rng: &mut GaussianSampler, n: usize) -> Vec<f64> {
@@ -23,10 +23,7 @@ fn circuit_and_analytic_agree_without_stochastic_noise() {
             let y = rand_vec(&mut rng, n);
             let c = circuit.dot(&x, &y);
             let a = analytic.dot_noisy(&x, &y, &noise, 0);
-            assert!(
-                (c - a).abs() < 1e-2,
-                "n={n}: circuit {c} vs analytic {a}"
-            );
+            assert!((c - a).abs() < 1e-2, "n={n}: circuit {c} vs analytic {a}");
         }
     }
 }
@@ -64,17 +61,11 @@ fn dptc_error_envelope_is_stable_across_wavelength_counts() {
     let mut rng = GaussianSampler::new(3);
     for nlambda in [6usize, 12, 24] {
         let core = Dptc::new(DptcConfig::new(8, 8, nlambda));
-        let a: Vec<Vec<f64>> = (0..8).map(|_| rand_vec(&mut rng, nlambda)).collect();
-        let b: Vec<Vec<f64>> = (0..nlambda).map(|_| rand_vec(&mut rng, 8)).collect();
-        let exact = core.matmul_ideal(&a, &b);
-        let noisy = core.matmul_noisy(&a, &b, &NoiseModel::paper_default(), 5);
-        let mut max_rel = 0.0f64;
-        for i in 0..8 {
-            for j in 0..8 {
-                let rel = (noisy[i][j] - exact[i][j]).abs() / (nlambda as f64).sqrt();
-                max_rel = max_rel.max(rel);
-            }
-        }
+        let a = Matrix64::from_fn(8, nlambda, |_, _| rng.uniform_in(-1.0, 1.0));
+        let b = Matrix64::from_fn(nlambda, 8, |_, _| rng.uniform_in(-1.0, 1.0));
+        let exact = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
+        let noisy = core.matmul(a.view(), b.view(), &Fidelity::paper_noisy(5));
+        let max_rel = noisy.max_abs_diff(&exact) / (nlambda as f64).sqrt();
         assert!(
             max_rel < 0.25,
             "nlambda={nlambda}: normalized max error {max_rel}"
@@ -89,17 +80,15 @@ fn tiled_gemm_relative_error_is_small() {
     let mut rng = GaussianSampler::new(4);
     let core = Dptc::new(DptcConfig::lt_paper());
     let (m, k, n) = (30, 50, 20);
-    let a: Vec<f64> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
-    let b: Vec<f64> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
-    let noisy = core.gemm(&a, &b, m, k, n, 8, &NoiseModel::paper_default(), 6);
+    let a = Matrix64::from_fn(m, k, |_, _| rng.uniform_in(-1.0, 1.0));
+    let b = Matrix64::from_fn(k, n, |_, _| rng.uniform_in(-1.0, 1.0));
+    let noisy = core.gemm(a.view(), b.view(), 8, &Fidelity::paper_noisy(6));
+    let exact = lightening_transformer::core::reference_gemm(&a.view(), &b.view());
     let mut num = 0.0;
     let mut den = 0.0;
-    for i in 0..m {
-        for j in 0..n {
-            let exact: f64 = (0..k).map(|l| a[i * k + l] * b[l * n + j]).sum();
-            num += (noisy[i * n + j] - exact) * (noisy[i * n + j] - exact);
-            den += exact * exact;
-        }
+    for (x, y) in noisy.data().iter().zip(exact.data()) {
+        num += (x - y) * (x - y);
+        den += y * y;
     }
     let rel = (num / den).sqrt();
     assert!(rel < 0.15, "relative Frobenius error {rel}");
