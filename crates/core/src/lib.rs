@@ -44,7 +44,10 @@ pub mod matrix;
 pub mod noise;
 pub mod quant;
 
-pub use backend::{ComputeBackend, NativeBackend, RunCtx};
+pub use backend::{
+    blocked_gemm, blocked_gemm_with_seed, row_blocks, split_seed, ComputeBackend, NativeBackend,
+    RunCtx,
+};
 pub use matrix::{reference_gemm, Matrix, Matrix32, Matrix64, MatrixView, Scalar};
 pub use noise::GaussianSampler;
 pub use quant::Quantizer;

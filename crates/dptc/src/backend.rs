@@ -10,15 +10,29 @@
 
 use crate::dptc::{Dptc, DptcConfig};
 use crate::noise_model::NoiseModel;
-use lt_core::{ComputeBackend, Matrix64, MatrixView, RunCtx};
+use lt_core::{blocked_gemm, ComputeBackend, Matrix64, MatrixView, RunCtx};
 
 /// Simulation fidelity of a DPTC matrix product.
 ///
+/// Fidelity is a *value*, not a method: the same [`Dptc::gemm`] call
+/// serves exact, analytic-noisy, and circuit-level simulation.
+///
 /// ```
-/// use lt_dptc::{Fidelity, NoiseModel};
-/// let fid = Fidelity::paper_noisy(42);
-/// assert_eq!(fid.name(), "analytic-noisy");
-/// assert!(matches!(fid, Fidelity::AnalyticNoisy { .. }));
+/// use lt_core::Matrix64;
+/// use lt_dptc::{Dptc, DptcConfig, Fidelity, NoiseModel};
+///
+/// let core = Dptc::new(DptcConfig::lt_paper());
+/// let a = Matrix64::from_fn(20, 14, |i, j| ((i + j) as f64 * 0.1).sin());
+/// let b = Matrix64::from_fn(14, 9, |i, j| ((i * j) as f64 * 0.1).cos());
+///
+/// let exact = core.gemm(a.view(), b.view(), 8, &Fidelity::Ideal);
+/// assert_eq!(exact, a.matmul(&b), "Ideal is the exact contract");
+///
+/// let noisy = core.gemm(a.view(), b.view(), 8, &Fidelity::paper_noisy(42));
+/// let rel = noisy.max_abs_diff(&exact) / exact.max_abs();
+/// assert!(rel > 0.0 && rel < 0.5, "analog error is small but nonzero");
+///
+/// assert_eq!(Fidelity::paper_noisy(42).name(), "analytic-noisy");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Fidelity {
@@ -193,8 +207,29 @@ impl ComputeBackend for DptcBackend {
     }
 
     fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, ctx: &mut RunCtx) -> Matrix64 {
-        let fidelity = self.fidelity.resalted(ctx.next_seed());
-        self.core.gemm(a, b, self.bits, &fidelity)
+        // The plain GEMM *is* the canonical blocked execution: one
+        // call-level seed, one noise stream per `Nh`-row strip (see
+        // `gemm_block`). That makes `lt-runtime`'s `ParallelBackend`
+        // bit-identical to this backend at every thread count and
+        // fidelity — thread scheduling cannot reorder noise draws,
+        // because no two strips share a stream.
+        blocked_gemm(self, a, b, ctx)
+    }
+
+    fn preferred_block_rows(&self) -> usize {
+        // One crossbar pass computes `Nh` output rows; blocking at that
+        // granularity keeps every strip a whole number of hardware tiles.
+        self.core.config().nh
+    }
+
+    fn gemm_block(
+        &self,
+        a_rows: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        block_seed: u64,
+    ) -> Matrix64 {
+        let fidelity = self.fidelity.resalted(block_seed);
+        self.core.gemm(a_rows, b, self.bits, &fidelity)
     }
 }
 
@@ -249,6 +284,45 @@ mod tests {
         assert_eq!(q1, q2, "noiseless path ignores the seed stream");
         let exact = a.matmul(&b);
         assert!(q1.max_abs_diff(&exact) < 0.1 * exact.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn strip_noise_streams_are_independent() {
+        // Each Nh-row strip owns a seed-partitioned noise stream, so
+        // perturbing one strip's operand rows cannot change another
+        // strip's output — the property that makes parallel row-block
+        // execution bit-identical to sequential.
+        let backend = DptcBackend::paper(8, 5);
+        let (a, b) = rand_pair(24, 12, 12, 9);
+        let r1 = backend.gemm(a.view(), b.view(), &mut RunCtx::new(1));
+        let mut a2 = a.clone();
+        for i in 12..24 {
+            for j in 0..12 {
+                a2.set(i, j, -a2.get(i, j));
+            }
+        }
+        let r2 = backend.gemm(a2.view(), b.view(), &mut RunCtx::new(1));
+        for i in 0..12 {
+            assert_eq!(r1.row(i), r2.row(i), "strip 0 must not see strip 1");
+        }
+        assert!(
+            (12..24).any(|i| r1.row(i) != r2.row(i)),
+            "strip 1 did change"
+        );
+    }
+
+    #[test]
+    fn gemm_is_the_canonical_blocked_execution() {
+        let (a, b) = rand_pair(30, 20, 15, 6);
+        for backend in [
+            DptcBackend::ideal(DptcConfig::lt_paper()),
+            DptcBackend::quantized(8),
+            DptcBackend::paper(8, 3),
+        ] {
+            let plain = backend.gemm(a.view(), b.view(), &mut RunCtx::new(11));
+            let blocked = blocked_gemm(&backend, a.view(), b.view(), &mut RunCtx::new(11));
+            assert_eq!(plain, blocked, "{}", ComputeBackend::name(&backend));
+        }
     }
 
     #[test]

@@ -473,6 +473,7 @@ impl Dptc {
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[doc(hidden)] // deprecated shim: see the note for the replacement
     #[deprecated(
         since = "0.2.0",
         note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Ideal)` with `lt_core::Matrix64`"
@@ -488,6 +489,7 @@ impl Dptc {
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[doc(hidden)] // deprecated shim: see the note for the replacement
     #[deprecated(
         since = "0.2.0",
         note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::AnalyticNoisy { noise, seed })`"
@@ -517,6 +519,7 @@ impl Dptc {
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[doc(hidden)] // deprecated shim: see the note for the replacement
     #[deprecated(
         since = "0.2.0",
         note = "use `Dptc::matmul` with `Fidelity::AnalyticNoisy`; the coefficient cache is now internal"
@@ -539,6 +542,7 @@ impl Dptc {
     /// # Panics
     ///
     /// Panics if the operand shapes do not match the core geometry.
+    #[doc(hidden)] // deprecated shim: see the note for the replacement
     #[deprecated(
         since = "0.2.0",
         note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Circuit { noise, seed })`"
@@ -567,6 +571,7 @@ impl Dptc {
     /// # Panics
     ///
     /// Panics if slice lengths do not match the given dimensions.
+    #[doc(hidden)] // deprecated shim: see the note for the replacement
     #[deprecated(
         since = "0.2.0",
         note = "use `Dptc::gemm_quantized(a.view(), b.view(), bits)` with `lt_core::Matrix64`"

@@ -21,6 +21,11 @@
 //!   (tiled through [`lt_dptc::DptcBackend`] with Eq. 9 noise), and the
 //!   generic [`engine::BackendEngine`] for any other backend
 //! * [`data`] — deterministic synthetic vision / text datasets
+//! * [`serve`] — a batching, multi-threaded inference server: mixed
+//!   DeiT/BERT-style requests coalesced through
+//!   [`lt_runtime::BatchQueue`] and executed on worker threads over any
+//!   backend (wrap it in [`lt_runtime::ParallelBackend`] for intra-GEMM
+//!   parallelism)
 //!
 //! # Example
 //!
@@ -50,9 +55,11 @@ pub mod layers;
 pub mod metrics;
 pub mod model;
 pub mod quant;
+pub mod serve;
 pub mod tensor;
 pub mod train;
 
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use model::{TextClassifier, VisionTransformer};
+pub use serve::{Request, ServeConfig, Server};
 pub use tensor::Tensor;

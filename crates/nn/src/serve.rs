@@ -1,0 +1,387 @@
+//! A batching, multi-threaded inference server over any
+//! [`ComputeBackend`] — the software analogue of the accelerator's
+//! batched execution (Section IV: weights are loaded once per layer and
+//! reused across the whole batch).
+//!
+//! Concurrent clients [`Server::submit`] mixed vision (DeiT stand-in)
+//! and text (BERT stand-in) requests; a [`lt_runtime::BatchQueue`]
+//! coalesces them into FIFO batches that worker threads drain. Each
+//! worker holds its own clone of the model weights (loaded once, reused
+//! for every request it serves) and runs whole transformer forward
+//! passes with every GEMM routed through the configured backend — wrap
+//! the backend in [`lt_runtime::ParallelBackend`] to also parallelize
+//! inside each GEMM.
+//!
+//! What coalescing amortizes today: queue synchronization (one lock
+//! round per batch, not per request) and weight residency (a worker
+//! streams a whole batch through its already-loaded weights). Requests
+//! within a batch still execute as individual forward passes; fusing a
+//! batch's per-layer products into single stacked GEMMs (the backends
+//! already expose [`ComputeBackend::gemm_batch`] for it) requires
+//! batched model forwards and is the natural next step on top of this
+//! queue.
+//!
+//! # Determinism
+//!
+//! A request's logits depend only on the model weights, the input, and
+//! the server's root seed mixed with the request *ticket*
+//! ([`lt_core::backend::split_seed`]) — never on worker count, batch
+//! boundaries, or completion order. Serving the same stream twice (or
+//! with a different `workers`/`max_batch` configuration) returns
+//! bit-identical logits, enforced by `tests/runtime_determinism.rs`.
+
+use crate::engine::BackendEngine;
+use crate::layers::ForwardCtx;
+use crate::model::{Classifier, TextClassifier, VisionTransformer};
+use crate::quant::QuantConfig;
+use crate::tensor::Tensor;
+use lt_core::backend::split_seed;
+use lt_core::{ComputeBackend, GaussianSampler};
+use lt_runtime::BatchQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One inference request: an image (patch matrix) for the vision model
+/// or a token sequence for the text model.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Patches for the [`VisionTransformer`], `[num_patches, patch_dim]`.
+    Vision(Tensor),
+    /// Token ids for the [`TextClassifier`] (exactly its `seq_len`).
+    Text(Vec<usize>),
+}
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads, each holding its own copy of the weights.
+    pub workers: usize,
+    /// Maximum requests a worker drains from the queue at once.
+    pub max_batch: usize,
+    /// Root seed; request noise streams are `split_seed(seed, ticket)`.
+    pub seed: u64,
+    /// Operand fake-quantization applied to every forward pass.
+    pub quant: QuantConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            seed: 0,
+            quant: QuantConfig::fp32(),
+        }
+    }
+}
+
+/// A handle to one in-flight request.
+#[derive(Debug)]
+pub struct PendingReply {
+    ticket: u64,
+    rx: Receiver<Tensor>,
+}
+
+impl PendingReply {
+    /// The queue ticket (submission order, also the noise-stream index).
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Blocks until the logits arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was shut down before serving this request,
+    /// or if the request itself was malformed (e.g. a wrong-length
+    /// token sequence) and its forward pass panicked — other requests
+    /// and the worker are unaffected.
+    pub fn wait(self) -> Tensor {
+        self.rx
+            .recv()
+            .expect("request failed or server dropped before replying")
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    reply: Sender<Tensor>,
+}
+
+/// The batching inference server. See the [module docs](self).
+///
+/// ```
+/// use lt_core::NativeBackend;
+/// use lt_nn::model::{ModelConfig, TextClassifier, VisionTransformer};
+/// use lt_nn::serve::{Request, ServeConfig, Server};
+/// use lt_nn::Tensor;
+/// use lt_core::GaussianSampler;
+///
+/// let mut rng = GaussianSampler::new(1);
+/// let vision = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+/// let text = TextClassifier::new(ModelConfig::tiny_text(), 16, 12, &mut rng);
+/// let server = Server::new(vision, text, NativeBackend, ServeConfig::default());
+///
+/// let image = Tensor::from_fn(16, 16, |i, j| ((i * 16 + j) as f32 * 0.01).sin());
+/// let pending = server.submit(Request::Vision(image));
+/// let logits = pending.wait();
+/// assert_eq!(logits.shape(), (1, 4));
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    queue: Arc<BatchQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    batches: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Starts `config.workers` worker threads, each with its own clone
+    /// of the two models (weights loaded once per worker, amortized
+    /// across every request that worker serves). The backend type is
+    /// consumed by the workers, so the handle itself is not generic.
+    pub fn new<B: ComputeBackend + Clone + Send + 'static>(
+        vision: VisionTransformer,
+        text: TextClassifier,
+        backend: B,
+        config: ServeConfig,
+    ) -> Self {
+        let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::new(config.max_batch.max(1)));
+        let served = Arc::new(AtomicU64::new(0));
+        let batches = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let served = Arc::clone(&served);
+                let batches = Arc::clone(&batches);
+                let mut vision = vision.clone();
+                let mut text = text.clone();
+                let backend = backend.clone();
+                std::thread::Builder::new()
+                    .name(format!("lt-serve-worker-{w}"))
+                    .spawn(move || {
+                        while let Some(batch) = queue.next_batch() {
+                            batches.fetch_add(1, Ordering::Relaxed);
+                            for (ticket, job) in batch {
+                                // Contain per-request panics (wrong
+                                // sequence length, out-of-range token
+                                // id, ...): the offending client's
+                                // reply sender is dropped — its `wait`
+                                // panics with a clear message — while
+                                // the rest of the batch and the worker
+                                // survive. Model forward caches are
+                                // overwritten on every pass, so the
+                                // clones stay valid after an unwind.
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        serve_one(
+                                            &mut vision,
+                                            &mut text,
+                                            &backend,
+                                            &config,
+                                            ticket,
+                                            &job.request,
+                                        )
+                                    }));
+                                if let Ok(logits) = outcome {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                    // A client that dropped its handle
+                                    // just doesn't read the reply.
+                                    let _ = job.reply.send(logits);
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Server {
+            queue,
+            workers,
+            served,
+            batches,
+        }
+    }
+
+    /// Enqueues a request; returns immediately with a reply handle.
+    pub fn submit(&self, request: Request) -> PendingReply {
+        let (reply, rx) = channel();
+        let ticket = self.queue.submit(Job { request, reply });
+        PendingReply { ticket, rx }
+    }
+
+    /// Requests served *successfully* so far (a request whose forward
+    /// pass panicked — malformed input — is drained but not counted).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Batches drained so far; `served() / batches()` is the realized
+    /// coalescing factor.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Drains outstanding requests, stops the workers, and returns the
+    /// total number of requests served successfully.
+    pub fn shutdown(mut self) -> u64 {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.served()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Runs one request's whole forward pass with its ticket-derived noise
+/// streams. Free-standing (rather than a closure) so the determinism
+/// contract is easy to audit: everything stochastic flows from
+/// `split_seed(config.seed, ticket)`.
+fn serve_one<B: ComputeBackend + Clone>(
+    vision: &mut VisionTransformer,
+    text: &mut TextClassifier,
+    backend: &B,
+    config: &ServeConfig,
+    ticket: u64,
+    request: &Request,
+) -> Tensor {
+    let mut engine = BackendEngine::new(backend.clone(), split_seed(config.seed, ticket));
+    // The training-noise RNG is unused at inference but part of the ctx;
+    // seed it off the same stream for full reproducibility.
+    let mut rng = GaussianSampler::new(split_seed(!config.seed, ticket));
+    let mut ctx = ForwardCtx::inference(&mut engine, config.quant, &mut rng);
+    match request {
+        Request::Vision(patches) => vision.forward(patches, &mut ctx),
+        Request::Text(tokens) => text.forward(&tokens[..], &mut ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use lt_core::NativeBackend;
+    use lt_dptc::DptcBackend;
+
+    fn models() -> (VisionTransformer, TextClassifier) {
+        let mut rng = GaussianSampler::new(7);
+        (
+            VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng),
+            TextClassifier::new(ModelConfig::tiny_text(), 16, 12, &mut rng),
+        )
+    }
+
+    fn mixed_requests(n: usize) -> Vec<Request> {
+        let mut rng = GaussianSampler::new(11);
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    Request::Text((0..12).map(|t| (i + t) % 16).collect())
+                } else {
+                    Request::Vision(Tensor::randn(16, 16, 1.0, &mut rng))
+                }
+            })
+            .collect()
+    }
+
+    fn serve_all<B: ComputeBackend + Clone + Send + 'static>(
+        backend: B,
+        cfg: ServeConfig,
+        requests: &[Request],
+    ) -> Vec<Tensor> {
+        let (vision, text) = models();
+        let server = Server::new(vision, text, backend, cfg);
+        let pending: Vec<PendingReply> =
+            requests.iter().map(|r| server.submit(r.clone())).collect();
+        let logits: Vec<Tensor> = pending.into_iter().map(PendingReply::wait).collect();
+        assert_eq!(server.shutdown(), requests.len() as u64);
+        logits
+    }
+
+    #[test]
+    fn serves_mixed_requests_with_correct_shapes() {
+        let requests = mixed_requests(9);
+        let logits = serve_all(NativeBackend, ServeConfig::default(), &requests);
+        for (req, l) in requests.iter().zip(&logits) {
+            match req {
+                Request::Vision(_) => assert_eq!(l.shape(), (1, 4)),
+                Request::Text(_) => assert_eq!(l.shape(), (1, 2)),
+            }
+        }
+    }
+
+    #[test]
+    fn results_do_not_depend_on_worker_count_or_batch_size() {
+        let requests = mixed_requests(8);
+        let backend = DptcBackend::paper(8, 3);
+        let base = serve_all(
+            backend.clone(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+            &requests,
+        );
+        for (workers, max_batch) in [(2, 4), (4, 8)] {
+            let got = serve_all(
+                backend.clone(),
+                ServeConfig {
+                    workers,
+                    max_batch,
+                    ..ServeConfig::default()
+                },
+                &requests,
+            );
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a, b, "workers={workers} max_batch={max_batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_malformed_request_does_not_poison_the_batch_or_the_worker() {
+        let (vision, text) = models();
+        let server = Server::new(
+            vision,
+            text,
+            NativeBackend,
+            ServeConfig {
+                workers: 1,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let good_before = server.submit(Request::Text(vec![0; 12]));
+        let bad = server.submit(Request::Text(vec![0; 11])); // wrong seq_len
+        let good_after = server.submit(Request::Text(vec![1; 12]));
+        assert_eq!(good_before.wait().shape(), (1, 2));
+        assert_eq!(good_after.wait().shape(), (1, 2), "worker survived");
+        let failed = std::panic::catch_unwind(move || bad.wait());
+        assert!(failed.is_err(), "malformed request reports failure");
+        assert_eq!(server.shutdown(), 2, "only the two good requests count");
+    }
+
+    #[test]
+    fn tickets_are_submission_ordered() {
+        let (vision, text) = models();
+        let server = Server::new(vision, text, NativeBackend, ServeConfig::default());
+        let a = server.submit(Request::Text(vec![0; 12]));
+        let b = server.submit(Request::Text(vec![1; 12]));
+        assert!(a.ticket() < b.ticket());
+        a.wait();
+        b.wait();
+    }
+}

@@ -1,0 +1,235 @@
+//! [`BatchQueue`]: FIFO coalescing of concurrent requests into batches.
+//!
+//! The accelerator amortizes per-layer weight loading (and DAC setup)
+//! across a batch of inputs; the serving runtime mirrors that by letting
+//! concurrent submitters enqueue requests that a consumer drains as
+//! FIFO batches of bounded size. Every submission gets a monotonically
+//! increasing *ticket*; batches always contain consecutive tickets, so
+//! no request can overtake another or starve.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A blocking multi-producer batch queue.
+///
+/// ```
+/// use lt_runtime::BatchQueue;
+///
+/// let queue = BatchQueue::new(3);
+/// for word in ["a", "b", "c", "d", "e"] {
+///     queue.submit(word);
+/// }
+/// queue.close();
+/// let first = queue.next_batch().unwrap();
+/// assert_eq!(first, vec![(0, "a"), (1, "b"), (2, "c")], "FIFO, capped at 3");
+/// let second = queue.next_batch().unwrap();
+/// assert_eq!(second, vec![(3, "d"), (4, "e")]);
+/// assert!(queue.next_batch().is_none(), "closed and drained");
+/// ```
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    max_batch: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<(u64, T)>,
+    next_ticket: u64,
+    closed: bool,
+}
+
+impl<T> BatchQueue<T> {
+    /// Creates a queue whose batches hold at most `max_batch` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batches must hold at least one request");
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                next_ticket: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            max_batch,
+        }
+    }
+
+    /// Maximum requests per batch.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Enqueues a request and returns its ticket. Tickets are assigned
+    /// in submission order starting from zero and define the order in
+    /// which requests are handed out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is closed.
+    pub fn submit(&self, item: T) -> u64 {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        assert!(!inner.closed, "submit on a closed BatchQueue");
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.queue.push_back((ticket, item));
+        drop(inner);
+        self.ready.notify_one();
+        ticket
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").queue.len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending requests still drain, new submissions
+    /// panic, and [`BatchQueue::next_batch`] returns `None` once empty.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`BatchQueue::close`] has been called. A non-blocking
+    /// consumer polling [`BatchQueue::try_next_batch`] terminates on
+    /// `is_closed() && try_next_batch().is_none()`; blocking consumers
+    /// should just use [`BatchQueue::next_batch`], whose `None` already
+    /// means closed-and-drained.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// Blocks until at least one request is waiting (or the queue is
+    /// closed and drained), then removes and returns up to
+    /// [`BatchQueue::max_batch`] requests in ticket order. Returns
+    /// `None` only after [`BatchQueue::close`] with nothing left.
+    pub fn next_batch(&self) -> Option<Vec<(u64, T)>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.queue.is_empty() {
+                let take = self.max_batch.min(inner.queue.len());
+                return Some(inner.queue.drain(..take).collect());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// As [`BatchQueue::next_batch`] but never blocks: returns `None`
+    /// when nothing is waiting *right now* (which does not imply the
+    /// queue is closed — check [`BatchQueue::is_closed`] to terminate a
+    /// polling loop).
+    pub fn try_next_batch(&self) -> Option<Vec<(u64, T)>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.queue.is_empty() {
+            return None;
+        }
+        let take = self.max_batch.min(inner.queue.len());
+        Some(inner.queue.drain(..take).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn batches_are_fifo_and_bounded() {
+        let q = BatchQueue::new(4);
+        for i in 0..10 {
+            assert_eq!(q.submit(i), i as u64);
+        }
+        q.close();
+        let mut sizes = Vec::new();
+        let mut tickets = Vec::new();
+        while let Some(batch) = q.next_batch() {
+            sizes.push(batch.len());
+            tickets.extend(batch.iter().map(|&(t, _)| t));
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(tickets, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_submitters_never_reorder_or_lose_requests() {
+        let q = Arc::new(BatchQueue::new(3));
+        let submitters: Vec<_> = (0..4)
+            .map(|s| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        q.submit((s, i));
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut drained = Vec::new();
+                while let Some(batch) = q.next_batch() {
+                    assert!(batch.len() <= 3);
+                    drained.extend(batch);
+                }
+                drained
+            })
+        };
+        for s in submitters {
+            s.join().unwrap();
+        }
+        q.close();
+        let drained = consumer.join().unwrap();
+        assert_eq!(drained.len(), 100, "every request served exactly once");
+        // Global FIFO: tickets strictly increase across batches.
+        for pair in drained.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "tickets must stay ordered");
+        }
+        // Per-submitter order preserved (fairness: no overtaking).
+        for s in 0..4u32 {
+            let seq: Vec<u32> = drained
+                .iter()
+                .filter(|&&(_, (owner, _))| owner == s)
+                .map(|&(_, (_, i))| i)
+                .collect();
+            assert_eq!(seq, (0..25).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn try_next_batch_never_blocks_and_close_is_observable() {
+        let q: BatchQueue<u8> = BatchQueue::new(2);
+        assert!(q.try_next_batch().is_none());
+        assert!(!q.is_closed(), "open queue: None just means empty");
+        q.submit(1);
+        assert_eq!(q.try_next_batch().unwrap(), vec![(0, 1)]);
+        assert!(q.is_empty());
+        q.close();
+        assert!(q.is_closed() && q.try_next_batch().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed BatchQueue")]
+    fn submitting_after_close_panics() {
+        let q = BatchQueue::new(1);
+        q.close();
+        q.submit(0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchQueue::<u8>::new(0);
+    }
+}

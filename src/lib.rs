@@ -18,7 +18,11 @@
 //!   electronic platform models, each also available as a numeric
 //!   [`core::ComputeBackend`]
 //! * [`workloads`] — DeiT/BERT GEMM traces, sparse attention, LLM decode
-//! * [`nn`] — pure-Rust NN stack for the accuracy/robustness experiments
+//! * [`nn`] — pure-Rust NN stack for the accuracy/robustness experiments,
+//!   including the batching inference server in [`nn::serve`]
+//! * [`runtime`] — the multi-threaded execution layer:
+//!   [`runtime::ParallelBackend`] (row-block parallel GEMM over any
+//!   backend), [`runtime::ThreadPool`], and [`runtime::BatchQueue`]
 //!
 //! # Quickstart
 //!
@@ -42,4 +46,5 @@ pub use lt_core as core;
 pub use lt_dptc as dptc;
 pub use lt_nn as nn;
 pub use lt_photonics as photonics;
+pub use lt_runtime as runtime;
 pub use lt_workloads as workloads;

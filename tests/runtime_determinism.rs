@@ -1,0 +1,211 @@
+//! The parallel runtime's determinism contract.
+//!
+//! `ParallelBackend` partitions every GEMM into the canonical
+//! `row_blocks` work items, each with a `split_seed`-derived noise
+//! stream, so thread scheduling can change *when* a block runs but never
+//! *what* it computes. These tests pin the contract:
+//!
+//! * parallel output is bit-identical to the wrapped `DptcBackend` for
+//!   every `Fidelity` variant (Ideal / AnalyticNoisy / Circuit) at every
+//!   thread count;
+//! * the same holds for the exact `NativeBackend` and (relative to the
+//!   blocked sequential reference) for a stochastic baseline backend;
+//! * `BatchQueue` hands out requests in strict FIFO ticket order, so no
+//!   request is starved or reordered;
+//! * the batching inference server returns logits that do not depend on
+//!   worker count or batch size.
+
+use lightening_transformer::baselines::PcmBackend;
+use lightening_transformer::core::{
+    blocked_gemm, ComputeBackend, GaussianSampler, Matrix64, NativeBackend, RunCtx,
+};
+use lightening_transformer::dptc::{DptcBackend, DptcConfig, Fidelity, NoiseModel};
+use lightening_transformer::nn::model::ModelConfig;
+use lightening_transformer::nn::serve::{Request, ServeConfig, Server};
+use lightening_transformer::nn::{Tensor, TextClassifier, VisionTransformer};
+use lightening_transformer::runtime::{BatchQueue, ParallelBackend};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn rand_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix64, Matrix64) {
+    let mut rng = GaussianSampler::new(seed);
+    (
+        Matrix64::randn(m, k, 1.0, &mut rng),
+        Matrix64::randn(k, n, 1.0, &mut rng),
+    )
+}
+
+/// parallel(B) == B, bit for bit, for every thread count — with the
+/// inline-execution gate removed, so the multi-thread cases genuinely
+/// dispatch every row block through the worker pool.
+fn assert_parallel_matches_wrapped<B>(backend: B, m: usize, k: usize, n: usize, label: &str)
+where
+    B: ComputeBackend + Clone + Send + Sync + 'static,
+{
+    let (a, b) = rand_pair(m, k, n, 0xC0FFEE);
+    let want = backend.gemm(a.view(), b.view(), &mut RunCtx::new(99));
+    for threads in THREAD_COUNTS {
+        let par = ParallelBackend::new(backend.clone(), threads).with_min_parallel_macs(0);
+        let got = par.gemm(a.view(), b.view(), &mut RunCtx::new(99));
+        assert_eq!(got, want, "{label} diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_equals_wrapped_dptc_ideal() {
+    assert_parallel_matches_wrapped(
+        DptcBackend::ideal(DptcConfig::lt_paper()),
+        61,
+        40,
+        27,
+        "dptc-ideal",
+    );
+}
+
+#[test]
+fn parallel_equals_wrapped_dptc_analytic_noisy() {
+    assert_parallel_matches_wrapped(DptcBackend::paper(8, 21), 61, 40, 27, "dptc-analytic");
+}
+
+#[test]
+fn parallel_equals_wrapped_dptc_circuit() {
+    // Circuit-level fidelity propagates fields through the device
+    // netlist (~10x slower), so keep the product small: still multiple
+    // row strips and edge tiles.
+    let backend = DptcBackend::new(
+        DptcConfig::lt_paper(),
+        Fidelity::Circuit {
+            noise: NoiseModel::paper_default(),
+            seed: 4,
+        },
+        8,
+    );
+    assert_parallel_matches_wrapped(backend, 25, 13, 13, "dptc-circuit");
+}
+
+#[test]
+fn parallel_equals_wrapped_native() {
+    assert_parallel_matches_wrapped(NativeBackend, 73, 31, 44, "native");
+}
+
+#[test]
+fn parallel_stochastic_baseline_is_thread_count_invariant() {
+    // The PCM baseline's plain `gemm` is not the blocked loop, so the
+    // reference here is the canonical blocked sequential execution —
+    // which the parallel wrapper must reproduce at every thread count.
+    let backend = PcmBackend::paper(8);
+    let (a, b) = rand_pair(48, 32, 24, 7);
+    let want = blocked_gemm(&backend, a.view(), b.view(), &mut RunCtx::new(5));
+    for threads in THREAD_COUNTS {
+        let par = ParallelBackend::new(backend, threads).with_min_parallel_macs(0);
+        let got = par.gemm(a.view(), b.view(), &mut RunCtx::new(5));
+        assert_eq!(got, want, "pcm diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_backend_drops_into_an_engine_unchanged() {
+    // ParallelBackend is itself a ComputeBackend: BackendEngine accepts
+    // it like any other backend and produces identical results.
+    use lightening_transformer::nn::engine::MatmulEngine;
+    use lightening_transformer::nn::BackendEngine;
+    let a = Tensor::from_fn(40, 36, |i, j| ((i + j) as f32 * 0.05).sin());
+    let b = Tensor::from_fn(36, 40, |i, j| ((i * j) as f32 * 0.03).cos());
+    let mut seq = BackendEngine::new(DptcBackend::paper(8, 3), 11);
+    let mut par = BackendEngine::new(ParallelBackend::new(DptcBackend::paper(8, 3), 4), 11);
+    assert_eq!(seq.matmul(&a, &b), par.matmul(&a, &b));
+    assert_eq!(par.name(), "parallel(dptc-analytic)");
+}
+
+#[test]
+fn batch_queue_is_fifo_and_fair_under_concurrency() {
+    let queue = Arc::new(BatchQueue::new(5));
+    let submitters: Vec<_> = (0..3u32)
+        .map(|s| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..40u32 {
+                    queue.submit((s, i));
+                }
+            })
+        })
+        .collect();
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            let mut drained = Vec::new();
+            while let Some(batch) = queue.next_batch() {
+                assert!(batch.len() <= 5, "batch size must stay bounded");
+                drained.extend(batch);
+            }
+            drained
+        })
+    };
+    for s in submitters {
+        s.join().unwrap();
+    }
+    queue.close();
+    let drained = consumer.join().unwrap();
+    assert_eq!(drained.len(), 120, "every request served exactly once");
+    for pair in drained.windows(2) {
+        assert!(
+            pair[0].0 < pair[1].0,
+            "global FIFO: tickets strictly increase"
+        );
+    }
+    for s in 0..3u32 {
+        let per_client: Vec<u32> = drained
+            .iter()
+            .filter(|&&(_, (owner, _))| owner == s)
+            .map(|&(_, (_, i))| i)
+            .collect();
+        assert_eq!(
+            per_client,
+            (0..40).collect::<Vec<u32>>(),
+            "client {s} requests reordered"
+        );
+    }
+}
+
+#[test]
+fn serving_is_invariant_to_workers_batch_size_and_gemm_threads() {
+    let mut rng = GaussianSampler::new(3);
+    let vision = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+    let text = TextClassifier::new(ModelConfig::tiny_text(), 16, 12, &mut rng);
+    let requests: Vec<Request> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                Request::Vision(Tensor::randn(16, 16, 1.0, &mut rng))
+            } else {
+                Request::Text((0..12).map(|t| (i + t) % 16).collect())
+            }
+        })
+        .collect();
+
+    let serve = |workers: usize, max_batch: usize, gemm_threads: usize| -> Vec<Tensor> {
+        let backend = ParallelBackend::new(DptcBackend::paper(8, 17), gemm_threads);
+        let server = Server::new(
+            vision.clone(),
+            text.clone(),
+            backend,
+            ServeConfig {
+                workers,
+                max_batch,
+                seed: 23,
+                ..ServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        pending.into_iter().map(|p| p.wait()).collect()
+    };
+
+    let base = serve(1, 1, 1);
+    for (workers, max_batch, gemm_threads) in [(2, 3, 2), (4, 6, 4)] {
+        let got = serve(workers, max_batch, gemm_threads);
+        assert_eq!(
+            got, base,
+            "serving diverged at workers={workers} max_batch={max_batch} threads={gemm_threads}"
+        );
+    }
+}
