@@ -35,6 +35,10 @@ pub fn gemm_cycles(config: &ArchConfig, rows: usize, inner: usize, cols: usize) 
 /// chunks). Independent instances fill tiles that a small `rows` dimension
 /// would otherwise leave idle — without it, many-small-MM workloads would
 /// be charged for an underutilized machine they can trivially fill.
+///
+/// Degenerate inputs are free rather than fatal: a GEMM with any
+/// zero dimension (or zero instances) costs 0 cycles, so arbitrary —
+/// possibly empty — recorded traces replay without panicking.
 pub fn gemm_cycles_batched(
     config: &ArchConfig,
     rows: usize,
@@ -42,10 +46,13 @@ pub fn gemm_cycles_batched(
     cols: usize,
     instances: usize,
 ) -> u64 {
+    if instances == 0 {
+        return 0;
+    }
     let tiles_m = rows.div_ceil(config.core.nh) as u64;
     let tiles_d = inner.div_ceil(config.core.nlambda) as u64;
     let tiles_n = cols.div_ceil(config.core.nv) as u64;
-    let spatial_m = (tiles_m * instances.max(1) as u64).div_ceil(config.nt as u64);
+    let spatial_m = (tiles_m * instances as u64).div_ceil(config.nt as u64);
     let spatial_d = tiles_d.div_ceil(config.nc as u64);
     spatial_m * spatial_d * tiles_n
 }
@@ -92,6 +99,111 @@ mod tests {
             gemm_tile_invocations(&ltb, 197, 64, 197),
             (17 * 6 * 17) as u64
         );
+    }
+
+    /// Seeded-sweep property tests over a mix of aligned, off-by-one,
+    /// and degenerate shapes on every headline configuration (the
+    /// workspace has no crates.io access, so no proptest — the sweep is
+    /// deterministic and exhaustive over its grid).
+    mod properties {
+        use super::*;
+
+        fn configs() -> Vec<ArchConfig> {
+            vec![
+                ArchConfig::lt_base(4),
+                ArchConfig::lt_large(4),
+                ArchConfig::single_core(12, 4),
+                ArchConfig::lt_crossbar_base(4),
+            ]
+        }
+
+        const DIMS: [usize; 8] = [0, 1, 5, 11, 12, 13, 48, 197];
+        const INSTANCES: [usize; 5] = [0, 1, 2, 7, 36];
+
+        #[test]
+        fn cycles_are_monotone_in_every_dimension() {
+            for cfg in configs() {
+                for &m in &DIMS {
+                    for &k in &DIMS {
+                        for &n in &DIMS {
+                            let base = gemm_cycles_batched(&cfg, m, k, n, 3);
+                            assert!(
+                                gemm_cycles_batched(&cfg, m + 1, k, n, 3) >= base,
+                                "{}: rows {m}->{} k={k} n={n}",
+                                cfg.name,
+                                m + 1
+                            );
+                            assert!(
+                                gemm_cycles_batched(&cfg, m, k + 1, n, 3) >= base,
+                                "{}: inner {k}->{} m={m} n={n}",
+                                cfg.name,
+                                k + 1
+                            );
+                            assert!(
+                                gemm_cycles_batched(&cfg, m, k, n + 1, 3) >= base,
+                                "{}: cols {n}->{} m={m} k={k}",
+                                cfg.name,
+                                n + 1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn batching_never_exceeds_instances_times_single_cost() {
+            for cfg in configs() {
+                for &m in &DIMS {
+                    for &k in &DIMS {
+                        for &n in &DIMS {
+                            let single = gemm_cycles_batched(&cfg, m, k, n, 1);
+                            for &i in &INSTANCES {
+                                let batched = gemm_cycles_batched(&cfg, m, k, n, i);
+                                assert!(
+                                    batched <= single * i as u64,
+                                    "{}: {m}x{k}x{n} i={i}: {batched} > {i}*{single}",
+                                    cfg.name
+                                );
+                                // And batching is itself monotone.
+                                assert!(batched >= gemm_cycles_batched(&cfg, m, k, n, i / 2));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn zero_size_gemms_cost_zero_cycles_without_panicking() {
+            for cfg in configs() {
+                for &(m, k, n, i) in &[
+                    (0usize, 64usize, 64usize, 3usize),
+                    (64, 0, 64, 3),
+                    (64, 64, 0, 3),
+                    (64, 64, 64, 0),
+                    (0, 0, 0, 0),
+                ] {
+                    assert_eq!(
+                        gemm_cycles_batched(&cfg, m, k, n, i),
+                        0,
+                        "{}: {m}x{k}x{n} i={i}",
+                        cfg.name
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn nonzero_gemms_cost_at_least_one_cycle() {
+            for cfg in configs() {
+                for &m in &DIMS[1..] {
+                    for &i in &INSTANCES[1..] {
+                        assert!(gemm_cycles_batched(&cfg, m, 1, 1, i) >= 1, "{}", cfg.name);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn search_core_geometry(
             continue;
         }
         let sim = Simulator::new(config.clone());
-        let report = sim.run_trace(trace);
+        let report = sim.run_gemm_ops(trace);
         let total_macs: u64 = trace.iter().map(|op| op.total_macs()).sum();
         let issued: f64 = trace
             .iter()

@@ -1,14 +1,22 @@
-//! The workload simulator: runs GEMM traces through the accelerator model
-//! and reports itemized energy, latency, and EDP (paper Table V and
-//! Figs. 11-13).
+//! The workload simulator: replays op traces through the accelerator
+//! model and reports itemized energy, latency, and EDP (paper Table V
+//! and Figs. 11-13).
+//!
+//! The simulator consumes the shared trace IR (`lt_core::trace`): an
+//! arbitrary [`lt_core::Trace`] — recorded from a real `lt-nn` forward
+//! pass or derived analytically by `lt_workloads` — replays through
+//! [`Simulator::run_trace`]. The analytical
+//! `TransformerConfig::gemm_trace` is just one producer of that IR;
+//! `tests/trace_crossval.rs` pins recorded-vs-analytical agreement.
 
 use crate::config::{ArchConfig, CoreTopology};
 use crate::devices::DeviceRack;
 use crate::energy::EnergyBreakdown;
 use crate::latency::{gemm_cycles_batched, pipeline_latency_ps};
 use crate::memory::{MemoryHierarchy, HBM_BYTES_PER_S, HBM_PJ_PER_BYTE};
+use lt_core::{NonGemmKind, Op, OpKind, Trace};
 use lt_photonics::units::{GigaHertz, MilliJoules, Milliseconds, PicoJoules};
-use lt_workloads::{GemmOp, Module, NonGemmProfile, OperandDynamics, TransformerConfig};
+use lt_workloads::{GemmOp, Module, OperandDynamics, TransformerConfig};
 
 /// Digital non-GEMM energies, pJ per element (efficient hardware units,
 /// paper refs \[21\], \[40\], \[59\]).
@@ -109,21 +117,71 @@ impl Simulator {
         &self.config
     }
 
-    /// Simulates one GEMM op (including its repetition count).
+    /// Simulates one IR op: a GEMM through the photonic datapath, or a
+    /// non-GEMM op through the digital units.
+    pub fn simulate_op(&self, op: &Op) -> RunReport {
+        match *op {
+            Op::Gemm {
+                kind,
+                m,
+                k,
+                n,
+                instances,
+            } => self.gemm_report(kind, m, k, n, instances),
+            Op::NonGemm { kind, elems } => self.non_gemm_report(kind, elems),
+        }
+    }
+
+    /// Simulates one analytical GEMM op (including its repetition count).
     pub fn run_op(&self, op: &GemmOp) -> RunReport {
+        self.gemm_report(op.kind, op.m, op.k, op.n, op.count)
+    }
+
+    /// One non-GEMM digital op: per-element energy on the 500 MHz
+    /// digital units, overlapped with photonic compute (zero modeled
+    /// latency, as in the paper's Table V accounting).
+    fn non_gemm_report(&self, kind: NonGemmKind, elems: u64) -> RunReport {
+        let pj_per_elem = match kind {
+            NonGemmKind::Softmax => SOFTMAX_PJ_PER_ELEM,
+            NonGemmKind::LayerNorm => LAYERNORM_PJ_PER_ELEM,
+            NonGemmKind::Gelu => GELU_PJ_PER_ELEM,
+            NonGemmKind::Residual => RESIDUAL_PJ_PER_ELEM,
+        };
+        RunReport {
+            energy: EnergyBreakdown {
+                digital: MilliJoules(elems as f64 * pj_per_elem * 1e-9),
+                ..EnergyBreakdown::default()
+            },
+            ..RunReport::default()
+        }
+    }
+
+    /// The GEMM cost model shared by the IR and analytical entry points.
+    fn gemm_report(
+        &self,
+        kind: OpKind,
+        op_m: usize,
+        op_k: usize,
+        op_n: usize,
+        instances: usize,
+    ) -> RunReport {
+        // A zero-size GEMM moves no data and fires no device: free.
+        if op_m == 0 || op_k == 0 || op_n == 0 || instances == 0 {
+            return RunReport::default();
+        }
         let c = &self.config;
         let core = c.core;
         let bits = c.precision_bits;
         let period = c.clock.period();
-        let count = op.count as u64;
+        let count = instances as u64;
 
         // Operand mapping: weights ride M1 (spread across tiles), inputs
         // ride M2 (shared across tiles by the optical interconnect) —
         // Fig. 5. Our traces carry weights on the right operand, so
         // weight-static ops are mapped transposed.
-        let (rows, inner, cols) = match op.dynamics() {
-            OperandDynamics::WeightStatic => (op.n, op.k, op.m),
-            OperandDynamics::BothDynamic => (op.m, op.k, op.n),
+        let (rows, inner, cols) = match kind.dynamics() {
+            OperandDynamics::WeightStatic => (op_n, op_k, op_m),
+            OperandDynamics::BothDynamic => (op_m, op_k, op_n),
         };
 
         let tiles_m = rows.div_ceil(core.nh) as u64;
@@ -132,13 +190,13 @@ impl Simulator {
         let t_invocations = tiles_m * tiles_d * tiles_n;
 
         // --- Latency --- (independent instances fill otherwise-idle tiles)
-        let cycles = gemm_cycles_batched(c, rows, inner, cols, op.count);
+        let cycles = gemm_cycles_batched(c, rows, inner, cols, instances);
         let compute_ps = cycles as f64 * period.value()
             + pipeline_latency_ps(core.nh.max(core.nv)) * count as f64;
         // Weight streaming from HBM overlaps with compute (double
         // buffering); the slower of the two gates the op.
-        let hbm_bytes = if op.dynamics() == OperandDynamics::WeightStatic {
-            (op.k * op.n) as f64 * bits as f64 / 8.0 * count as f64
+        let hbm_bytes = if kind.dynamics() == OperandDynamics::WeightStatic {
+            (op_k * op_n) as f64 * bits as f64 / 8.0 * count as f64
         } else {
             0.0
         };
@@ -223,8 +281,19 @@ impl Simulator {
         }
     }
 
-    /// Simulates a full trace (sequential ops).
-    pub fn run_trace(&self, ops: &[GemmOp]) -> RunReport {
+    /// Replays an arbitrary IR trace (sequential ops) — recorded or
+    /// analytical, the simulator does not care which. Identical traces
+    /// produce identical reports (the model is deterministic).
+    pub fn run_trace(&self, trace: &Trace) -> RunReport {
+        let mut report = RunReport::default();
+        for op in trace.ops() {
+            report.merge(&self.simulate_op(op));
+        }
+        report
+    }
+
+    /// Simulates a sequence of analytical GEMM ops.
+    pub fn run_gemm_ops(&self, ops: &[GemmOp]) -> RunReport {
         let mut report = RunReport::default();
         for op in ops {
             report.merge(&self.run_op(op));
@@ -232,31 +301,24 @@ impl Simulator {
         report
     }
 
-    /// Simulates a whole Transformer inference, splitting the report by
-    /// module as in Table V and adding the digital non-GEMM energy.
+    /// Simulates a whole Transformer inference from its analytical IR
+    /// trace ([`TransformerConfig::trace`]), splitting the report by
+    /// module as in Table V. Non-GEMM (digital) work runs in the
+    /// 500 MHz domain overlapped with photonic compute, so it
+    /// contributes energy to `other` and no latency.
     pub fn run_model(&self, model: &TransformerConfig) -> ModelReport {
-        let trace = model.gemm_trace();
+        let trace = model.trace();
         let mut mha = RunReport::default();
         let mut ffn = RunReport::default();
         let mut other = RunReport::default();
-        for op in &trace {
-            let r = self.run_op(op);
+        for op in trace.ops() {
+            let r = self.simulate_op(op);
             match op.module() {
                 Module::Mha => mha.merge(&r),
                 Module::Ffn => ffn.merge(&r),
                 Module::Other => other.merge(&r),
             }
         }
-        // Digital (non-GEMM) work happens in the 500 MHz domain,
-        // overlapped with photonic compute; we charge its energy and fold
-        // its (small) latency into `other`.
-        let prof: NonGemmProfile = model.non_gemm_profile();
-        let digital_pj = prof.softmax_elems as f64 * SOFTMAX_PJ_PER_ELEM
-            + prof.layernorm_elems as f64 * LAYERNORM_PJ_PER_ELEM
-            + prof.gelu_elems as f64 * GELU_PJ_PER_ELEM
-            + prof.residual_elems as f64 * RESIDUAL_PJ_PER_ELEM;
-        other.energy.digital = MilliJoules(digital_pj * 1e-9);
-
         let mut all = RunReport::default();
         all.merge(&mha);
         all.merge(&ffn);
@@ -381,6 +443,76 @@ mod tests {
             + r.other.energy.total().value();
         assert!((sum - r.all.energy.total().value()).abs() < 1e-9);
         assert_eq!(r.mha.cycles + r.ffn.cycles + r.other.cycles, r.all.cycles);
+    }
+
+    #[test]
+    fn run_model_is_replaying_the_analytical_ir_trace() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let model = deit_t();
+        let from_model = sim.run_model(&model);
+        let from_trace = sim.run_trace(&model.trace());
+        assert_eq!(from_model.all.cycles, from_trace.cycles);
+        let e_model = from_model.all.energy.total().value();
+        let e_trace = from_trace.energy.total().value();
+        assert!(
+            (e_model - e_trace).abs() < 1e-9 * e_model.abs().max(1.0),
+            "module bucketing only reorders summation: {e_model} vs {e_trace}"
+        );
+        assert!(
+            (from_model.all.latency.value() - from_trace.latency.value()).abs() < 1e-12,
+            "same latency"
+        );
+    }
+
+    #[test]
+    fn identical_traces_get_identical_reports() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let trace = deit_t().trace();
+        assert_eq!(
+            sim.run_trace(&trace),
+            sim.run_trace(&trace.clone()),
+            "the model is deterministic: same trace, bit-identical report"
+        );
+    }
+
+    #[test]
+    fn non_gemm_ops_charge_digital_energy_and_nothing_else() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let r = sim.simulate_op(&Op::non_gemm(lt_core::NonGemmKind::Softmax, 1_000_000));
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.latency.value(), 0.0);
+        let e = r.energy.total().value();
+        assert_eq!(r.energy.digital.value(), e, "digital is the only term");
+        assert!((e - 1e6 * SOFTMAX_PJ_PER_ELEM * 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coalesced_single_instance_ops_cost_like_the_analytical_batched_op() {
+        // A recorded trace carries one op per head; coalescing merges
+        // them into the same multi-instance op the analytical trace
+        // emits, so both cost identically.
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let per_head = Trace::from_ops(vec![Op::gemm(lt_core::OpKind::AttnQk, 197, 64, 197); 36]);
+        let analytical = GemmOp::new(lt_workloads::OpKind::AttnQk, 197, 64, 197, 36);
+        assert_eq!(sim.run_trace(&per_head.coalesce()), sim.run_op(&analytical));
+        // Uncoalesced, the 36 lone products cannot fill idle tiles, so
+        // they cost at least as many cycles.
+        assert!(sim.run_trace(&per_head).cycles >= sim.run_op(&analytical).cycles);
+    }
+
+    #[test]
+    fn zero_sized_gemm_ops_cost_nothing() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        for op in [
+            Op::gemm(lt_core::OpKind::Ffn1, 0, 64, 64),
+            Op::gemm(lt_core::OpKind::Ffn1, 64, 0, 64),
+            Op::gemm(lt_core::OpKind::AttnQk, 64, 64, 0),
+            Op::gemm_n(lt_core::OpKind::AttnAv, 64, 64, 64, 0),
+        ] {
+            let r = sim.simulate_op(&op);
+            assert_eq!(r.cycles, 0, "{op:?}");
+            assert!(r.energy.total().value().abs() < 1e-18, "{op:?}");
+        }
     }
 
     #[test]

@@ -34,6 +34,12 @@ fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix64 {
     Matrix64::from_fn(rows, cols, |_, _| rng.uniform_in(-1.0, 1.0))
 }
 
+/// Copies a flat matrix into the seed's ragged representation (the
+/// conversion lives here now that the compatibility shims are gone).
+fn ragged(m: &Matrix64) -> Vec<Vec<f64>> {
+    (0..m.rows()).map(|i| m.row(i).to_vec()).collect()
+}
+
 /// The seed's ragged noisy one-shot kernel, reproduced for the
 /// before/after comparison (per-row allocations and all).
 fn ragged_matmul_noisy(
@@ -101,8 +107,8 @@ fn main() {
     println!("{}", ideal.row());
 
     // Before/after: the seed's ragged kernel vs the flat Matrix kernel.
-    let ragged_a = a.to_rows();
-    let ragged_b = b.to_rows();
+    let ragged_a = ragged(&a);
+    let ragged_b = ragged(&b);
     let quiet = NoiseModel::noiseless();
     let ragged_det = bench("one_shot_det/ragged(pre-PR)", || {
         ragged_matmul_noisy(&core, &ragged_a, &ragged_b, &quiet, 7)

@@ -105,7 +105,7 @@ fn serving_sweep() {
                     },
                 );
                 let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
-                let replies: Vec<Tensor> = pending.into_iter().map(|p| p.wait()).collect();
+                let replies: Vec<lt_nn::Reply> = pending.into_iter().map(|p| p.wait()).collect();
                 server.shutdown();
                 replies
             },

@@ -2,11 +2,27 @@
 //!
 //! ```text
 //! repro <experiment>   run one experiment (e.g. `repro table5`)
-//! repro all            run everything
+//! repro all            run everything (also writes BENCH_repro.json)
+//! repro json           write + print BENCH_repro.json only
 //! repro list           list available experiments
 //! ```
+//!
+//! `BENCH_repro.json` is the machine-readable perf/cost snapshot
+//! (per-model cycles/energy/EDP plus record→replay wall-clock); commit
+//! or diff it to track the trajectory across PRs.
 
-use lt_bench::all_experiments;
+use lt_bench::{all_experiments, bench_repro_json};
+
+const JSON_PATH: &str = "BENCH_repro.json";
+
+fn write_json() -> String {
+    let json = bench_repro_json();
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => eprintln!("wrote {JSON_PATH}"),
+        Err(e) => eprintln!("could not write {JSON_PATH}: {e}"),
+    }
+    json
+}
 
 fn main() {
     let arg = std::env::args()
@@ -19,7 +35,11 @@ fn main() {
             for (cmd, desc, _) in &experiments {
                 println!("  {cmd:<8} {desc}");
             }
+            println!("  json     write the machine-readable perf snapshot (BENCH_repro.json)");
             println!("  all      run everything");
+        }
+        "json" => {
+            println!("{}", write_json());
         }
         "all" => {
             for (cmd, desc, run) in &experiments {
@@ -28,6 +48,7 @@ fn main() {
                 println!("================================================================");
                 println!("{}", run());
             }
+            write_json();
         }
         cmd => match experiments.iter().find(|(c, _, _)| *c == cmd) {
             Some((_, desc, run)) => {

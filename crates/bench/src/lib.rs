@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod timing;
 
 pub use experiments::all_experiments;
+pub use report::bench_repro_json;

@@ -1,0 +1,135 @@
+//! `BENCH_repro.json` — the machine-readable perf/cost snapshot the
+//! `repro` binary emits so the trajectory of cycles, energy, EDP, and
+//! compute-path wall-clock is tracked across PRs (diff two checkouts'
+//! files to see what a change cost or saved).
+//!
+//! The workspace has no serde (no crates.io access), so the JSON is
+//! assembled by hand from a fixed, flat schema:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "config": "LT-B",
+//!   "precision_bits": 4,
+//!   "models": [ { "name", "cycles", "energy_mj", "latency_ms",
+//!                 "edp_mj_ms", "fps", "gmacs" }, ... ],
+//!   "compute_path": { "recorded_ops", "recorded_gemm_macs",
+//!                     "forward_record_us", "trace_replay_us" }
+//! }
+//! ```
+//!
+//! `models` replays every paper benchmark's analytical trace through the
+//! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
+//! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
+//! pass on the photonic DPTC backend with a trace recorder attached,
+//! then the recorded trace costed by the simulator.
+
+use crate::timing::bench;
+use lt_arch::{ArchConfig, Simulator};
+use lt_core::{GaussianSampler, TraceRecorder};
+use lt_dptc::DptcBackend;
+use lt_nn::layers::ForwardCtx;
+use lt_nn::model::{Classifier, ModelConfig, VisionTransformer};
+use lt_nn::quant::QuantConfig;
+use lt_nn::{BackendEngine, Tensor};
+use lt_workloads::TransformerConfig;
+
+/// Formats an f64 for JSON (finite, fixed notation, enough digits to
+/// diff meaningfully).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+/// Builds the `BENCH_repro.json` document.
+pub fn bench_repro_json() -> String {
+    let bits = 4;
+    let arch = ArchConfig::lt_base(bits);
+    let sim = Simulator::new(arch.clone());
+
+    let mut models = Vec::new();
+    for model in TransformerConfig::paper_benchmarks() {
+        let r = sim.run_model(&model);
+        models.push(format!(
+            concat!(
+                "    {{ \"name\": \"{}\", \"cycles\": {}, \"energy_mj\": {}, ",
+                "\"latency_ms\": {}, \"edp_mj_ms\": {}, \"fps\": {}, \"gmacs\": {} }}"
+            ),
+            model.name,
+            r.all.cycles,
+            num(r.all.energy.total().value()),
+            num(r.all.latency.value()),
+            num(r.all.edp()),
+            num(r.fps()),
+            num(model.total_macs() as f64 / 1e9),
+        ));
+    }
+
+    // Wall-clock the real compute path: record a tiny ViT forward on the
+    // photonic backend, then replay the trace through the simulator.
+    let mut rng = GaussianSampler::new(7);
+    let mut vit = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+    let patches = Tensor::randn(16, 16, 1.0, &mut rng);
+    let recorder = TraceRecorder::new();
+    let record = bench("forward_record", || {
+        let mut engine = BackendEngine::new(DptcBackend::paper(8, 7), 42);
+        let mut nrng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut engine, QuantConfig::fp32(), &mut nrng)
+            .with_recorder(recorder.clone());
+        let _ = recorder.take(); // keep only the latest pass
+        vit.forward(&patches, &mut ctx)
+    });
+    let trace = recorder.take().coalesce();
+    let replay = bench("trace_replay", || sim.run_trace(&trace));
+
+    format!(
+        "{{\n  \"schema\": 1,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+         \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
+         \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }}\n}}\n",
+        arch.name,
+        bits,
+        models.join(",\n"),
+        trace.len(),
+        trace.total_macs(),
+        num(record.us_per_iter()),
+        num(replay.us_per_iter()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_contains_every_benchmark_and_balances_braces() {
+        let json = bench_repro_json();
+        for name in [
+            "DeiT-T-224",
+            "DeiT-S-224",
+            "DeiT-B-224",
+            "BERT-base-128",
+            "BERT-large-320",
+        ] {
+            assert!(json.contains(name), "missing {name}");
+        }
+        for key in [
+            "\"schema\"",
+            "\"cycles\"",
+            "\"energy_mj\"",
+            "\"edp_mj_ms\"",
+            "\"forward_record_us\"",
+            "\"trace_replay_us\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

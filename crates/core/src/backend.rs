@@ -12,6 +12,7 @@
 //! per-call noise streams.
 
 use crate::matrix::{Matrix64, MatrixView};
+use crate::trace::{Op, OpKind, TraceRecorder};
 use std::fmt;
 
 /// Derives the noise-stream seed of row block `index` of a backend call
@@ -69,6 +70,12 @@ pub fn row_blocks(m: usize, granularity: usize) -> Vec<(usize, usize)> {
 /// whole run is reproducible from one root seed while every call still
 /// sees a fresh noise realization.
 ///
+/// A context may optionally carry a [`TraceRecorder`]
+/// ([`RunCtx::with_recorder`]): callers that route products through
+/// [`ComputeBackend::gemm_traced`] (or call [`RunCtx::record`] directly)
+/// then leave an op-trace IR of the run as a side effect. Recording is
+/// pure observability — it never changes seeds, results, or equality.
+///
 /// ```
 /// use lt_core::RunCtx;
 /// let mut a = RunCtx::new(42);
@@ -76,16 +83,49 @@ pub fn row_blocks(m: usize, granularity: usize) -> Vec<(usize, usize)> {
 /// assert_eq!(a.next_seed(), b.next_seed(), "same root seed, same stream");
 /// assert_ne!(a.next_seed(), b.seed(), "per-call seeds differ from the root");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RunCtx {
     seed: u64,
     calls: u64,
+    recorder: Option<TraceRecorder>,
 }
+
+// Equality is the execution state (seed stream position) only; an
+// attached recorder observes a run without being part of it.
+impl PartialEq for RunCtx {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.calls == other.calls
+    }
+}
+
+impl Eq for RunCtx {}
 
 impl RunCtx {
     /// Creates a context from a root seed.
     pub fn new(seed: u64) -> Self {
-        RunCtx { seed, calls: 0 }
+        RunCtx {
+            seed,
+            calls: 0,
+            recorder: None,
+        }
+    }
+
+    /// Attaches an op-trace recorder (keep a clone to drain it later).
+    pub fn with_recorder(mut self, recorder: TraceRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Records one op if a recorder is attached; a no-op otherwise.
+    pub fn record(&self, op: Op) {
+        if let Some(rec) = &self.recorder {
+            rec.record(op);
+        }
     }
 
     /// The root seed.
@@ -151,6 +191,28 @@ pub trait ComputeBackend: fmt::Debug {
     ///
     /// Implementations panic if the inner dimensions disagree.
     fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, ctx: &mut RunCtx) -> Matrix64;
+
+    /// As [`ComputeBackend::gemm`], but first records the product (with
+    /// its workload role) into the context's attached
+    /// [`TraceRecorder`], if any. This is the raw-`lt-core` entry point
+    /// of the op-trace IR: route products through it and the run leaves
+    /// a replayable [`crate::trace::Trace`] behind. Plain `gemm` never
+    /// records, so layered callers that do their own (role-aware)
+    /// recording — e.g. `lt-nn`'s forward context — cannot double-count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree (as `gemm` does).
+    fn gemm_traced(
+        &self,
+        kind: OpKind,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        ctx: &mut RunCtx,
+    ) -> Matrix64 {
+        ctx.record(Op::gemm(kind, a.rows(), a.cols(), b.cols()));
+        self.gemm(a, b, ctx)
+    }
 
     /// Computes a batch of independent products. The default forwards to
     /// [`ComputeBackend::gemm`] per pair; hardware backends may override
@@ -421,6 +483,24 @@ mod tests {
                 assert!(seen.insert(split_seed(call, block)), "collision");
             }
         }
+    }
+
+    #[test]
+    fn gemm_traced_records_without_changing_results_or_seeds() {
+        use crate::trace::{Op, OpKind, TraceRecorder};
+        let a = Matrix64::from_fn(3, 4, |i, j| (i + j) as f64);
+        let b = Matrix64::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
+        let rec = TraceRecorder::new();
+        let mut traced = RunCtx::new(9).with_recorder(rec.clone());
+        let mut plain = RunCtx::new(9);
+        let got = NativeBackend.gemm_traced(OpKind::Ffn1, a.view(), b.view(), &mut traced);
+        let want = NativeBackend.gemm(a.view(), b.view(), &mut plain);
+        assert_eq!(got, want, "recording never perturbs the result");
+        assert_eq!(traced, plain, "recording never perturbs the seed stream");
+        assert_eq!(rec.take().ops(), &[Op::gemm(OpKind::Ffn1, 3, 4, 2)]);
+        // Without a recorder, gemm_traced degrades to plain gemm.
+        let _ = NativeBackend.gemm_traced(OpKind::Ffn1, a.view(), b.view(), &mut plain);
+        assert!(plain.recorder().is_none());
     }
 
     #[test]

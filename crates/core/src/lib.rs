@@ -14,6 +14,11 @@
 //!   different method: `gemm(a, b, ctx)` is the whole contract, with
 //!   batched ([`ComputeBackend::gemm_batch`]) and accumulating
 //!   ([`ComputeBackend::gemm_accumulate`]) entry points layered on top.
+//! * [`trace`] — the op-trace IR ([`Op`], [`Trace`], [`TraceRecorder`]):
+//!   a hardware-agnostic record of what a workload executed, emitted as
+//!   a side effect of real execution (via [`RunCtx::with_recorder`] and
+//!   [`ComputeBackend::gemm_traced`]) or derived analytically, and
+//!   replayed by `lt-arch`'s simulator to cost the run.
 //!
 //! The crate also hosts [`noise::GaussianSampler`], the deterministic
 //! noise source every stochastic model draws from, and [`RunCtx`], the
@@ -43,6 +48,7 @@ pub mod backend;
 pub mod matrix;
 pub mod noise;
 pub mod quant;
+pub mod trace;
 
 pub use backend::{
     blocked_gemm, blocked_gemm_with_seed, row_blocks, split_seed, ComputeBackend, NativeBackend,
@@ -51,3 +57,4 @@ pub use backend::{
 pub use matrix::{reference_gemm, Matrix, Matrix32, Matrix64, MatrixView, Scalar};
 pub use noise::GaussianSampler;
 pub use quant::Quantizer;
+pub use trace::{Module, NonGemmKind, Op, OpKind, OperandDynamics, Trace, TraceRecorder};

@@ -120,35 +120,6 @@ impl<T: Scalar> Matrix<T> {
         Matrix { rows, cols, data }
     }
 
-    /// Builds a matrix from ragged rows (the legacy `Vec<Vec<_>>`
-    /// representation). Exists for the deprecated compatibility shims.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the rows have unequal lengths.
-    pub fn from_rows(rows: &[Vec<T>]) -> Self {
-        let r = rows.len();
-        let c = rows.first().map_or(0, Vec::len);
-        assert!(
-            rows.iter().all(|row| row.len() == c),
-            "ragged rows cannot form a matrix"
-        );
-        let mut data = Vec::with_capacity(r * c);
-        for row in rows {
-            data.extend_from_slice(row);
-        }
-        Matrix {
-            rows: r,
-            cols: c,
-            data,
-        }
-    }
-
-    /// Converts to ragged rows (legacy representation, shims only).
-    pub fn to_rows(&self) -> Vec<Vec<T>> {
-        (0..self.rows).map(|i| self.row(i).to_vec()).collect()
-    }
-
     /// Gaussian-initialized matrix (mean 0, the given std), deterministic
     /// per seed source.
     pub fn randn(rows: usize, cols: usize, std: T, rng: &mut GaussianSampler) -> Self {
@@ -612,14 +583,6 @@ mod tests {
     }
 
     #[test]
-    fn ragged_round_trip() {
-        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
-        let m = Matrix64::from_rows(&rows);
-        assert_eq!(m.shape(), (3, 2));
-        assert_eq!(m.to_rows(), rows);
-    }
-
-    #[test]
     fn views_slice_without_copying() {
         let m = Matrix64::from_fn(6, 8, |i, j| (i * 8 + j) as f64);
         let v = m.view();
@@ -686,11 +649,5 @@ mod tests {
     #[should_panic(expected = "matmul shape mismatch")]
     fn bad_matmul_rejected() {
         Matrix64::zeros(2, 3).matmul(&Matrix64::zeros(2, 3));
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged rows")]
-    fn ragged_input_rejected() {
-        Matrix64::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
     }
 }

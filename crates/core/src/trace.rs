@@ -1,0 +1,431 @@
+//! The op-trace IR: a hardware-agnostic record of what a workload
+//! actually executed.
+//!
+//! The paper evaluates the accelerator by running transformer GEMM
+//! traces through its architectural model (Table V, Figs. 11-13). In
+//! this workspace the trace is a first-class value: an [`Op`] is one
+//! operation (a GEMM with its dimensions and instance count, or a
+//! non-GEMM digital op with its element count), a [`Trace`] is a
+//! sequence of them, and a [`TraceRecorder`] is a shared sink that
+//! execution layers append to *while actually computing*.
+//!
+//! Two producers speak this IR:
+//!
+//! * **recorded traces** — `lt-nn` forward passes append every routed
+//!   matmul (with its [`OpKind`] role) and every softmax / LayerNorm /
+//!   GELU / residual to the recorder attached to their forward context,
+//!   so the trace is a faithful side effect of real execution;
+//! * **analytical traces** — `lt_workloads::TransformerConfig` derives
+//!   the same IR from model hyper-parameters alone.
+//!
+//! One consumer replays them: `lt_arch::Simulator::run_trace` costs an
+//! arbitrary `Trace` in cycles, itemized energy, latency, and EDP. The
+//! recorded-vs-analytical agreement is pinned by
+//! `tests/trace_crossval.rs`.
+
+use std::sync::{Arc, Mutex};
+
+/// What role a GEMM plays inside the Transformer.
+///
+/// The role determines two things the hardware model cares about:
+/// whether an operand is a fixed weight ([`OpKind::dynamics`] — the
+/// distinction at the heart of the paper, Section II-C) and which
+/// module the cost is attributed to ([`OpKind::module`], Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Patch embedding (vision models): flattened patches times projection.
+    PatchEmbed,
+    /// Q/K/V linear projections.
+    QkvProj,
+    /// The attention score product `Q K^T` — both operands dynamic.
+    AttnQk,
+    /// The attention aggregation `A V` — both operands dynamic.
+    AttnAv,
+    /// The attention output projection.
+    OutProj,
+    /// First FFN linear (expansion).
+    Ffn1,
+    /// Second FFN linear (contraction).
+    Ffn2,
+    /// The classification head.
+    Classifier,
+    /// Any other product (untagged matmuls record as this; treated as
+    /// weight-static, attributed to [`Module::Other`]).
+    Other,
+}
+
+impl OpKind {
+    /// Whether both operands are runtime activations (see
+    /// [`OperandDynamics`]).
+    pub fn dynamics(&self) -> OperandDynamics {
+        match self {
+            OpKind::AttnQk | OpKind::AttnAv => OperandDynamics::BothDynamic,
+            _ => OperandDynamics::WeightStatic,
+        }
+    }
+
+    /// Module attribution per the paper's Table V.
+    pub fn module(&self) -> Module {
+        match self {
+            OpKind::AttnQk | OpKind::AttnAv => Module::Mha,
+            OpKind::Ffn1 | OpKind::Ffn2 => Module::Ffn,
+            _ => Module::Other,
+        }
+    }
+}
+
+/// Whether both GEMM operands are runtime activations or one is a fixed
+/// weight matrix — the distinction at the heart of the paper (Section II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandDynamics {
+    /// One operand is a learned weight: weight-static PTCs can amortize its
+    /// mapping cost across inputs.
+    WeightStatic,
+    /// Both operands are activations generated at runtime: weight-static
+    /// PTCs must remap/reprogram per tile, which the paper shows is
+    /// unaffordable.
+    BothDynamic,
+}
+
+/// The module attribution used by the paper's Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Multi-head attention — only the dynamic products `Q K^T` and `A V`.
+    Mha,
+    /// The feed-forward network linears.
+    Ffn,
+    /// Everything else (projections, embeddings, classifier, digital ops).
+    Other,
+}
+
+/// A non-GEMM operation executed on the digital units (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NonGemmKind {
+    /// Row-wise softmax over attention scores.
+    Softmax,
+    /// Layer normalization.
+    LayerNorm,
+    /// GELU activation.
+    Gelu,
+    /// Residual (shortcut) addition.
+    Residual,
+}
+
+/// One operation of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    /// `instances` independent executions of a `[m, k] x [k, n]` GEMM
+    /// (e.g. the per-head attention products, or one linear repeated
+    /// across layers). Independent instances matter to the hardware
+    /// model: they fill tiles a single small product would leave idle.
+    Gemm {
+        /// Operation role.
+        kind: OpKind,
+        /// Rows of the left operand.
+        m: usize,
+        /// Shared (inner) dimension.
+        k: usize,
+        /// Columns of the right operand.
+        n: usize,
+        /// Number of independent executions.
+        instances: usize,
+    },
+    /// A digital op over `elems` elements.
+    NonGemm {
+        /// Which digital unit runs it.
+        kind: NonGemmKind,
+        /// Elements processed.
+        elems: u64,
+    },
+}
+
+impl Op {
+    /// A single-instance GEMM.
+    pub fn gemm(kind: OpKind, m: usize, k: usize, n: usize) -> Self {
+        Op::gemm_n(kind, m, k, n, 1)
+    }
+
+    /// A GEMM with an explicit instance count.
+    pub fn gemm_n(kind: OpKind, m: usize, k: usize, n: usize, instances: usize) -> Self {
+        Op::Gemm {
+            kind,
+            m,
+            k,
+            n,
+            instances,
+        }
+    }
+
+    /// A non-GEMM digital op.
+    pub fn non_gemm(kind: NonGemmKind, elems: u64) -> Self {
+        Op::NonGemm { kind, elems }
+    }
+
+    /// MACs of a single GEMM instance (0 for non-GEMM ops).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Op::Gemm { m, k, n, .. } => (m as u64) * (k as u64) * (n as u64),
+            Op::NonGemm { .. } => 0,
+        }
+    }
+
+    /// MACs across all instances (0 for non-GEMM ops).
+    pub fn total_macs(&self) -> u64 {
+        match *self {
+            Op::Gemm { instances, .. } => self.macs() * instances as u64,
+            Op::NonGemm { .. } => 0,
+        }
+    }
+
+    /// Operand dynamics (GEMMs only).
+    pub fn dynamics(&self) -> Option<OperandDynamics> {
+        match self {
+            Op::Gemm { kind, .. } => Some(kind.dynamics()),
+            Op::NonGemm { .. } => None,
+        }
+    }
+
+    /// Module attribution (non-GEMM work is digital, hence
+    /// [`Module::Other`], matching the paper's Table V accounting).
+    pub fn module(&self) -> Module {
+        match self {
+            Op::Gemm { kind, .. } => kind.module(),
+            Op::NonGemm { .. } => Module::Other,
+        }
+    }
+}
+
+/// An ordered sequence of [`Op`]s — the unit the simulator replays.
+///
+/// ```
+/// use lt_core::trace::{NonGemmKind, Op, OpKind, Trace};
+/// let mut t = Trace::new();
+/// t.push(Op::gemm(OpKind::AttnQk, 17, 2, 17));
+/// t.push(Op::gemm(OpKind::AttnQk, 17, 2, 17));
+/// t.push(Op::non_gemm(NonGemmKind::Softmax, 17 * 17));
+/// assert_eq!(t.total_macs(), 2 * 17 * 2 * 17);
+/// // Coalescing merges identical GEMMs into one multi-instance op.
+/// let c = t.coalesce();
+/// assert_eq!(c.ops(), &[
+///     Op::gemm_n(OpKind::AttnQk, 17, 2, 17, 2),
+///     Op::non_gemm(NonGemmKind::Softmax, 17 * 17),
+/// ]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps an op list.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Trace { ops }
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends many ops.
+    pub fn extend(&mut self, ops: impl IntoIterator<Item = Op>) {
+        self.ops.extend(ops);
+    }
+
+    /// The recorded ops, in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total multiply-accumulate count over all GEMM ops.
+    pub fn total_macs(&self) -> u64 {
+        self.ops.iter().map(Op::total_macs).sum()
+    }
+
+    /// Only the GEMM ops, preserving order.
+    pub fn gemm_only(&self) -> Trace {
+        Trace {
+            ops: self
+                .ops
+                .iter()
+                .filter(|op| matches!(op, Op::Gemm { .. }))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The canonical coalesced form: GEMMs with identical
+    /// `(kind, m, k, n)` merge into one op with summed `instances`;
+    /// non-GEMM ops of the same kind merge with summed `elems`; ops are
+    /// sorted by their IR ordering. Two traces describe the same batched
+    /// workload iff their coalesced forms are equal — that is the form
+    /// the cross-validation tests compare and the serving layer costs
+    /// (merged instances fill hardware tiles exactly like the analytical
+    /// per-head counts do).
+    pub fn coalesce(&self) -> Trace {
+        use std::collections::BTreeMap;
+        let mut gemms: BTreeMap<(OpKind, usize, usize, usize), usize> = BTreeMap::new();
+        let mut digital: BTreeMap<NonGemmKind, u64> = BTreeMap::new();
+        for op in &self.ops {
+            match *op {
+                Op::Gemm {
+                    kind,
+                    m,
+                    k,
+                    n,
+                    instances,
+                } => *gemms.entry((kind, m, k, n)).or_insert(0) += instances,
+                Op::NonGemm { kind, elems } => *digital.entry(kind).or_insert(0) += elems,
+            }
+        }
+        let mut ops: Vec<Op> = gemms
+            .into_iter()
+            .map(|((kind, m, k, n), instances)| Op::gemm_n(kind, m, k, n, instances))
+            .collect();
+        ops.extend(
+            digital
+                .into_iter()
+                .map(|(kind, elems)| Op::non_gemm(kind, elems)),
+        );
+        Trace { ops }
+    }
+}
+
+/// A cloneable, thread-safe sink that execution layers record [`Op`]s
+/// into. Clones share one buffer, so a recorder can be attached to a
+/// context, kept by the caller, and drained after the forward pass:
+///
+/// ```
+/// use lt_core::trace::{Op, OpKind, TraceRecorder};
+/// let rec = TraceRecorder::new();
+/// let handle = rec.clone(); // shares the same buffer
+/// handle.record(Op::gemm(OpKind::Ffn1, 4, 8, 16));
+/// let trace = rec.take();
+/// assert_eq!(trace.len(), 1);
+/// assert!(rec.take().is_empty(), "take drains the shared buffer");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<Trace>>,
+}
+
+impl TraceRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Appends one op.
+    pub fn record(&self, op: Op) {
+        self.inner.lock().expect("trace recorder poisoned").push(op);
+    }
+
+    /// Copies the current contents without draining.
+    pub fn snapshot(&self) -> Trace {
+        self.inner.lock().expect("trace recorder poisoned").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Trace {
+        std::mem::take(&mut *self.inner.lock().expect("trace recorder poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accounting() {
+        let g = Op::gemm_n(OpKind::AttnQk, 197, 64, 197, 36);
+        assert_eq!(g.macs(), 197 * 64 * 197);
+        assert_eq!(g.total_macs(), 197 * 64 * 197 * 36);
+        assert_eq!(g.dynamics(), Some(OperandDynamics::BothDynamic));
+        assert_eq!(g.module(), Module::Mha);
+        let d = Op::non_gemm(NonGemmKind::Gelu, 1000);
+        assert_eq!(d.total_macs(), 0);
+        assert_eq!(d.dynamics(), None);
+        assert_eq!(d.module(), Module::Other);
+    }
+
+    #[test]
+    fn kind_classification_matches_the_paper() {
+        for kind in [
+            OpKind::PatchEmbed,
+            OpKind::QkvProj,
+            OpKind::OutProj,
+            OpKind::Ffn1,
+            OpKind::Ffn2,
+            OpKind::Classifier,
+            OpKind::Other,
+        ] {
+            assert_eq!(kind.dynamics(), OperandDynamics::WeightStatic);
+        }
+        assert_eq!(OpKind::AttnQk.dynamics(), OperandDynamics::BothDynamic);
+        assert_eq!(OpKind::AttnAv.module(), Module::Mha);
+        assert_eq!(OpKind::Ffn1.module(), Module::Ffn);
+        assert_eq!(OpKind::QkvProj.module(), Module::Other);
+    }
+
+    #[test]
+    fn coalesce_merges_and_canonicalizes() {
+        let mut a = Trace::new();
+        a.push(Op::gemm(OpKind::AttnAv, 5, 5, 2));
+        a.push(Op::gemm(OpKind::AttnQk, 5, 2, 5));
+        a.push(Op::gemm(OpKind::AttnQk, 5, 2, 5));
+        a.push(Op::non_gemm(NonGemmKind::Softmax, 25));
+        a.push(Op::non_gemm(NonGemmKind::Softmax, 25));
+        let mut b = Trace::new();
+        b.push(Op::non_gemm(NonGemmKind::Softmax, 50));
+        b.push(Op::gemm_n(OpKind::AttnQk, 5, 2, 5, 2));
+        b.push(Op::gemm(OpKind::AttnAv, 5, 5, 2));
+        assert_eq!(a.coalesce(), b.coalesce(), "order/merging is canonical");
+        assert_eq!(a.coalesce().total_macs(), a.total_macs());
+    }
+
+    #[test]
+    fn gemm_only_strips_digital_ops() {
+        let t = Trace::from_ops(vec![
+            Op::gemm(OpKind::Ffn1, 2, 3, 4),
+            Op::non_gemm(NonGemmKind::LayerNorm, 9),
+        ]);
+        assert_eq!(t.gemm_only().len(), 1);
+        assert_eq!(t.gemm_only().total_macs(), t.total_macs());
+    }
+
+    #[test]
+    fn recorder_is_shared_across_clones_and_threads() {
+        let rec = TraceRecorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        rec.record(Op::gemm(OpKind::Other, 1, 1, 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.snapshot().len(), 40);
+        assert_eq!(rec.take().len(), 40);
+        assert!(rec.snapshot().is_empty());
+    }
+}

@@ -119,8 +119,8 @@ impl DdotCircuit {
     }
 
     /// As [`DdotCircuit::dot_noisy`] but drawing from a caller-managed RNG
-    /// — used by [`crate::Dptc::matmul_circuit`] so that a whole crossbar
-    /// shares one reproducible noise stream.
+    /// — used by [`crate::Dptc::matmul`] at `Fidelity::Circuit` so that a
+    /// whole crossbar shares one reproducible noise stream.
     pub fn dot_noisy_with(
         &self,
         x: &[f64],

@@ -11,8 +11,8 @@
 //! Simulation fidelity is selected by [`Fidelity`], not by calling a
 //! different method: [`Dptc::matmul`] (one-shot, core-geometry operands)
 //! and [`Dptc::gemm`] (tiled, arbitrary shapes) are the whole compute
-//! API. The legacy ragged-`Vec<Vec<f64>>` methods remain as deprecated
-//! shims for one release.
+//! API. The seed's legacy ragged-`Vec<Vec<f64>>`
+//! shims were removed once nothing in-tree used them.
 
 use crate::backend::Fidelity;
 use crate::circuit::DdotCircuit;
@@ -463,139 +463,6 @@ impl Dptc {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated ragged-`Vec<Vec<f64>>` shims (one release of compatibility).
-// ---------------------------------------------------------------------------
-
-impl Dptc {
-    /// One-shot exact matrix product over ragged rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand shapes do not match the core geometry.
-    #[doc(hidden)] // deprecated shim: see the note for the replacement
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Ideal)` with `lt_core::Matrix64`"
-    )]
-    pub fn matmul_ideal(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
-        self.matmul(am.view(), bm.view(), &Fidelity::Ideal)
-            .to_rows()
-    }
-
-    /// One-shot noisy matrix product over ragged rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand shapes do not match the core geometry.
-    #[doc(hidden)] // deprecated shim: see the note for the replacement
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::AnalyticNoisy { noise, seed })`"
-    )]
-    pub fn matmul_noisy(
-        &self,
-        a: &[Vec<f64>],
-        b: &[Vec<f64>],
-        noise: &NoiseModel,
-        seed: u64,
-    ) -> Vec<Vec<f64>> {
-        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
-        self.matmul(
-            am.view(),
-            bm.view(),
-            &Fidelity::AnalyticNoisy {
-                noise: *noise,
-                seed,
-            },
-        )
-        .to_rows()
-    }
-
-    /// Noisy one-shot MM with caller-managed RNG and precomputed
-    /// coefficients, over ragged rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand shapes do not match the core geometry.
-    #[doc(hidden)] // deprecated shim: see the note for the replacement
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dptc::matmul` with `Fidelity::AnalyticNoisy`; the coefficient cache is now internal"
-    )]
-    pub fn matmul_noisy_with(
-        &self,
-        a: &[Vec<f64>],
-        b: &[Vec<f64>],
-        noise: &NoiseModel,
-        coeffs: &WavelengthCoefficients,
-        rng: &mut GaussianSampler,
-    ) -> Vec<Vec<f64>> {
-        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
-        self.mm_noisy_with(am.view(), bm.view(), noise, coeffs, rng)
-            .to_rows()
-    }
-
-    /// One-shot MM at circuit-level fidelity over ragged rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand shapes do not match the core geometry.
-    #[doc(hidden)] // deprecated shim: see the note for the replacement
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dptc::matmul(a.view(), b.view(), &Fidelity::Circuit { noise, seed })`"
-    )]
-    pub fn matmul_circuit(
-        &self,
-        a: &[Vec<f64>],
-        b: &[Vec<f64>],
-        noise: &NoiseModel,
-        seed: u64,
-    ) -> Vec<Vec<f64>> {
-        let (am, bm) = (Matrix64::from_rows(a), Matrix64::from_rows(b));
-        self.matmul(
-            am.view(),
-            bm.view(),
-            &Fidelity::Circuit {
-                noise: *noise,
-                seed,
-            },
-        )
-        .to_rows()
-    }
-
-    /// Exact tiled GEMM over flat slices with explicit dimensions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if slice lengths do not match the given dimensions.
-    #[doc(hidden)] // deprecated shim: see the note for the replacement
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dptc::gemm_quantized(a.view(), b.view(), bits)` with `lt_core::Matrix64`"
-    )]
-    pub fn gemm_exact_quantized(
-        &self,
-        a: &[f64],
-        b: &[f64],
-        m: usize,
-        d: usize,
-        n: usize,
-        bits: u32,
-    ) -> Vec<f64> {
-        assert_eq!(a.len(), m * d, "left operand length mismatch");
-        assert_eq!(b.len(), d * n, "right operand length mismatch");
-        self.gemm_quantized(
-            MatrixView::from_slice(m, d, a),
-            MatrixView::from_slice(d, n, b),
-            bits,
-        )
-        .into_vec()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -782,40 +649,6 @@ mod tests {
         let o1 = core.gemm(a.view(), b.view(), 4, &paper_noisy(42));
         let o2 = core.gemm(a.view(), b.view(), 4, &paper_noisy(42));
         assert_eq!(o1, o2);
-    }
-
-    #[test]
-    fn deprecated_shims_forward_to_the_new_api() {
-        #![allow(deprecated)]
-        let core = Dptc::new(DptcConfig::lt_paper());
-        let mut rng = GaussianSampler::new(17);
-        let a = rand_matrix(&mut rng, 12, 12);
-        let b = rand_matrix(&mut rng, 12, 12);
-        let ragged_a = a.to_rows();
-        let ragged_b = b.to_rows();
-
-        let ideal_new = core.matmul(a.view(), b.view(), &Fidelity::Ideal);
-        let ideal_old = core.matmul_ideal(&ragged_a, &ragged_b);
-        assert_eq!(Matrix64::from_rows(&ideal_old), ideal_new);
-
-        let nm = NoiseModel::paper_default();
-        let noisy_new = core.matmul(a.view(), b.view(), &paper_noisy(5));
-        let noisy_old = core.matmul_noisy(&ragged_a, &ragged_b, &nm, 5);
-        assert_eq!(Matrix64::from_rows(&noisy_old), noisy_new);
-
-        let circuit_new = core.matmul(
-            a.view(),
-            b.view(),
-            &Fidelity::Circuit { noise: nm, seed: 5 },
-        );
-        let circuit_old = core.matmul_circuit(&ragged_a, &ragged_b, &nm, 5);
-        assert_eq!(Matrix64::from_rows(&circuit_old), circuit_new);
-
-        let flat_a: Vec<f64> = a.data().to_vec();
-        let flat_b: Vec<f64> = b.data().to_vec();
-        let q_old = core.gemm_exact_quantized(&flat_a, &flat_b, 12, 12, 12, 8);
-        let q_new = core.gemm_quantized(a.view(), b.view(), 8);
-        assert_eq!(q_old, q_new.data());
     }
 
     #[test]

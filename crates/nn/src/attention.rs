@@ -8,6 +8,7 @@
 
 use crate::layers::{softmax_rows, softmax_rows_backward, ForwardCtx, Linear, Param};
 use crate::tensor::Tensor;
+use lt_core::trace::{NonGemmKind, OpKind};
 use lt_photonics::noise::GaussianSampler;
 
 /// Multi-head self-attention over a `[tokens, dim]` sequence.
@@ -48,10 +49,10 @@ impl MultiHeadAttention {
         MultiHeadAttention {
             dim,
             heads,
-            wq: Linear::new(dim, dim, rng),
-            wk: Linear::new(dim, dim, rng),
-            wv: Linear::new(dim, dim, rng),
-            wo: Linear::new(dim, dim, rng),
+            wq: Linear::new(dim, dim, rng).with_role(OpKind::QkvProj),
+            wk: Linear::new(dim, dim, rng).with_role(OpKind::QkvProj),
+            wv: Linear::new(dim, dim, rng).with_role(OpKind::QkvProj),
+            wo: Linear::new(dim, dim, rng).with_role(OpKind::OutProj),
             cache: None,
         }
     }
@@ -77,10 +78,13 @@ impl MultiHeadAttention {
             let kh = k.col_slice(h * dh, dh);
             let vh = v.col_slice(h * dh, dh);
             // Q K^T — a dynamic-dynamic product (through the engine).
-            let scores = ctx.matmul(&qh, &kh.transpose()).scale(scale);
+            let scores = ctx
+                .matmul_as(OpKind::AttnQk, &qh, &kh.transpose())
+                .scale(scale);
+            ctx.record_non_gemm(NonGemmKind::Softmax, (scores.rows() * scores.cols()) as u64);
             let a = softmax_rows(&scores);
             // A V — the second dynamic product.
-            let oh = ctx.matmul(&a, &vh);
+            let oh = ctx.matmul_as(OpKind::AttnAv, &a, &vh);
             concat.set_col_slice(h * dh, &oh);
             probs.push(a);
         }

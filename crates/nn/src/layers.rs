@@ -3,6 +3,7 @@
 use crate::engine::MatmulEngine;
 use crate::quant::QuantConfig;
 use crate::tensor::Tensor;
+use lt_core::trace::{NonGemmKind, Op, OpKind, TraceRecorder};
 use lt_photonics::noise::GaussianSampler;
 
 /// A trainable parameter with its gradient and Adam state.
@@ -61,7 +62,16 @@ impl Param {
 }
 
 /// Per-forward execution context: which backend multiplies matrices, how
-/// operands are quantized, and whether training-time noise is injected.
+/// operands are quantized, whether training-time noise is injected, and
+/// — optionally — where the executed ops are recorded.
+///
+/// When a [`TraceRecorder`] is attached ([`ForwardCtx::with_recorder`]),
+/// every routed matmul is appended with its workload role and the
+/// layers report their non-GEMM element counts, so a forward pass
+/// leaves behind an `lt_core::Trace` of what it actually executed — the
+/// input to `lt_arch::Simulator::run_trace`. Recording is pure
+/// observability: it changes no numerics and costs two integer pushes
+/// per op when enabled, nothing when not.
 #[derive(Debug)]
 pub struct ForwardCtx<'a> {
     /// Matmul backend (exact for training, photonic for noisy inference).
@@ -75,10 +85,12 @@ pub struct ForwardCtx<'a> {
     pub train_noise_std: f32,
     /// Noise source for training-time injection.
     pub rng: &'a mut GaussianSampler,
+    /// Optional op-trace sink (keep a clone to drain after the pass).
+    pub recorder: Option<TraceRecorder>,
 }
 
 impl<'a> ForwardCtx<'a> {
-    /// An inference context (no training noise).
+    /// An inference context (no training noise, no recording).
     pub fn inference(
         engine: &'a mut dyn MatmulEngine,
         quant: QuantConfig,
@@ -90,14 +102,40 @@ impl<'a> ForwardCtx<'a> {
             training: false,
             train_noise_std: 0.0,
             rng,
+            recorder: None,
         }
     }
 
-    /// Executes a (possibly noisy, possibly quantized) matmul.
+    /// Attaches an op-trace recorder.
+    pub fn with_recorder(mut self, recorder: TraceRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Records one op if a recorder is attached; a no-op otherwise.
+    pub fn record(&self, op: Op) {
+        if let Some(rec) = &self.recorder {
+            rec.record(op);
+        }
+    }
+
+    /// Reports a non-GEMM digital op (softmax / LayerNorm / GELU /
+    /// residual) over `elems` elements.
+    pub fn record_non_gemm(&self, kind: NonGemmKind, elems: u64) {
+        self.record(Op::non_gemm(kind, elems));
+    }
+
+    /// Executes a (possibly noisy, possibly quantized) matmul, recorded
+    /// as an untagged [`OpKind::Other`] product.
     pub fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        self.matmul_as(OpKind::Other, a, b)
+    }
+
+    /// As [`ForwardCtx::matmul`], recorded under the given workload role.
+    pub fn matmul_as(&mut self, kind: OpKind, a: &Tensor, b: &Tensor) -> Tensor {
         let aq = self.quant.apply(a);
         let bq = self.quant.apply(b);
-        self.matmul_prequantized(&aq, &bq)
+        self.matmul_prequantized_as(kind, &aq, &bq)
     }
 
     /// As [`ForwardCtx::matmul`] but for operands the caller has already
@@ -106,6 +144,13 @@ impl<'a> ForwardCtx<'a> {
     /// Quantization is idempotent, so the result is identical to
     /// [`ForwardCtx::matmul`] on the raw operands.
     pub fn matmul_prequantized(&mut self, aq: &Tensor, bq: &Tensor) -> Tensor {
+        self.matmul_prequantized_as(OpKind::Other, aq, bq)
+    }
+
+    /// As [`ForwardCtx::matmul_prequantized`], recorded under the given
+    /// workload role.
+    pub fn matmul_prequantized_as(&mut self, kind: OpKind, aq: &Tensor, bq: &Tensor) -> Tensor {
+        self.record(Op::gemm(kind, aq.rows(), aq.cols(), bq.cols()));
         let mut y = self.engine.matmul(aq, bq);
         if self.training && self.train_noise_std > 0.0 {
             let std = self.train_noise_std;
@@ -123,6 +168,9 @@ pub struct Linear {
     pub w: Param,
     /// Bias, `1 x out`.
     pub b: Param,
+    /// Workload role this linear's product records as (defaults to
+    /// [`OpKind::Other`]; set via [`Linear::with_role`]).
+    pub role: OpKind,
     cache_x: Option<Tensor>,
     cache_w: Option<Tensor>,
 }
@@ -134,9 +182,17 @@ impl Linear {
         Linear {
             w: Param::new(Tensor::randn(inputs, outputs, std, rng)),
             b: Param::new(Tensor::zeros(1, outputs)),
+            role: OpKind::Other,
             cache_x: None,
             cache_w: None,
         }
+    }
+
+    /// Tags the layer with its workload role, so recorded traces carry
+    /// the same op vocabulary as the analytical ones.
+    pub fn with_role(mut self, role: OpKind) -> Self {
+        self.role = role;
+        self
     }
 
     /// Forward pass; caches (quantized) operands for backward.
@@ -144,7 +200,7 @@ impl Linear {
         let xq = ctx.quant.apply(x);
         let wq = ctx.quant.apply(&self.w.value);
         let y = ctx
-            .matmul_prequantized(&xq, &wq)
+            .matmul_prequantized_as(self.role, &xq, &wq)
             .add_row_broadcast(&self.b.value);
         self.cache_x = Some(xq);
         self.cache_w = Some(wq);
@@ -548,6 +604,7 @@ mod tests {
             training: true,
             train_noise_std: 0.05,
             rng: &mut nrng,
+            recorder: None,
         };
         let y1 = layer.forward(&x, &mut ctx);
         let y2 = layer.forward(&x, &mut ctx);

@@ -25,7 +25,14 @@
 //!   DeiT/BERT-style requests coalesced through
 //!   [`lt_runtime::BatchQueue`] and executed on worker threads over any
 //!   backend (wrap it in [`lt_runtime::ParallelBackend`] for intra-GEMM
-//!   parallelism)
+//!   parallelism); every [`serve::Reply`] carries the request's recorded
+//!   op trace and its hardware cost ([`lt_arch::RunReport`])
+//!
+//! Forward passes speak the op-trace IR: attach an
+//! [`lt_core::TraceRecorder`] to a [`layers::ForwardCtx`]
+//! and the pass records every GEMM (with its workload role) and every
+//! non-GEMM element count while computing — the record half of the
+//! record→replay pipeline that `lt_arch::Simulator::run_trace` completes.
 //!
 //! # Example
 //!
@@ -61,5 +68,5 @@ pub mod train;
 
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use model::{TextClassifier, VisionTransformer};
-pub use serve::{Request, ServeConfig, Server};
+pub use serve::{Reply, Request, ServeConfig, Server};
 pub use tensor::Tensor;

@@ -4,6 +4,7 @@
 use crate::attention::MultiHeadAttention;
 use crate::layers::{ForwardCtx, Gelu, LayerNorm, Linear, Param};
 use crate::tensor::Tensor;
+use lt_core::trace::{NonGemmKind, OpKind};
 use lt_photonics::noise::GaussianSampler;
 
 /// A pre-LN Transformer encoder block (paper Eq. 1):
@@ -25,25 +26,33 @@ impl EncoderBlock {
             ln1: LayerNorm::new(dim),
             attn: MultiHeadAttention::new(dim, heads, rng),
             ln2: LayerNorm::new(dim),
-            ffn1: Linear::new(dim, ffn_dim, rng),
+            ffn1: Linear::new(dim, ffn_dim, rng).with_role(OpKind::Ffn1),
             gelu: Gelu::new(),
-            ffn2: Linear::new(ffn_dim, dim, rng),
+            ffn2: Linear::new(ffn_dim, dim, rng).with_role(OpKind::Ffn2),
         }
     }
 
-    /// Forward pass over `[tokens, dim]`.
+    /// Forward pass over `[tokens, dim]`. Non-GEMM work (the two
+    /// LayerNorms, the GELU, and both residual additions) reports its
+    /// element counts to the context's trace recorder, if any.
     pub fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let elems = (x.rows() * x.cols()) as u64;
         let attn_out = {
+            ctx.record_non_gemm(NonGemmKind::LayerNorm, elems);
             let normed = self.ln1.forward(x);
             self.attn.forward(&normed, ctx)
         };
+        ctx.record_non_gemm(NonGemmKind::Residual, elems);
         let x1 = x.add(&attn_out);
         let ffn_out = {
+            ctx.record_non_gemm(NonGemmKind::LayerNorm, elems);
             let normed = self.ln2.forward(&x1);
             let h = self.ffn1.forward(&normed, ctx);
+            ctx.record_non_gemm(NonGemmKind::Gelu, (h.rows() * h.cols()) as u64);
             let h = self.gelu.forward(&h);
             self.ffn2.forward(&h, ctx)
         };
+        ctx.record_non_gemm(NonGemmKind::Residual, elems);
         x1.add(&ffn_out)
     }
 
@@ -157,14 +166,14 @@ impl VisionTransformer {
     ) -> Self {
         VisionTransformer {
             config,
-            patch_embed: Linear::new(patch_dim, config.dim, rng),
+            patch_embed: Linear::new(patch_dim, config.dim, rng).with_role(OpKind::PatchEmbed),
             cls_token: Param::new(Tensor::randn(1, config.dim, 0.02, rng)),
             pos_embed: Param::new(Tensor::randn(num_patches + 1, config.dim, 0.02, rng)),
             blocks: (0..config.layers)
                 .map(|_| EncoderBlock::new(config.dim, config.heads, config.ffn_dim, rng))
                 .collect(),
             ln_f: LayerNorm::new(config.dim),
-            head: Linear::new(config.dim, config.classes, rng),
+            head: Linear::new(config.dim, config.classes, rng).with_role(OpKind::Classifier),
             cache_tokens: 0,
         }
     }
@@ -195,6 +204,7 @@ impl Classifier<Tensor> for VisionTransformer {
         for block in &mut self.blocks {
             h = block.forward(&h, ctx);
         }
+        ctx.record_non_gemm(NonGemmKind::LayerNorm, (h.rows() * h.cols()) as u64);
         let h = self.ln_f.forward(&h);
         // Classify from the CLS token.
         let cls = Tensor::from_fn(1, self.config.dim, |_, j| h.get(0, j));
@@ -266,7 +276,7 @@ impl TextClassifier {
                 .map(|_| EncoderBlock::new(config.dim, config.heads, config.ffn_dim, rng))
                 .collect(),
             ln_f: LayerNorm::new(config.dim),
-            head: Linear::new(config.dim, config.classes, rng),
+            head: Linear::new(config.dim, config.classes, rng).with_role(OpKind::Classifier),
             cache_tokens: Vec::new(),
         }
     }
@@ -292,6 +302,7 @@ impl Classifier<[usize]> for TextClassifier {
         for block in &mut self.blocks {
             h = block.forward(&h, ctx);
         }
+        ctx.record_non_gemm(NonGemmKind::LayerNorm, (h.rows() * h.cols()) as u64);
         let h = self.ln_f.forward(&h);
         // First-token pooling (BERT's [CLS]-style readout).
         let pooled = Tensor::from_fn(1, self.config.dim, |_, j| h.get(0, j));

@@ -21,6 +21,16 @@
 //! batched model forwards and is the natural next step on top of this
 //! queue.
 //!
+//! # Per-request hardware cost
+//!
+//! Every forward pass records its op trace ([`lt_core::TraceRecorder`])
+//! while executing, and the worker replays the coalesced trace through
+//! an [`lt_arch::Simulator`] built from [`ServeConfig::arch`]. The
+//! [`Reply`] therefore carries, next to the logits, a [`RunReport`]
+//! (photonic cycles, itemized energy, latency, EDP): the serving layer
+//! answers "what would this request cost on the accelerator" for free,
+//! per ticket.
+//!
 //! # Determinism
 //!
 //! A request's logits depend only on the model weights, the input, and
@@ -29,14 +39,18 @@
 //! boundaries, or completion order. Serving the same stream twice (or
 //! with a different `workers`/`max_batch` configuration) returns
 //! bit-identical logits, enforced by `tests/runtime_determinism.rs`.
+//! The attached cost is invariant the same way: the recorded trace is a
+//! function of model geometry and input shape alone, and the simulator
+//! is deterministic.
 
 use crate::engine::BackendEngine;
 use crate::layers::ForwardCtx;
 use crate::model::{Classifier, TextClassifier, VisionTransformer};
 use crate::quant::QuantConfig;
 use crate::tensor::Tensor;
+use lt_arch::{ArchConfig, RunReport, Simulator};
 use lt_core::backend::split_seed;
-use lt_core::{ComputeBackend, GaussianSampler};
+use lt_core::{ComputeBackend, GaussianSampler, Trace, TraceRecorder};
 use lt_runtime::BatchQueue;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -54,7 +68,7 @@ pub enum Request {
 }
 
 /// Serving configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads, each holding its own copy of the weights.
     pub workers: usize,
@@ -64,6 +78,9 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Operand fake-quantization applied to every forward pass.
     pub quant: QuantConfig,
+    /// Accelerator model that costs every request's recorded trace
+    /// (default: LT-B at 8 bits, the paper's high-accuracy point).
+    pub arch: ArchConfig,
 }
 
 impl Default for ServeConfig {
@@ -73,15 +90,31 @@ impl Default for ServeConfig {
             max_batch: 8,
             seed: 0,
             quant: QuantConfig::fp32(),
+            arch: ArchConfig::lt_base(8),
         }
     }
+}
+
+/// A served response: the logits plus the hardware cost of the request's
+/// recorded op trace replayed through the accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// `[1, classes]` logits.
+    pub logits: Tensor,
+    /// Cycles, itemized energy, and latency of the recorded trace on
+    /// [`ServeConfig::arch`] (EDP via [`RunReport::edp`]).
+    pub cost: RunReport,
+    /// The coalesced op trace the forward pass actually executed — the
+    /// evidence behind `cost`, and the input a scheduler or DSE loop
+    /// can re-cost under a different [`ArchConfig`].
+    pub trace: Trace,
 }
 
 /// A handle to one in-flight request.
 #[derive(Debug)]
 pub struct PendingReply {
     ticket: u64,
-    rx: Receiver<Tensor>,
+    rx: Receiver<Reply>,
 }
 
 impl PendingReply {
@@ -90,7 +123,7 @@ impl PendingReply {
         self.ticket
     }
 
-    /// Blocks until the logits arrive.
+    /// Blocks until the reply (logits + hardware cost) arrives.
     ///
     /// # Panics
     ///
@@ -98,7 +131,7 @@ impl PendingReply {
     /// or if the request itself was malformed (e.g. a wrong-length
     /// token sequence) and its forward pass panicked — other requests
     /// and the worker are unaffected.
-    pub fn wait(self) -> Tensor {
+    pub fn wait(self) -> Reply {
         self.rx
             .recv()
             .expect("request failed or server dropped before replying")
@@ -108,7 +141,7 @@ impl PendingReply {
 #[derive(Debug)]
 struct Job {
     request: Request,
-    reply: Sender<Tensor>,
+    reply: Sender<Reply>,
 }
 
 /// The batching inference server. See the [module docs](self).
@@ -127,8 +160,11 @@ struct Job {
 ///
 /// let image = Tensor::from_fn(16, 16, |i, j| ((i * 16 + j) as f32 * 0.01).sin());
 /// let pending = server.submit(Request::Vision(image));
-/// let logits = pending.wait();
-/// assert_eq!(logits.shape(), (1, 4));
+/// let reply = pending.wait();
+/// assert_eq!(reply.logits.shape(), (1, 4));
+/// // Every reply carries the hardware cost of its recorded op trace.
+/// assert!(reply.cost.energy.total().value() > 0.0);
+/// assert!(reply.cost.edp() > 0.0);
 /// ```
 #[derive(Debug)]
 pub struct Server {
@@ -160,9 +196,13 @@ impl Server {
                 let mut vision = vision.clone();
                 let mut text = text.clone();
                 let backend = backend.clone();
+                let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("lt-serve-worker-{w}"))
                     .spawn(move || {
+                        // One simulator per worker, built once and reused
+                        // to cost every request it serves.
+                        let sim = Simulator::new(config.arch.clone());
                         while let Some(batch) = queue.next_batch() {
                             batches.fetch_add(1, Ordering::Relaxed);
                             for (ticket, job) in batch {
@@ -182,15 +222,16 @@ impl Server {
                                             &mut text,
                                             &backend,
                                             &config,
+                                            &sim,
                                             ticket,
                                             &job.request,
                                         )
                                     }));
-                                if let Ok(logits) = outcome {
+                                if let Ok(reply) = outcome {
                                     served.fetch_add(1, Ordering::Relaxed);
                                     // A client that dropped its handle
                                     // just doesn't read the reply.
-                                    let _ = job.reply.send(logits);
+                                    let _ = job.reply.send(reply);
                                 }
                             }
                         }
@@ -246,25 +287,39 @@ impl Drop for Server {
 }
 
 /// Runs one request's whole forward pass with its ticket-derived noise
-/// streams. Free-standing (rather than a closure) so the determinism
-/// contract is easy to audit: everything stochastic flows from
-/// `split_seed(config.seed, ticket)`.
+/// streams, records the executed op trace, and costs it on the
+/// accelerator model. Free-standing (rather than a closure) so the
+/// determinism contract is easy to audit: everything stochastic flows
+/// from `split_seed(config.seed, ticket)`, and the cost is a pure
+/// function of the recorded trace.
 fn serve_one<B: ComputeBackend + Clone>(
     vision: &mut VisionTransformer,
     text: &mut TextClassifier,
     backend: &B,
     config: &ServeConfig,
+    sim: &Simulator,
     ticket: u64,
     request: &Request,
-) -> Tensor {
+) -> Reply {
     let mut engine = BackendEngine::new(backend.clone(), split_seed(config.seed, ticket));
     // The training-noise RNG is unused at inference but part of the ctx;
     // seed it off the same stream for full reproducibility.
     let mut rng = GaussianSampler::new(split_seed(!config.seed, ticket));
-    let mut ctx = ForwardCtx::inference(&mut engine, config.quant, &mut rng);
-    match request {
+    let recorder = TraceRecorder::new();
+    let mut ctx =
+        ForwardCtx::inference(&mut engine, config.quant, &mut rng).with_recorder(recorder.clone());
+    let logits = match request {
         Request::Vision(patches) => vision.forward(patches, &mut ctx),
         Request::Text(tokens) => text.forward(&tokens[..], &mut ctx),
+    };
+    // Coalesce before costing: merged instances fill hardware tiles the
+    // way the paper's batched mapping assumes (per-head products etc.).
+    let trace = recorder.take().coalesce();
+    let cost = sim.run_trace(&trace);
+    Reply {
+        logits,
+        cost,
+        trace,
     }
 }
 
@@ -300,30 +355,55 @@ mod tests {
         backend: B,
         cfg: ServeConfig,
         requests: &[Request],
-    ) -> Vec<Tensor> {
+    ) -> Vec<Reply> {
         let (vision, text) = models();
         let server = Server::new(vision, text, backend, cfg);
         let pending: Vec<PendingReply> =
             requests.iter().map(|r| server.submit(r.clone())).collect();
-        let logits: Vec<Tensor> = pending.into_iter().map(PendingReply::wait).collect();
+        let replies: Vec<Reply> = pending.into_iter().map(PendingReply::wait).collect();
         assert_eq!(server.shutdown(), requests.len() as u64);
-        logits
+        replies
     }
 
     #[test]
-    fn serves_mixed_requests_with_correct_shapes() {
+    fn serves_mixed_requests_with_correct_shapes_and_costs() {
         let requests = mixed_requests(9);
-        let logits = serve_all(NativeBackend, ServeConfig::default(), &requests);
-        for (req, l) in requests.iter().zip(&logits) {
+        let replies = serve_all(NativeBackend, ServeConfig::default(), &requests);
+        for (req, r) in requests.iter().zip(&replies) {
             match req {
-                Request::Vision(_) => assert_eq!(l.shape(), (1, 4)),
-                Request::Text(_) => assert_eq!(l.shape(), (1, 2)),
+                Request::Vision(_) => assert_eq!(r.logits.shape(), (1, 4)),
+                Request::Text(_) => assert_eq!(r.logits.shape(), (1, 2)),
             }
+            assert!(r.cost.cycles > 0, "photonic cycles attached");
+            assert!(r.cost.energy.total().value() > 0.0, "energy attached");
+            assert!(r.cost.latency.value() > 0.0, "latency attached");
+            assert!(r.cost.edp() > 0.0, "EDP attached");
+            assert!(!r.trace.is_empty(), "trace attached");
+            assert!(
+                r.cost.energy.digital.value() > 0.0,
+                "non-GEMM work is costed too"
+            );
         }
+        // Same model + same input shape => same cost; different model
+        // geometry => different cost.
+        let vision_costs: Vec<_> = requests
+            .iter()
+            .zip(&replies)
+            .filter(|(req, _)| matches!(req, Request::Vision(_)))
+            .map(|(_, r)| r.cost)
+            .collect();
+        assert!(vision_costs.windows(2).all(|w| w[0] == w[1]));
+        let text_cost = requests
+            .iter()
+            .zip(&replies)
+            .find(|(req, _)| matches!(req, Request::Text(_)))
+            .map(|(_, r)| r.cost)
+            .unwrap();
+        assert_ne!(text_cost, vision_costs[0], "geometry shows in the cost");
     }
 
     #[test]
-    fn results_do_not_depend_on_worker_count_or_batch_size() {
+    fn results_and_costs_do_not_depend_on_worker_count_or_batch_size() {
         let requests = mixed_requests(8);
         let backend = DptcBackend::paper(8, 3);
         let base = serve_all(
@@ -346,6 +426,7 @@ mod tests {
                 &requests,
             );
             for (a, b) in base.iter().zip(&got) {
+                // Reply equality covers logits, cost, and trace at once.
                 assert_eq!(a, b, "workers={workers} max_batch={max_batch}");
             }
         }
@@ -367,8 +448,8 @@ mod tests {
         let good_before = server.submit(Request::Text(vec![0; 12]));
         let bad = server.submit(Request::Text(vec![0; 11])); // wrong seq_len
         let good_after = server.submit(Request::Text(vec![1; 12]));
-        assert_eq!(good_before.wait().shape(), (1, 2));
-        assert_eq!(good_after.wait().shape(), (1, 2), "worker survived");
+        assert_eq!(good_before.wait().logits.shape(), (1, 2));
+        assert_eq!(good_after.wait().logits.shape(), (1, 2), "worker survived");
         let failed = std::panic::catch_unwind(move || bad.wait());
         assert!(failed.is_err(), "malformed request reports failure");
         assert_eq!(server.shutdown(), 2, "only the two good requests count");

@@ -1,51 +1,17 @@
 //! GEMM operations and trace generation.
+//!
+//! The op vocabulary ([`OpKind`], [`OperandDynamics`], [`Module`]) lives
+//! in `lt_core::trace` — the shared IR that recorded execution and these
+//! analytical traces both speak — and is re-exported here at its
+//! historical paths. [`GemmOp`] is the analytical trace element; its
+//! [`GemmOp::op`] conversion turns it into an IR [`lt_core::Op`] so a
+//! whole analytical trace can be replayed by the same simulator entry
+//! point as a recorded one.
 
 use crate::model::{InputKind, TransformerConfig};
+use lt_core::Op;
 
-/// What role a GEMM plays inside the Transformer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OpKind {
-    /// Patch embedding (vision models): flattened patches times projection.
-    PatchEmbed,
-    /// Q/K/V linear projections.
-    QkvProj,
-    /// The attention score product `Q K^T` — both operands dynamic.
-    AttnQk,
-    /// The attention aggregation `A V` — both operands dynamic.
-    AttnAv,
-    /// The attention output projection.
-    OutProj,
-    /// First FFN linear (expansion).
-    Ffn1,
-    /// Second FFN linear (contraction).
-    Ffn2,
-    /// The classification head.
-    Classifier,
-}
-
-/// Whether both GEMM operands are runtime activations or one is a fixed
-/// weight matrix — the distinction at the heart of the paper (Section II-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OperandDynamics {
-    /// One operand is a learned weight: weight-static PTCs can amortize its
-    /// mapping cost across inputs.
-    WeightStatic,
-    /// Both operands are activations generated at runtime: weight-static
-    /// PTCs must remap/reprogram per tile, which the paper shows is
-    /// unaffordable.
-    BothDynamic,
-}
-
-/// The module attribution used by the paper's Table V.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Module {
-    /// Multi-head attention — only the dynamic products `Q K^T` and `A V`.
-    Mha,
-    /// The feed-forward network linears.
-    Ffn,
-    /// Everything else (projections, embeddings, classifier).
-    Other,
-}
+pub use lt_core::trace::{Module, OpKind, OperandDynamics};
 
 /// One GEMM of shape `[m, k] x [k, n]`, repeated `count` times per
 /// inference (e.g. once per head, or once per layer).
@@ -100,19 +66,17 @@ impl GemmOp {
 
     /// Whether both operands are runtime activations.
     pub fn dynamics(&self) -> OperandDynamics {
-        match self.kind {
-            OpKind::AttnQk | OpKind::AttnAv => OperandDynamics::BothDynamic,
-            _ => OperandDynamics::WeightStatic,
-        }
+        self.kind.dynamics()
     }
 
     /// Module attribution per the paper's Table V.
     pub fn module(&self) -> Module {
-        match self.kind {
-            OpKind::AttnQk | OpKind::AttnAv => Module::Mha,
-            OpKind::Ffn1 | OpKind::Ffn2 => Module::Ffn,
-            _ => Module::Other,
-        }
+        self.kind.module()
+    }
+
+    /// Converts to the shared trace IR (`count` becomes `instances`).
+    pub fn op(&self) -> Op {
+        Op::gemm_n(self.kind, self.m, self.k, self.n, self.count)
     }
 }
 
@@ -233,5 +197,15 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_dims_rejected() {
         GemmOp::new(OpKind::Ffn1, 0, 1, 1, 1);
+    }
+
+    #[test]
+    fn ir_conversion_preserves_shape_counts_and_classification() {
+        let op = GemmOp::new(OpKind::AttnQk, 197, 64, 197, 36);
+        let ir = op.op();
+        assert_eq!(ir, Op::gemm_n(OpKind::AttnQk, 197, 64, 197, 36));
+        assert_eq!(ir.total_macs(), op.total_macs());
+        assert_eq!(ir.dynamics(), Some(op.dynamics()));
+        assert_eq!(ir.module(), op.module());
     }
 }

@@ -171,6 +171,54 @@ impl TransformerConfig {
         crate::gemm::trace(self)
     }
 
+    /// The full analytical op trace of one inference in the shared IR:
+    /// every GEMM (via [`GemmOp::op`]) followed by the non-GEMM digital
+    /// profile. This is the *analytical* producer of the IR; `lt-nn`
+    /// forward passes produce the *recorded* counterpart, and
+    /// `tests/trace_crossval.rs` pins their agreement on GEMMs.
+    pub fn trace(&self) -> lt_core::Trace {
+        let mut t = lt_core::Trace::new();
+        t.extend(self.gemm_trace().iter().map(GemmOp::op));
+        t.extend(self.non_gemm_profile().ops());
+        t
+    }
+
+    /// A structurally identical but tiny geometry: same layer count,
+    /// head count, and input kind, with the widths shrunk (head dim 2,
+    /// FFN expansion 2x, short sequences, at most 16 classes) so real
+    /// weights can be instantiated and a forward pass executed — and
+    /// recorded — inside a test. The analytical trace generator is
+    /// fully parametric, so cross-validating recorded-vs-analytical at
+    /// this geometry validates the generator for the benchmark's whole
+    /// shape family.
+    pub fn tiny_validation(&self) -> TransformerConfig {
+        let dim = self.heads * 2;
+        let (input, seq_len) = match self.input {
+            InputKind::VisionPatches { .. } => {
+                let (image_size, patch_size) = (32, 8);
+                let patches = (image_size / patch_size) * (image_size / patch_size);
+                (
+                    InputKind::VisionPatches {
+                        image_size,
+                        patch_size,
+                    },
+                    patches + 1,
+                )
+            }
+            InputKind::TextTokens => (InputKind::TextTokens, self.seq_len.min(16)),
+        };
+        TransformerConfig {
+            name: format!("{}-tiny", self.name),
+            layers: self.layers,
+            dim,
+            heads: self.heads,
+            ffn_dim: dim * 2,
+            seq_len,
+            num_classes: self.num_classes.min(16),
+            input,
+        }
+    }
+
     /// Total multiply-accumulate count of one inference.
     pub fn total_macs(&self) -> u64 {
         self.gemm_trace().iter().map(|op| op.total_macs()).sum()
@@ -259,6 +307,40 @@ mod tests {
         let mp = m.param_count() as f64 / 1e6;
         assert!((70.0..110.0).contains(&sp), "GPT2-small {sp} M");
         assert!((250.0..350.0).contains(&mp), "GPT2-medium {mp} M");
+    }
+
+    #[test]
+    fn ir_trace_carries_gemms_and_digital_profile() {
+        let m = TransformerConfig::deit_tiny();
+        let t = m.trace();
+        assert_eq!(t.total_macs(), m.total_macs());
+        assert_eq!(t.len(), m.gemm_trace().len() + 4);
+        let digital: u64 = t
+            .ops()
+            .iter()
+            .filter_map(|op| match *op {
+                lt_core::Op::NonGemm { elems, .. } => Some(elems),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(digital, m.non_gemm_profile().total_elems());
+    }
+
+    #[test]
+    fn tiny_validation_keeps_structure_and_shrinks_widths() {
+        for m in TransformerConfig::paper_benchmarks() {
+            let t = m.tiny_validation();
+            assert_eq!(t.layers, m.layers, "{}", m.name);
+            assert_eq!(t.heads, m.heads, "{}", m.name);
+            assert_eq!(t.head_dim(), 2, "{}", m.name);
+            assert!(t.seq_len <= 17, "{}", m.name);
+            assert!(t.total_macs() < 100_000_000, "{} stays test-sized", m.name);
+            // Same op-kind multiset as the full model.
+            let kinds = |c: &TransformerConfig| -> Vec<crate::gemm::OpKind> {
+                c.gemm_trace().iter().map(|o| o.kind).collect()
+            };
+            assert_eq!(kinds(&t), kinds(&m), "{}", m.name);
+        }
     }
 
     #[test]

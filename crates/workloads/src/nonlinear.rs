@@ -6,6 +6,7 @@
 //! this module counts the elements.
 
 use crate::model::TransformerConfig;
+use lt_core::{NonGemmKind, Op};
 
 /// Element counts of the digital operations in one inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +40,16 @@ impl NonGemmProfile {
     /// Total digital elements processed.
     pub fn total_elems(&self) -> u64 {
         self.softmax_elems + self.layernorm_elems + self.gelu_elems + self.residual_elems
+    }
+
+    /// The profile as trace-IR ops (one per digital kind).
+    pub fn ops(&self) -> Vec<Op> {
+        vec![
+            Op::non_gemm(NonGemmKind::Softmax, self.softmax_elems),
+            Op::non_gemm(NonGemmKind::LayerNorm, self.layernorm_elems),
+            Op::non_gemm(NonGemmKind::Gelu, self.gelu_elems),
+            Op::non_gemm(NonGemmKind::Residual, self.residual_elems),
+        ]
     }
 }
 

@@ -26,7 +26,7 @@ fn main() {
     for batch in [1usize, 4, 16, 64, 256] {
         let trace = DecodeTrace::new(model.clone(), 512, batch);
         let ops = trace.gemm_trace();
-        let report = sim.run_trace(&ops);
+        let report = sim.run_gemm_ops(&ops);
         let compute_us = report.latency.value() * 1e3;
         // Weights + every sequence's private KV cache stream from HBM.
         let bytes = model.param_count() as f64 + trace.kv_cache_bytes(8) as f64;

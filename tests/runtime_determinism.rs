@@ -12,8 +12,9 @@
 //!   blocked sequential reference) for a stochastic baseline backend;
 //! * `BatchQueue` hands out requests in strict FIFO ticket order, so no
 //!   request is starved or reordered;
-//! * the batching inference server returns logits that do not depend on
-//!   worker count or batch size.
+//! * the batching inference server returns logits — and per-request
+//!   hardware costs — that do not depend on worker count, batch size,
+//!   or intra-GEMM thread count.
 
 use lightening_transformer::baselines::PcmBackend;
 use lightening_transformer::core::{
@@ -183,7 +184,10 @@ fn serving_is_invariant_to_workers_batch_size_and_gemm_threads() {
         })
         .collect();
 
-    let serve = |workers: usize, max_batch: usize, gemm_threads: usize| -> Vec<Tensor> {
+    let serve = |workers: usize,
+                 max_batch: usize,
+                 gemm_threads: usize|
+     -> Vec<lightening_transformer::nn::Reply> {
         let backend = ParallelBackend::new(DptcBackend::paper(8, 17), gemm_threads);
         let server = Server::new(
             vision.clone(),
@@ -201,11 +205,22 @@ fn serving_is_invariant_to_workers_batch_size_and_gemm_threads() {
     };
 
     let base = serve(1, 1, 1);
+    for reply in &base {
+        assert!(reply.cost.cycles > 0, "every reply carries hardware cost");
+        assert!(!reply.trace.is_empty(), "every reply carries its trace");
+    }
     for (workers, max_batch, gemm_threads) in [(2, 3, 2), (4, 6, 4)] {
         let got = serve(workers, max_batch, gemm_threads);
-        assert_eq!(
-            got, base,
-            "serving diverged at workers={workers} max_batch={max_batch} threads={gemm_threads}"
-        );
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(
+                a.logits, b.logits,
+                "logits diverged at workers={workers} max_batch={max_batch} threads={gemm_threads}"
+            );
+            assert_eq!(
+                a.cost, b.cost,
+                "cost diverged at workers={workers} max_batch={max_batch} threads={gemm_threads}"
+            );
+            assert_eq!(a.trace, b.trace, "trace diverged");
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Recorded-vs-analytical trace cross-validation.
+//!
+//! The simulator used to be fed only by the hand-maintained analytical
+//! trace (`TransformerConfig::gemm_trace`), which could silently diverge
+//! from what the `lt-nn` models actually execute. These tests close the
+//! loop: for every paper benchmark, a *real* forward pass of the
+//! corresponding `lt-nn` model (at the benchmark's structurally
+//! identical `tiny_validation` geometry, where weights can actually be
+//! instantiated) is recorded through the op-trace IR, and the recorded
+//! GEMMs must agree with the analytical generator — same dims, same
+//! instance counts, same MACs — and cost the same when replayed through
+//! the accelerator model.
+
+use lightening_transformer::arch::{ArchConfig, Simulator};
+use lightening_transformer::core::{GaussianSampler, Op, Trace, TraceRecorder};
+use lightening_transformer::nn::layers::ForwardCtx;
+use lightening_transformer::nn::model::{Classifier, ModelConfig};
+use lightening_transformer::nn::quant::QuantConfig;
+use lightening_transformer::nn::{ExactEngine, Tensor, TextClassifier, VisionTransformer};
+use lightening_transformer::workloads::model::InputKind;
+use lightening_transformer::workloads::TransformerConfig;
+
+/// Builds the `lt-nn` model matching `spec`'s geometry, runs one real
+/// forward pass with a recorder attached, and returns the recorded trace.
+fn record_forward(spec: &TransformerConfig) -> Trace {
+    let cfg = ModelConfig {
+        dim: spec.dim,
+        layers: spec.layers,
+        heads: spec.heads,
+        ffn_dim: spec.ffn_dim,
+        classes: spec.num_classes,
+    };
+    let mut rng = GaussianSampler::new(42);
+    let recorder = TraceRecorder::new();
+    let mut engine = ExactEngine;
+    let mut nrng = GaussianSampler::new(0);
+    let mut ctx = ForwardCtx::inference(&mut engine, QuantConfig::fp32(), &mut nrng)
+        .with_recorder(recorder.clone());
+    match spec.input {
+        InputKind::VisionPatches { patch_size, .. } => {
+            let patch_dim = 3 * patch_size * patch_size;
+            let mut model = VisionTransformer::new(cfg, spec.seq_len - 1, patch_dim, &mut rng);
+            let patches = Tensor::randn(spec.seq_len - 1, patch_dim, 1.0, &mut rng);
+            let logits = model.forward(&patches, &mut ctx);
+            assert_eq!(logits.shape(), (1, spec.num_classes));
+        }
+        InputKind::TextTokens => {
+            let vocab = 16;
+            let mut model = TextClassifier::new(cfg, vocab, spec.seq_len, &mut rng);
+            let tokens: Vec<usize> = (0..spec.seq_len).map(|i| (i * 7 + 3) % vocab).collect();
+            let logits = model.forward(&tokens, &mut ctx);
+            assert_eq!(logits.shape(), (1, spec.num_classes));
+        }
+    }
+    recorder.take()
+}
+
+/// The analytical trace of `spec` in the shared IR, GEMMs only.
+fn analytical_gemms(spec: &TransformerConfig) -> Trace {
+    Trace::from_ops(spec.gemm_trace().iter().map(|op| op.op()).collect())
+}
+
+#[test]
+fn recorded_gemms_match_the_analytical_trace_for_every_paper_benchmark() {
+    for model in TransformerConfig::paper_benchmarks() {
+        let tiny = model.tiny_validation();
+        let recorded = record_forward(&tiny).gemm_only().coalesce();
+        let analytical = analytical_gemms(&tiny).coalesce();
+        assert_eq!(
+            recorded, analytical,
+            "{}: recorded execution and analytical generator disagree on \
+             GEMM dims or instance counts",
+            model.name
+        );
+        assert_eq!(
+            recorded.total_macs(),
+            tiny.total_macs(),
+            "{}: MAC accounting drifted",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn recorded_and_analytical_traces_cost_identically_in_the_simulator() {
+    let sim = Simulator::new(ArchConfig::lt_base(4));
+    for model in TransformerConfig::paper_benchmarks() {
+        let tiny = model.tiny_validation();
+        let recorded = record_forward(&tiny).gemm_only().coalesce();
+        let analytical = analytical_gemms(&tiny).coalesce();
+        let r = sim.run_trace(&recorded);
+        let a = sim.run_trace(&analytical);
+        assert_eq!(r, a, "{}: equal traces must cost identically", model.name);
+        assert!(
+            r.cycles > 0 && r.energy.total().value() > 0.0,
+            "{}",
+            model.name
+        );
+        // And the simulator itself is deterministic: replaying the same
+        // trace twice is bit-identical.
+        assert_eq!(r, sim.run_trace(&recorded), "{}", model.name);
+    }
+}
+
+#[test]
+fn recorded_non_gemm_counts_cover_the_analytical_profile() {
+    // The recorded trace counts *all* executed digital work; it must be
+    // at least the analytical per-block profile (it also sees the final
+    // LayerNorm the analytical profile omits) and exactly match it on
+    // softmax and GELU, which exist only inside blocks.
+    for model in TransformerConfig::paper_benchmarks() {
+        let tiny = model.tiny_validation();
+        let prof = tiny.non_gemm_profile();
+        let recorded = record_forward(&tiny);
+        let sum = |kind: lightening_transformer::core::NonGemmKind| -> u64 {
+            recorded
+                .ops()
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::NonGemm { kind: k, elems } if k == kind => Some(elems),
+                    _ => None,
+                })
+                .sum()
+        };
+        use lightening_transformer::core::NonGemmKind::*;
+        assert_eq!(sum(Softmax), prof.softmax_elems, "{}", model.name);
+        assert_eq!(sum(Gelu), prof.gelu_elems, "{}", model.name);
+        assert_eq!(sum(Residual), prof.residual_elems, "{}", model.name);
+        let ln_f = (tiny.seq_len * tiny.dim) as u64;
+        assert_eq!(
+            sum(LayerNorm),
+            prof.layernorm_elems + ln_f,
+            "{}: recorded = per-block norms + the final LayerNorm",
+            model.name
+        );
+    }
+}
