@@ -27,6 +27,10 @@ pub const LAYERNORM_PJ_PER_ELEM: f64 = 2.0;
 pub const GELU_PJ_PER_ELEM: f64 = 1.5;
 /// Residual-add energy, pJ per element.
 pub const RESIDUAL_PJ_PER_ELEM: f64 = 0.2;
+/// KV-cache append energy, pJ per element written (an on-chip SRAM
+/// write per cached K/V value; the decode path's per-token memory
+/// traffic, Section VI-B).
+pub const KV_APPEND_PJ_PER_ELEM: f64 = 0.5;
 
 /// Output accumulator width in bits (partial sums carry more precision
 /// than operands).
@@ -146,6 +150,7 @@ impl Simulator {
             NonGemmKind::LayerNorm => LAYERNORM_PJ_PER_ELEM,
             NonGemmKind::Gelu => GELU_PJ_PER_ELEM,
             NonGemmKind::Residual => RESIDUAL_PJ_PER_ELEM,
+            NonGemmKind::KvAppend => KV_APPEND_PJ_PER_ELEM,
         };
         RunReport {
             energy: EnergyBreakdown {

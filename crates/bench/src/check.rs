@@ -1,0 +1,350 @@
+//! `repro check` — the CI perf-regression gate over `BENCH_repro.json`.
+//!
+//! The snapshot's modeled metrics (cycles, energy, EDP, FPS, KV bytes)
+//! are deterministic: they depend only on the architecture model and the
+//! workload shapes, never on the host. So any drift between a fresh
+//! snapshot and the committed baseline is a real change to the cost
+//! model or the workloads — either an intended one (update the baseline
+//! in the same PR) or a regression (fail the build). Wall-clock fields
+//! (`*_us`) are host-dependent and exempt.
+//!
+//! The workspace has no serde, so this module carries a minimal
+//! recursive-descent JSON reader sufficient for the snapshot's own
+//! schema (objects, arrays, strings, numbers). It flattens a document
+//! into `path -> scalar` pairs (`models[3].cycles`, `decode.batches[0]
+//! .tokens_per_s`, ...) and compares two documents field by field under
+//! a relative tolerance.
+
+use std::fmt;
+
+/// A scalar leaf of the flattened document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Num(v) => write!(f, "{v}"),
+            Scalar::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// Flattens a JSON document into ordered `(path, scalar)` pairs.
+///
+/// # Errors
+///
+/// Returns a message with byte offset on malformed input.
+pub fn flatten(json: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    p.skip_ws();
+    p.value("", &mut out)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // The snapshot never escapes quotes; reject escapes rather than
+        // silently misparse.
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("invalid utf8 in string at byte {start}"))?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => return Err(format!("escape sequences unsupported at byte {}", self.pos)),
+                _ => self.pos += 1,
+            }
+        }
+        Err(format!("unterminated string from byte {start}"))
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn value(&mut self, path: &str, out: &mut Vec<(String, Scalar)>) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let child = if path.is_empty() {
+                        key
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    self.value(&child, out)?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut i = 0usize;
+                loop {
+                    self.value(&format!("{path}[{i}]"), out)?;
+                    i += 1;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                let s = self.string()?;
+                out.push((path.to_string(), Scalar::Str(s)));
+                Ok(())
+            }
+            Some(_) => {
+                let v = self.number()?;
+                out.push((path.to_string(), Scalar::Num(v)));
+                Ok(())
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+}
+
+/// Whether a field is host-dependent wall-clock, exempt from the gate.
+fn is_wall_clock(path: &str) -> bool {
+    path.rsplit('.').next().is_some_and(|leaf| {
+        leaf.trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[')
+            .ends_with("_us")
+    })
+}
+
+/// Compares a fresh snapshot against the committed baseline under a
+/// relative tolerance (e.g. `0.005` = 0.5%). Returns the list of
+/// drifted fields — structural differences, string changes, and numeric
+/// drift beyond tolerance — or an empty list when the gate passes.
+///
+/// # Errors
+///
+/// Returns a parse-error message if either document is malformed.
+pub fn compare(baseline: &str, fresh: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let base = flatten(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = flatten(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let mut drift = Vec::new();
+
+    let base_keys: Vec<&String> = base.iter().map(|(k, _)| k).collect();
+    let new_keys: Vec<&String> = new.iter().map(|(k, _)| k).collect();
+    if base_keys != new_keys {
+        for k in &base_keys {
+            if !new_keys.contains(k) {
+                drift.push(format!("field removed: {k}"));
+            }
+        }
+        for k in &new_keys {
+            if !base_keys.contains(k) {
+                drift.push(format!("field added: {k} (update the baseline?)"));
+            }
+        }
+        if drift.is_empty() {
+            drift.push("fields reordered relative to the baseline".to_string());
+        }
+        return Ok(drift);
+    }
+
+    for ((path, want), (_, got)) in base.iter().zip(&new) {
+        if is_wall_clock(path) {
+            continue; // host-dependent; tracked via the uploaded artifact
+        }
+        match (want, got) {
+            (Scalar::Num(a), Scalar::Num(b)) => {
+                let scale = a.abs().max(b.abs());
+                if (a - b).abs() > tolerance * scale {
+                    let pct = if scale > 0.0 {
+                        (a - b).abs() / scale * 100.0
+                    } else {
+                        0.0
+                    };
+                    drift.push(format!(
+                        "{path}: baseline {a} vs fresh {b} ({pct:.3}% > {:.3}% tolerance)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            (a, b) if a != b => drift.push(format!("{path}: baseline {a} vs fresh {b}")),
+            _ => {}
+        }
+    }
+    Ok(drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "schema": 2, "config": "LT-B",
+      "models": [ { "name": "DeiT-T-224", "cycles": 97000, "fps": 51000.0 } ],
+      "compute_path": { "forward_record_us": 1234.5 },
+      "decode": { "batches": [ { "batch": 1, "tokens_per_s": 2.5e6 } ] }
+    }"#;
+
+    #[test]
+    fn flatten_produces_full_paths() {
+        let flat = flatten(DOC).unwrap();
+        let get = |p: &str| {
+            flat.iter()
+                .find(|(k, _)| k == p)
+                .unwrap_or_else(|| panic!("missing {p}"))
+                .1
+                .clone()
+        };
+        assert_eq!(get("schema"), Scalar::Num(2.0));
+        assert_eq!(get("config"), Scalar::Str("LT-B".into()));
+        assert_eq!(get("models[0].name"), Scalar::Str("DeiT-T-224".into()));
+        assert_eq!(get("models[0].cycles"), Scalar::Num(97000.0));
+        assert_eq!(get("decode.batches[0].tokens_per_s"), Scalar::Num(2.5e6));
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        assert!(compare(DOC, DOC, 0.005).unwrap().is_empty());
+    }
+
+    #[test]
+    fn numeric_drift_beyond_tolerance_is_reported_and_within_passes() {
+        let nudged = DOC.replace("97000", "97100"); // ~0.1%
+        assert!(
+            compare(DOC, &nudged, 0.005).unwrap().is_empty(),
+            "0.1% < 0.5%"
+        );
+        let drifted = DOC.replace("97000", "99000"); // ~2%
+        let report = compare(DOC, &drifted, 0.005).unwrap();
+        assert_eq!(report.len(), 1, "{report:?}");
+        assert!(report[0].contains("models[0].cycles"), "{report:?}");
+    }
+
+    #[test]
+    fn wall_clock_fields_are_exempt() {
+        let slower = DOC.replace("1234.5", "99999.0");
+        assert!(compare(DOC, &slower, 0.005).unwrap().is_empty());
+    }
+
+    #[test]
+    fn structural_drift_is_reported() {
+        let extra = DOC.replace("\"cycles\": 97000", "\"cycles\": 97000, \"edp\": 1.0");
+        let report = compare(DOC, &extra, 0.005).unwrap();
+        assert!(
+            report.iter().any(|d| d.contains("field added")),
+            "{report:?}"
+        );
+        let renamed = DOC.replace("\"cycles\"", "\"cycle_count\"");
+        let report = compare(DOC, &renamed, 0.005).unwrap();
+        assert!(
+            report.iter().any(|d| d.contains("field removed")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn string_changes_are_reported() {
+        let renamed = DOC.replace("DeiT-T-224", "DeiT-T-384");
+        let report = compare(DOC, &renamed, 0.005).unwrap();
+        assert!(report[0].contains("models[0].name"), "{report:?}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_pass() {
+        assert!(compare(DOC, "{ \"a\": ", 0.005).is_err());
+        assert!(compare("not json", DOC, 0.005).is_err());
+    }
+
+    #[test]
+    fn the_real_snapshot_flattens() {
+        let json = crate::bench_repro_json();
+        let flat = flatten(&json).unwrap();
+        assert!(flat.len() > 40, "snapshot has {} fields", flat.len());
+        assert!(flat
+            .iter()
+            .any(|(k, _)| k == "decode.batches[2].cycles_per_token"));
+        // And a regenerated snapshot passes its own gate on the
+        // deterministic fields.
+        let again = crate::bench_repro_json();
+        assert_eq!(compare(&json, &again, 0.005).unwrap(), Vec::<String>::new());
+    }
+}

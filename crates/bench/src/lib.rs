@@ -28,9 +28,11 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod experiments;
 pub mod report;
 pub mod timing;
 
+pub use check::compare;
 pub use experiments::all_experiments;
 pub use report::bench_repro_json;

@@ -22,17 +22,25 @@
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
 //! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
 //! pass on the photonic DPTC backend with a trace recorder attached,
-//! then the recorded trace costed by the simulator.
+//! then the recorded trace costed by the simulator. `decode` replays the
+//! autoregressive decode step (paper Section VI-B) at batch 1/4/16 —
+//! cycles and energy per token, replayed tokens/s, KV-cache footprint
+//! vs. context — and wall-clocks the executable KV-cached decode loop.
+//!
+//! Every field is deterministic except the `*_us` wall-clock ones, so
+//! `repro check` can diff this file against a committed baseline with a
+//! tight tolerance and fail CI on cycle/energy/EDP drift.
 
 use crate::timing::bench;
 use lt_arch::{ArchConfig, Simulator};
 use lt_core::{GaussianSampler, TraceRecorder};
 use lt_dptc::DptcBackend;
+use lt_nn::decode::{DecodeSession, DecoderConfig, DecoderLm, SessionConfig};
 use lt_nn::layers::ForwardCtx;
 use lt_nn::model::{Classifier, ModelConfig, VisionTransformer};
 use lt_nn::quant::QuantConfig;
 use lt_nn::{BackendEngine, Tensor};
-use lt_workloads::TransformerConfig;
+use lt_workloads::{DecodeTrace, TransformerConfig};
 
 /// Formats an f64 for JSON (finite, fixed notation, enough digits to
 /// diff meaningfully).
@@ -86,9 +94,10 @@ pub fn bench_repro_json() -> String {
     let replay = bench("trace_replay", || sim.run_trace(&trace));
 
     format!(
-        "{{\n  \"schema\": 1,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 2,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
-         \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }}\n}}\n",
+         \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
+         {}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -96,6 +105,89 @@ pub fn bench_repro_json() -> String {
         trace.total_macs(),
         num(record.us_per_iter()),
         num(replay.us_per_iter()),
+        decode_section(),
+    )
+}
+
+/// The `decode` section: the paper's Section VI-B decode regime, both
+/// analytical (GPT2-small at context 512, batch 1/4/16, replayed through
+/// LT-B 8-bit) and executable (a KV-cached tiny decoder LM wall-clocked
+/// through record→replay). All fields deterministic except `*_us`.
+fn decode_section() -> String {
+    let bits = 8;
+    let arch = ArchConfig::lt_base(bits);
+    let sim = Simulator::new(arch.clone());
+    let model = TransformerConfig::gpt2_small(1);
+    let context = 512;
+
+    let mut batches = Vec::new();
+    for batch in [1usize, 4, 16] {
+        let trace = DecodeTrace::new(model.clone(), context, batch);
+        let r = sim.run_trace(&trace.op_trace());
+        let tokens_per_s = batch as f64 / (r.latency.value() * 1e-3);
+        batches.push(format!(
+            concat!(
+                "      {{ \"batch\": {}, \"cycles_per_token\": {}, ",
+                "\"energy_per_token_mj\": {}, \"tokens_per_s\": {}, ",
+                "\"kv_cache_bytes\": {} }}"
+            ),
+            batch,
+            num(r.cycles as f64 / batch as f64),
+            num(r.energy.total().value() / batch as f64),
+            num(tokens_per_s),
+            trace.kv_cache_bytes(bits),
+        ));
+    }
+
+    let kv_rows: Vec<String> = [128usize, 512, 2048]
+        .iter()
+        .map(|&ctx| {
+            let kv = |b: usize| DecodeTrace::new(model.clone(), ctx, b).kv_cache_bytes(bits);
+            format!(
+                "      {{ \"context\": {ctx}, \"kv_bytes_b1\": {}, \"kv_bytes_b4\": {}, \
+                 \"kv_bytes_b16\": {} }}",
+                kv(1),
+                kv(4),
+                kv(16)
+            )
+        })
+        .collect();
+
+    // Wall-clock the executable KV-cached decode loop: one real session
+    // (prefill + steps) on the photonic backend, costed per token.
+    let mut rng = GaussianSampler::new(7);
+    let lm = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let new_tokens = 8;
+    let decode = bench("decode_record_replay", || {
+        let mut session = DecodeSession::new(
+            &lm,
+            0,
+            vec![3, 1, 4, 1, 5, 9],
+            new_tokens,
+            DptcBackend::paper(8, 7),
+            SessionConfig {
+                seed: 42,
+                kv_bits: bits,
+                ..SessionConfig::default()
+            },
+        );
+        session.prefill(&lm, &sim);
+        while !session.is_done() {
+            session.step(&lm, &sim);
+        }
+        session.into_reply()
+    });
+
+    format!(
+        "  \"decode\": {{\n    \"model\": \"{}\",\n    \"context\": {},\n    \
+         \"batches\": [\n{}\n    ],\n    \"kv_vs_context\": [\n{}\n    ],\n    \
+         \"compute_path\": {{ \"decoded_tokens\": {}, \"decode_record_replay_us\": {} }}\n  }}",
+        model.name,
+        context,
+        batches.join(",\n"),
+        kv_rows.join(",\n"),
+        new_tokens,
+        num(decode.us_per_iter()),
     )
 }
 
@@ -122,6 +214,11 @@ mod tests {
             "\"edp_mj_ms\"",
             "\"forward_record_us\"",
             "\"trace_replay_us\"",
+            "\"decode\"",
+            "\"cycles_per_token\"",
+            "\"tokens_per_s\"",
+            "\"kv_vs_context\"",
+            "\"decode_record_replay_us\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -49,6 +49,10 @@ pub enum OpKind {
     Ffn2,
     /// The classification head.
     Classifier,
+    /// The autoregressive language-model head (hidden state times the
+    /// vocabulary projection — the per-token matrix-vector product of
+    /// decode, paper Section VI-B).
+    LmHead,
     /// Any other product (untagged matmuls record as this; treated as
     /// weight-static, attributed to [`Module::Other`]).
     Other,
@@ -109,6 +113,10 @@ pub enum NonGemmKind {
     Gelu,
     /// Residual (shortcut) addition.
     Residual,
+    /// Appending one token's K/V rows to the KV cache (autoregressive
+    /// decode, paper Section VI-B) — pure memory traffic on the digital
+    /// side, counted in elements written.
+    KvAppend,
 }
 
 /// One operation of a workload trace.
@@ -304,6 +312,59 @@ impl Trace {
         );
         Trace { ops }
     }
+
+    /// Merges per-sequence traces into their *batched* form: GEMMs
+    /// identical in `(kind, k, n, instances)` stack their rows (`m`
+    /// sums), and non-GEMM ops of one kind merge with summed `elems`.
+    ///
+    /// This is the decode-batching transform of paper Section VI-B: `b`
+    /// concurrent sequences each executing a `[1, k] x [k, n]`
+    /// matrix-vector product become one `[b, k] x [k, n]` GEMM — the
+    /// weight matrix is loaded once for the whole batch (vs. once per
+    /// sequence when the products are costed as independent instances),
+    /// and the `b` rows fill hardware tile rows a single token would
+    /// leave idle. It is a *cost-model* merge: for dynamic ops (each
+    /// sequence attending its own KV cache) the stacked operands differ
+    /// per row, but the tile mapping — and therefore the cost — is that
+    /// of the analytical `DecodeTrace` batched shapes. Ops that differ
+    /// in any of kind, `k`, `n`, or instance count (e.g. attention at
+    /// different context lengths) stay separate.
+    ///
+    /// ```
+    /// use lt_core::trace::{Op, OpKind, Trace};
+    /// let per_seq = Trace::from_ops(vec![Op::gemm_n(OpKind::QkvProj, 1, 8, 8, 6)]);
+    /// let batched = Trace::batch_rows([&per_seq, &per_seq.clone(), &per_seq.clone()]);
+    /// assert_eq!(batched.ops(), &[Op::gemm_n(OpKind::QkvProj, 3, 8, 8, 6)]);
+    /// ```
+    pub fn batch_rows<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+        use std::collections::BTreeMap;
+        let mut gemms: BTreeMap<(OpKind, usize, usize, usize), usize> = BTreeMap::new();
+        let mut digital: BTreeMap<NonGemmKind, u64> = BTreeMap::new();
+        for trace in traces {
+            for op in &trace.ops {
+                match *op {
+                    Op::Gemm {
+                        kind,
+                        m,
+                        k,
+                        n,
+                        instances,
+                    } => *gemms.entry((kind, k, n, instances)).or_insert(0) += m,
+                    Op::NonGemm { kind, elems } => *digital.entry(kind).or_insert(0) += elems,
+                }
+            }
+        }
+        let mut ops: Vec<Op> = gemms
+            .into_iter()
+            .map(|((kind, k, n, instances), m)| Op::gemm_n(kind, m, k, n, instances))
+            .collect();
+        ops.extend(
+            digital
+                .into_iter()
+                .map(|(kind, elems)| Op::non_gemm(kind, elems)),
+        );
+        Trace { ops }
+    }
 }
 
 /// A cloneable, thread-safe sink that execution layers record [`Op`]s
@@ -372,6 +433,7 @@ mod tests {
             OpKind::Ffn1,
             OpKind::Ffn2,
             OpKind::Classifier,
+            OpKind::LmHead,
             OpKind::Other,
         ] {
             assert_eq!(kind.dynamics(), OperandDynamics::WeightStatic);
@@ -396,6 +458,35 @@ mod tests {
         b.push(Op::gemm(OpKind::AttnAv, 5, 5, 2));
         assert_eq!(a.coalesce(), b.coalesce(), "order/merging is canonical");
         assert_eq!(a.coalesce().total_macs(), a.total_macs());
+    }
+
+    #[test]
+    fn batch_rows_stacks_rows_and_preserves_macs() {
+        let step = Trace::from_ops(vec![
+            Op::gemm_n(OpKind::QkvProj, 1, 8, 8, 6),
+            Op::gemm_n(OpKind::AttnQk, 1, 2, 5, 8),
+            Op::non_gemm(NonGemmKind::KvAppend, 16),
+        ]);
+        let longer = Trace::from_ops(vec![
+            Op::gemm_n(OpKind::QkvProj, 1, 8, 8, 6),
+            Op::gemm_n(OpKind::AttnQk, 1, 2, 9, 8), // different context: stays separate
+            Op::non_gemm(NonGemmKind::KvAppend, 16),
+        ]);
+        let batched = Trace::batch_rows([&step, &step.clone(), &longer]);
+        assert!(batched
+            .ops()
+            .contains(&Op::gemm_n(OpKind::QkvProj, 3, 8, 8, 6)));
+        assert!(batched
+            .ops()
+            .contains(&Op::gemm_n(OpKind::AttnQk, 2, 2, 5, 8)));
+        assert!(batched
+            .ops()
+            .contains(&Op::gemm_n(OpKind::AttnQk, 1, 2, 9, 8)));
+        assert!(batched
+            .ops()
+            .contains(&Op::non_gemm(NonGemmKind::KvAppend, 48)));
+        let total: u64 = [&step, &step, &longer].iter().map(|t| t.total_macs()).sum();
+        assert_eq!(batched.total_macs(), total, "batching moves no work");
     }
 
     #[test]

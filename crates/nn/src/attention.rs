@@ -35,6 +35,57 @@ struct AttnCache {
     probs: Vec<Tensor>, // per head
 }
 
+/// One layer's KV cache for autoregressive decode (paper Section VI-B):
+/// the K and V projections of every token seen so far, all heads
+/// concatenated (`[context, dim]` each), appended one token at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttnKvCache {
+    k: Tensor,
+    v: Tensor,
+}
+
+impl AttnKvCache {
+    /// An empty cache for a `dim`-wide layer.
+    pub fn new(dim: usize) -> Self {
+        AttnKvCache {
+            k: Tensor::zeros(0, dim),
+            v: Tensor::zeros(0, dim),
+        }
+    }
+
+    /// Context length in tokens.
+    pub fn len(&self) -> usize {
+        self.k.rows()
+    }
+
+    /// Whether no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached K rows, `[context, dim]`.
+    pub fn keys(&self) -> &Tensor {
+        &self.k
+    }
+
+    /// The cached V rows, `[context, dim]`.
+    pub fn values(&self) -> &Tensor {
+        &self.v
+    }
+
+    /// Appends the K/V rows of newly seen tokens (in place — a decode
+    /// step pays for its own row, not for recopying the whole context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` and `v` shapes disagree with each other or the cache.
+    pub fn append(&mut self, k: &Tensor, v: &Tensor) {
+        assert_eq!(k.shape(), v.shape(), "K/V shape mismatch");
+        self.k.extend_rows(k);
+        self.v.extend_rows(v);
+    }
+}
+
 impl MultiHeadAttention {
     /// Creates an attention module.
     ///
@@ -90,6 +141,92 @@ impl MultiHeadAttention {
         }
         self.cache = Some(AttnCache { q, k, v, probs });
         self.wo.forward(&concat, ctx)
+    }
+
+    /// Causal (masked) prefill over a whole prompt `x: [tokens, dim]`,
+    /// filling `cache` with every token's K/V rows. Inference-only
+    /// (`&self`): concurrent decode sessions share one set of weights.
+    ///
+    /// Records the same GEMM shapes as [`MultiHeadAttention::forward`]
+    /// (the mask changes values, not dims) plus the KV-cache append
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is non-empty (prefill starts a sequence).
+    pub fn prefill(&self, x: &Tensor, cache: &mut AttnKvCache, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        assert!(cache.is_empty(), "prefill expects an empty KV cache");
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.infer(x, ctx);
+        let k = self.wk.infer(x, ctx);
+        let v = self.wv.infer(x, ctx);
+        ctx.record_non_gemm(NonGemmKind::KvAppend, 2 * (x.rows() * self.dim) as u64);
+        cache.append(&k, &v);
+
+        let tokens = x.rows();
+        let mut concat = Tensor::zeros(tokens, self.dim);
+        for h in 0..self.heads {
+            let qh = q.col_slice(h * dh, dh);
+            let kh = k.col_slice(h * dh, dh);
+            let vh = v.col_slice(h * dh, dh);
+            let mut scores = ctx
+                .matmul_as(OpKind::AttnQk, &qh, &kh.transpose())
+                .scale(scale);
+            // Causal mask: token i may not attend to tokens j > i.
+            for i in 0..tokens {
+                for j in (i + 1)..tokens {
+                    scores.set(i, j, f32::NEG_INFINITY);
+                }
+            }
+            ctx.record_non_gemm(NonGemmKind::Softmax, (tokens * tokens) as u64);
+            let a = softmax_rows(&scores);
+            let oh = ctx.matmul_as(OpKind::AttnAv, &a, &vh);
+            concat.set_col_slice(h * dh, &oh);
+        }
+        self.wo.infer(&concat, ctx)
+    }
+
+    /// One autoregressive decode step: appends the new token's K/V to
+    /// `cache` and attends its query over the whole cached context —
+    /// the per-token matrix-vector regime of paper Section VI-B. The
+    /// recorded `Q K^T` is `[1, dh] x [dh, context]` and `A V` is
+    /// `[1, context] x [context, dh]` per head, exactly the analytical
+    /// `DecodeTrace` shapes at batch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a single `[1, dim]` token row.
+    pub fn decode_step(
+        &self,
+        x: &Tensor,
+        cache: &mut AttnKvCache,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        assert_eq!(x.shape(), (1, self.dim), "decode step takes one token");
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.infer(x, ctx);
+        let k = self.wk.infer(x, ctx);
+        let v = self.wv.infer(x, ctx);
+        ctx.record_non_gemm(NonGemmKind::KvAppend, 2 * self.dim as u64);
+        cache.append(&k, &v);
+
+        let context = cache.len();
+        let mut concat = Tensor::zeros(1, self.dim);
+        for h in 0..self.heads {
+            let qh = q.col_slice(h * dh, dh);
+            let kh = cache.keys().col_slice(h * dh, dh);
+            let vh = cache.values().col_slice(h * dh, dh);
+            let scores = ctx
+                .matmul_as(OpKind::AttnQk, &qh, &kh.transpose())
+                .scale(scale);
+            ctx.record_non_gemm(NonGemmKind::Softmax, context as u64);
+            let a = softmax_rows(&scores);
+            let oh = ctx.matmul_as(OpKind::AttnAv, &a, &vh);
+            concat.set_col_slice(h * dh, &oh);
+        }
+        self.wo.infer(&concat, ctx)
     }
 
     /// Backward pass; returns `dx`.

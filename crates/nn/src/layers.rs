@@ -207,6 +207,15 @@ impl Linear {
         y
     }
 
+    /// Inference-only forward pass: same numerics as [`Linear::forward`]
+    /// (quantization, recording, training noise) but caches nothing, so
+    /// it takes `&self` — the entry point the autoregressive decode path
+    /// uses to let many concurrent sessions share one set of weights.
+    pub fn infer(&self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        ctx.matmul_as(self.role, x, &self.w.value)
+            .add_row_broadcast(&self.b.value)
+    }
+
     /// Backward pass: accumulates `dW`, `db`, returns `dx`.
     ///
     /// # Panics
@@ -251,8 +260,10 @@ impl LayerNorm {
         }
     }
 
-    /// Forward pass.
-    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// The shared normalization: row-wise `xhat = (x - mean) / std` and
+    /// the per-row `1/std`, used by both the training and the decode
+    /// path so their numerics can never drift apart.
+    fn normalize(&self, x: &Tensor) -> (Tensor, Vec<f32>) {
         let (rows, cols) = x.shape();
         let mut xhat = Tensor::zeros(rows, cols);
         let mut inv_stds = Vec::with_capacity(rows);
@@ -266,12 +277,31 @@ impl LayerNorm {
                 xhat.set(i, j, (row[j] - mean) * inv_std);
             }
         }
-        let y = Tensor::from_fn(rows, cols, |i, j| {
+        (xhat, inv_stds)
+    }
+
+    /// Applies the learned scale and shift to normalized rows.
+    fn scale_shift(&self, xhat: &Tensor) -> Tensor {
+        Tensor::from_fn(xhat.rows(), xhat.cols(), |i, j| {
             xhat.get(i, j) * self.gamma.value.get(0, j) + self.beta.value.get(0, j)
-        });
+        })
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (xhat, inv_stds) = self.normalize(x);
+        let y = self.scale_shift(&xhat);
         self.cache_xhat = Some(xhat);
         self.cache_inv_std = Some(inv_stds);
         y
+    }
+
+    /// Inference-only forward pass: identical numerics to
+    /// [`LayerNorm::forward`] (same [`LayerNorm::normalize`] core) but
+    /// caches nothing, so it takes `&self` (shared weights across
+    /// concurrent decode sessions).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.scale_shift(&self.normalize(x).0)
     }
 
     /// Backward pass.
@@ -342,6 +372,11 @@ impl Gelu {
     /// Forward pass.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         self.cache_x = Some(x.clone());
+        x.map(gelu_scalar)
+    }
+
+    /// Inference-only forward pass (no backward cache, `&self`).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
         x.map(gelu_scalar)
     }
 

@@ -57,6 +57,7 @@
 pub mod attention;
 pub mod checkpoint;
 pub mod data;
+pub mod decode;
 pub mod engine;
 pub mod layers;
 pub mod metrics;
@@ -66,7 +67,9 @@ pub mod serve;
 pub mod tensor;
 pub mod train;
 
+pub use decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, KvCache, SessionConfig};
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use model::{TextClassifier, VisionTransformer};
+pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
 pub use serve::{Reply, Request, ServeConfig, Server};
 pub use tensor::Tensor;

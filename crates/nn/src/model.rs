@@ -1,7 +1,7 @@
 //! Model assemblies: the encoder block, a tiny ViT (the DeiT stand-in),
 //! and a tiny bidirectional text classifier (the BERT stand-in).
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{AttnKvCache, MultiHeadAttention};
 use crate::layers::{ForwardCtx, Gelu, LayerNorm, Linear, Param};
 use crate::tensor::Tensor;
 use lt_core::trace::{NonGemmKind, OpKind};
@@ -52,6 +52,47 @@ impl EncoderBlock {
             let h = self.gelu.forward(&h);
             self.ffn2.forward(&h, ctx)
         };
+        ctx.record_non_gemm(NonGemmKind::Residual, elems);
+        x1.add(&ffn_out)
+    }
+
+    /// Causal prefill of a whole prompt, filling this layer's KV cache —
+    /// the block body of the autoregressive decode path (inference-only,
+    /// `&self`, so concurrent decode sessions share one set of weights).
+    pub fn prefill(&self, x: &Tensor, cache: &mut AttnKvCache, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        self.decode_pass(x, ctx, |attn, normed, ctx| attn.prefill(normed, cache, ctx))
+    }
+
+    /// One single-token decode step against this layer's KV cache
+    /// (`x: [1, dim]`, inference-only).
+    pub fn decode_step(
+        &self,
+        x: &Tensor,
+        cache: &mut AttnKvCache,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        self.decode_pass(x, ctx, |attn, normed, ctx| {
+            attn.decode_step(normed, cache, ctx)
+        })
+    }
+
+    /// The shared pre-LN block body of the two cache-driven passes; only
+    /// the attention inner call differs.
+    fn decode_pass(
+        &self,
+        x: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+        attend: impl FnOnce(&MultiHeadAttention, &Tensor, &mut ForwardCtx<'_>) -> Tensor,
+    ) -> Tensor {
+        let elems = (x.rows() * x.cols()) as u64;
+        ctx.record_non_gemm(NonGemmKind::LayerNorm, elems);
+        let attn_out = attend(&self.attn, &self.ln1.infer(x), ctx);
+        ctx.record_non_gemm(NonGemmKind::Residual, elems);
+        let x1 = x.add(&attn_out);
+        ctx.record_non_gemm(NonGemmKind::LayerNorm, elems);
+        let h = self.ffn1.infer(&self.ln2.infer(&x1), ctx);
+        ctx.record_non_gemm(NonGemmKind::Gelu, (h.rows() * h.cols()) as u64);
+        let ffn_out = self.ffn2.infer(&self.gelu.infer(&h), ctx);
         ctx.record_non_gemm(NonGemmKind::Residual, elems);
         x1.add(&ffn_out)
     }

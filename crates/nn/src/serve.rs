@@ -43,6 +43,8 @@
 //! function of model geometry and input shape alone, and the simulator
 //! is deterministic.
 
+pub mod decode;
+
 use crate::engine::BackendEngine;
 use crate::layers::ForwardCtx;
 use crate::model::{Classifier, TextClassifier, VisionTransformer};

@@ -1,0 +1,556 @@
+//! Continuous-batching decode serving (paper Section VI-B's remedy,
+//! executed): worker threads interleave prefill and per-token decode
+//! steps across many in-flight requests, admitting newcomers *between
+//! token steps* — not at request boundaries — so the machine always has
+//! a full batch of single-token work even though requests start and end
+//! at different times.
+//!
+//! Every scheduler tick advances every active [`DecodeSession`] by one
+//! token and merges the sessions' recorded step traces into one
+//! coalesced tick trace. Replaying that merged trace through the
+//! accelerator model is the batching argument of Section VI-B made
+//! executable: the per-session matrix-vector products (`[1, d] x [d, d]`
+//! projections, `[1, dh] x [dh, ctx]` attention) coalesce into
+//! multi-instance ops that fill hardware tiles a lone token would leave
+//! idle, so the batched cycles-per-token drop below the one-at-a-time
+//! cost — [`DecodeServer::batched_cycles`] vs.
+//! [`DecodeServer::sequential_cycles`] quantifies exactly that on every
+//! run.
+//!
+//! # Determinism
+//!
+//! A reply (token stream *and* per-token costs) is a pure function of
+//! the model weights, the prompt, and `split_seed(seed, ticket)`. The
+//! scheduler changes which sessions share a tick, never what a session
+//! computes, so serving the same stream with 1, 2, or 4 workers — or a
+//! different `max_active` — returns bit-identical replies
+//! (`tests/runtime_determinism.rs`).
+
+use crate::decode::{DecodeReply, DecodeSession, DecoderLm, SessionConfig};
+use crate::quant::QuantConfig;
+use lt_arch::{ArchConfig, RunReport, Simulator};
+use lt_core::{ComputeBackend, Trace};
+use lt_runtime::BatchQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One autoregressive generation request.
+#[derive(Debug, Clone)]
+pub struct DecodeRequest {
+    /// Prompt token ids (must fit the model's vocabulary and context).
+    pub prompt: Vec<usize>,
+    /// Number of tokens to generate (>= 1; the first comes from the
+    /// prefill logits, the rest from decode steps).
+    pub max_new_tokens: usize,
+}
+
+/// Decode-serving configuration.
+#[derive(Debug, Clone)]
+pub struct DecodeServeConfig {
+    /// Worker threads, each holding its own clone of the weights and
+    /// running its own continuous batch.
+    pub workers: usize,
+    /// Maximum sessions a worker keeps in flight at once (the
+    /// continuous-batch width).
+    pub max_active: usize,
+    /// Root seed; session noise streams are `split_seed(seed, ticket)`.
+    pub seed: u64,
+    /// Operand fake-quantization applied to every forward pass.
+    pub quant: QuantConfig,
+    /// Accelerator model that costs every recorded trace (default:
+    /// LT-B at 8 bits).
+    pub arch: ArchConfig,
+}
+
+impl Default for DecodeServeConfig {
+    fn default() -> Self {
+        DecodeServeConfig {
+            workers: 2,
+            max_active: 8,
+            seed: 0,
+            quant: QuantConfig::fp32(),
+            arch: ArchConfig::lt_base(8),
+        }
+    }
+}
+
+/// A handle to one in-flight decode request.
+#[derive(Debug)]
+pub struct PendingDecode {
+    ticket: u64,
+    rx: Receiver<DecodeReply>,
+}
+
+impl PendingDecode {
+    /// The queue ticket (submission order, also the noise-stream index).
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Blocks until the reply (tokens + prefill and per-token costs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down before serving this request, or if
+    /// the request was malformed (empty prompt, context overflow,
+    /// out-of-vocabulary token) and its session panicked — other
+    /// requests and the worker are unaffected.
+    pub fn wait(self) -> DecodeReply {
+        self.rx
+            .recv()
+            .expect("decode request failed or server dropped before replying")
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: DecodeRequest,
+    reply: Sender<DecodeReply>,
+}
+
+/// Merges one scheduler tick's per-session step traces into the batched
+/// decode form ([`Trace::batch_rows`]: each session's `[1, k] x [k, n]`
+/// matrix-vector products stack into `[active, k] x [k, n]` GEMMs) and
+/// costs it — the replayed-cycle metric behind the "batching fixes
+/// memory-bound decode" claim. Weights load once per batched op instead
+/// of once per session, and the stacked rows fill tile rows a lone
+/// token would leave idle, so for `n` equal-geometry sessions the
+/// merged cycles are well below `n` times a lone session's step cycles.
+pub fn batched_tick_cost(step_traces: &[Trace], sim: &Simulator) -> RunReport {
+    sim.run_trace(&Trace::batch_rows(step_traces).coalesce())
+}
+
+/// The continuous-batching decode server. See the [module docs](self).
+///
+/// ```
+/// use lt_core::{GaussianSampler, NativeBackend};
+/// use lt_nn::decode::{DecoderConfig, DecoderLm};
+/// use lt_nn::serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+///
+/// let mut rng = GaussianSampler::new(1);
+/// let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+/// let server = DecodeServer::new(model, NativeBackend, DecodeServeConfig::default());
+/// let pending = server.submit(DecodeRequest { prompt: vec![1, 2, 3], max_new_tokens: 4 });
+/// let reply = pending.wait();
+/// assert_eq!(reply.tokens.len(), 4);
+/// assert_eq!(reply.steps.len(), 3, "prefill covers the first token");
+/// assert!(reply.steps.iter().all(|s| s.cycles > 0), "per-token replayed cost");
+/// ```
+#[derive(Debug)]
+pub struct DecodeServer {
+    queue: Arc<BatchQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    decoded_tokens: Arc<AtomicU64>,
+    ticks: Arc<AtomicU64>,
+    batched_cycles: Arc<AtomicU64>,
+    sequential_cycles: Arc<AtomicU64>,
+}
+
+impl DecodeServer {
+    /// Starts `config.workers` continuous-batching workers, each with
+    /// its own clone of the model weights.
+    pub fn new<B: ComputeBackend + Clone + Send + 'static>(
+        model: DecoderLm,
+        backend: B,
+        config: DecodeServeConfig,
+    ) -> Self {
+        let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::new(config.max_active.max(1)));
+        let served = Arc::new(AtomicU64::new(0));
+        let decoded_tokens = Arc::new(AtomicU64::new(0));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let batched_cycles = Arc::new(AtomicU64::new(0));
+        let sequential_cycles = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let served = Arc::clone(&served);
+                let decoded_tokens = Arc::clone(&decoded_tokens);
+                let ticks = Arc::clone(&ticks);
+                let batched_cycles = Arc::clone(&batched_cycles);
+                let sequential_cycles = Arc::clone(&sequential_cycles);
+                let model = model.clone();
+                let backend = backend.clone();
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("lt-decode-worker-{w}"))
+                    .spawn(move || {
+                        worker_loop(
+                            &model,
+                            &backend,
+                            &config,
+                            &queue,
+                            &served,
+                            &decoded_tokens,
+                            &ticks,
+                            &batched_cycles,
+                            &sequential_cycles,
+                        )
+                    })
+                    .expect("failed to spawn decode worker")
+            })
+            .collect();
+        DecodeServer {
+            queue,
+            workers,
+            served,
+            decoded_tokens,
+            ticks,
+            batched_cycles,
+            sequential_cycles,
+        }
+    }
+
+    /// Enqueues a request; returns immediately with a reply handle.
+    pub fn submit(&self, request: DecodeRequest) -> PendingDecode {
+        let (reply, rx) = channel();
+        let ticket = self.queue.submit(Job { request, reply });
+        PendingDecode { ticket, rx }
+    }
+
+    /// Requests fully served so far (malformed ones are drained, not
+    /// counted).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Tokens produced by decode steps (excludes the prefill-sampled
+    /// first token of each request — the memory-bound per-token regime).
+    pub fn decoded_tokens(&self) -> u64 {
+        self.decoded_tokens.load(Ordering::Relaxed)
+    }
+
+    /// Scheduler ticks executed; `decoded_tokens() / ticks()` is the
+    /// realized continuous-batch width.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Replayed photonic cycles of the *merged* per-tick step traces —
+    /// what the accelerator would spend running each tick's sessions as
+    /// one batch.
+    pub fn batched_cycles(&self) -> u64 {
+        self.batched_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Replayed photonic cycles of every session's step costed alone —
+    /// what the accelerator would spend serving the same tokens one
+    /// request at a time (batch 1).
+    pub fn sequential_cycles(&self) -> u64 {
+        self.sequential_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Drains outstanding requests, stops the workers, and returns the
+    /// number of requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.served()
+    }
+}
+
+impl Drop for DecodeServer {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One active session and its reply channel.
+struct Active<B: ComputeBackend + Clone> {
+    session: DecodeSession<B>,
+    reply: Sender<DecodeReply>,
+}
+
+/// The continuous-batching worker: admit (blocking only when idle),
+/// prefill newcomers, then advance *every* active session by one token
+/// per tick, retiring sessions as they finish.
+#[allow(clippy::too_many_arguments)] // counters are plain shared stats
+fn worker_loop<B: ComputeBackend + Clone>(
+    model: &DecoderLm,
+    backend: &B,
+    config: &DecodeServeConfig,
+    queue: &BatchQueue<Job>,
+    served: &AtomicU64,
+    decoded_tokens: &AtomicU64,
+    ticks: &AtomicU64,
+    batched_cycles: &AtomicU64,
+    sequential_cycles: &AtomicU64,
+) {
+    let sim = Simulator::new(config.arch.clone());
+    let session_config = SessionConfig {
+        seed: config.seed,
+        quant: config.quant,
+        kv_bits: config.arch.precision_bits,
+    };
+    let mut active: Vec<Active<B>> = Vec::new();
+    loop {
+        // Admission: block only when there is nothing to step; top up
+        // free slots without blocking while a batch is running.
+        let admitted = if active.is_empty() {
+            match queue.next_batch() {
+                Some(batch) => batch,
+                None => break, // closed and drained
+            }
+        } else {
+            queue
+                .try_take(config.max_active.saturating_sub(active.len()))
+                .unwrap_or_default()
+        };
+        for (ticket, job) in admitted {
+            // Contain malformed requests (empty prompt, context
+            // overflow, out-of-vocabulary token): the offending
+            // client's sender is dropped — its `wait` panics with a
+            // clear message — while the batch and the worker survive.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut session = DecodeSession::new(
+                    model,
+                    ticket,
+                    job.request.prompt.clone(),
+                    job.request.max_new_tokens,
+                    backend.clone(),
+                    session_config,
+                );
+                session.prefill(model, &sim);
+                session
+            }));
+            if let Ok(session) = outcome {
+                let entry = Active {
+                    session,
+                    reply: job.reply,
+                };
+                if entry.session.is_done() {
+                    retire(entry, served);
+                } else {
+                    active.push(entry);
+                }
+            }
+        }
+        if active.is_empty() {
+            continue;
+        }
+
+        // One interleaved tick: every active session decodes one token.
+        let mut step_traces = Vec::with_capacity(active.len());
+        for entry in active.iter_mut() {
+            step_traces.push(entry.session.step(model, &sim));
+            if let Some(cost) = entry.session.last_step_cost() {
+                sequential_cycles.fetch_add(cost.cycles, Ordering::Relaxed);
+            }
+        }
+        let tick_cost = batched_tick_cost(&step_traces, &sim);
+        batched_cycles.fetch_add(tick_cost.cycles, Ordering::Relaxed);
+        decoded_tokens.fetch_add(step_traces.len() as u64, Ordering::Relaxed);
+        ticks.fetch_add(1, Ordering::Relaxed);
+
+        // Retire finished sessions (their replies are complete).
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].session.is_done() {
+                retire(active.remove(i), served);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn retire<B: ComputeBackend + Clone>(entry: Active<B>, served: &AtomicU64) {
+    served.fetch_add(1, Ordering::Relaxed);
+    // A client that dropped its handle just doesn't read the reply.
+    let _ = entry.reply.send(entry.session.into_reply());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecoderConfig;
+    use lt_core::{GaussianSampler, NativeBackend};
+    use lt_dptc::DptcBackend;
+
+    fn model() -> DecoderLm {
+        let mut rng = GaussianSampler::new(5);
+        DecoderLm::new(DecoderConfig::tiny(), &mut rng)
+    }
+
+    fn mixed_requests(n: usize) -> Vec<DecodeRequest> {
+        (0..n)
+            .map(|i| DecodeRequest {
+                prompt: (0..(3 + i % 4)).map(|t| (i + t) % 16).collect(),
+                max_new_tokens: 2 + i % 5,
+            })
+            .collect()
+    }
+
+    fn serve_all<B: ComputeBackend + Clone + Send + 'static>(
+        backend: B,
+        cfg: DecodeServeConfig,
+        requests: &[DecodeRequest],
+    ) -> Vec<DecodeReply> {
+        let server = DecodeServer::new(model(), backend, cfg);
+        let pending: Vec<PendingDecode> =
+            requests.iter().map(|r| server.submit(r.clone())).collect();
+        let replies: Vec<DecodeReply> = pending.into_iter().map(PendingDecode::wait).collect();
+        assert_eq!(server.shutdown(), requests.len() as u64);
+        replies
+    }
+
+    #[test]
+    fn serves_mixed_decode_requests_with_per_token_costs() {
+        let requests = mixed_requests(9);
+        let replies = serve_all(NativeBackend, DecodeServeConfig::default(), &requests);
+        for (req, r) in requests.iter().zip(&replies) {
+            assert_eq!(r.tokens.len(), req.max_new_tokens);
+            assert_eq!(r.steps.len(), req.max_new_tokens - 1);
+            assert!(r.tokens.iter().all(|&t| t < 16));
+            assert!(r.prefill.cycles > 0);
+            assert!(r.steps.iter().all(|s| s.cycles > 0 && s.edp() > 0.0));
+            assert!(r.kv_cache_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn replies_do_not_depend_on_worker_count_or_batch_width() {
+        let requests = mixed_requests(8);
+        let backend = DptcBackend::paper(8, 3);
+        let base = serve_all(
+            backend.clone(),
+            DecodeServeConfig {
+                workers: 1,
+                max_active: 1,
+                ..DecodeServeConfig::default()
+            },
+            &requests,
+        );
+        for (workers, max_active) in [(2, 4), (4, 8)] {
+            let got = serve_all(
+                backend.clone(),
+                DecodeServeConfig {
+                    workers,
+                    max_active,
+                    ..DecodeServeConfig::default()
+                },
+                &requests,
+            );
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a, b, "workers={workers} max_active={max_active}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_malformed_request_does_not_poison_the_batch_or_the_worker() {
+        let server = DecodeServer::new(
+            model(),
+            NativeBackend,
+            DecodeServeConfig {
+                workers: 1,
+                ..DecodeServeConfig::default()
+            },
+        );
+        let good_before = server.submit(DecodeRequest {
+            prompt: vec![1, 2],
+            max_new_tokens: 2,
+        });
+        let bad = server.submit(DecodeRequest {
+            prompt: vec![],
+            max_new_tokens: 2,
+        });
+        let overflow = server.submit(DecodeRequest {
+            prompt: vec![0; 40],
+            max_new_tokens: 20,
+        });
+        let good_after = server.submit(DecodeRequest {
+            prompt: vec![3, 4, 5],
+            max_new_tokens: 3,
+        });
+        assert_eq!(good_before.wait().tokens.len(), 2);
+        assert_eq!(good_after.wait().tokens.len(), 3, "worker survived");
+        assert!(std::panic::catch_unwind(move || bad.wait()).is_err());
+        assert!(std::panic::catch_unwind(move || overflow.wait()).is_err());
+        assert_eq!(server.shutdown(), 2, "only the good requests count");
+    }
+
+    #[test]
+    fn batched_ticks_cost_fewer_cycles_than_one_at_a_time() {
+        // The Section VI-B claim in the replayed-cycle metric: sixteen
+        // equal-geometry sessions stepped as one continuous batch cost
+        // fewer cycles than the same sixteen tokens decoded at batch 1.
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut sessions: Vec<DecodeSession<NativeBackend>> = (0..16)
+            .map(|t| {
+                DecodeSession::new(
+                    &m,
+                    t,
+                    vec![1, 2, 3, 4],
+                    4,
+                    NativeBackend,
+                    SessionConfig::default(),
+                )
+            })
+            .collect();
+        for s in sessions.iter_mut() {
+            s.prefill(&m, &sim);
+        }
+        let traces: Vec<Trace> = sessions.iter_mut().map(|s| s.step(&m, &sim)).collect();
+        let single: u64 = sessions
+            .iter()
+            .map(|s| s.last_step_cost().unwrap().cycles)
+            .sum();
+        let batched = batched_tick_cost(&traces, &sim).cycles;
+        assert!(
+            batched < single,
+            "batch 16 must beat 16x batch 1: {batched} vs {single}"
+        );
+        // Tokens/s at batch 16 = 16 tokens / batched cycles, vs batch 1
+        // = 1 token / (single/16) cycles: the ratio is single/batched.
+        assert!(
+            single as f64 / batched as f64 > 2.0,
+            "tile filling should be worth well over 2x: {single}/{batched}"
+        );
+    }
+
+    #[test]
+    fn continuous_admission_interleaves_requests_mid_flight() {
+        // One worker, wide batch: submit a long request, then while it
+        // decodes, short ones join and finish — continuous batching (the
+        // realized batch width exceeds 1 even with a single worker).
+        let server = DecodeServer::new(
+            model(),
+            NativeBackend,
+            DecodeServeConfig {
+                workers: 1,
+                max_active: 8,
+                ..DecodeServeConfig::default()
+            },
+        );
+        let long = server.submit(DecodeRequest {
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 12,
+        });
+        let shorts: Vec<_> = (0..6)
+            .map(|i| {
+                server.submit(DecodeRequest {
+                    prompt: vec![i % 16, (i + 1) % 16],
+                    max_new_tokens: 3,
+                })
+            })
+            .collect();
+        assert_eq!(long.wait().tokens.len(), 12);
+        for s in shorts {
+            assert_eq!(s.wait().tokens.len(), 3);
+        }
+        assert_eq!(server.served(), 7);
+        assert!(server.ticks() > 0);
+        assert!(server.decoded_tokens() >= server.ticks(), "width >= 1");
+        assert!(server.batched_cycles() <= server.sequential_cycles());
+        server.shutdown();
+    }
+}

@@ -131,11 +131,21 @@ impl<T> BatchQueue<T> {
     /// queue is closed — check [`BatchQueue::is_closed`] to terminate a
     /// polling loop).
     pub fn try_next_batch(&self) -> Option<Vec<(u64, T)>> {
+        self.try_take(self.max_batch)
+    }
+
+    /// Non-blocking bounded drain: removes and returns up to `limit`
+    /// requests in ticket order (ignoring [`BatchQueue::max_batch`]), or
+    /// `None` if nothing is waiting. This is the admission primitive of
+    /// a *continuous-batching* consumer, which tops up however many
+    /// execution slots it has free between steps of already-running
+    /// work, rather than draining fixed-size batches.
+    pub fn try_take(&self, limit: usize) -> Option<Vec<(u64, T)>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.queue.is_empty() {
+        if inner.queue.is_empty() || limit == 0 {
             return None;
         }
-        let take = self.max_batch.min(inner.queue.len());
+        let take = limit.min(inner.queue.len());
         Some(inner.queue.drain(..take).collect())
     }
 }
@@ -205,6 +215,18 @@ mod tests {
                 .collect();
             assert_eq!(seq, (0..25).collect::<Vec<u32>>());
         }
+    }
+
+    #[test]
+    fn try_take_drains_up_to_the_limit_in_ticket_order() {
+        let q = BatchQueue::new(2); // max_batch deliberately smaller than limit
+        for i in 0..5u8 {
+            q.submit(i);
+        }
+        assert!(q.try_take(0).is_none(), "zero slots: nothing to admit");
+        assert_eq!(q.try_take(3).unwrap(), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(q.try_take(10).unwrap(), vec![(3, 3), (4, 4)]);
+        assert!(q.try_take(1).is_none(), "drained");
     }
 
     #[test]

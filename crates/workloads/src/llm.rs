@@ -66,6 +66,15 @@ impl DecodeTrace {
         ]
     }
 
+    /// The decode-step GEMMs in the shared trace IR, so the same
+    /// `lt_arch::Simulator::run_trace` entry point that replays recorded
+    /// execution can replay the analytical decode step. The executable
+    /// decode path (`lt_nn::decode`) records exactly these shapes at
+    /// batch 1 — pinned by `tests/trace_crossval.rs`.
+    pub fn op_trace(&self) -> lt_core::Trace {
+        lt_core::Trace::from_ops(self.gemm_trace().iter().map(GemmOp::op).collect())
+    }
+
     /// MACs for one generated token.
     pub fn macs_per_token(&self) -> u64 {
         self.gemm_trace().iter().map(|op| op.total_macs()).sum()
@@ -123,6 +132,17 @@ mod tests {
         assert!(
             b16 > 5.0 * b1,
             "batching must amortize weight reads: {b1} -> {b16}"
+        );
+    }
+
+    #[test]
+    fn op_trace_mirrors_the_gemm_trace() {
+        let t = DecodeTrace::new(gpt_like(), 512, 4);
+        let ir = t.op_trace();
+        assert_eq!(ir.len(), t.gemm_trace().len());
+        assert_eq!(
+            ir.total_macs(),
+            4 * DecodeTrace::new(gpt_like(), 512, 1).macs_per_token()
         );
     }
 

@@ -25,8 +25,10 @@ fn main() {
     let ridge = analyze(&cfg, &DecodeTrace::new(model.clone(), 512, 1).gemm_trace()).ridge;
     for batch in [1usize, 4, 16, 64, 256] {
         let trace = DecodeTrace::new(model.clone(), 512, batch);
-        let ops = trace.gemm_trace();
-        let report = sim.run_gemm_ops(&ops);
+        // The analytical decode step replays through the same trace-IR
+        // entry point as recorded execution (`lt_nn::decode`) — one
+        // costing path for the roofline table and the serving runtime.
+        let report = sim.run_trace(&trace.op_trace());
         let compute_us = report.latency.value() * 1e3;
         // Weights + every sequence's private KV cache stream from HBM.
         let bytes = model.param_count() as f64 + trace.kv_cache_bytes(8) as f64;

@@ -19,7 +19,9 @@
 //!   [`core::ComputeBackend`]
 //! * [`workloads`] — DeiT/BERT GEMM traces, sparse attention, LLM decode
 //! * [`nn`] — pure-Rust NN stack for the accuracy/robustness experiments,
-//!   including the batching inference server in [`nn::serve`]
+//!   including the batching inference server in [`nn::serve`] and the
+//!   executable KV-cached autoregressive decode path ([`nn::decode`]
+//!   plus the continuous-batching [`nn::serve::decode::DecodeServer`])
 //! * [`runtime`] — the multi-threaded execution layer:
 //!   [`runtime::ParallelBackend`] (row-block parallel GEMM over any
 //!   backend), [`runtime::ThreadPool`], and [`runtime::BatchQueue`]

@@ -21,7 +21,9 @@ use lightening_transformer::core::{
     blocked_gemm, ComputeBackend, GaussianSampler, Matrix64, NativeBackend, RunCtx,
 };
 use lightening_transformer::dptc::{DptcBackend, DptcConfig, Fidelity, NoiseModel};
+use lightening_transformer::nn::decode::{DecodeReply, DecoderConfig, DecoderLm};
 use lightening_transformer::nn::model::ModelConfig;
+use lightening_transformer::nn::serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
 use lightening_transformer::nn::serve::{Request, ServeConfig, Server};
 use lightening_transformer::nn::{Tensor, TextClassifier, VisionTransformer};
 use lightening_transformer::runtime::{BatchQueue, ParallelBackend};
@@ -166,6 +168,55 @@ fn batch_queue_is_fifo_and_fair_under_concurrency() {
             (0..40).collect::<Vec<u32>>(),
             "client {s} requests reordered"
         );
+    }
+}
+
+#[test]
+fn decode_token_streams_are_invariant_to_worker_count_and_batch_width() {
+    // Continuous-batching decode on the *noisy* photonic backend: the
+    // generated token streams and every attached per-token cost must be
+    // bit-identical whether the stream is served by 1, 2, or 4 workers
+    // at any continuous-batch width — everything stochastic flows from
+    // split_seed(seed, ticket), never from scheduling.
+    let mut rng = GaussianSampler::new(31);
+    let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let requests: Vec<DecodeRequest> = (0..10)
+        .map(|i| DecodeRequest {
+            prompt: (0..(2 + i % 4)).map(|t| (i * 5 + t) % 16).collect(),
+            max_new_tokens: 2 + i % 5,
+        })
+        .collect();
+
+    let serve = |workers: usize, max_active: usize| -> Vec<DecodeReply> {
+        let server = DecodeServer::new(
+            model.clone(),
+            DptcBackend::paper(8, 17),
+            DecodeServeConfig {
+                workers,
+                max_active,
+                seed: 23,
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        let replies = pending.into_iter().map(|p| p.wait()).collect();
+        assert_eq!(server.shutdown(), requests.len() as u64);
+        replies
+    };
+
+    let base = serve(1, 1);
+    for (i, reply) in base.iter().enumerate() {
+        assert_eq!(reply.tokens.len(), requests[i].max_new_tokens);
+        assert!(reply.prefill.cycles > 0, "prefill carries replayed cost");
+        assert!(reply.steps.iter().all(|s| s.cycles > 0), "per-token costs");
+    }
+    for (workers, max_active) in [(1, 4), (2, 4), (4, 8)] {
+        let got = serve(workers, max_active);
+        for (a, b) in base.iter().zip(&got) {
+            // DecodeReply equality covers tokens, prefill + per-token
+            // costs, and the KV footprint at once.
+            assert_eq!(a, b, "workers={workers} max_active={max_active}");
+        }
     }
 }
 

@@ -12,13 +12,15 @@
 //! the accelerator model.
 
 use lightening_transformer::arch::{ArchConfig, Simulator};
-use lightening_transformer::core::{GaussianSampler, Op, Trace, TraceRecorder};
+use lightening_transformer::core::trace::OpKind;
+use lightening_transformer::core::{GaussianSampler, NativeBackend, Op, Trace, TraceRecorder};
+use lightening_transformer::nn::decode::{DecodeSession, DecoderConfig, DecoderLm, SessionConfig};
 use lightening_transformer::nn::layers::ForwardCtx;
 use lightening_transformer::nn::model::{Classifier, ModelConfig};
 use lightening_transformer::nn::quant::QuantConfig;
 use lightening_transformer::nn::{ExactEngine, Tensor, TextClassifier, VisionTransformer};
 use lightening_transformer::workloads::model::InputKind;
-use lightening_transformer::workloads::TransformerConfig;
+use lightening_transformer::workloads::{DecodeTrace, TransformerConfig};
 
 /// Builds the `lt-nn` model matching `spec`'s geometry, runs one real
 /// forward pass with a recorder attached, and returns the recorded trace.
@@ -100,6 +102,139 @@ fn recorded_and_analytical_traces_cost_identically_in_the_simulator() {
         // trace twice is bit-identical.
         assert_eq!(r, sim.run_trace(&recorded), "{}", model.name);
     }
+}
+
+/// Builds a decoder LM at the structurally identical executable tiny
+/// geometry of a decoder benchmark spec.
+fn decoder_at(spec: &TransformerConfig, vocab: usize) -> DecoderLm {
+    let cfg = DecoderConfig {
+        dim: spec.dim,
+        layers: spec.layers,
+        heads: spec.heads,
+        ffn_dim: spec.ffn_dim,
+        vocab,
+        max_seq: spec.seq_len,
+    };
+    let mut rng = GaussianSampler::new(42);
+    DecoderLm::new(cfg, &mut rng)
+}
+
+/// The transformer-body GEMMs of a recorded decode trace: everything
+/// except the LM head, which the analytical `DecodeTrace` (like the
+/// paper's Section VI-B accounting) leaves out of the per-token body.
+fn body_gemms(trace: &Trace) -> Trace {
+    Trace::from_ops(
+        trace
+            .gemm_only()
+            .ops()
+            .iter()
+            .filter(|op| {
+                !matches!(
+                    op,
+                    Op::Gemm {
+                        kind: OpKind::LmHead,
+                        ..
+                    }
+                )
+            })
+            .copied()
+            .collect(),
+    )
+}
+
+#[test]
+fn recorded_decode_step_trace_matches_the_analytical_decode_trace() {
+    // Real token-by-token decoding at the executable GPT2-small tiny
+    // geometry: every decode step's recorded GEMMs must equal
+    // `DecodeTrace::gemm_trace()` at batch 1 — same dims, same instance
+    // counts, same MACs — for every context length the session visits.
+    for spec in [
+        TransformerConfig::gpt2_small(16).tiny_validation(),
+        TransformerConfig::gpt2_medium(12).tiny_validation(),
+    ] {
+        let model = decoder_at(&spec, 16);
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let prompt = vec![3usize, 1, 4, 1];
+        let mut session = DecodeSession::new(
+            &model,
+            0,
+            prompt.clone(),
+            6,
+            NativeBackend,
+            SessionConfig::default(),
+        );
+        session.prefill(&model, &sim);
+        let mut context = prompt.len();
+        while !session.is_done() {
+            let recorded = body_gemms(&session.step(&model, &sim)).coalesce();
+            context += 1; // the step appended its token before attending
+            let analytical_ops = DecodeTrace::new(spec.clone(), context, 1);
+            let analytical = analytical_ops.op_trace().coalesce();
+            assert_eq!(
+                recorded, analytical,
+                "{}: recorded decode step and analytical DecodeTrace disagree \
+                 at context {context}",
+                spec.name
+            );
+            assert_eq!(
+                recorded.total_macs(),
+                analytical_ops.macs_per_token(),
+                "{}: per-token MAC accounting drifted at context {context}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_decode_tick_matches_the_analytical_batched_decode_trace() {
+    // Sixteen equal-geometry sessions stepped as one continuous-batch
+    // tick, row-stacked by the scheduler's merge, must equal the
+    // analytical batch-16 DecodeTrace — and replay to fewer cycles than
+    // sixteen batch-1 steps (the Section VI-B batching remedy in the
+    // replayed-cycle metric).
+    let spec = TransformerConfig::gpt2_small(16).tiny_validation();
+    let model = decoder_at(&spec, 16);
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    let prompt = vec![2usize, 7, 1, 8];
+    let mut sessions: Vec<DecodeSession<NativeBackend>> = (0..16)
+        .map(|ticket| {
+            DecodeSession::new(
+                &model,
+                ticket,
+                prompt.clone(),
+                3,
+                NativeBackend,
+                SessionConfig {
+                    seed: 9,
+                    ..SessionConfig::default()
+                },
+            )
+        })
+        .collect();
+    for s in sessions.iter_mut() {
+        s.prefill(&model, &sim);
+    }
+    let step_bodies: Vec<Trace> = sessions
+        .iter_mut()
+        .map(|s| body_gemms(&s.step(&model, &sim)))
+        .collect();
+    let context = prompt.len() + 1;
+    let batched = Trace::batch_rows(step_bodies.iter()).coalesce();
+    let analytical = DecodeTrace::new(spec.clone(), context, 16)
+        .op_trace()
+        .coalesce();
+    assert_eq!(
+        batched, analytical,
+        "scheduler merge == analytical batch-16 trace"
+    );
+
+    let batch1_cycles: u64 = step_bodies.iter().map(|t| sim.run_trace(t).cycles).sum();
+    let batch16_cycles = sim.run_trace(&batched).cycles;
+    assert!(
+        batch16_cycles < batch1_cycles,
+        "batch 16 must beat 16x batch 1 in replayed cycles: {batch16_cycles} vs {batch1_cycles}"
+    );
 }
 
 #[test]
