@@ -1,6 +1,8 @@
 //! Accelerator configuration (paper Table IV and the ablation variants of
 //! Fig. 12).
 
+use crate::memory::HBM_BYTES_PER_S;
+use crate::schedule::DataflowPolicy;
 use lt_dptc::DptcConfig;
 use lt_photonics::units::GigaHertz;
 
@@ -99,6 +101,11 @@ pub struct ArchConfig {
     pub tile_sram_bytes: usize,
     /// Per-tile activation SRAM in bytes.
     pub act_sram_bytes: usize,
+    /// HBM link bandwidth in bytes per second (> 1 TB/s in the paper;
+    /// `f64::INFINITY` models an unconstrained memory system).
+    pub hbm_bytes_per_s: f64,
+    /// Tile-schedule loop order used by `Simulator::run_trace`.
+    pub dataflow: DataflowPolicy,
     /// Architecture-level optimizations.
     pub opts: ArchOptimizations,
     /// Intra-core operand sharing topology.
@@ -158,6 +165,8 @@ impl ArchConfig {
             global_sram_bytes: 2 << 20,
             tile_sram_bytes: 4 << 10,
             act_sram_bytes: 64 << 10,
+            hbm_bytes_per_s: HBM_BYTES_PER_S,
+            dataflow: DataflowPolicy::WeightStationary,
             opts: ArchOptimizations::all_on(),
             topology: CoreTopology::Crossbar,
         }
@@ -199,6 +208,24 @@ impl ArchConfig {
     pub fn with_precision(mut self, bits: u32) -> Self {
         assert!((2..=16).contains(&bits), "precision {bits} out of range");
         self.precision_bits = bits;
+        self
+    }
+
+    /// Returns a copy that schedules under a different dataflow.
+    pub fn with_dataflow(mut self, dataflow: DataflowPolicy) -> Self {
+        self.dataflow = dataflow;
+        self
+    }
+
+    /// Returns a copy with an unconstrained memory system: effectively
+    /// unlimited global SRAM (no reuse window ever refetches) and
+    /// infinite HBM bandwidth (loads are instantaneous). Under this
+    /// configuration the tile schedule collapses to the closed-form
+    /// model exactly — the cross-validation oracle of
+    /// `tests/trace_crossval.rs`.
+    pub fn unconstrained_memory(mut self) -> Self {
+        self.global_sram_bytes = 1 << 60;
+        self.hbm_bytes_per_s = f64::INFINITY;
         self
     }
 }
@@ -248,5 +275,25 @@ mod tests {
     #[should_panic(expected = "outside supported range")]
     fn absurd_precision_rejected() {
         ArchConfig::lt_base(40);
+    }
+
+    #[test]
+    fn unconstrained_memory_lifts_both_limits() {
+        let cfg = ArchConfig::lt_base(4).unconstrained_memory();
+        assert!(cfg.hbm_bytes_per_s.is_infinite());
+        assert!(cfg.global_sram_bytes >= 1 << 60);
+        // Everything else is untouched.
+        assert_eq!(cfg.core, ArchConfig::lt_base(4).core);
+        assert_eq!(cfg.dataflow, DataflowPolicy::WeightStationary);
+    }
+
+    #[test]
+    fn with_dataflow_changes_only_the_loop_order() {
+        let cfg = ArchConfig::lt_base(4).with_dataflow(DataflowPolicy::OutputStationary);
+        assert_eq!(cfg.dataflow, DataflowPolicy::OutputStationary);
+        assert_eq!(
+            cfg.global_sram_bytes,
+            ArchConfig::lt_base(4).global_sram_bytes
+        );
     }
 }

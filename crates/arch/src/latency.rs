@@ -65,6 +65,34 @@ pub fn gemm_tile_invocations(config: &ArchConfig, rows: usize, inner: usize, col
         * (cols.div_ceil(config.core.nv) as u64)
 }
 
+/// The ideal tile lower bound: total tile invocations spread perfectly
+/// over all `Nt * Nc` cores with zero padding waste. No schedule —
+/// event-driven or closed-form — can beat this cycle count.
+pub fn ideal_tile_cycles(
+    config: &ArchConfig,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    instances: usize,
+) -> u64 {
+    (gemm_tile_invocations(config, rows, inner, cols) * instances as u64)
+        .div_ceil((config.nt * config.nc) as u64)
+}
+
+/// The fully sequential upper bound: every tile invocation of every
+/// instance issued one at a time, no spatial parallelism at all. Any
+/// schedule's cycle count sits in
+/// `[ideal_tile_cycles, sequential_tile_cycles]`.
+pub fn sequential_tile_cycles(
+    config: &ArchConfig,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    instances: usize,
+) -> u64 {
+    gemm_tile_invocations(config, rows, inner, cols) * instances as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +240,33 @@ mod tests {
         // 48 x 24 x 12: tiles_m = 4 (one per tile), tiles_d = 2 (one per
         // core), tiles_n = 1 => exactly one cycle.
         assert_eq!(gemm_cycles(&ltb, 48, 24, 12), 1);
+    }
+
+    #[test]
+    fn mapped_cycles_sit_between_the_ideal_and_sequential_bounds() {
+        for cfg in [
+            ArchConfig::lt_base(4),
+            ArchConfig::lt_large(4),
+            ArchConfig::single_core(12, 4),
+        ] {
+            for &(m, k, n, i) in &[
+                (197usize, 64usize, 197usize, 36usize),
+                (1, 768, 768, 12),
+                (13, 5, 7, 2),
+                (48, 24, 12, 1),
+            ] {
+                let cycles = gemm_cycles_batched(&cfg, m, k, n, i);
+                assert!(
+                    cycles >= ideal_tile_cycles(&cfg, m, k, n, i),
+                    "{}",
+                    cfg.name
+                );
+                assert!(
+                    cycles <= sequential_tile_cycles(&cfg, m, k, n, i),
+                    "{}",
+                    cfg.name
+                );
+            }
+        }
     }
 }

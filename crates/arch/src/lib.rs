@@ -2,10 +2,14 @@
 //!
 //! This crate models the paper's Section IV system: `Nt` tiles of `Nc`
 //! DPTC cores each, a three-level memory hierarchy (global SRAM, per-tile
-//! SRAMs, converter buffers) fed by HBM, output-stationary tiled dataflow
-//! (Fig. 5), inter-core operand broadcast over optical interconnect, and
-//! analog-domain accumulation (photocurrent summation across cores plus
-//! temporal accumulation before the ADC).
+//! SRAMs, converter buffers) fed by HBM, a tile-granular scheduled
+//! dataflow (Fig. 5) with selectable loop order
+//! ([`schedule::DataflowPolicy`]), inter-core operand broadcast over
+//! optical interconnect, and analog-domain accumulation (photocurrent
+//! summation across cores plus temporal accumulation before the ADC).
+//! Every [`sim::RunReport`] itemizes where its wall-clock went
+//! ([`schedule::StallBreakdown`]: compute vs. HBM bandwidth vs.
+//! pipeline fill) and the achieved MAC utilization.
 //!
 //! It produces the quantities the paper's evaluation reports:
 //!
@@ -40,6 +44,7 @@ pub mod memory;
 pub mod power;
 pub mod roofline;
 pub mod scaling;
+pub mod schedule;
 pub mod search;
 pub mod sim;
 
@@ -47,4 +52,5 @@ pub use area::AreaBreakdown;
 pub use config::{ArchConfig, ArchOptimizations, CoreTopology};
 pub use energy::EnergyBreakdown;
 pub use power::PowerBreakdown;
+pub use schedule::{DataflowPolicy, StallBreakdown, TraceSchedule};
 pub use sim::{ModelReport, RunReport, Simulator};

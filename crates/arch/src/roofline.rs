@@ -5,9 +5,17 @@
 //! autoregressive decoding has such low arithmetic intensity that the
 //! ultra-fast photonic cores sit idle behind the memory system. This
 //! module computes the accelerator's ridge point and classifies traces.
+//!
+//! Two classification routes exist since the tile-schedule refactor:
+//! the a-priori one here (arithmetic intensity vs. the ridge point,
+//! from shapes alone) and the a-posteriori one on every simulator
+//! report ([`crate::schedule::StallBreakdown::bound`], from where the
+//! schedule actually spent its time). They agree on clear-cut
+//! workloads; the stall route additionally sees dataflow-induced
+//! refetch traffic the intensity route cannot.
 
 use crate::config::ArchConfig;
-use crate::memory::HBM_BYTES_PER_S;
+use lt_core::Trace;
 use lt_workloads::{GemmOp, OperandDynamics};
 
 /// Which resource limits a workload.
@@ -64,12 +72,29 @@ pub fn analyze(config: &ArchConfig, trace: &[GemmOp]) -> RooflinePoint {
     assert!(!trace.is_empty(), "cannot analyze an empty trace");
     let macs: f64 = trace.iter().map(|op| op.total_macs() as f64).sum();
     let bytes = hbm_bytes(trace, config.precision_bits).max(1.0);
+    place(config, macs, bytes)
+}
+
+/// Places an IR trace on the configuration's roofline (the
+/// [`analyze`] twin for recorded [`lt_core::Trace`]s, using the IR's
+/// own weight-traffic accounting).
+///
+/// # Panics
+///
+/// Panics if the trace contains no GEMM work.
+pub fn analyze_trace(config: &ArchConfig, trace: &Trace) -> RooflinePoint {
+    let macs = trace.total_macs();
+    assert!(macs > 0, "cannot analyze a trace with no GEMM work");
+    let bytes = (trace.weight_elems() as f64 * config.precision_bits as f64 / 8.0).max(1.0);
+    place(config, macs as f64, bytes)
+}
+
+fn place(config: &ArchConfig, macs: f64, bytes: f64) -> RooflinePoint {
     let intensity = macs / bytes;
-
     let peak_macs_per_s = config.macs_per_cycle() as f64 * config.clock.to_hz();
-    let ridge = peak_macs_per_s / HBM_BYTES_PER_S;
+    let ridge = peak_macs_per_s / config.hbm_bytes_per_s;
 
-    let attainable = peak_macs_per_s.min(intensity * HBM_BYTES_PER_S);
+    let attainable = peak_macs_per_s.min(intensity * config.hbm_bytes_per_s);
     RooflinePoint {
         intensity,
         ridge,
@@ -136,5 +161,30 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_trace_rejected() {
         analyze(&ArchConfig::lt_base(4), &[]);
+    }
+
+    #[test]
+    fn ir_trace_analysis_agrees_with_the_gemm_op_route() {
+        let cfg = ArchConfig::lt_base(4);
+        let model = TransformerConfig::deit_tiny();
+        let from_ops = analyze(&cfg, &model.gemm_trace());
+        let from_ir = analyze_trace(&cfg, &model.trace().gemm_only());
+        assert_eq!(from_ops.bound, from_ir.bound);
+        assert!((from_ops.intensity - from_ir.intensity).abs() < 1e-9 * from_ops.intensity);
+    }
+
+    #[test]
+    fn infinite_bandwidth_makes_everything_compute_bound() {
+        let cfg = ArchConfig::lt_base(8).unconstrained_memory();
+        let trace = DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).gemm_trace();
+        let p = analyze(&cfg, &trace);
+        assert_eq!(p.bound, Bound::Compute);
+        assert_eq!(p.ridge, 0.0, "ridge collapses with no memory wall");
+    }
+
+    #[test]
+    #[should_panic(expected = "no GEMM work")]
+    fn ir_trace_without_gemms_rejected() {
+        analyze_trace(&ArchConfig::lt_base(4), &Trace::new());
     }
 }

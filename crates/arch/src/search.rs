@@ -5,12 +5,14 @@
 //! sparse patterns, avoiding low-utilization scenarios. For example, we can
 //! have a specific DPTC engine for vector-matrix multiplication by setting
 //! Nh to 1." — this module implements that search: enumerate core
-//! geometries within an area budget and rank them by EDP on a given GEMM
-//! trace.
+//! geometries within an area budget, play the trace through the tile
+//! scheduler on each (so dataflow stalls and SRAM pressure count against
+//! a candidate, not just its closed-form cycles), and rank them by EDP.
 
 use crate::area::AreaBreakdown;
 use crate::config::ArchConfig;
 use crate::sim::Simulator;
+use lt_core::Trace;
 use lt_dptc::DptcConfig;
 use lt_workloads::GemmOp;
 
@@ -27,8 +29,11 @@ pub struct CoreCandidate {
     pub latency_ms: f64,
     /// Energy-delay product, mJ * ms.
     pub edp: f64,
-    /// Average hardware utilization over the trace (MAC-weighted).
+    /// Achieved MAC utilization over the scheduled trace (time-weighted
+    /// fraction of peak, stalls included).
     pub utilization: f64,
+    /// Total scheduled HBM traffic, bytes (refetch included).
+    pub hbm_bytes: f64,
 }
 
 /// Enumerates `(Nh, Nv)` geometries (at fixed `N_lambda`) that fit within
@@ -59,6 +64,7 @@ pub fn search_core_geometry(
         (8, 8),
         (24, 24),
     ];
+    let ir_trace = Trace::from_ops(trace.iter().map(GemmOp::op).collect());
     let mut candidates = Vec::new();
     for &(nh, nv) in shapes {
         let mut config = ArchConfig::lt_base(bits);
@@ -69,21 +75,17 @@ pub fn search_core_geometry(
             continue;
         }
         let sim = Simulator::new(config.clone());
-        let report = sim.run_gemm_ops(trace);
-        let total_macs: u64 = trace.iter().map(|op| op.total_macs()).sum();
-        let issued: f64 = trace
-            .iter()
-            .map(|op| {
-                (config.core.tiles_for(op.m, op.k, op.n) * config.core.macs_per_cycle()) as f64
-                    * op.count as f64
-            })
-            .sum();
+        // Rank with the tile scheduler: a geometry that looks good on
+        // paper but stalls on operand staging loses here.
+        let sched = sim.schedule_trace(&ir_trace, config.dataflow);
+        let report = sched.total;
         candidates.push(CoreCandidate {
             area_mm2: area,
             energy_mj: report.energy.total().value(),
             latency_ms: report.latency.value(),
             edp: report.edp(),
-            utilization: total_macs as f64 / issued,
+            utilization: report.utilization,
+            hbm_bytes: sched.hbm_bytes,
             config,
         });
     }

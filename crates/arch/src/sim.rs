@@ -5,15 +5,27 @@
 //! The simulator consumes the shared trace IR (`lt_core::trace`): an
 //! arbitrary [`lt_core::Trace`] — recorded from a real `lt-nn` forward
 //! pass or derived analytically by `lt_workloads` — replays through
-//! [`Simulator::run_trace`]. The analytical
-//! `TransformerConfig::gemm_trace` is just one producer of that IR;
-//! `tests/trace_crossval.rs` pins recorded-vs-analytical agreement.
+//! [`Simulator::run_trace`]. Since the tile-schedule refactor, that
+//! entry point plays the trace over the event-driven tile scheduler
+//! ([`crate::schedule`]): every GEMM decomposes into tile invocations,
+//! operands stage through double-buffered SRAM under the configured
+//! [`DataflowPolicy`], and each report carries a [`StallBreakdown`]
+//! itemizing compute vs. HBM-bandwidth vs. pipeline-fill time plus the
+//! achieved MAC `utilization`.
+//!
+//! The original closed-form per-op accounting survives as
+//! [`Simulator::analytic_report`] and serves as the cross-validation
+//! oracle: under an unconstrained-memory configuration
+//! ([`crate::ArchConfig::unconstrained_memory`]) the scheduled and
+//! closed-form reports are identical, and under real configurations the
+//! schedule may only improve on the closed form via overlap
+//! (`tests/trace_crossval.rs`).
 
 use crate::config::{ArchConfig, CoreTopology};
 use crate::devices::DeviceRack;
 use crate::energy::EnergyBreakdown;
-use crate::latency::{gemm_cycles_batched, pipeline_latency_ps};
-use crate::memory::{MemoryHierarchy, HBM_BYTES_PER_S, HBM_PJ_PER_BYTE};
+use crate::memory::{MemoryHierarchy, HBM_PJ_PER_BYTE};
+use crate::schedule::{self, DataflowPolicy, GemmMap, StallBreakdown, TraceSchedule};
 use lt_core::{NonGemmKind, Op, OpKind, Trace};
 use lt_photonics::units::{GigaHertz, MilliJoules, Milliseconds, PicoJoules};
 use lt_workloads::{GemmOp, Module, OperandDynamics, TransformerConfig};
@@ -33,18 +45,26 @@ pub const RESIDUAL_PJ_PER_ELEM: f64 = 0.2;
 pub const KV_APPEND_PJ_PER_ELEM: f64 = 0.5;
 
 /// Output accumulator width in bits (partial sums carry more precision
-/// than operands).
-const ACCUM_BITS: u32 = 16;
+/// than operands). Shared with the scheduler's partial-sum spill model.
+pub(crate) const ACCUM_BITS: u32 = 16;
 
 /// Result of running a trace (or part of one).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunReport {
     /// Itemized energy.
     pub energy: EnergyBreakdown,
-    /// Photonic-core cycles.
+    /// Photonic-core cycles (tile-invocation waves; stall time is in
+    /// `stalls`, not here).
     pub cycles: u64,
-    /// Wall-clock latency (compute overlapped with HBM; the larger wins).
+    /// Wall-clock latency of the op's schedule window (compute plus any
+    /// stalls that could not hide under it).
     pub latency: Milliseconds,
+    /// Fraction of peak MAC throughput achieved over the window
+    /// (time-weighted when reports merge).
+    pub utilization: f64,
+    /// Where the window went: compute vs. HBM-bandwidth stalls vs.
+    /// pipeline fill. `stalls.total() == latency`.
+    pub stalls: StallBreakdown,
 }
 
 impl RunReport {
@@ -53,11 +73,22 @@ impl RunReport {
         self.energy.total().value() * self.latency.value()
     }
 
-    /// Merges another report (sequential execution).
+    /// Merges another report (sequential execution). Energy, cycles,
+    /// latency, and stalls add; utilization combines latency-weighted,
+    /// so the merged value is still `achieved MACs / peak MACs` over
+    /// the combined window.
     pub fn merge(&mut self, other: &RunReport) {
+        let t1 = self.latency.value();
+        let t2 = other.latency.value();
+        self.utilization = if t1 + t2 > 0.0 {
+            (self.utilization * t1 + other.utilization * t2) / (t1 + t2)
+        } else {
+            0.0
+        };
         self.energy += other.energy;
         self.cycles += other.cycles;
         self.latency += other.latency;
+        self.stalls += other.stalls;
     }
 }
 
@@ -93,6 +124,9 @@ impl ModelReport {
 /// let sim = Simulator::new(ArchConfig::lt_base(4));
 /// let r = sim.run_model(&TransformerConfig::deit_tiny());
 /// assert!(r.fps() > 10_000.0, "LT-B runs DeiT-T at > 10k FPS");
+/// // Scheduled reports explain themselves: utilization + stall split.
+/// assert!(r.all.utilization > 0.0);
+/// assert!((r.all.stalls.total().value() - r.all.latency.value()).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -121,30 +155,27 @@ impl Simulator {
         &self.config
     }
 
-    /// Simulates one IR op: a GEMM through the photonic datapath, or a
-    /// non-GEMM op through the digital units.
+    /// Simulates one IR op in isolation (a fresh schedule timeline): a
+    /// GEMM through the photonic datapath under the config's dataflow,
+    /// or a non-GEMM op through the digital units. For whole traces
+    /// prefer [`Simulator::run_trace`], which overlaps adjacent ops'
+    /// prefetch and compute.
     pub fn simulate_op(&self, op: &Op) -> RunReport {
-        match *op {
-            Op::Gemm {
-                kind,
-                m,
-                k,
-                n,
-                instances,
-            } => self.gemm_report(kind, m, k, n, instances),
-            Op::NonGemm { kind, elems } => self.non_gemm_report(kind, elems),
-        }
+        let mut state = schedule::SchedState::new();
+        let mut bytes = 0.0;
+        schedule::schedule_op(self, &mut state, self.config.dataflow, op, &mut bytes)
     }
 
-    /// Simulates one analytical GEMM op (including its repetition count).
+    /// Simulates one analytical GEMM op (including its repetition count)
+    /// on a fresh schedule timeline.
     pub fn run_op(&self, op: &GemmOp) -> RunReport {
-        self.gemm_report(op.kind, op.m, op.k, op.n, op.count)
+        self.simulate_op(&op.op())
     }
 
     /// One non-GEMM digital op: per-element energy on the 500 MHz
     /// digital units, overlapped with photonic compute (zero modeled
     /// latency, as in the paper's Table V accounting).
-    fn non_gemm_report(&self, kind: NonGemmKind, elems: u64) -> RunReport {
+    pub(crate) fn non_gemm_report(&self, kind: NonGemmKind, elems: u64) -> RunReport {
         let pj_per_elem = match kind {
             NonGemmKind::Softmax => SOFTMAX_PJ_PER_ELEM,
             NonGemmKind::LayerNorm => LAYERNORM_PJ_PER_ELEM,
@@ -161,19 +192,26 @@ impl Simulator {
         }
     }
 
-    /// The GEMM cost model shared by the IR and analytical entry points.
-    fn gemm_report(
-        &self,
-        kind: OpKind,
-        op_m: usize,
-        op_k: usize,
-        op_n: usize,
-        instances: usize,
-    ) -> RunReport {
-        // A zero-size GEMM moves no data and fires no device: free.
-        if op_m == 0 || op_k == 0 || op_n == 0 || instances == 0 {
-            return RunReport::default();
-        }
+    /// The per-device GEMM energy model shared by the closed-form and
+    /// scheduled paths. `hbm_bytes` is the *actual* off-chip traffic
+    /// (base weight bytes, plus any dataflow-induced refetch or
+    /// partial-sum spill); `active_ps` is the time the optics are
+    /// firing (compute + fill — the laser gates off during stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a GEMM.
+    pub(crate) fn gemm_energy(&self, op: &Op, hbm_bytes: f64, active_ps: f64) -> EnergyBreakdown {
+        let Op::Gemm {
+            kind,
+            m: op_m,
+            k: op_k,
+            n: op_n,
+            instances,
+        } = *op
+        else {
+            panic!("gemm_energy called on a non-GEMM op");
+        };
         let c = &self.config;
         let core = c.core;
         let bits = c.precision_bits;
@@ -194,21 +232,6 @@ impl Simulator {
         let tiles_n = cols.div_ceil(core.nv) as u64;
         let t_invocations = tiles_m * tiles_d * tiles_n;
 
-        // --- Latency --- (independent instances fill otherwise-idle tiles)
-        let cycles = gemm_cycles_batched(c, rows, inner, cols, instances);
-        let compute_ps = cycles as f64 * period.value()
-            + pipeline_latency_ps(core.nh.max(core.nv)) * count as f64;
-        // Weight streaming from HBM overlaps with compute (double
-        // buffering); the slower of the two gates the op.
-        let hbm_bytes = if kind.dynamics() == OperandDynamics::WeightStatic {
-            (op_k * op_n) as f64 * bits as f64 / 8.0 * count as f64
-        } else {
-            0.0
-        };
-        let hbm_ps = hbm_bytes / HBM_BYTES_PER_S * 1e12;
-        let latency = Milliseconds(compute_ps.max(hbm_ps) * 1e-9);
-
-        // --- Energy ---
         let e_dac: PicoJoules = self.rack.dac.scaled_power(bits, c.clock) * period;
         let e_mzm: PicoJoules = self.rack.mzm.tuning_power() * period;
         let e_pd: PicoJoules = self.rack.pd.power * period;
@@ -252,7 +275,8 @@ impl Simulator {
         let adc_convs = tiles_m * adc_windows * tiles_n * core.num_ddots() as u64 * count;
 
         // Data movement: operand bytes through the SRAM hierarchy, partial
-        // sums into the accumulation buffer, weights once from HBM.
+        // sums into the accumulation buffer, weights from HBM (including
+        // any refetch the dataflow forced).
         let operand_pj = self.mem.operand_byte_energy().value();
         let output_pj = self.mem.output_byte_energy().value();
         let op_bytes = |elems: u64| elems as f64 * bits as f64 / 8.0;
@@ -265,8 +289,8 @@ impl Simulator {
             + hbm_bytes * HBM_PJ_PER_BYTE;
 
         let to_mj = |pj: f64| MilliJoules(pj * 1e-9);
-        let energy = EnergyBreakdown {
-            laser: MilliJoules(self.laser_w * compute_ps * 1e-9),
+        EnergyBreakdown {
+            laser: MilliJoules(self.laser_w * active_ps * 1e-9),
             op1_dac: to_mj(op1_elems as f64 * e_dac.value()),
             op1_mod: to_mj(op1_elems as f64 * e_mzm.value()),
             op2_dac: to_mj(op2_elems as f64 * e_dac.value()),
@@ -277,33 +301,134 @@ impl Simulator {
             adc: to_mj(adc_convs as f64 * e_adc.value()),
             data_movement: to_mj(data_movement_pj),
             digital: MilliJoules(0.0),
-        };
+        }
+    }
 
+    /// Assembles a GEMM report from a latency window: decomposes the
+    /// window into compute / bandwidth / fill slices and computes the
+    /// achieved MAC utilization. Shared by the scheduled and
+    /// closed-form paths so that equal windows produce bit-identical
+    /// reports.
+    pub(crate) fn finish_gemm_report(
+        &self,
+        energy: EnergyBreakdown,
+        cycles: u64,
+        macs: u64,
+        window_ps: f64,
+        fill_ps: f64,
+    ) -> RunReport {
+        let period = self.config.clock.period().value();
+        let compute_ps = cycles as f64 * period;
+        // Snap float residue (a fully hidden load leaves `window ==
+        // compute + fill` only up to rounding) so "no stall" reads as
+        // exactly zero.
+        let bandwidth_ps = {
+            let b = window_ps - compute_ps - fill_ps;
+            if b <= 1e-6 || b <= window_ps * 1e-12 {
+                0.0
+            } else {
+                b
+            }
+        };
+        let utilization = if window_ps > 0.0 {
+            macs as f64 * period / (self.config.macs_per_cycle() as f64 * window_ps)
+        } else {
+            0.0
+        };
         RunReport {
             energy,
             cycles,
-            latency,
+            latency: Milliseconds(window_ps * 1e-9),
+            utilization,
+            stalls: StallBreakdown {
+                compute: Milliseconds(compute_ps * 1e-9),
+                bandwidth: Milliseconds(bandwidth_ps * 1e-9),
+                fill: Milliseconds(fill_ps * 1e-9),
+            },
         }
     }
 
-    /// Replays an arbitrary IR trace (sequential ops) — recorded or
-    /// analytical, the simulator does not care which. Identical traces
-    /// produce identical reports (the model is deterministic).
+    /// The closed-form cost of one GEMM op: whole-op `max(compute, HBM)`
+    /// latency with pipeline fill charged once per dependent chain.
+    fn gemm_report_analytic(
+        &self,
+        kind: OpKind,
+        m: usize,
+        k: usize,
+        n: usize,
+        instances: usize,
+    ) -> RunReport {
+        let Some(map) = GemmMap::new(&self.config, kind, m, k, n, instances) else {
+            return RunReport::default();
+        };
+        let period = self.config.clock.period().value();
+        // Back-to-back instances stream through an already-filled
+        // optics/EO-OE pipeline, so the fill is charged once per op.
+        let compute_ps = map.waves as f64 * period + map.fill_ps;
+        // Weight streaming from HBM overlaps with compute (double
+        // buffering); the slower of the two gates the op.
+        let hbm_ps = map.weight_bytes / self.config.hbm_bytes_per_s * 1e12;
+        let window_ps = compute_ps.max(hbm_ps);
+        let energy = self.gemm_energy(
+            &Op::gemm_n(kind, m, k, n, instances),
+            map.weight_bytes,
+            compute_ps,
+        );
+        self.finish_gemm_report(energy, map.waves, map.macs, window_ps, map.fill_ps)
+    }
+
+    /// Replays an arbitrary IR trace through the tile scheduler under
+    /// the config's [`DataflowPolicy`] — recorded or analytical, the
+    /// simulator does not care which. Identical traces produce
+    /// identical reports (the model is deterministic). For the per-op
+    /// windows and policy control, see [`Simulator::schedule_trace`];
+    /// for the closed-form oracle, [`Simulator::analytic_report`].
     pub fn run_trace(&self, trace: &Trace) -> RunReport {
+        self.schedule_trace(trace, self.config.dataflow).total
+    }
+
+    /// Plays a trace over the tile-level scheduler under an explicit
+    /// dataflow: tile invocations over per-core timelines, operands
+    /// staged through double-buffered SRAM, loads serialized on the
+    /// shared HBM link, and adjacent ops' prefetch overlapped with
+    /// compute. Returns per-op reports whose windows partition the
+    /// makespan.
+    pub fn schedule_trace(&self, trace: &Trace, policy: DataflowPolicy) -> TraceSchedule {
+        schedule::schedule_trace(self, trace, policy)
+    }
+
+    /// The closed-form per-op oracle: every op charged
+    /// `max(compute, HBM)` in sequence, no overlap between ops, no SRAM
+    /// capacity pressure. Equals the scheduled report exactly under an
+    /// unconstrained-memory configuration; under real configurations
+    /// the *default weight-stationary* schedule may only improve on it
+    /// (cross-op prefetch overlap). Coarser-grained loop orders chosen
+    /// via [`crate::ArchConfig::with_dataflow`] can legitimately cost
+    /// more than this oracle — front-loaded streaming and
+    /// capacity-driven refetch are exactly what the scheduler exists to
+    /// expose.
+    pub fn analytic_report(&self, trace: &Trace) -> RunReport {
         let mut report = RunReport::default();
         for op in trace.ops() {
-            report.merge(&self.simulate_op(op));
+            let r = match *op {
+                Op::Gemm {
+                    kind,
+                    m,
+                    k,
+                    n,
+                    instances,
+                } => self.gemm_report_analytic(kind, m, k, n, instances),
+                Op::NonGemm { kind, elems } => self.non_gemm_report(kind, elems),
+            };
+            report.merge(&r);
         }
         report
     }
 
-    /// Simulates a sequence of analytical GEMM ops.
+    /// Simulates a sequence of analytical GEMM ops on one shared
+    /// schedule timeline (adjacent ops overlap prefetch with compute).
     pub fn run_gemm_ops(&self, ops: &[GemmOp]) -> RunReport {
-        let mut report = RunReport::default();
-        for op in ops {
-            report.merge(&self.run_op(op));
-        }
-        report
+        self.run_trace(&Trace::from_ops(ops.iter().map(GemmOp::op).collect()))
     }
 
     /// Simulates a whole Transformer inference from its analytical IR
@@ -313,28 +438,28 @@ impl Simulator {
     /// contributes energy to `other` and no latency.
     pub fn run_model(&self, model: &TransformerConfig) -> ModelReport {
         let trace = model.trace();
+        let sched = self.schedule_trace(&trace, self.config.dataflow);
         let mut mha = RunReport::default();
         let mut ffn = RunReport::default();
         let mut other = RunReport::default();
-        for op in trace.ops() {
-            let r = self.simulate_op(op);
+        for (op, r) in trace.ops().iter().zip(&sched.per_op) {
             match op.module() {
-                Module::Mha => mha.merge(&r),
-                Module::Ffn => ffn.merge(&r),
-                Module::Other => other.merge(&r),
+                Module::Mha => mha.merge(r),
+                Module::Ffn => ffn.merge(r),
+                Module::Other => other.merge(r),
             }
         }
-        let mut all = RunReport::default();
-        all.merge(&mha);
-        all.merge(&ffn);
-        all.merge(&other);
         ModelReport {
             model: model.name.clone(),
             config: self.config.name.clone(),
             mha,
             ffn,
             other,
-            all,
+            // The trace-order merge, not a re-merge of the module
+            // groups: RunReport::merge is order-sensitive at the ulp
+            // level, and `all` must equal run_trace on the same trace
+            // bit for bit.
+            all: sched.total,
         }
     }
 
@@ -456,16 +581,18 @@ mod tests {
         let model = deit_t();
         let from_model = sim.run_model(&model);
         let from_trace = sim.run_trace(&model.trace());
-        assert_eq!(from_model.all.cycles, from_trace.cycles);
-        let e_model = from_model.all.energy.total().value();
-        let e_trace = from_trace.energy.total().value();
-        assert!(
-            (e_model - e_trace).abs() < 1e-9 * e_model.abs().max(1.0),
-            "module bucketing only reorders summation: {e_model} vs {e_trace}"
+        assert_eq!(
+            from_model.all, from_trace,
+            "run_model's `all` is the trace-order merge, bit for bit"
         );
+        // The module split is a bucketing of the same per-op reports.
+        let e_split = from_model.mha.energy.total().value()
+            + from_model.ffn.energy.total().value()
+            + from_model.other.energy.total().value();
+        let e_all = from_model.all.energy.total().value();
         assert!(
-            (from_model.all.latency.value() - from_trace.latency.value()).abs() < 1e-12,
-            "same latency"
+            (e_split - e_all).abs() < 1e-9 * e_all.abs().max(1.0),
+            "module bucketing only reorders summation: {e_split} vs {e_all}"
         );
     }
 
@@ -486,6 +613,8 @@ mod tests {
         let r = sim.simulate_op(&Op::non_gemm(lt_core::NonGemmKind::Softmax, 1_000_000));
         assert_eq!(r.cycles, 0);
         assert_eq!(r.latency.value(), 0.0);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.stalls, StallBreakdown::default());
         let e = r.energy.total().value();
         assert_eq!(r.energy.digital.value(), e, "digital is the only term");
         assert!((e - 1e6 * SOFTMAX_PJ_PER_ELEM * 1e-9).abs() < 1e-15);
@@ -528,5 +657,84 @@ mod tests {
         let r = sim.run_op(&qk);
         let compute_ms = r.cycles as f64 * 200e-12 * 1e3;
         assert!((r.latency.value() - compute_ms).abs() / compute_ms < 0.05);
+        assert_eq!(r.stalls.bandwidth.value(), 0.0, "no bandwidth stalls");
+    }
+
+    #[test]
+    fn scheduled_equals_closed_form_under_unconstrained_memory() {
+        // The oracle identity at its sharpest: with unconstrained SRAM
+        // and infinite HBM bandwidth, the tile schedule collapses to
+        // the closed form bit for bit.
+        let sim = Simulator::new(ArchConfig::lt_base(4).unconstrained_memory());
+        let trace = deit_t().trace();
+        assert_eq!(sim.run_trace(&trace), sim.analytic_report(&trace));
+    }
+
+    #[test]
+    fn scheduled_memory_bound_ops_report_bandwidth_stalls() {
+        // A decode-style matrix-vector product streams far more weight
+        // bytes than it computes: the schedule must surface that as a
+        // bandwidth stall and a memory-bound classification.
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let op = Op::gemm_n(lt_core::OpKind::QkvProj, 1, 768, 768, 36);
+        let r = sim.simulate_op(&op);
+        assert!(
+            r.stalls.bandwidth.value() > r.stalls.compute.value(),
+            "m=1 weight streaming must be bandwidth-bound: {:?}",
+            r.stalls
+        );
+        assert_eq!(r.stalls.bound(), crate::roofline::Bound::Memory);
+        assert!(r.utilization < 0.05, "idle optics: {}", r.utilization);
+        // And the scheduled window never beats the closed form for a
+        // lone op (there is nothing to overlap with).
+        let a = sim.analytic_report(&Trace::from_ops(vec![op]));
+        assert!(r.latency.value() <= a.latency.value() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn stall_slices_partition_every_latency_window() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let sched = sim.schedule_trace(&deit_t().trace(), DataflowPolicy::WeightStationary);
+        for (i, r) in sched.per_op.iter().enumerate() {
+            let total = r.stalls.total().value();
+            assert!(
+                (total - r.latency.value()).abs() <= 1e-12 * total.max(1.0),
+                "op {i}: stalls {total} != latency {}",
+                r.latency.value()
+            );
+        }
+        let t = sched.total;
+        assert!((t.stalls.total().value() - t.latency.value()).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn dataflow_policies_agree_on_cycles_and_differ_on_traffic() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let trace = TransformerConfig::deit_base().trace();
+        let ws = sim.schedule_trace(&trace, DataflowPolicy::WeightStationary);
+        let os = sim.schedule_trace(&trace, DataflowPolicy::OutputStationary);
+        let is = sim.schedule_trace(&trace, DataflowPolicy::InputStationary);
+        assert_eq!(ws.total.cycles, os.total.cycles);
+        assert_eq!(ws.total.cycles, is.total.cycles);
+        // DeiT-B's 14 MB FFN weight panels overflow LT-B's 2 MB SRAM
+        // under input-stationary reuse: refetch traffic must show up.
+        assert!(
+            is.hbm_bytes > 1.5 * ws.hbm_bytes,
+            "IS {} vs WS {}",
+            is.hbm_bytes,
+            ws.hbm_bytes
+        );
+        assert!(is.total.energy.total().value() > ws.total.energy.total().value());
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_of_peak() {
+        let sim = Simulator::new(ArchConfig::lt_base(4));
+        let r = sim.run_trace(&deit_t().trace());
+        assert!(
+            r.utilization > 0.2 && r.utilization <= 1.0,
+            "DeiT-T on LT-B should keep the optics busy: {}",
+            r.utilization
+        );
     }
 }

@@ -258,10 +258,12 @@ mod tests {
     use super::*;
 
     const DOC: &str = r#"{
-      "schema": 2, "config": "LT-B",
-      "models": [ { "name": "DeiT-T-224", "cycles": 97000, "fps": 51000.0 } ],
+      "schema": 3, "config": "LT-B",
+      "models": [ { "name": "DeiT-T-224", "cycles": 97000, "fps": 51000.0,
+                    "utilization": 0.93, "bandwidth_stall_ms": 1.0e-5, "fill_ms": 2.0e-9 } ],
       "compute_path": { "forward_record_us": 1234.5 },
-      "decode": { "batches": [ { "batch": 1, "tokens_per_s": 2.5e6 } ] }
+      "decode": { "batches": [ { "batch": 1, "tokens_per_s": 2.5e6,
+                                 "bandwidth_stall_frac": 0.8 } ] }
     }"#;
 
     #[test]
@@ -274,7 +276,7 @@ mod tests {
                 .1
                 .clone()
         };
-        assert_eq!(get("schema"), Scalar::Num(2.0));
+        assert_eq!(get("schema"), Scalar::Num(3.0));
         assert_eq!(get("config"), Scalar::Str("LT-B".into()));
         assert_eq!(get("models[0].name"), Scalar::Str("DeiT-T-224".into()));
         assert_eq!(get("models[0].cycles"), Scalar::Num(97000.0));
@@ -303,6 +305,26 @@ mod tests {
     fn wall_clock_fields_are_exempt() {
         let slower = DOC.replace("1234.5", "99999.0");
         assert!(compare(DOC, &slower, 0.005).unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema3_stall_fields_are_gated_not_exempt() {
+        // The scheduler's self-explanation is a modeled, deterministic
+        // quantity: drift in utilization or the stall breakdown is a
+        // real cost-model change and must trip the gate (unlike the
+        // `_ms` suffix's cousin `_us`, which is wall-clock).
+        for (field, drifted) in [
+            ("utilization", DOC.replace("0.93", "0.80")),
+            ("bandwidth_stall_ms", DOC.replace("1.0e-5", "9.0e-5")),
+            ("fill_ms", DOC.replace("2.0e-9", "9.0e-9")),
+            ("bandwidth_stall_frac", DOC.replace("0.8", "0.4")),
+        ] {
+            let report = compare(DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
     }
 
     #[test]
@@ -342,6 +364,10 @@ mod tests {
         assert!(flat
             .iter()
             .any(|(k, _)| k == "decode.batches[2].cycles_per_token"));
+        assert!(flat.iter().any(|(k, _)| k == "models[0].utilization"));
+        assert!(flat
+            .iter()
+            .any(|(k, _)| k == "decode.batches[0].bandwidth_stall_frac"));
         // And a regenerated snapshot passes its own gate on the
         // deterministic fields.
         let again = crate::bench_repro_json();

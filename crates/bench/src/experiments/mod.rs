@@ -2,6 +2,7 @@
 
 pub mod accuracy;
 pub mod comparison;
+pub mod dataflow;
 pub mod device_level;
 pub mod extensions;
 pub mod sparse;
@@ -69,6 +70,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "ext-search",
             "Extension: heterogeneous core search (Sec. VI-A)",
             extensions::ext_search,
+        ),
+        (
+            "dataflow",
+            "Extension: dataflow (loop-order) sweep over the tile scheduler",
+            dataflow::dataflow,
         ),
         (
             "ext-pcm",

@@ -8,15 +8,22 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 3,
 //!   "config": "LT-B",
 //!   "precision_bits": 4,
 //!   "models": [ { "name", "cycles", "energy_mj", "latency_ms",
-//!                 "edp_mj_ms", "fps", "gmacs" }, ... ],
+//!                 "edp_mj_ms", "fps", "gmacs", "utilization",
+//!                 "bandwidth_stall_ms", "fill_ms" }, ... ],
 //!   "compute_path": { "recorded_ops", "recorded_gemm_macs",
 //!                     "forward_record_us", "trace_replay_us" }
 //! }
 //! ```
+//!
+//! Schema 3 added the tile scheduler's self-explanation to both the
+//! prefill (`models`) and `decode` sections: `utilization` (achieved
+//! fraction of peak MACs over the scheduled window) and the stall
+//! breakdown (`bandwidth_stall_ms` / `fill_ms`; the remainder of the
+//! latency is compute).
 //!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
@@ -64,7 +71,8 @@ pub fn bench_repro_json() -> String {
         models.push(format!(
             concat!(
                 "    {{ \"name\": \"{}\", \"cycles\": {}, \"energy_mj\": {}, ",
-                "\"latency_ms\": {}, \"edp_mj_ms\": {}, \"fps\": {}, \"gmacs\": {} }}"
+                "\"latency_ms\": {}, \"edp_mj_ms\": {}, \"fps\": {}, \"gmacs\": {}, ",
+                "\"utilization\": {}, \"bandwidth_stall_ms\": {}, \"fill_ms\": {} }}"
             ),
             model.name,
             r.all.cycles,
@@ -73,6 +81,9 @@ pub fn bench_repro_json() -> String {
             num(r.all.edp()),
             num(r.fps()),
             num(model.total_macs() as f64 / 1e9),
+            num(r.all.utilization),
+            num(r.all.stalls.bandwidth.value()),
+            num(r.all.stalls.fill.value()),
         ));
     }
 
@@ -94,7 +105,7 @@ pub fn bench_repro_json() -> String {
     let replay = bench("trace_replay", || sim.run_trace(&trace));
 
     format!(
-        "{{\n  \"schema\": 2,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 3,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
          {}\n}}\n",
@@ -129,13 +140,16 @@ fn decode_section() -> String {
             concat!(
                 "      {{ \"batch\": {}, \"cycles_per_token\": {}, ",
                 "\"energy_per_token_mj\": {}, \"tokens_per_s\": {}, ",
-                "\"kv_cache_bytes\": {} }}"
+                "\"kv_cache_bytes\": {}, \"utilization\": {}, ",
+                "\"bandwidth_stall_frac\": {} }}"
             ),
             batch,
             num(r.cycles as f64 / batch as f64),
             num(r.energy.total().value() / batch as f64),
             num(tokens_per_s),
             trace.kv_cache_bytes(bits),
+            num(r.utilization),
+            num(r.stalls.bandwidth_fraction()),
         ));
     }
 
@@ -219,9 +233,14 @@ mod tests {
             "\"tokens_per_s\"",
             "\"kv_vs_context\"",
             "\"decode_record_replay_us\"",
+            "\"utilization\"",
+            "\"bandwidth_stall_ms\"",
+            "\"fill_ms\"",
+            "\"bandwidth_stall_frac\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+        assert!(json.contains("\"schema\": 3"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -1,0 +1,200 @@
+//! Seeded-sweep property tests for the tile scheduler (the workspace
+//! has no crates.io access, so no proptest — the sweep is deterministic
+//! and exhaustive over its grid).
+//!
+//! The invariants, for every dataflow policy on every headline
+//! configuration:
+//!
+//! * scheduled cycles sit in `[ideal tile lower bound, closed-form
+//!   sequential upper bound]`;
+//! * scheduled cycles and latency are monotone in `m`, `k`, and `n`;
+//! * under an unconstrained-SRAM / infinite-bandwidth configuration the
+//!   scheduled report equals `Simulator::analytic_report` exactly.
+
+use lt_arch::latency::{ideal_tile_cycles, sequential_tile_cycles};
+use lt_arch::{ArchConfig, DataflowPolicy, Simulator};
+use lt_core::trace::{OpKind, OperandDynamics};
+use lt_core::{Op, Trace};
+
+fn configs() -> Vec<ArchConfig> {
+    vec![
+        ArchConfig::lt_base(4),
+        ArchConfig::lt_large(4),
+        ArchConfig::lt_base(8),
+        ArchConfig::single_core(12, 4),
+    ]
+}
+
+const DIMS: [usize; 6] = [1, 5, 12, 13, 48, 197];
+const INSTANCES: [usize; 3] = [1, 2, 12];
+const KINDS: [OpKind; 2] = [OpKind::Ffn1, OpKind::AttnQk];
+
+/// Mapped (rows, inner, cols) for the tile-bound helpers — the same
+/// Fig. 5 transposition the simulator applies to weight-static ops.
+fn mapped(kind: OpKind, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+    match kind.dynamics() {
+        OperandDynamics::WeightStatic => (n, k, m),
+        OperandDynamics::BothDynamic => (m, k, n),
+    }
+}
+
+fn scheduled(sim: &Simulator, policy: DataflowPolicy, op: Op) -> lt_arch::RunReport {
+    sim.schedule_trace(&Trace::from_ops(vec![op]), policy).total
+}
+
+#[test]
+fn scheduled_cycles_sit_between_the_ideal_and_sequential_bounds() {
+    for cfg in configs() {
+        let sim = Simulator::new(cfg.clone());
+        for policy in DataflowPolicy::ALL {
+            for kind in KINDS {
+                for &m in &DIMS {
+                    for &k in &DIMS {
+                        for &n in &DIMS {
+                            for &i in &INSTANCES {
+                                let r = scheduled(&sim, policy, Op::gemm_n(kind, m, k, n, i));
+                                let (rows, inner, cols) = mapped(kind, m, k, n);
+                                let lo = ideal_tile_cycles(&cfg, rows, inner, cols, i);
+                                let hi = sequential_tile_cycles(&cfg, rows, inner, cols, i);
+                                assert!(
+                                    r.cycles >= lo,
+                                    "{} {policy} {kind:?} {m}x{k}x{n} i={i}: {} < ideal {lo}",
+                                    cfg.name,
+                                    r.cycles
+                                );
+                                assert!(
+                                    r.cycles <= hi,
+                                    "{} {policy} {kind:?} {m}x{k}x{n} i={i}: {} > sequential {hi}",
+                                    cfg.name,
+                                    r.cycles
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduled_cycles_and_latency_are_monotone_in_every_dimension() {
+    // A strictly larger GEMM can never get cheaper: more rows, a deeper
+    // inner dimension, or more columns all mean at least as many waves
+    // and at least as much operand traffic.
+    let sim = Simulator::new(ArchConfig::lt_base(4));
+    let grow = |m: usize, k: usize, n: usize| [(m + 1, k, n), (m, k + 1, n), (m, k, n + 1)];
+    for policy in DataflowPolicy::ALL {
+        for kind in KINDS {
+            for &m in &DIMS {
+                for &k in &DIMS {
+                    for &n in &DIMS {
+                        let base = scheduled(&sim, policy, Op::gemm_n(kind, m, k, n, 3));
+                        for (gm, gk, gn) in grow(m, k, n) {
+                            let bigger = scheduled(&sim, policy, Op::gemm_n(kind, gm, gk, gn, 3));
+                            assert!(
+                                bigger.cycles >= base.cycles,
+                                "{policy} {kind:?}: cycles {m}x{k}x{n} -> {gm}x{gk}x{gn}"
+                            );
+                            assert!(
+                                bigger.latency.value() >= base.latency.value() * (1.0 - 1e-12),
+                                "{policy} {kind:?}: latency {m}x{k}x{n} -> {gm}x{gk}x{gn}: \
+                                 {} < {}",
+                                bigger.latency.value(),
+                                base.latency.value()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unconstrained_memory_reproduces_the_closed_form_exactly() {
+    // The oracle identity on the raw op grid (the benchmark-trace form
+    // lives in tests/trace_crossval.rs): with nothing to stage or stall
+    // on, scheduled == analytic, bit for bit, under every policy.
+    for cfg in configs() {
+        let sim = Simulator::new(cfg.clone().unconstrained_memory());
+        for policy in DataflowPolicy::ALL {
+            for kind in KINDS {
+                for &m in &DIMS {
+                    for &n in &DIMS {
+                        for &i in &INSTANCES {
+                            let trace = Trace::from_ops(vec![Op::gemm_n(kind, m, 48, n, i)]);
+                            let s = sim.schedule_trace(&trace, policy).total;
+                            let a = sim.analytic_report(&trace);
+                            assert_eq!(s, a, "{} {policy} {kind:?} {m}x48x{n} i={i}", cfg.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduled_multi_op_traces_never_lose_to_the_closed_form() {
+    // Whole traces mixing weight-static and dynamic ops: prefetch
+    // overlap can only help relative to the per-op closed form, for
+    // every policy and config. (The guarantee is about traces with any
+    // compute to hide traffic under — a pathological stream of *only*
+    // memory-bound ops can exceed the closed form by its pipeline-fill
+    // tails, which the closed form hides inside `max(compute, HBM)`;
+    // the schedule charges them honestly. The paper benchmarks and the
+    // decode trace — the traces that matter — are pinned `<=` in
+    // tests/trace_crossval.rs.)
+    let ops = vec![
+        Op::gemm_n(OpKind::QkvProj, 64, 96, 96, 12),
+        Op::gemm_n(OpKind::AttnQk, 64, 8, 64, 24),
+        Op::gemm_n(OpKind::AttnAv, 64, 64, 8, 24),
+        Op::gemm_n(OpKind::OutProj, 64, 96, 96, 12),
+        Op::gemm_n(OpKind::Ffn1, 64, 96, 384, 12),
+        Op::gemm_n(OpKind::Ffn2, 64, 384, 96, 12),
+        Op::gemm_n(OpKind::LmHead, 1, 96, 640, 1), // memory-bound tail
+    ];
+    let trace = Trace::from_ops(ops);
+    for cfg in configs() {
+        let sim = Simulator::new(cfg.clone());
+        let analytic = sim.analytic_report(&trace);
+        let ws = sim.schedule_trace(&trace, DataflowPolicy::WeightStationary);
+        // The strict guarantee belongs to the default weight-stationary
+        // dataflow: its per-supertile segments are the finest grain, so
+        // loads always hide under adjacent compute at least as well as
+        // the closed form assumes.
+        assert_eq!(ws.total.cycles, analytic.cycles, "{}", cfg.name);
+        assert!(
+            ws.total.latency.value() <= analytic.latency.value() * (1.0 + 1e-9),
+            "{}: WS {} > closed form {}",
+            cfg.name,
+            ws.total.latency.value(),
+            analytic.latency.value()
+        );
+        // Coarser loop orders issue the same cycles but can only add
+        // stalls (front-loaded streaming, buffer drains) or refetch
+        // traffic — that asymmetry is the dataflow lever the sweep
+        // exposes, and it can legitimately exceed the closed form's
+        // uniform-overlap assumption.
+        for policy in [
+            DataflowPolicy::OutputStationary,
+            DataflowPolicy::InputStationary,
+        ] {
+            let s = sim.schedule_trace(&trace, policy);
+            assert_eq!(s.total.cycles, analytic.cycles, "{} {policy}", cfg.name);
+            assert!(
+                s.total.latency.value() >= ws.total.latency.value() * (1.0 - 1e-9),
+                "{} {policy}: coarser grain beat weight-stationary: {} < {}",
+                cfg.name,
+                s.total.latency.value(),
+                ws.total.latency.value()
+            );
+            assert!(
+                s.hbm_bytes >= ws.hbm_bytes * (1.0 - 1e-9),
+                "{} {policy}",
+                cfg.name
+            );
+        }
+    }
+}

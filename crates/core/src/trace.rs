@@ -185,6 +185,29 @@ impl Op {
         }
     }
 
+    /// Weight-matrix elements this op must stage from off-chip memory,
+    /// across all instances: `k * n` per instance for weight-static
+    /// GEMMs (each instance is a distinct weight matrix — e.g. one per
+    /// layer), zero for dynamic products and non-GEMM work, whose
+    /// operands are runtime activations already on chip. This is the
+    /// quantity the hardware model turns into HBM traffic; a tile
+    /// scheduler further multiplies it by a dataflow-dependent refetch
+    /// factor when the reuse window exceeds on-chip SRAM.
+    pub fn weight_elems(&self) -> u64 {
+        match *self {
+            Op::Gemm {
+                kind,
+                k,
+                n,
+                instances,
+                ..
+            } if kind.dynamics() == OperandDynamics::WeightStatic => {
+                (k as u64) * (n as u64) * instances as u64
+            }
+            _ => 0,
+        }
+    }
+
     /// Operand dynamics (GEMMs only).
     pub fn dynamics(&self) -> Option<OperandDynamics> {
         match self {
@@ -263,6 +286,14 @@ impl Trace {
     /// Total multiply-accumulate count over all GEMM ops.
     pub fn total_macs(&self) -> u64 {
         self.ops.iter().map(Op::total_macs).sum()
+    }
+
+    /// Total weight elements staged from off-chip memory over the whole
+    /// trace (see [`Op::weight_elems`]) — the denominator of the
+    /// trace's arithmetic intensity (`lt_arch::roofline::analyze_trace`
+    /// consumes it).
+    pub fn weight_elems(&self) -> u64 {
+        self.ops.iter().map(Op::weight_elems).sum()
     }
 
     /// Only the GEMM ops, preserving order.
@@ -487,6 +518,18 @@ mod tests {
             .contains(&Op::non_gemm(NonGemmKind::KvAppend, 48)));
         let total: u64 = [&step, &step, &longer].iter().map(|t| t.total_macs()).sum();
         assert_eq!(batched.total_macs(), total, "batching moves no work");
+    }
+
+    #[test]
+    fn weight_elems_count_only_static_operands() {
+        let qkv = Op::gemm_n(OpKind::QkvProj, 16, 8, 8, 36);
+        assert_eq!(qkv.weight_elems(), 8 * 8 * 36);
+        let qk = Op::gemm_n(OpKind::AttnQk, 16, 8, 16, 36);
+        assert_eq!(qk.weight_elems(), 0, "dynamic operands live on chip");
+        let digital = Op::non_gemm(NonGemmKind::Softmax, 99);
+        assert_eq!(digital.weight_elems(), 0);
+        let t = Trace::from_ops(vec![qkv, qk, digital]);
+        assert_eq!(t.weight_elems(), 8 * 8 * 36);
     }
 
     #[test]

@@ -297,9 +297,9 @@ impl LayerNorm {
     }
 
     /// Inference-only forward pass: identical numerics to
-    /// [`LayerNorm::forward`] (same [`LayerNorm::normalize`] core) but
-    /// caches nothing, so it takes `&self` (shared weights across
-    /// concurrent decode sessions).
+    /// [`LayerNorm::forward`] (same normalization core) but caches
+    /// nothing, so it takes `&self` (shared weights across concurrent
+    /// decode sessions).
     pub fn infer(&self, x: &Tensor) -> Tensor {
         self.scale_shift(&self.normalize(x).0)
     }

@@ -27,9 +27,12 @@
 //! while executing, and the worker replays the coalesced trace through
 //! an [`lt_arch::Simulator`] built from [`ServeConfig::arch`]. The
 //! [`Reply`] therefore carries, next to the logits, a [`RunReport`]
-//! (photonic cycles, itemized energy, latency, EDP): the serving layer
-//! answers "what would this request cost on the accelerator" for free,
-//! per ticket.
+//! (photonic cycles, itemized energy, latency, EDP — and, since the
+//! tile-schedule refactor, the achieved MAC utilization plus a
+//! [`lt_arch::StallBreakdown`] saying whether the request was
+//! compute-bound, bandwidth-bound, or pipeline-fill-bound): the serving
+//! layer answers "what would this request cost on the accelerator, and
+//! why" for free, per ticket.
 //!
 //! # Determinism
 //!
@@ -380,6 +383,15 @@ mod tests {
             assert!(r.cost.energy.total().value() > 0.0, "energy attached");
             assert!(r.cost.latency.value() > 0.0, "latency attached");
             assert!(r.cost.edp() > 0.0, "EDP attached");
+            assert!(
+                r.cost.utilization > 0.0 && r.cost.utilization <= 1.0,
+                "utilization attached"
+            );
+            assert!(
+                (r.cost.stalls.total().value() - r.cost.latency.value()).abs()
+                    <= 1e-9 * r.cost.latency.value(),
+                "the stall breakdown accounts for the whole window"
+            );
             assert!(!r.trace.is_empty(), "trace attached");
             assert!(
                 r.cost.energy.digital.value() > 0.0,

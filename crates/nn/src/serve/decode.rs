@@ -412,6 +412,11 @@ mod tests {
             assert!(r.prefill.cycles > 0);
             assert!(r.steps.iter().all(|s| s.cycles > 0 && s.edp() > 0.0));
             assert!(r.kv_cache_bytes > 0);
+            // Every per-token report says where its window went.
+            assert!(r
+                .steps
+                .iter()
+                .all(|s| s.utilization > 0.0 && s.stalls.total().value() > 0.0));
         }
     }
 

@@ -73,7 +73,19 @@ fn main() {
     );
     println!("  latency: {:.3e} ms", report.latency.value());
     println!("  EDP    : {:.3e} mJ*ms", report.edp());
+    println!(
+        "  util   : {:.1}% of peak MACs ({:?}-bound)",
+        report.utilization * 100.0,
+        report.stalls.bound()
+    );
+    println!(
+        "  stalls : compute {:.3e} ms | hbm {:.3e} ms | fill {:.3e} ms",
+        report.stalls.compute.value(),
+        report.stalls.bandwidth.value(),
+        report.stalls.fill.value()
+    );
 
     assert!(report.cycles > 0 && report.edp() > 0.0);
-    println!("\nok: one run produced both logits and a replayable hardware cost");
+    assert!((report.stalls.total().value() - report.latency.value()).abs() < 1e-9);
+    println!("\nok: one run produced logits, a replayable hardware cost, and its stall story");
 }

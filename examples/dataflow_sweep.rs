@@ -1,0 +1,41 @@
+//! dataflow_sweep — which loop order should the accelerator run?
+//!
+//! Prints the `repro dataflow` experiment: every paper benchmark's
+//! trace (DeiT-T/S/B, BERT-B/L prefill, plus GPT2-small autoregressive
+//! decode) played through the tile-level scheduler under each
+//! `DataflowPolicy`, with cycles, utilization, HBM traffic, and the
+//! stall breakdown per policy — the design-space question the
+//! closed-form cost model could not even ask. On top of the table, the
+//! example asserts the scheduler's two headline invariants end to end.
+//!
+//! ```sh
+//! cargo run --release --example dataflow_sweep
+//! ```
+
+use lightening_transformer::arch::{ArchConfig, DataflowPolicy, Simulator};
+use lightening_transformer::workloads::{DecodeTrace, TransformerConfig};
+
+fn main() {
+    println!("== Dataflow sweep over the tile-level scheduler ==\n");
+    print!("{}", lt_bench::experiments::dataflow::dataflow());
+
+    // The oracle sanity the sweep rides on: unconstrained memory makes
+    // the schedule collapse to the closed form exactly...
+    let free = Simulator::new(ArchConfig::lt_base(4).unconstrained_memory());
+    let trace = TransformerConfig::deit_tiny().trace();
+    assert_eq!(free.run_trace(&trace), free.analytic_report(&trace));
+
+    // ...cycles are loop-order invariant...
+    let sim8 = Simulator::new(ArchConfig::lt_base(8));
+    let decode = DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).op_trace();
+    let cycles: Vec<u64> = DataflowPolicy::ALL
+        .iter()
+        .map(|&p| sim8.schedule_trace(&decode, p).total.cycles)
+        .collect();
+    assert!(cycles.windows(2).all(|w| w[0] == w[1]));
+
+    // ...and the decode regime reports a real memory wall.
+    let sched = sim8.schedule_trace(&decode, DataflowPolicy::WeightStationary);
+    assert!(sched.total.stalls.bandwidth.value() > 0.0);
+    println!("ok: cycles are policy-invariant, the oracle holds, and decode stalls are visible");
+}

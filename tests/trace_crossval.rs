@@ -237,6 +237,116 @@ fn batched_decode_tick_matches_the_analytical_batched_decode_trace() {
     );
 }
 
+/// The six traces the scheduler-vs-closed-form oracle runs over: every
+/// paper benchmark's full-size analytical trace plus the batch-1
+/// autoregressive decode trace (GPT2-small at context 512).
+fn oracle_traces() -> Vec<(String, Trace)> {
+    let mut traces: Vec<(String, Trace)> = TransformerConfig::paper_benchmarks()
+        .into_iter()
+        .map(|m| (m.name.clone(), m.trace()))
+        .collect();
+    traces.push((
+        "GPT2-small decode ctx=512 b=1".to_string(),
+        DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).op_trace(),
+    ));
+    traces
+}
+
+#[test]
+fn scheduler_equals_the_closed_form_oracle_under_unconstrained_memory() {
+    // With unlimited SRAM and infinite HBM bandwidth there is nothing
+    // to stage, stall on, or refetch: the tile schedule must collapse
+    // to the closed-form per-op model exactly — same cycles, and in
+    // fact the same report bit for bit (shared energy/stall/utilization
+    // arithmetic).
+    for bits in [4, 8] {
+        let sim = Simulator::new(ArchConfig::lt_base(bits).unconstrained_memory());
+        for (name, trace) in oracle_traces() {
+            let scheduled = sim.run_trace(&trace);
+            let analytic = sim.analytic_report(&trace);
+            assert_eq!(
+                scheduled.cycles, analytic.cycles,
+                "{name} [{bits}-bit]: scheduled cycles must equal the closed form"
+            );
+            assert_eq!(
+                scheduled, analytic,
+                "{name} [{bits}-bit]: unconstrained memory is the exact oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_only_improves_on_the_closed_form_under_real_configs() {
+    // Under the real LT-B / LT-L memory systems the schedule may only
+    // improve on the closed form: per-op overlap (the next op's weights
+    // prefetching under the current op's compute) hides traffic the
+    // closed form charges in full. Cycles are schedule-invariant.
+    for config in [ArchConfig::lt_base(4), ArchConfig::lt_large(4)] {
+        let sim = Simulator::new(config.clone());
+        for (name, trace) in oracle_traces() {
+            let scheduled = sim.run_trace(&trace);
+            let analytic = sim.analytic_report(&trace);
+            assert_eq!(
+                scheduled.cycles, analytic.cycles,
+                "{name} on {}",
+                config.name
+            );
+            assert!(
+                scheduled.latency.value() <= analytic.latency.value() * (1.0 + 1e-9),
+                "{name} on {}: scheduled {} ms must not exceed closed-form {} ms",
+                config.name,
+                scheduled.latency.value(),
+                analytic.latency.value()
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_bound_decode_ops_report_nonzero_stalls() {
+    // The decode trace is the memory wall made concrete (Section VI-B):
+    // at least its weight-streaming matrix-vector products must surface
+    // a nonzero bandwidth stall, classified memory-bound, on both
+    // paper configurations.
+    let trace = DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).op_trace();
+    for config in [ArchConfig::lt_base(8), ArchConfig::lt_large(8)] {
+        let sim = Simulator::new(config.clone());
+        let sched = sim.schedule_trace(&trace, sim.config().dataflow);
+        assert!(
+            sched.stalled_ops() > 0,
+            "{}: no op reported a bandwidth stall",
+            config.name
+        );
+        let worst = sched
+            .per_op
+            .iter()
+            .max_by(|a, b| {
+                a.stalls
+                    .bandwidth
+                    .value()
+                    .partial_cmp(&b.stalls.bandwidth.value())
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            worst.stalls.bound(),
+            lightening_transformer::arch::roofline::Bound::Memory,
+            "{}: the worst-stalled op must classify memory-bound",
+            config.name
+        );
+        assert!(
+            sched.total.stalls.bandwidth.value() > 0.0,
+            "{}: the trace total must carry the stall",
+            config.name
+        );
+        // And the same trace under unconstrained memory reports none.
+        let free = Simulator::new(config.clone().unconstrained_memory());
+        let unconstrained = free.run_trace(&trace);
+        assert_eq!(unconstrained.stalls.bandwidth.value(), 0.0);
+    }
+}
+
 #[test]
 fn recorded_non_gemm_counts_cover_the_analytical_profile() {
     // The recorded trace counts *all* executed digital work; it must be
