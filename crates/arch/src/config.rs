@@ -104,6 +104,12 @@ pub struct ArchConfig {
     /// HBM link bandwidth in bytes per second (> 1 TB/s in the paper;
     /// `f64::INFINITY` models an unconstrained memory system).
     pub hbm_bytes_per_s: f64,
+    /// HBM budget reserved for the paged KV cache, in bytes. The decode
+    /// server's block-pool size derives from this when not set
+    /// explicitly (`lt_nn::serve::decode::KvServeConfig`): the number
+    /// of resident decode sessions is bounded by how many KV blocks fit
+    /// this budget.
+    pub kv_pool_bytes: usize,
     /// Tile-schedule loop order used by `Simulator::run_trace`.
     pub dataflow: DataflowPolicy,
     /// Architecture-level optimizations.
@@ -166,6 +172,7 @@ impl ArchConfig {
             tile_sram_bytes: 4 << 10,
             act_sram_bytes: 64 << 10,
             hbm_bytes_per_s: HBM_BYTES_PER_S,
+            kv_pool_bytes: 1 << 30,
             dataflow: DataflowPolicy::WeightStationary,
             opts: ArchOptimizations::all_on(),
             topology: CoreTopology::Crossbar,

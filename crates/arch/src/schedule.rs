@@ -401,7 +401,9 @@ impl SchedState {
 /// Schedules one op, advancing the trace timeline, and returns its
 /// report. GEMMs get a latency window with stall itemization,
 /// utilization, and energy at the policy's actual HBM traffic;
-/// non-GEMM digital work charges energy and no time.
+/// non-GEMM digital work charges energy and no time — except KV-cache
+/// reads/writes, whose bytes occupy the shared HBM link as a pure
+/// bandwidth-stall window.
 pub(crate) fn schedule_op(
     sim: &Simulator,
     state: &mut SchedState,
@@ -417,7 +419,19 @@ pub(crate) fn schedule_op(
             n,
             instances,
         } => (kind, m, k, n, instances),
-        Op::NonGemm { kind, elems } => return sim.non_gemm_report(kind, elems),
+        Op::NonGemm { kind, elems } => {
+            let report = sim.non_gemm_report(kind, elems);
+            let bytes = sim.kv_traffic_bytes(kind, elems);
+            if bytes > 0.0 {
+                // KV-cache reads/writes ride the same HBM link as weight
+                // loads: account their bytes and serialize the link —
+                // later ops' prefetches queue behind the KV window.
+                *hbm_bytes_acc += bytes;
+                state.now += report.latency.value() * 1e9;
+                state.hbm_free = state.hbm_free.max(state.now);
+            }
+            return report;
+        }
     };
     let config = sim.config();
     let Some(map) = GemmMap::new(config, kind, m, k, n, instances) else {

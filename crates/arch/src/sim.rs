@@ -43,6 +43,10 @@ pub const RESIDUAL_PJ_PER_ELEM: f64 = 0.2;
 /// write per cached K/V value; the decode path's per-token memory
 /// traffic, Section VI-B).
 pub const KV_APPEND_PJ_PER_ELEM: f64 = 0.5;
+/// KV-cache read energy, pJ per element read back for decode attention
+/// (the digital-side gather; the off-chip HBM energy and bandwidth of
+/// the same bytes are charged separately per byte).
+pub const KV_READ_PJ_PER_ELEM: f64 = 0.5;
 
 /// Output accumulator width in bits (partial sums carry more precision
 /// than operands). Shared with the scheduler's partial-sum spill model.
@@ -172,9 +176,27 @@ impl Simulator {
         self.simulate_op(&op.op())
     }
 
+    /// The off-chip bytes a non-GEMM op moves over the HBM link: KV
+    /// cache writes ([`NonGemmKind::KvAppend`]) and reads
+    /// ([`NonGemmKind::KvRead`]) at the operand precision; zero for the
+    /// activation-resident digital ops. This is what turns the decode
+    /// path's growing context into scheduled memory traffic.
+    pub(crate) fn kv_traffic_bytes(&self, kind: NonGemmKind, elems: u64) -> f64 {
+        match kind {
+            NonGemmKind::KvAppend | NonGemmKind::KvRead => {
+                elems as f64 * self.config.precision_bits as f64 / 8.0
+            }
+            _ => 0.0,
+        }
+    }
+
     /// One non-GEMM digital op: per-element energy on the 500 MHz
     /// digital units, overlapped with photonic compute (zero modeled
-    /// latency, as in the paper's Table V accounting).
+    /// latency, as in the paper's Table V accounting). KV-cache traffic
+    /// (`KvAppend` / `KvRead`) additionally pays per-byte HBM energy
+    /// and occupies the HBM link for `bytes / bandwidth` — reported as
+    /// a pure bandwidth-stall window, since the cache lives off chip
+    /// and its movement cannot hide under the op itself.
     pub(crate) fn non_gemm_report(&self, kind: NonGemmKind, elems: u64) -> RunReport {
         let pj_per_elem = match kind {
             NonGemmKind::Softmax => SOFTMAX_PJ_PER_ELEM,
@@ -182,13 +204,35 @@ impl Simulator {
             NonGemmKind::Gelu => GELU_PJ_PER_ELEM,
             NonGemmKind::Residual => RESIDUAL_PJ_PER_ELEM,
             NonGemmKind::KvAppend => KV_APPEND_PJ_PER_ELEM,
+            NonGemmKind::KvRead => KV_READ_PJ_PER_ELEM,
         };
+        let digital = MilliJoules(elems as f64 * pj_per_elem * 1e-9);
+        let bytes = self.kv_traffic_bytes(kind, elems);
+        if bytes <= 0.0 {
+            return RunReport {
+                energy: EnergyBreakdown {
+                    digital,
+                    ..EnergyBreakdown::default()
+                },
+                ..RunReport::default()
+            };
+        }
+        // `bytes / INFINITY == 0` exactly, so unconstrained-memory
+        // configs keep the closed-form identity bit for bit.
+        let window = Milliseconds(bytes / self.config.hbm_bytes_per_s * 1e3);
         RunReport {
             energy: EnergyBreakdown {
-                digital: MilliJoules(elems as f64 * pj_per_elem * 1e-9),
+                digital,
+                data_movement: MilliJoules(bytes * HBM_PJ_PER_BYTE * 1e-9),
                 ..EnergyBreakdown::default()
             },
-            ..RunReport::default()
+            cycles: 0,
+            latency: window,
+            utilization: 0.0,
+            stalls: StallBreakdown {
+                bandwidth: window,
+                ..StallBreakdown::default()
+            },
         }
     }
 

@@ -357,6 +357,28 @@ mod tests {
     }
 
     #[test]
+    fn schema4_kv_fields_are_gated_not_exempt() {
+        // The paged-KV pressure metrics are modeled and deterministic:
+        // drift in residency, preemption rate, sharing savings, or the
+        // KV stall share is a real scheduler/cost-model change.
+        const KV_DOC: &str = r#"{ "kv": { "max_resident_sessions": 5,
+          "preemption_rate": 0.25, "prefix_shared_blocks": 6,
+          "kv_bandwidth_stall_frac": 0.12 } }"#;
+        for (field, drifted) in [
+            ("max_resident_sessions", KV_DOC.replace(": 5", ": 3")),
+            ("preemption_rate", KV_DOC.replace("0.25", "0.75")),
+            ("prefix_shared_blocks", KV_DOC.replace(": 6", ": 0")),
+            ("kv_bandwidth_stall_frac", KV_DOC.replace("0.12", "0.52")),
+        ] {
+            let report = compare(KV_DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
+    }
+
+    #[test]
     fn the_real_snapshot_flattens() {
         let json = crate::bench_repro_json();
         let flat = flatten(&json).unwrap();
@@ -368,6 +390,17 @@ mod tests {
         assert!(flat
             .iter()
             .any(|(k, _)| k == "decode.batches[0].bandwidth_stall_frac"));
+        for kv_field in [
+            "kv.max_resident_sessions",
+            "kv.preemption_rate",
+            "kv.prefix_shared_blocks",
+            "kv.kv_bandwidth_stall_frac",
+        ] {
+            assert!(
+                flat.iter().any(|(k, _)| k == kv_field),
+                "missing {kv_field}"
+            );
+        }
         // And a regenerated snapshot passes its own gate on the
         // deterministic fields.
         let again = crate::bench_repro_json();

@@ -5,6 +5,7 @@ pub mod comparison;
 pub mod dataflow;
 pub mod device_level;
 pub mod extensions;
+pub mod kv;
 pub mod sparse;
 pub mod system_level;
 
@@ -75,6 +76,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "dataflow",
             "Extension: dataflow (loop-order) sweep over the tile scheduler",
             dataflow::dataflow,
+        ),
+        (
+            "kv",
+            "Extension: paged KV cache under memory pressure (preemption, prefix sharing)",
+            kv::kv,
         ),
         (
             "ext-pcm",

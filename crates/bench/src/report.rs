@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "config": "LT-B",
 //!   "precision_bits": 4,
 //!   "models": [ { "name", "cycles", "energy_mj", "latency_ms",
@@ -24,6 +24,12 @@
 //! fraction of peak MACs over the scheduled window) and the stall
 //! breakdown (`bandwidth_stall_ms` / `fill_ms`; the remainder of the
 //! latency is compute).
+//!
+//! Schema 4 added the `kv` section: the paged KV-cache pressure run
+//! (see [`crate::experiments::kv`]) — peak resident sessions on a
+//! starved pool, preemption rate, prefix-sharing block savings, and the
+//! KV-traffic share of decode bandwidth stalls. All of it deterministic
+//! and gated.
 //!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
@@ -105,10 +111,10 @@ pub fn bench_repro_json() -> String {
     let replay = bench("trace_replay", || sim.run_trace(&trace));
 
     format!(
-        "{{\n  \"schema\": 3,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 4,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
-         {}\n}}\n",
+         {},\n{}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -117,6 +123,33 @@ pub fn bench_repro_json() -> String {
         num(record.us_per_iter()),
         num(replay.us_per_iter()),
         decode_section(),
+        kv_section(),
+    )
+}
+
+/// The `kv` section: the paged KV-cache memory-pressure run. Every
+/// field is deterministic (exact backend, fixed request mix), so the
+/// baseline check gates them all.
+fn kv_section() -> String {
+    let r = crate::experiments::kv::measure();
+    let s = &r.stats;
+    format!(
+        "  \"kv\": {{ \"pool_blocks\": {}, \"block_tokens\": {}, \"sessions\": {}, \
+         \"max_resident_sessions\": {}, \"preemptions\": {}, \"preemption_rate\": {}, \
+         \"prefix_hits\": {}, \"prefix_shared_blocks\": {}, \"prefix_shared_tokens\": {}, \
+         \"kv_hbm_mb\": {}, \"kv_bandwidth_stall_frac\": {}, \"decoded_tokens\": {} }}",
+        r.pool_blocks,
+        r.block_tokens,
+        r.sessions,
+        s.peak_resident_sessions,
+        s.preemptions,
+        num(r.preemption_rate()),
+        s.prefix_hits,
+        s.prefix_shared_blocks,
+        s.prefix_shared_tokens,
+        num(r.kv_hbm_bytes / 1e6),
+        num(r.kv_bandwidth_stall_frac()),
+        s.decoded_tokens,
     )
 }
 
@@ -237,10 +270,15 @@ mod tests {
             "\"bandwidth_stall_ms\"",
             "\"fill_ms\"",
             "\"bandwidth_stall_frac\"",
+            "\"kv\"",
+            "\"max_resident_sessions\"",
+            "\"preemption_rate\"",
+            "\"prefix_shared_blocks\"",
+            "\"kv_bandwidth_stall_frac\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-        assert!(json.contains("\"schema\": 3"), "schema bumped");
+        assert!(json.contains("\"schema\": 4"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -117,6 +117,12 @@ pub enum NonGemmKind {
     /// decode, paper Section VI-B) — pure memory traffic on the digital
     /// side, counted in elements written.
     KvAppend,
+    /// Reading cached K/V rows back for decode attention (and
+    /// block-granular copies of a paged KV cache, e.g. copy-on-write):
+    /// pure memory traffic, counted in elements read. Together with
+    /// [`NonGemmKind::KvAppend`] this makes the KV cache's growing
+    /// context visible to the hardware model as scheduled HBM traffic.
+    KvRead,
 }
 
 /// One operation of a workload trace.

@@ -6,6 +6,7 @@
 //! DPTC encoding, quantization, and noise — exactly the scenario prior
 //! weight-static photonic accelerators cannot serve.
 
+use crate::kv::{kv_write_traffic, KvLayer};
 use crate::layers::{softmax_rows, softmax_rows_backward, ForwardCtx, Linear, Param};
 use crate::tensor::Tensor;
 use lt_core::trace::{NonGemmKind, OpKind};
@@ -154,15 +155,19 @@ impl MultiHeadAttention {
     /// # Panics
     ///
     /// Panics if `cache` is non-empty (prefill starts a sequence).
-    pub fn prefill(&self, x: &Tensor, cache: &mut AttnKvCache, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        assert!(cache.is_empty(), "prefill expects an empty KV cache");
+    pub fn prefill(&self, x: &Tensor, cache: &mut dyn KvLayer, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        assert_eq!(cache.context_len(), 0, "prefill expects an empty KV cache");
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
         let q = self.wq.infer(x, ctx);
         let k = self.wk.infer(x, ctx);
         let v = self.wv.infer(x, ctx);
-        ctx.record_non_gemm(NonGemmKind::KvAppend, 2 * (x.rows() * self.dim) as u64);
-        cache.append(&k, &v);
+        // Record what the cache actually wrote: a shared prefix skips
+        // its rows' writes, a copy-on-write pays for the block copy.
+        let write = cache.append(&k, &v);
+        for (kind, elems) in kv_write_traffic(write, self.dim) {
+            ctx.record_non_gemm(kind, elems);
+        }
 
         let tokens = x.rows();
         let mut concat = Tensor::zeros(tokens, self.dim);
@@ -200,7 +205,7 @@ impl MultiHeadAttention {
     pub fn decode_step(
         &self,
         x: &Tensor,
-        cache: &mut AttnKvCache,
+        cache: &mut dyn KvLayer,
         ctx: &mut ForwardCtx<'_>,
     ) -> Tensor {
         assert_eq!(x.shape(), (1, self.dim), "decode step takes one token");
@@ -209,15 +214,22 @@ impl MultiHeadAttention {
         let q = self.wq.infer(x, ctx);
         let k = self.wk.infer(x, ctx);
         let v = self.wv.infer(x, ctx);
-        ctx.record_non_gemm(NonGemmKind::KvAppend, 2 * self.dim as u64);
-        cache.append(&k, &v);
+        let write = cache.append(&k, &v);
+        for (kind, elems) in kv_write_traffic(write, self.dim) {
+            ctx.record_non_gemm(kind, elems);
+        }
 
-        let context = cache.len();
+        let context = cache.context_len();
+        // Decode attends over the whole cached context: every cached
+        // K and V row streams back through HBM each step.
+        ctx.record_non_gemm(NonGemmKind::KvRead, 2 * (context * self.dim) as u64);
+        let keys = cache.context_keys();
+        let values = cache.context_values();
         let mut concat = Tensor::zeros(1, self.dim);
         for h in 0..self.heads {
             let qh = q.col_slice(h * dh, dh);
-            let kh = cache.keys().col_slice(h * dh, dh);
-            let vh = cache.values().col_slice(h * dh, dh);
+            let kh = keys.col_slice(h * dh, dh);
+            let vh = values.col_slice(h * dh, dh);
             let scores = ctx
                 .matmul_as(OpKind::AttnQk, &qh, &kh.transpose())
                 .scale(scale);

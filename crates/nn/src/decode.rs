@@ -22,6 +22,7 @@
 
 use crate::attention::AttnKvCache;
 use crate::engine::BackendEngine;
+use crate::kv::{KvLayer, ModelKv, PagedKvCache};
 use crate::layers::{ForwardCtx, Linear, Param};
 use crate::model::EncoderBlock;
 use crate::quant::QuantConfig;
@@ -104,6 +105,24 @@ impl KvCache {
     }
 }
 
+impl ModelKv for KvCache {
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+
+    fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn layer_mut(&mut self, layer: usize) -> &mut dyn KvLayer {
+        &mut self.layers[layer]
+    }
+
+    fn bytes(&self, bits: u32) -> u64 {
+        KvCache::bytes(self, bits)
+    }
+}
+
 /// A decoder-only (GPT-style) language model over the same tiny-layer
 /// stack as the classifiers: token + learned positional embedding,
 /// pre-LN causal blocks, final LayerNorm, and a vocabulary LM head.
@@ -172,7 +191,7 @@ impl DecoderLm {
     pub fn prefill(
         &self,
         prompt: &[usize],
-        cache: &mut KvCache,
+        cache: &mut dyn ModelKv,
         ctx: &mut ForwardCtx<'_>,
     ) -> Tensor {
         assert!(!prompt.is_empty(), "empty prompt");
@@ -184,8 +203,8 @@ impl DecoderLm {
             self.config.max_seq
         );
         let mut h = self.embed_at(prompt, 0);
-        for (block, layer_cache) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            h = block.prefill(&h, layer_cache, ctx);
+        for (i, block) in self.blocks.iter().enumerate() {
+            h = block.prefill(&h, cache.layer_mut(i), ctx);
         }
         let last = Tensor::from_fn(1, self.config.dim, |_, j| h.get(h.rows() - 1, j));
         self.head_logits(&last, ctx)
@@ -201,15 +220,15 @@ impl DecoderLm {
     pub fn decode_step(
         &self,
         token: usize,
-        cache: &mut KvCache,
+        cache: &mut dyn ModelKv,
         ctx: &mut ForwardCtx<'_>,
     ) -> Tensor {
         let pos = cache.len();
         assert!(pos > 0, "decode_step before prefill");
         assert!(pos < self.config.max_seq, "context window full at {pos}");
         let mut h = self.embed_at(&[token], pos);
-        for (block, layer_cache) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            h = block.decode_step(&h, layer_cache, ctx);
+        for (i, block) in self.blocks.iter().enumerate() {
+            h = block.decode_step(&h, cache.layer_mut(i), ctx);
         }
         self.head_logits(&h, ctx)
     }
@@ -322,6 +341,33 @@ impl Default for SessionConfig {
     }
 }
 
+/// A session's KV storage: the original contiguous per-layer buffers, or
+/// a block table over a shared paged pool (which adds prefix sharing and
+/// preemption; see [`crate::kv`]).
+#[derive(Debug)]
+pub enum SessionKv {
+    /// Contiguous per-layer buffers ([`KvCache`]).
+    Contiguous(KvCache),
+    /// Block table over a shared [`crate::kv::BlockPool`].
+    Paged(PagedKvCache),
+}
+
+impl SessionKv {
+    fn as_model(&mut self) -> &mut dyn ModelKv {
+        match self {
+            SessionKv::Contiguous(c) => c,
+            SessionKv::Paged(p) => p,
+        }
+    }
+
+    fn bytes(&self, bits: u32) -> u64 {
+        match self {
+            SessionKv::Contiguous(c) => ModelKv::bytes(c, bits),
+            SessionKv::Paged(p) => ModelKv::bytes(p, bits),
+        }
+    }
+}
+
 /// One request's decode lifecycle: prefill once, then step until
 /// `max_new_tokens` are generated, recording and costing every pass.
 ///
@@ -337,7 +383,7 @@ pub struct DecodeSession<B: ComputeBackend + Clone> {
     quant: QuantConfig,
     engine: BackendEngine<B>,
     rng: GaussianSampler,
-    cache: KvCache,
+    cache: SessionKv,
     tokens: Vec<usize>,
     prefill_cost: Option<RunReport>,
     step_costs: Vec<RunReport>,
@@ -359,6 +405,56 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
         backend: B,
         config: SessionConfig,
     ) -> Self {
+        let cache = SessionKv::Contiguous(model.empty_cache());
+        Self::with_cache(
+            model,
+            ticket,
+            prompt,
+            max_new_tokens,
+            backend,
+            config,
+            cache,
+        )
+    }
+
+    /// Creates a session whose KV lives in `cache` — a paged block table
+    /// over a shared pool (possibly seeded with a shared prefix). Seeds,
+    /// sampling, and costs follow the exact same discipline as
+    /// [`DecodeSession::new`], so for a pool large enough to avoid
+    /// preemption the reply is bit-identical to the contiguous path.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DecodeSession::new`].
+    pub fn new_paged(
+        model: &DecoderLm,
+        ticket: u64,
+        prompt: Vec<usize>,
+        max_new_tokens: usize,
+        backend: B,
+        config: SessionConfig,
+        cache: PagedKvCache,
+    ) -> Self {
+        Self::with_cache(
+            model,
+            ticket,
+            prompt,
+            max_new_tokens,
+            backend,
+            config,
+            SessionKv::Paged(cache),
+        )
+    }
+
+    fn with_cache(
+        model: &DecoderLm,
+        ticket: u64,
+        prompt: Vec<usize>,
+        max_new_tokens: usize,
+        backend: B,
+        config: SessionConfig,
+        cache: SessionKv,
+    ) -> Self {
         assert!(!prompt.is_empty(), "empty prompt");
         assert!(max_new_tokens > 0, "must generate at least one token");
         assert!(
@@ -375,7 +471,7 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
             quant: config.quant,
             engine: BackendEngine::new(backend, split_seed(config.seed, ticket)),
             rng: GaussianSampler::new(split_seed(!config.seed, ticket)),
-            cache: model.empty_cache(),
+            cache,
             tokens: Vec::with_capacity(max_new_tokens),
             prefill_cost: None,
             step_costs: Vec::new(),
@@ -388,9 +484,65 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
         self.ticket
     }
 
+    /// The session's prompt (what a prefix-sharing index keys on).
+    pub fn prompt(&self) -> &[usize] {
+        &self.prompt
+    }
+
     /// Tokens generated so far.
     pub fn tokens(&self) -> &[usize] {
         &self.tokens
+    }
+
+    /// The paged KV cache, if this session uses one — the handle the
+    /// memory-pressure scheduler drives for reservation
+    /// ([`PagedKvCache::blocks_needed`]) and preemption.
+    pub fn paged_kv(&self) -> Option<&PagedKvCache> {
+        match &self.cache {
+            SessionKv::Paged(p) => Some(p),
+            SessionKv::Contiguous(_) => None,
+        }
+    }
+
+    /// Mutable access to the paged KV cache, if any (swap-out / resume).
+    pub fn paged_kv_mut(&mut self) -> Option<&mut PagedKvCache> {
+        match &mut self.cache {
+            SessionKv::Paged(p) => Some(p),
+            SessionKv::Contiguous(_) => None,
+        }
+    }
+
+    /// Rebuilds a paged KV cache that was dropped by a
+    /// [`crate::kv::PreemptPolicy::Recompute`] preemption: re-runs the
+    /// causal prefill over everything fed so far (prompt plus all but
+    /// the last sampled token) on a *clone* of the session's engine, so
+    /// the session's own noise stream is untouched. Returns the recorded
+    /// recompute trace (real work — the scheduler costs it).
+    ///
+    /// Exact for deterministic backends; a noisy engine re-rolls the
+    /// cached values (which is why the swap-out policy is the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not paged, has not prefetched, or its
+    /// cache is not empty (recompute resumes a dropped cache).
+    pub fn resume_by_recompute(&mut self, model: &DecoderLm) -> Trace {
+        assert!(self.prefill_cost.is_some(), "recompute before prefill");
+        let mut fed: Vec<usize> = self.prompt.clone();
+        fed.extend_from_slice(&self.tokens[..self.tokens.len() - 1]);
+        let quant = self.quant;
+        let mut engine = self.engine.clone();
+        let mut rng = GaussianSampler::new(split_seed(self.ticket, !0));
+        let cache = match &mut self.cache {
+            SessionKv::Paged(p) => p,
+            SessionKv::Contiguous(_) => panic!("recompute on a contiguous session"),
+        };
+        assert!(cache.is_empty(), "recompute expects a dropped cache");
+        let recorder = TraceRecorder::new();
+        let mut ctx =
+            ForwardCtx::inference(&mut engine, quant, &mut rng).with_recorder(recorder.clone());
+        model.prefill(&fed, cache, &mut ctx);
+        recorder.take().coalesce()
     }
 
     /// Whether all `max_new_tokens` have been generated.
@@ -449,12 +601,12 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
     fn recorded_pass(
         &mut self,
         model: &DecoderLm,
-        pass: impl FnOnce(&DecoderLm, &mut ForwardCtx<'_>, &mut KvCache) -> Tensor,
+        pass: impl FnOnce(&DecoderLm, &mut ForwardCtx<'_>, &mut dyn ModelKv) -> Tensor,
     ) -> (Tensor, Trace) {
         let recorder = TraceRecorder::new();
         let mut ctx = ForwardCtx::inference(&mut self.engine, self.quant, &mut self.rng)
             .with_recorder(recorder.clone());
-        let logits = pass(model, &mut ctx, &mut self.cache);
+        let logits = pass(model, &mut ctx, self.cache.as_model());
         (logits, recorder.take().coalesce())
     }
 

@@ -59,6 +59,7 @@ pub mod checkpoint;
 pub mod data;
 pub mod decode;
 pub mod engine;
+pub mod kv;
 pub mod layers;
 pub mod metrics;
 pub mod model;
@@ -69,7 +70,9 @@ pub mod train;
 
 pub use decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, KvCache, SessionConfig};
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
+pub use kv::{BlockPool, KvLayer, ModelKv, PagedKvCache, PreemptPolicy, PrefixIndex};
 pub use model::{TextClassifier, VisionTransformer};
 pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+pub use serve::sched::{KvScheduler, KvServeConfig};
 pub use serve::{Reply, Request, ServeConfig, Server};
 pub use tensor::Tensor;

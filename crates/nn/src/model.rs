@@ -1,7 +1,8 @@
 //! Model assemblies: the encoder block, a tiny ViT (the DeiT stand-in),
 //! and a tiny bidirectional text classifier (the BERT stand-in).
 
-use crate::attention::{AttnKvCache, MultiHeadAttention};
+use crate::attention::MultiHeadAttention;
+use crate::kv::KvLayer;
 use crate::layers::{ForwardCtx, Gelu, LayerNorm, Linear, Param};
 use crate::tensor::Tensor;
 use lt_core::trace::{NonGemmKind, OpKind};
@@ -59,7 +60,10 @@ impl EncoderBlock {
     /// Causal prefill of a whole prompt, filling this layer's KV cache —
     /// the block body of the autoregressive decode path (inference-only,
     /// `&self`, so concurrent decode sessions share one set of weights).
-    pub fn prefill(&self, x: &Tensor, cache: &mut AttnKvCache, ctx: &mut ForwardCtx<'_>) -> Tensor {
+    /// The cache is any [`KvLayer`] — the contiguous
+    /// [`crate::attention::AttnKvCache`] or one layer of a paged
+    /// [`crate::kv::PagedKvCache`].
+    pub fn prefill(&self, x: &Tensor, cache: &mut dyn KvLayer, ctx: &mut ForwardCtx<'_>) -> Tensor {
         self.decode_pass(x, ctx, |attn, normed, ctx| attn.prefill(normed, cache, ctx))
     }
 
@@ -68,7 +72,7 @@ impl EncoderBlock {
     pub fn decode_step(
         &self,
         x: &Tensor,
-        cache: &mut AttnKvCache,
+        cache: &mut dyn KvLayer,
         ctx: &mut ForwardCtx<'_>,
     ) -> Tensor {
         self.decode_pass(x, ctx, |attn, normed, ctx| {

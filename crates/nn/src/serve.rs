@@ -47,6 +47,7 @@
 //! is deterministic.
 
 pub mod decode;
+pub mod sched;
 
 use crate::engine::BackendEngine;
 use crate::layers::ForwardCtx;

@@ -5,7 +5,8 @@
 //! a full batch of single-token work even though requests start and end
 //! at different times.
 //!
-//! Every scheduler tick advances every active [`DecodeSession`] by one
+//! Every scheduler tick advances every active
+//! [`crate::decode::DecodeSession`] by one
 //! token and merges the sessions' recorded step traces into one
 //! coalesced tick trace. Replaying that merged trace through the
 //! accelerator model is the batching argument of Section VI-B made
@@ -26,11 +27,13 @@
 //! different `max_active` — returns bit-identical replies
 //! (`tests/runtime_determinism.rs`).
 
-use crate::decode::{DecodeReply, DecodeSession, DecoderLm, SessionConfig};
+use crate::decode::{DecodeReply, DecoderLm, SessionConfig};
 use crate::quant::QuantConfig;
+use crate::serve::sched::{KvScheduler, KvServeConfig};
 use lt_arch::{ArchConfig, RunReport, Simulator};
 use lt_core::{ComputeBackend, Trace};
 use lt_runtime::BatchQueue;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -62,6 +65,10 @@ pub struct DecodeServeConfig {
     /// Accelerator model that costs every recorded trace (default:
     /// LT-B at 8 bits).
     pub arch: ArchConfig,
+    /// Paged KV-cache knobs: block size, per-worker pool size (or `0`
+    /// to derive it from `arch.kv_pool_bytes`), prefix sharing, and the
+    /// preemption policy. Validated at [`DecodeServer::new`].
+    pub kv: KvServeConfig,
 }
 
 impl Default for DecodeServeConfig {
@@ -72,6 +79,7 @@ impl Default for DecodeServeConfig {
             seed: 0,
             quant: QuantConfig::fp32(),
             arch: ArchConfig::lt_base(8),
+            kv: KvServeConfig::default(),
         }
     }
 }
@@ -142,64 +150,60 @@ pub fn batched_tick_cost(step_traces: &[Trace], sim: &Simulator) -> RunReport {
 pub struct DecodeServer {
     queue: Arc<BatchQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
-    served: Arc<AtomicU64>,
-    decoded_tokens: Arc<AtomicU64>,
-    ticks: Arc<AtomicU64>,
-    batched_cycles: Arc<AtomicU64>,
-    sequential_cycles: Arc<AtomicU64>,
+    counters: Arc<ServerCounters>,
+}
+
+/// Shared server-wide counters, updated by the workers.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    served: AtomicU64,
+    decoded_tokens: AtomicU64,
+    ticks: AtomicU64,
+    batched_cycles: AtomicU64,
+    sequential_cycles: AtomicU64,
+    preemptions: AtomicU64,
+    resumes: AtomicU64,
+    prefix_hits: AtomicU64,
+    peak_resident: AtomicU64,
 }
 
 impl DecodeServer {
     /// Starts `config.workers` continuous-batching workers, each with
-    /// its own clone of the model weights.
+    /// its own clone of the model weights and its own paged KV block
+    /// pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.kv` is invalid for this model and architecture
+    /// (zero block size, or a pool too small to hold one full-context
+    /// session — see [`KvServeConfig::validate`]).
     pub fn new<B: ComputeBackend + Clone + Send + 'static>(
         model: DecoderLm,
         backend: B,
         config: DecodeServeConfig,
     ) -> Self {
+        // Reject impossible pools on the caller's thread, before any
+        // worker starts.
+        config.kv.validate(&model.config(), &config.arch);
         let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::new(config.max_active.max(1)));
-        let served = Arc::new(AtomicU64::new(0));
-        let decoded_tokens = Arc::new(AtomicU64::new(0));
-        let ticks = Arc::new(AtomicU64::new(0));
-        let batched_cycles = Arc::new(AtomicU64::new(0));
-        let sequential_cycles = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(ServerCounters::default());
         let workers = (0..config.workers.max(1))
             .map(|w| {
                 let queue = Arc::clone(&queue);
-                let served = Arc::clone(&served);
-                let decoded_tokens = Arc::clone(&decoded_tokens);
-                let ticks = Arc::clone(&ticks);
-                let batched_cycles = Arc::clone(&batched_cycles);
-                let sequential_cycles = Arc::clone(&sequential_cycles);
+                let counters = Arc::clone(&counters);
                 let model = model.clone();
                 let backend = backend.clone();
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("lt-decode-worker-{w}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &model,
-                            &backend,
-                            &config,
-                            &queue,
-                            &served,
-                            &decoded_tokens,
-                            &ticks,
-                            &batched_cycles,
-                            &sequential_cycles,
-                        )
-                    })
+                    .spawn(move || worker_loop(&model, &backend, &config, &queue, &counters))
                     .expect("failed to spawn decode worker")
             })
             .collect();
         DecodeServer {
             queue,
             workers,
-            served,
-            decoded_tokens,
-            ticks,
-            batched_cycles,
-            sequential_cycles,
+            counters,
         }
     }
 
@@ -213,33 +217,55 @@ impl DecodeServer {
     /// Requests fully served so far (malformed ones are drained, not
     /// counted).
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.counters.served.load(Ordering::Relaxed)
     }
 
     /// Tokens produced by decode steps (excludes the prefill-sampled
     /// first token of each request — the memory-bound per-token regime).
     pub fn decoded_tokens(&self) -> u64 {
-        self.decoded_tokens.load(Ordering::Relaxed)
+        self.counters.decoded_tokens.load(Ordering::Relaxed)
     }
 
     /// Scheduler ticks executed; `decoded_tokens() / ticks()` is the
     /// realized continuous-batch width.
     pub fn ticks(&self) -> u64 {
-        self.ticks.load(Ordering::Relaxed)
+        self.counters.ticks.load(Ordering::Relaxed)
     }
 
     /// Replayed photonic cycles of the *merged* per-tick step traces —
     /// what the accelerator would spend running each tick's sessions as
     /// one batch.
     pub fn batched_cycles(&self) -> u64 {
-        self.batched_cycles.load(Ordering::Relaxed)
+        self.counters.batched_cycles.load(Ordering::Relaxed)
     }
 
     /// Replayed photonic cycles of every session's step costed alone —
     /// what the accelerator would spend serving the same tokens one
     /// request at a time (batch 1).
     pub fn sequential_cycles(&self) -> u64 {
-        self.sequential_cycles.load(Ordering::Relaxed)
+        self.counters.sequential_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Sessions evicted from the KV pool under memory pressure.
+    pub fn preemptions(&self) -> u64 {
+        self.counters.preemptions.load(Ordering::Relaxed)
+    }
+
+    /// Preempted sessions brought back to residency.
+    pub fn resumes(&self) -> u64 {
+        self.counters.resumes.load(Ordering::Relaxed)
+    }
+
+    /// Admissions that borrowed a cached prompt prefix (only nonzero
+    /// with `kv.prefix_sharing` on).
+    pub fn prefix_hits(&self) -> u64 {
+        self.counters.prefix_hits.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously KV-resident sessions on any
+    /// one worker — how many decodes the pool actually held at once.
+    pub fn peak_resident_sessions(&self) -> u64 {
+        self.counters.peak_resident.load(Ordering::Relaxed)
     }
 
     /// Drains outstanding requests, stops the workers, and returns the
@@ -262,26 +288,20 @@ impl Drop for DecodeServer {
     }
 }
 
-/// One active session and its reply channel.
-struct Active<B: ComputeBackend + Clone> {
-    session: DecodeSession<B>,
-    reply: Sender<DecodeReply>,
-}
-
-/// The continuous-batching worker: admit (blocking only when idle),
-/// prefill newcomers, then advance *every* active session by one token
-/// per tick, retiring sessions as they finish.
-#[allow(clippy::too_many_arguments)] // counters are plain shared stats
+/// The continuous-batching worker: a [`KvScheduler`] over this worker's
+/// own block pool does the admission, reservation, preemption, and
+/// stepping; the loop feeds it from the shared queue (blocking only
+/// when the scheduler is idle) and routes finished replies back to
+/// their clients. Malformed requests (empty prompt, context overflow,
+/// out-of-vocabulary token) are contained by the scheduler — the
+/// offending client's sender is dropped, its `wait` panics with a clear
+/// message, and the worker survives.
 fn worker_loop<B: ComputeBackend + Clone>(
     model: &DecoderLm,
     backend: &B,
     config: &DecodeServeConfig,
     queue: &BatchQueue<Job>,
-    served: &AtomicU64,
-    decoded_tokens: &AtomicU64,
-    ticks: &AtomicU64,
-    batched_cycles: &AtomicU64,
-    sequential_cycles: &AtomicU64,
+    counters: &ServerCounters,
 ) {
     let sim = Simulator::new(config.arch.clone());
     let session_config = SessionConfig {
@@ -289,88 +309,81 @@ fn worker_loop<B: ComputeBackend + Clone>(
         quant: config.quant,
         kv_bits: config.arch.precision_bits,
     };
-    let mut active: Vec<Active<B>> = Vec::new();
+    let mut sched = KvScheduler::new(
+        model,
+        &sim,
+        backend.clone(),
+        session_config,
+        config.kv,
+        config.max_active,
+    );
+    let mut replies: HashMap<u64, Sender<DecodeReply>> = HashMap::new();
+    // Scheduler counters already published to the shared totals.
+    let (mut preempt_seen, mut resume_seen, mut prefix_seen) = (0u64, 0u64, 0u64);
     loop {
-        // Admission: block only when there is nothing to step; top up
-        // free slots without blocking while a batch is running.
-        let admitted = if active.is_empty() {
+        // Intake: block only when there is nothing to step or resume;
+        // top up free in-flight slots without blocking otherwise.
+        let admitted = if sched.has_work() {
+            queue.try_take(sched.free_slots()).unwrap_or_default()
+        } else {
             match queue.next_batch() {
                 Some(batch) => batch,
                 None => break, // closed and drained
             }
-        } else {
-            queue
-                .try_take(config.max_active.saturating_sub(active.len()))
-                .unwrap_or_default()
         };
         for (ticket, job) in admitted {
-            // Contain malformed requests (empty prompt, context
-            // overflow, out-of-vocabulary token): the offending
-            // client's sender is dropped — its `wait` panics with a
-            // clear message — while the batch and the worker survive.
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut session = DecodeSession::new(
-                    model,
-                    ticket,
-                    job.request.prompt.clone(),
-                    job.request.max_new_tokens,
-                    backend.clone(),
-                    session_config,
-                );
-                session.prefill(model, &sim);
-                session
-            }));
-            if let Ok(session) = outcome {
-                let entry = Active {
-                    session,
-                    reply: job.reply,
-                };
-                if entry.session.is_done() {
-                    retire(entry, served);
-                } else {
-                    active.push(entry);
-                }
-            }
-        }
-        if active.is_empty() {
-            continue;
+            replies.insert(ticket, job.reply);
+            sched.submit(ticket, job.request);
         }
 
-        // One interleaved tick: every active session decodes one token.
-        let mut step_traces = Vec::with_capacity(active.len());
-        for entry in active.iter_mut() {
-            step_traces.push(entry.session.step(model, &sim));
-            if let Some(cost) = entry.session.last_step_cost() {
-                sequential_cycles.fetch_add(cost.cycles, Ordering::Relaxed);
+        if let Some(outcome) = sched.tick() {
+            let tick_cost = batched_tick_cost(&outcome.step_traces, &sim);
+            counters
+                .batched_cycles
+                .fetch_add(tick_cost.cycles, Ordering::Relaxed);
+            counters
+                .sequential_cycles
+                .fetch_add(outcome.sequential_cycles, Ordering::Relaxed);
+            counters
+                .decoded_tokens
+                .fetch_add(outcome.step_traces.len() as u64, Ordering::Relaxed);
+            counters.ticks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let stats = sched.stats();
+        counters
+            .preemptions
+            .fetch_add(stats.preemptions - preempt_seen, Ordering::Relaxed);
+        preempt_seen = stats.preemptions;
+        counters
+            .resumes
+            .fetch_add(stats.resumes - resume_seen, Ordering::Relaxed);
+        resume_seen = stats.resumes;
+        counters
+            .prefix_hits
+            .fetch_add(stats.prefix_hits - prefix_seen, Ordering::Relaxed);
+        prefix_seen = stats.prefix_hits;
+        counters
+            .peak_resident
+            .fetch_max(stats.peak_resident_sessions as u64, Ordering::Relaxed);
+
+        for (ticket, reply) in sched.drain_finished() {
+            counters.served.fetch_add(1, Ordering::Relaxed);
+            // A client that dropped its handle just doesn't read it.
+            if let Some(tx) = replies.remove(&ticket) {
+                let _ = tx.send(reply);
             }
         }
-        let tick_cost = batched_tick_cost(&step_traces, &sim);
-        batched_cycles.fetch_add(tick_cost.cycles, Ordering::Relaxed);
-        decoded_tokens.fetch_add(step_traces.len() as u64, Ordering::Relaxed);
-        ticks.fetch_add(1, Ordering::Relaxed);
-
-        // Retire finished sessions (their replies are complete).
-        let mut i = 0;
-        while i < active.len() {
-            if active[i].session.is_done() {
-                retire(active.remove(i), served);
-            } else {
-                i += 1;
-            }
+        for ticket in sched.drain_failed() {
+            replies.remove(&ticket);
         }
     }
-}
-
-fn retire<B: ComputeBackend + Clone>(entry: Active<B>, served: &AtomicU64) {
-    served.fetch_add(1, Ordering::Relaxed);
-    // A client that dropped its handle just doesn't read the reply.
-    let _ = entry.reply.send(entry.session.into_reply());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::DecoderConfig;
+    use crate::decode::{DecodeSession, DecoderConfig};
     use lt_core::{GaussianSampler, NativeBackend};
     use lt_dptc::DptcBackend;
 
@@ -519,6 +532,70 @@ mod tests {
         assert!(
             single as f64 / batched as f64 > 2.0,
             "tile filling should be worth well over 2x: {single}/{batched}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold one max_seq")]
+    fn a_pool_too_small_for_one_session_is_rejected_before_workers_start() {
+        let _ = DecodeServer::new(
+            model(),
+            NativeBackend,
+            DecodeServeConfig {
+                kv: KvServeConfig {
+                    block_tokens: 16,
+                    pool_blocks: 2, // tiny() needs ceil(48/16) + 1 = 4
+                    ..KvServeConfig::default()
+                },
+                ..DecodeServeConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn a_pressured_server_preempts_but_replies_are_unchanged() {
+        // Same requests through an ample pool and a starved pool: the
+        // starved server must preempt (memory pressure is real) yet
+        // reply bit-identically (swap-out moves bytes, not values).
+        // Small prompts admit cheaply, then every context grows to 7
+        // blocks — 8 x 7 = 56 blocks against a 25-block pool.
+        let requests: Vec<DecodeRequest> = (0..8)
+            .map(|i| DecodeRequest {
+                prompt: vec![i % 16, (i + 3) % 16],
+                max_new_tokens: 12,
+            })
+            .collect();
+        let roomy = serve_all(
+            NativeBackend,
+            DecodeServeConfig {
+                workers: 1,
+                ..DecodeServeConfig::default()
+            },
+            &requests,
+        );
+        let server = DecodeServer::new(
+            model(),
+            NativeBackend,
+            DecodeServeConfig {
+                workers: 1,
+                kv: KvServeConfig {
+                    block_tokens: 2,
+                    pool_blocks: 25,
+                    ..KvServeConfig::default()
+                },
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<PendingDecode> =
+            requests.iter().map(|r| server.submit(r.clone())).collect();
+        let tight: Vec<DecodeReply> = pending.into_iter().map(PendingDecode::wait).collect();
+        assert!(server.preemptions() > 0, "the small pool must evict");
+        assert_eq!(server.preemptions(), server.resumes());
+        assert!(server.peak_resident_sessions() >= 2, "still batching");
+        server.shutdown();
+        assert_eq!(
+            roomy, tight,
+            "preemption may delay tokens, never change them"
         );
     }
 

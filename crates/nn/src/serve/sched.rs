@@ -1,0 +1,634 @@
+//! Memory-pressure-aware decode scheduling over the paged KV pool: the
+//! policy layer between the continuous-batching server and
+//! [`crate::kv`]'s mechanism.
+//!
+//! [`KvScheduler`] owns one worker's [`BlockPool`] and decides, between
+//! token ticks, which sessions are *resident*. Each [`KvScheduler::tick`]
+//! runs four phases:
+//!
+//! 1. **Resume** — paused (preempted) sessions come back first, in
+//!    ticket order, as soon as the pool can hold their blocks again.
+//! 2. **Admit** — backlog requests enter strictly FIFO while the pool
+//!    has room for their prompt (`ceil(prompt/block_tokens) + 1`
+//!    blocks); prefix sharing, when enabled, lets a newcomer borrow the
+//!    already-cached blocks of an identical prompt prefix instead of
+//!    allocating fresh ones.
+//! 3. **Reserve** — before stepping, the pool must cover every active
+//!    session's worst-case next-token allocation; while it cannot, the
+//!    *highest-ticket* (most recently admitted) session is preempted
+//!    under the configured [`PreemptPolicy`].
+//! 4. **Step + retire** — every resident session decodes one token
+//!    (recording its trace) and finished sessions retire.
+//!
+//! Because paused tickets are always lower than backlog tickets (the
+//! queue is monotonic) resume-before-admit is strict ticket priority,
+//! and because preemption under [`PreemptPolicy::SwapOut`] neither
+//! draws randomness nor touches a session's engine, a preempted-and
+//! resumed session's reply is bit-identical to an uninterrupted run —
+//! memory pressure changes *when* tokens are produced, never *which*.
+
+use crate::decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, SessionConfig};
+use crate::kv::{BlockPool, PagedKvCache, PreemptPolicy, PrefixIndex};
+use crate::serve::decode::DecodeRequest;
+use lt_arch::{ArchConfig, Simulator};
+use lt_core::{ComputeBackend, Trace};
+use std::collections::VecDeque;
+
+/// Paged-KV serving knobs (the `kv` section of
+/// [`crate::serve::decode::DecodeServeConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KvServeConfig {
+    /// Tokens per KV block.
+    pub block_tokens: usize,
+    /// Blocks in each worker's pool; `0` derives the count from the
+    /// architecture's `kv_pool_bytes` budget at the serving precision.
+    pub pool_blocks: usize,
+    /// Share identical prompt prefixes between overlapping sessions
+    /// (copy-on-write protected). Off by default: exact only for
+    /// deterministic engines, where recomputing a prefix equals
+    /// reading its cached blocks.
+    pub prefix_sharing: bool,
+    /// What happens to a preempted session's blocks.
+    pub preempt: PreemptPolicy,
+}
+
+impl Default for KvServeConfig {
+    fn default() -> Self {
+        KvServeConfig {
+            block_tokens: 16,
+            pool_blocks: 0,
+            prefix_sharing: false,
+            preempt: PreemptPolicy::SwapOut,
+        }
+    }
+}
+
+impl KvServeConfig {
+    /// One KV block's byte footprint for `model` at `bits` precision.
+    pub fn block_bytes(&self, model: &DecoderConfig, bits: u32) -> u64 {
+        2 * (model.layers * self.block_tokens * model.dim) as u64 * bits as u64 / 8
+    }
+
+    /// The pool size in blocks: `pool_blocks` if set, else the
+    /// architecture's `kv_pool_bytes` budget divided by the block size.
+    pub fn resolved_pool_blocks(&self, model: &DecoderConfig, arch: &ArchConfig) -> usize {
+        if self.pool_blocks > 0 {
+            self.pool_blocks
+        } else {
+            (arch.kv_pool_bytes as u64 / self.block_bytes(model, arch.precision_bits).max(1))
+                as usize
+        }
+    }
+
+    /// Validates the configuration against a model and architecture and
+    /// returns the resolved pool size — called at server construction
+    /// so a pool that cannot hold even one full-context session is
+    /// rejected before any worker starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero, or if the resolved pool is
+    /// smaller than `ceil(max_seq / block_tokens) + 1` blocks (one
+    /// maximal session plus a copy-on-write spare — the minimum that
+    /// guarantees the reserve phase can always make one session
+    /// resident).
+    pub fn validate(&self, model: &DecoderConfig, arch: &ArchConfig) -> usize {
+        assert!(self.block_tokens > 0, "kv.block_tokens must be positive");
+        let blocks = self.resolved_pool_blocks(model, arch);
+        let min = model.max_seq.div_ceil(self.block_tokens) + 1;
+        assert!(
+            blocks >= min,
+            "KV pool of {blocks} blocks cannot hold one max_seq={} session \
+             (needs at least {min} blocks of {} tokens)",
+            model.max_seq,
+            self.block_tokens
+        );
+        blocks
+    }
+}
+
+/// One preemption, for the record: who was evicted and who was resident
+/// when the pool ran dry. The victim is always the highest ticket —
+/// `tests/kv_properties.rs` pins that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreemptionEvent {
+    /// Ticket of the evicted session.
+    pub victim: u64,
+    /// Tickets resident at the moment of eviction (victim included).
+    pub resident: Vec<u64>,
+}
+
+/// Cumulative [`KvScheduler`] counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KvSchedStats {
+    /// Ticks that stepped at least one session.
+    pub ticks: u64,
+    /// Tokens produced by decode steps.
+    pub decoded_tokens: u64,
+    /// Sessions admitted (prefilled successfully).
+    pub admitted: u64,
+    /// Sessions evicted under memory pressure.
+    pub preemptions: u64,
+    /// Paused sessions brought back.
+    pub resumes: u64,
+    /// K/V elements copied out by swap-out preemptions.
+    pub swapped_out_elems: u64,
+    /// K/V elements copied back by resumes.
+    pub swapped_in_elems: u64,
+    /// Tokens re-prefilled by recompute resumes.
+    pub recompute_tokens: u64,
+    /// Admissions that borrowed a cached prefix.
+    pub prefix_hits: u64,
+    /// Blocks borrowed across all prefix hits (allocation savings).
+    pub prefix_shared_blocks: u64,
+    /// Tokens covered by borrowed prefixes (skipped KV writes).
+    pub prefix_shared_tokens: u64,
+    /// High-water mark of simultaneously resident sessions.
+    pub peak_resident_sessions: usize,
+    /// Every preemption, in order.
+    pub preemption_events: Vec<PreemptionEvent>,
+}
+
+/// What one [`KvScheduler::tick`] did: the per-session step traces (for
+/// batched tick costing) and the same steps' one-at-a-time cycles.
+#[derive(Debug)]
+pub struct TickOutcome {
+    /// One recorded step trace per resident session, ticket order.
+    pub step_traces: Vec<Trace>,
+    /// Sum of the steps' individually replayed cycles (the batch-1
+    /// comparison basis).
+    pub sequential_cycles: u64,
+}
+
+struct Entry<B: ComputeBackend + Clone> {
+    session: DecodeSession<B>,
+}
+
+/// The per-worker paged-KV decode scheduler. See the [module
+/// docs](self).
+pub struct KvScheduler<'m, B: ComputeBackend + Clone> {
+    model: &'m DecoderLm,
+    sim: &'m Simulator,
+    backend: B,
+    session_config: SessionConfig,
+    preempt: PreemptPolicy,
+    pool: BlockPool,
+    prefix: Option<PrefixIndex>,
+    max_active: usize,
+    active: Vec<Entry<B>>,
+    paused: Vec<Entry<B>>,
+    backlog: VecDeque<(u64, DecodeRequest)>,
+    finished: Vec<(u64, DecodeReply)>,
+    failed: Vec<u64>,
+    stats: KvSchedStats,
+}
+
+impl<B: ComputeBackend + Clone> std::fmt::Debug for KvScheduler<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvScheduler")
+            .field("active", &self.active.len())
+            .field("paused", &self.paused.len())
+            .field("backlog", &self.backlog.len())
+            .field("pool_free", &self.pool.free_blocks())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
+    /// Creates a scheduler with its own block pool, validated against
+    /// the model and the simulator's architecture (see
+    /// [`KvServeConfig::validate`]).
+    pub fn new(
+        model: &'m DecoderLm,
+        sim: &'m Simulator,
+        backend: B,
+        session_config: SessionConfig,
+        kv: KvServeConfig,
+        max_active: usize,
+    ) -> Self {
+        let cfg = model.config();
+        let blocks = kv.validate(&cfg, sim.config());
+        KvScheduler {
+            model,
+            sim,
+            backend,
+            session_config,
+            preempt: kv.preempt,
+            pool: BlockPool::new(blocks, cfg.layers, cfg.dim, kv.block_tokens),
+            prefix: kv.prefix_sharing.then(PrefixIndex::new),
+            max_active: max_active.max(1),
+            active: Vec::new(),
+            paused: Vec::new(),
+            backlog: VecDeque::new(),
+            finished: Vec::new(),
+            failed: Vec::new(),
+            stats: KvSchedStats::default(),
+        }
+    }
+
+    /// The scheduler's block pool.
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &KvSchedStats {
+        &self.stats
+    }
+
+    /// Queues a request (admission happens inside [`KvScheduler::tick`],
+    /// when the pool has room).
+    pub fn submit(&mut self, ticket: u64, request: DecodeRequest) {
+        self.backlog.push_back((ticket, request));
+    }
+
+    /// Whether any session is resident, paused, or waiting.
+    pub fn has_work(&self) -> bool {
+        !self.active.is_empty() || !self.paused.is_empty() || !self.backlog.is_empty()
+    }
+
+    /// In-flight slots still available (how many more submissions this
+    /// scheduler wants before a tick).
+    pub fn free_slots(&self) -> usize {
+        self.max_active
+            .saturating_sub(self.active.len() + self.paused.len() + self.backlog.len())
+    }
+
+    /// Takes the replies of every session that finished.
+    pub fn drain_finished(&mut self) -> Vec<(u64, DecodeReply)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Takes the tickets of requests that failed (malformed, or needing
+    /// more KV blocks than the whole pool).
+    pub fn drain_failed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// One scheduling round: resume, admit, reserve (preempting if the
+    /// pool cannot cover every resident session's next token), step
+    /// every resident session, retire the finished. Returns `None` if
+    /// nothing was resident to step.
+    pub fn tick(&mut self) -> Option<TickOutcome> {
+        self.resume_paused();
+        self.admit();
+        if self.active.is_empty() {
+            return None;
+        }
+        self.stats.peak_resident_sessions =
+            self.stats.peak_resident_sessions.max(self.active.len());
+        self.reserve_for_step();
+
+        let mut step_traces = Vec::with_capacity(self.active.len());
+        let mut sequential_cycles = 0;
+        for entry in self.active.iter_mut() {
+            step_traces.push(entry.session.step(self.model, self.sim));
+            if let Some(cost) = entry.session.last_step_cost() {
+                sequential_cycles += cost.cycles;
+            }
+        }
+        self.stats.decoded_tokens += step_traces.len() as u64;
+        self.stats.ticks += 1;
+
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].session.is_done() {
+                let entry = self.active.remove(i);
+                self.finished
+                    .push((entry.session.ticket(), entry.session.into_reply()));
+            } else {
+                i += 1;
+            }
+        }
+        Some(TickOutcome {
+            step_traces,
+            sequential_cycles,
+        })
+    }
+
+    /// Blocks a paused session needs to become resident again (restore
+    /// plus one decode step).
+    fn resume_need(&self, entry: &Entry<B>) -> usize {
+        let kv = entry
+            .session
+            .paged_kv()
+            .expect("scheduler sessions are paged");
+        if kv.is_swapped() {
+            kv.blocks_needed(1)
+        } else {
+            // Recompute: the cache is empty; the resume re-prefills
+            // everything fed so far, then the tick appends one token.
+            let fed = entry.session.prompt().len() + entry.session.tokens().len() - 1;
+            (fed + 1).div_ceil(self.pool.block_tokens())
+        }
+    }
+
+    fn resume_paused(&mut self) {
+        self.paused.sort_by_key(|e| e.session.ticket());
+        while let Some(front) = self.paused.first() {
+            if self.resume_need(front) > self.pool.free_blocks() {
+                break;
+            }
+            let mut entry = self.paused.remove(0);
+            match self.preempt {
+                PreemptPolicy::SwapOut => {
+                    let moved = entry
+                        .session
+                        .paged_kv_mut()
+                        .expect("scheduler sessions are paged")
+                        .resume();
+                    self.stats.swapped_in_elems += moved;
+                }
+                PreemptPolicy::Recompute => {
+                    let fed = entry.session.prompt().len() + entry.session.tokens().len() - 1;
+                    entry.session.resume_by_recompute(self.model);
+                    self.stats.recompute_tokens += fed as u64;
+                }
+            }
+            self.stats.resumes += 1;
+            self.active.push(entry);
+            self.active.sort_by_key(|e| e.session.ticket());
+        }
+    }
+
+    fn admit(&mut self) {
+        while self.active.len() + self.paused.len() < self.max_active {
+            let Some((_, request)) = self.backlog.front() else {
+                break;
+            };
+            let need = request.prompt.len().div_ceil(self.pool.block_tokens()) + 1;
+            if need > self.pool.total_blocks() {
+                // Can never fit, even alone in an empty pool: fail it
+                // (the client's reply channel drops) instead of
+                // wedging the FIFO head forever.
+                let (ticket, _) = self.backlog.pop_front().expect("front exists");
+                self.failed.push(ticket);
+                continue;
+            }
+            if need > self.pool.free_blocks() {
+                break; // strict FIFO: no head-of-line bypass
+            }
+            let (ticket, request) = self.backlog.pop_front().expect("front exists");
+            match self.admit_one(ticket, request) {
+                Ok(entry) => {
+                    self.stats.admitted += 1;
+                    if entry.session.is_done() {
+                        self.finished
+                            .push((entry.session.ticket(), entry.session.into_reply()));
+                    } else {
+                        self.active.push(entry);
+                        self.active.sort_by_key(|e| e.session.ticket());
+                    }
+                }
+                Err(()) => self.failed.push(ticket),
+            }
+        }
+    }
+
+    /// Builds and prefills one session; a panic (empty prompt, context
+    /// overflow, out-of-vocabulary token) is contained — the unwound
+    /// cache's `Drop` releases every block it held, borrowed prefix
+    /// blocks included, so a malformed request cannot leak pool memory.
+    fn admit_one(&mut self, ticket: u64, request: DecodeRequest) -> Result<Entry<B>, ()> {
+        let cfg = self.model.config();
+        let shared = self
+            .prefix
+            .as_mut()
+            .and_then(|index| index.lookup(&self.pool, &request.prompt));
+        let shared_stats = shared.as_ref().map(|p| (p.num_blocks(), p.tokens()));
+        let model = self.model;
+        let sim = self.sim;
+        let backend = self.backend.clone();
+        let session_config = self.session_config;
+        let pool = self.pool.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let cache = match shared {
+                Some(prefix) => {
+                    PagedKvCache::with_shared_prefix(&pool, cfg.layers, cfg.dim, prefix)
+                }
+                None => PagedKvCache::new(&pool, cfg.layers, cfg.dim),
+            };
+            let mut session = DecodeSession::new_paged(
+                model,
+                ticket,
+                request.prompt,
+                request.max_new_tokens,
+                backend,
+                session_config,
+                cache,
+            );
+            session.prefill(model, sim);
+            session
+        }));
+        match outcome {
+            Ok(session) => {
+                if let Some((blocks, tokens)) = shared_stats {
+                    self.stats.prefix_hits += 1;
+                    self.stats.prefix_shared_blocks += blocks as u64;
+                    self.stats.prefix_shared_tokens += tokens as u64;
+                }
+                if let Some(index) = self.prefix.as_mut() {
+                    let refs = session
+                        .paged_kv()
+                        .expect("scheduler sessions are paged")
+                        .block_refs(session.prompt().len());
+                    index.register(session.prompt(), refs);
+                }
+                Ok(Entry { session })
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Guarantees the pool can absorb every resident session's next
+    /// token (a fresh block at a boundary, a copy-on-write of a shared
+    /// block) by preempting the highest-ticket sessions until it can.
+    fn reserve_for_step(&mut self) {
+        loop {
+            let need: usize = self
+                .active
+                .iter()
+                .map(|e| {
+                    e.session
+                        .paged_kv()
+                        .expect("scheduler sessions are paged")
+                        .blocks_needed(1)
+                })
+                .sum();
+            if need <= self.pool.free_blocks() {
+                return;
+            }
+            assert!(
+                self.active.len() > 1,
+                "KV pool cannot cover a single session's next token — \
+                 KvServeConfig::validate should have rejected this pool"
+            );
+            let resident: Vec<u64> = self.active.iter().map(|e| e.session.ticket()).collect();
+            let victim_idx = self.active.len() - 1; // active is ticket-sorted
+            let mut entry = self.active.remove(victim_idx);
+            match self.preempt {
+                PreemptPolicy::SwapOut => {
+                    let moved = entry
+                        .session
+                        .paged_kv_mut()
+                        .expect("scheduler sessions are paged")
+                        .swap_out();
+                    self.stats.swapped_out_elems += moved;
+                }
+                PreemptPolicy::Recompute => {
+                    entry
+                        .session
+                        .paged_kv_mut()
+                        .expect("scheduler sessions are paged")
+                        .drop_resident();
+                }
+            }
+            self.stats.preemptions += 1;
+            self.stats.preemption_events.push(PreemptionEvent {
+                victim: entry.session.ticket(),
+                resident,
+            });
+            self.paused.push(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecoderConfig;
+    use lt_core::{GaussianSampler, NativeBackend};
+
+    fn model() -> DecoderLm {
+        let mut rng = GaussianSampler::new(5);
+        DecoderLm::new(DecoderConfig::tiny(), &mut rng)
+    }
+
+    fn run_to_completion<B: ComputeBackend + Clone>(
+        sched: &mut KvScheduler<'_, B>,
+    ) -> Vec<(u64, DecodeReply)> {
+        let mut replies = Vec::new();
+        while sched.has_work() {
+            sched.tick();
+            replies.extend(sched.drain_finished());
+        }
+        replies.sort_by_key(|&(t, _)| t);
+        replies
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold one max_seq")]
+    fn undersized_pool_is_rejected_at_construction() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        // tiny() has max_seq 48: 16-token blocks need ceil(48/16)+1 = 4.
+        let kv = KvServeConfig {
+            block_tokens: 16,
+            pool_blocks: 3,
+            ..KvServeConfig::default()
+        };
+        let _ = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_tokens must be positive")]
+    fn zero_block_size_is_rejected() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let kv = KvServeConfig {
+            block_tokens: 0,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let _ = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 4);
+    }
+
+    #[test]
+    fn pool_blocks_derive_from_the_arch_kv_budget() {
+        let cfg = DecoderConfig::tiny();
+        let mut arch = ArchConfig::lt_base(8);
+        arch.kv_pool_bytes = 1 << 20;
+        let kv = KvServeConfig::default();
+        // block = 2 * 2 layers * 16 tokens * 32 dim * 8 bits / 8 = 2048 B.
+        assert_eq!(kv.block_bytes(&cfg, 8), 2048);
+        assert_eq!(kv.resolved_pool_blocks(&cfg, &arch), 512);
+    }
+
+    #[test]
+    fn a_starved_pool_preempts_highest_tickets_and_still_serves_everyone() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        // 13 blocks of 4 tokens; six 10-token decodes need 3 blocks each
+        // once their contexts grow — more than the pool holds at once.
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 13,
+            ..KvServeConfig::default()
+        };
+        let mut sched = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 6);
+        for t in 0..6u64 {
+            sched.submit(
+                t,
+                DecodeRequest {
+                    prompt: vec![1, 2, 3, 4, 5],
+                    max_new_tokens: 6,
+                },
+            );
+        }
+        let replies = run_to_completion(&mut sched);
+        assert_eq!(replies.len(), 6, "every session finishes despite eviction");
+        for (_, r) in &replies {
+            assert_eq!(r.tokens.len(), 6);
+        }
+        let stats = sched.stats();
+        assert!(stats.preemptions > 0, "the pool must have run dry");
+        assert_eq!(stats.preemptions, stats.resumes, "everyone came back");
+        assert!(stats.swapped_out_elems > 0);
+        assert_eq!(stats.swapped_out_elems, stats.swapped_in_elems);
+        for ev in &stats.preemption_events {
+            assert_eq!(
+                Some(ev.victim),
+                ev.resident.iter().copied().max(),
+                "victim must be the most recently admitted resident"
+            );
+        }
+        assert_eq!(sched.pool().used_blocks(), 0, "all blocks returned");
+    }
+
+    #[test]
+    fn prefix_sharing_skips_duplicate_prompt_blocks() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            prefix_sharing: true,
+            ..KvServeConfig::default()
+        };
+        let mut sched = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 8);
+        let prompt = vec![1usize, 2, 3, 4, 5, 6, 7, 8];
+        for t in 0..4u64 {
+            sched.submit(
+                t,
+                DecodeRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: 4,
+                },
+            );
+        }
+        let replies = run_to_completion(&mut sched);
+        assert_eq!(replies.len(), 4);
+        let stats = sched.stats();
+        assert_eq!(
+            stats.prefix_hits, 3,
+            "sessions 1-3 borrow session 0's blocks"
+        );
+        assert_eq!(stats.prefix_shared_tokens, 3 * prompt.len() as u64);
+        assert!(stats.prefix_shared_blocks >= 3 * 2, "two full blocks each");
+        // Sharing must not change the tokens: all four replies agree
+        // (deterministic backend, identical prompts, greedy sampling).
+        for (_, r) in &replies[1..] {
+            assert_eq!(r.tokens, replies[0].1.tokens);
+        }
+    }
+}
