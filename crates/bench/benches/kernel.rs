@@ -1,0 +1,174 @@
+//! Throughput of the shared GEMM micro-kernel and the true integer
+//! execution path.
+//!
+//! ```sh
+//! cargo bench -p lt-bench --bench kernel
+//! ```
+//!
+//! Three comparisons:
+//!
+//! 1. **tiled vs naive** — the register-blocked, cache-tiled
+//!    `lt_core::kernel::tiled_gemm` against the textbook triple loop
+//!    (`reference_gemm`), for `f64` and `f32`. The two are bit-identical
+//!    (`tests/kernel_equivalence.rs`); this bench shows what the
+//!    identical answer costs.
+//! 2. **f64 vs i8** — the exact float kernel against `quantized_gemm`
+//!    on pre-encoded i8 operands (the paper's 8-bit work mode executed
+//!    on real integer codes, grouped per-channel scales).
+//! 3. **fp32 vs int8 forward** — a whole tiny-ViT forward pass with the
+//!    weight-bearing layers on fp32 vs on the integer path.
+//!
+//! See the RECORDED RESULTS block at the bottom for the captured table
+//! from the reference build container.
+
+use lt_bench::timing::bench_for;
+use lt_core::kernel::tiled_gemm;
+use lt_core::{
+    quantized_gemm, reference_gemm, GaussianSampler, Matrix32, Matrix64, QuantizedMatrix,
+};
+use lt_nn::layers::ForwardCtx;
+use lt_nn::model::{Classifier, ModelConfig, VisionTransformer};
+use lt_nn::quant::QuantConfig;
+use lt_nn::{ExactEngine, Tensor};
+use std::time::Duration;
+
+const WINDOW: Duration = Duration::from_millis(300);
+
+fn tiled_vs_naive(m: usize, k: usize, n: usize) {
+    let mut rng = GaussianSampler::new(1);
+    let a64 = Matrix64::randn(m, k, 1.0, &mut rng);
+    let b64 = Matrix64::randn(k, n, 1.0, &mut rng);
+    let naive = bench_for(&format!("naive f64 {m}x{k}x{n}"), WINDOW, || {
+        reference_gemm(&a64.view(), &b64.view())
+    });
+    println!("{}", naive.row());
+    let tiled = bench_for(&format!("tiled f64 {m}x{k}x{n}"), WINDOW, || {
+        tiled_gemm(&a64.view(), &b64.view())
+    });
+    println!(
+        "{}  [{:.2}x vs naive]",
+        tiled.row(),
+        tiled.speedup_vs(&naive)
+    );
+
+    let a32 = Matrix32::randn(m, k, 1.0, &mut rng);
+    let b32 = Matrix32::randn(k, n, 1.0, &mut rng);
+    let naive32 = bench_for(&format!("naive f32 {m}x{k}x{n}"), WINDOW, || {
+        reference_gemm(&a32.view(), &b32.view())
+    });
+    println!("{}", naive32.row());
+    let tiled32 = bench_for(&format!("tiled f32 {m}x{k}x{n}"), WINDOW, || {
+        tiled_gemm(&a32.view(), &b32.view())
+    });
+    println!(
+        "{}  [{:.2}x vs naive]\n",
+        tiled32.row(),
+        tiled32.speedup_vs(&naive32)
+    );
+}
+
+fn float_vs_integer(m: usize, k: usize, n: usize) {
+    let mut rng = GaussianSampler::new(3);
+    let a64 = Matrix64::randn(m, k, 1.0, &mut rng);
+    let b64 = Matrix64::randn(k, n, 1.0, &mut rng);
+    let f64_report = bench_for(&format!("tiled f64 {m}x{k}x{n}"), WINDOW, || {
+        tiled_gemm(&a64.view(), &b64.view())
+    });
+    println!("{}", f64_report.row());
+
+    let a32 = Matrix32::randn(m, k, 1.0, &mut rng);
+    let b32 = Matrix32::randn(k, n, 1.0, &mut rng);
+    for bits in [8u32, 4] {
+        let aq = QuantizedMatrix::quantize_rows(&a32.view(), bits, 32);
+        let bq = QuantizedMatrix::quantize_cols(&b32.view(), bits, 32);
+        let int = bench_for(
+            &format!("i{bits} gemm {m}x{k}x{n} (group 32)"),
+            WINDOW,
+            || quantized_gemm(&aq, &bq),
+        );
+        println!(
+            "{}  [{:.2}x vs f64]",
+            int.row(),
+            int.speedup_vs(&f64_report)
+        );
+    }
+    // Include the encode cost (quantize-at-call, the Linear layer's
+    // actual per-forward work).
+    let enc = bench_for(&format!("i8 encode+gemm {m}x{k}x{n}"), WINDOW, || {
+        let aq = QuantizedMatrix::quantize_rows(&a32.view(), 8, 32);
+        let bq = QuantizedMatrix::quantize_cols(&b32.view(), 8, 32);
+        quantized_gemm(&aq, &bq)
+    });
+    println!(
+        "{}  [{:.2}x vs f64]\n",
+        enc.row(),
+        enc.speedup_vs(&f64_report)
+    );
+}
+
+fn forward_modes() {
+    let mut rng = GaussianSampler::new(42);
+    let vit = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+    let patches = Tensor::randn(16, 16, 1.0, &mut rng);
+    let mut base = None;
+    for (label, quant) in [
+        ("fp32", QuantConfig::fp32()),
+        ("int8", QuantConfig::int8()),
+        ("int4", QuantConfig::int4()),
+    ] {
+        let report = bench_for(
+            &format!("tiny-ViT forward {label} (exact engine)"),
+            WINDOW,
+            || {
+                let mut model = vit.clone();
+                let mut engine = ExactEngine;
+                let mut nrng = GaussianSampler::new(0);
+                let mut ctx = ForwardCtx::inference(&mut engine, quant, &mut nrng);
+                model.forward(&patches, &mut ctx)
+            },
+        );
+        match &base {
+            None => {
+                println!("{}", report.row());
+                base = Some(report);
+            }
+            Some(b) => println!("{}  [{:.2}x vs fp32]", report.row(), report.speedup_vs(b)),
+        }
+    }
+}
+
+fn main() {
+    println!("== shared GEMM micro-kernel & integer path ==");
+    tiled_vs_naive(96, 256, 96);
+    tiled_vs_naive(192, 192, 192);
+    float_vs_integer(96, 256, 96);
+    forward_modes();
+}
+
+// RECORDED RESULTS — reference build container, 2026-08-07 (one
+// hardware thread; single-threaded data path only):
+//
+//   naive f64 96x256x96                  6598 us/iter
+//   tiled f64 96x256x96                   594 us/iter  [11.10x vs naive]
+//   naive f32 96x256x96                  6442 us/iter
+//   tiled f32 96x256x96                   341 us/iter  [18.91x vs naive]
+//   naive f64 192x192x192               20317 us/iter
+//   tiled f64 192x192x192                1945 us/iter  [10.44x vs naive]
+//   naive f32 192x192x192               15797 us/iter
+//   tiled f32 192x192x192                 783 us/iter  [20.19x vs naive]
+//   tiled f64 96x256x96                   573 us/iter
+//   i8 gemm 96x256x96 (group 32)          745 us/iter  [0.77x vs f64]
+//   i4 gemm 96x256x96 (group 32)          873 us/iter  [0.66x vs f64]
+//   i8 encode+gemm 96x256x96             1134 us/iter  [0.51x vs f64]
+//   tiny-ViT forward fp32 (exact)         167 us/iter
+//   tiny-ViT forward int8 (exact)         631 us/iter  [0.26x vs fp32]
+//   tiny-ViT forward int4 (exact)         807 us/iter  [0.21x vs fp32]
+//
+// (Numbers vary run to run on the shared container; regenerate with the
+// command above.) The tiled kernel's 10-20x over the naive loop is the
+// host-side half of this PR's speedup claim. The integer path is
+// *slower* on the host — a scalar i8 loop can't beat the autovectorized
+// float micro-kernel, and per-call encoding costs more than it saves —
+// its win is on the modeled accelerator (the 4-bit work mode's cycle
+// count) and in memory (i4 halves code bytes), both asserted
+// deterministically in the test suites.

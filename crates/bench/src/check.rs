@@ -379,6 +379,37 @@ mod tests {
     }
 
     #[test]
+    fn schema5_kernel_fields_are_gated_except_wall_clock() {
+        // The kernel section mixes host wall-clock (`*_us`, exempt —
+        // including the committed `prev_forward_record_us` baseline)
+        // with modeled integer-path facts (gated: trace footprint, code
+        // bytes, pure quantization error).
+        const KERNEL_DOC: &str = r#"{ "kernel": { "micro_tile": "4x8x256",
+          "prev_forward_record_us": 27115.36, "forward_record_us": 3000.0,
+          "i8_gemm_us": 700.0, "int8_forward_macs": 323840,
+          "i4_weight_code_bytes": 12288, "int8_logit_err": 0.004 } }"#;
+        for wall in ["27115.36", "3000.0", "700.0"] {
+            let slower = KERNEL_DOC.replace(wall, "999999.0");
+            assert!(
+                compare(KERNEL_DOC, &slower, 0.005).unwrap().is_empty(),
+                "wall-clock field holding {wall} must be exempt"
+            );
+        }
+        for (field, drifted) in [
+            ("micro_tile", KERNEL_DOC.replace("4x8x256", "8x8x128")),
+            ("int8_forward_macs", KERNEL_DOC.replace("323840", "331072")),
+            ("i4_weight_code_bytes", KERNEL_DOC.replace("12288", "24576")),
+            ("int8_logit_err", KERNEL_DOC.replace("0.004", "0.4")),
+        ] {
+            let report = compare(KERNEL_DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
+    }
+
+    #[test]
     fn the_real_snapshot_flattens() {
         let json = crate::bench_repro_json();
         let flat = flatten(&json).unwrap();
@@ -399,6 +430,19 @@ mod tests {
             assert!(
                 flat.iter().any(|(k, _)| k == kv_field),
                 "missing {kv_field}"
+            );
+        }
+        for kernel_field in [
+            "kernel.micro_tile",
+            "kernel.prev_forward_record_us",
+            "kernel.forward_record_us",
+            "kernel.int8_forward_macs",
+            "kernel.i4_weight_code_bytes",
+            "kernel.int8_logit_err",
+        ] {
+            assert!(
+                flat.iter().any(|(k, _)| k == kernel_field),
+                "missing {kernel_field}"
             );
         }
         // And a regenerated snapshot passes its own gate on the

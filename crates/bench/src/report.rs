@@ -31,6 +31,17 @@
 //! KV-traffic share of decode bandwidth stalls. All of it deterministic
 //! and gated.
 //!
+//! Schema 5 added the `kernel` section for the register-blocked GEMM
+//! micro-kernel and the true integer execution path:
+//! `prev_forward_record_us` (the committed pre-rework baseline, kept as
+//! a `_us` field so it is exempt like all wall-clock) next to the fresh
+//! `forward_record_us`, tiled-vs-naive and f64-vs-i8 wall-clocks, and
+//! gated deterministic fields — the micro-tile geometry, the int8
+//! forward's recorded op/MAC counts (integer execution must be
+//! workload-transparent), i8/i4 code bytes for a reference weight
+//! (i4 really halves memory), and the int8 logit deviation on the
+//! exact engine (pure quantization error, no noise).
+//!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
 //! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
@@ -111,10 +122,10 @@ pub fn bench_repro_json() -> String {
     let replay = bench("trace_replay", || sim.run_trace(&trace));
 
     format!(
-        "{{\n  \"schema\": 4,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 5,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
-         {},\n{}\n}}\n",
+         {},\n{},\n{}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -122,8 +133,79 @@ pub fn bench_repro_json() -> String {
         trace.total_macs(),
         num(record.us_per_iter()),
         num(replay.us_per_iter()),
+        kernel_section(record.us_per_iter()),
         decode_section(),
         kv_section(),
+    )
+}
+
+/// The `kernel` section (schema 5): the micro-kernel rework's
+/// before/after wall-clock and the integer path's deterministic
+/// footprint. `prev_forward_record_us` is the forward_record_us the
+/// PR-6 baseline committed (Box-Muller sampler, per-use re-encoding,
+/// pre-tiling kernel); the `_us` suffix keeps every host-dependent
+/// field out of the `repro check` gate, while the integer-path fields
+/// are modeled/deterministic and gated.
+fn kernel_section(forward_record_us: f64) -> String {
+    use lt_core::kernel::{KC, MR, NR};
+    use lt_core::{quantized_gemm, reference_gemm, Matrix32, Matrix64, QuantizedMatrix};
+
+    // The committed pre-rework measurement (see ISSUE 7 acceptance).
+    let prev_forward_record_us = 2.711536e4;
+
+    let (m, k, n) = (96usize, 256, 96);
+    let mut rng = GaussianSampler::new(3);
+    let a64 = Matrix64::randn(m, k, 1.0, &mut rng);
+    let b64 = Matrix64::randn(k, n, 1.0, &mut rng);
+    let naive = bench("naive_f64", || reference_gemm(&a64.view(), &b64.view()));
+    let tiled = bench("tiled_f64", || a64.view().matmul(&b64.view()));
+
+    let a32 = Matrix32::randn(m, k, 1.0, &mut rng);
+    let b32 = Matrix32::randn(k, n, 1.0, &mut rng);
+    let aq = QuantizedMatrix::quantize_rows(&a32.view(), 8, 32);
+    let bq = QuantizedMatrix::quantize_cols(&b32.view(), 8, 32);
+    let i8_gemm = bench("i8_gemm", || quantized_gemm(&aq, &bq));
+    let wq4 = QuantizedMatrix::quantize_cols(&b32.view(), 4, 32);
+
+    // Deterministic integer-path footprint: an int8 tiny-ViT forward on
+    // the exact engine — recorded trace (must match fp32's: integer
+    // execution is workload-transparent) and pure quantization error.
+    let mut mrng = GaussianSampler::new(7);
+    let vit = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut mrng);
+    let patches = Tensor::randn(16, 16, 1.0, &mut mrng);
+    let forward = |quant: QuantConfig, recorder: Option<&TraceRecorder>| -> Tensor {
+        let mut model = vit.clone();
+        let mut engine = lt_nn::ExactEngine;
+        let mut nrng = GaussianSampler::new(0);
+        let mut ctx = ForwardCtx::inference(&mut engine, quant, &mut nrng);
+        if let Some(r) = recorder {
+            ctx = ctx.with_recorder(r.clone());
+        }
+        model.forward(&patches, &mut ctx)
+    };
+    let recorder = TraceRecorder::new();
+    let int8_logits = forward(QuantConfig::int8(), Some(&recorder));
+    let int8_trace = recorder.take().coalesce();
+    let fp32_logits = forward(QuantConfig::fp32(), None);
+    let logit_err = int8_logits.max_abs_diff(&fp32_logits);
+
+    format!(
+        "  \"kernel\": {{ \"micro_tile\": \"{MR}x{NR}x{KC}\", \
+         \"prev_forward_record_us\": {}, \"forward_record_us\": {}, \
+         \"naive_f64_gemm_us\": {}, \"tiled_f64_gemm_us\": {}, \"i8_gemm_us\": {}, \
+         \"int8_forward_ops\": {}, \"int8_forward_macs\": {}, \
+         \"i8_weight_code_bytes\": {}, \"i4_weight_code_bytes\": {}, \
+         \"int8_logit_err\": {} }}",
+        num(prev_forward_record_us),
+        num(forward_record_us),
+        num(naive.us_per_iter()),
+        num(tiled.us_per_iter()),
+        num(i8_gemm.us_per_iter()),
+        int8_trace.len(),
+        int8_trace.total_macs(),
+        bq.code_bytes(),
+        wq4.code_bytes(),
+        num(logit_err as f64),
     )
 }
 
@@ -275,10 +357,17 @@ mod tests {
             "\"preemption_rate\"",
             "\"prefix_shared_blocks\"",
             "\"kv_bandwidth_stall_frac\"",
+            "\"kernel\"",
+            "\"micro_tile\"",
+            "\"prev_forward_record_us\"",
+            "\"i8_gemm_us\"",
+            "\"int8_forward_macs\"",
+            "\"i4_weight_code_bytes\"",
+            "\"int8_logit_err\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-        assert!(json.contains("\"schema\": 4"), "schema bumped");
+        assert!(json.contains("\"schema\": 5"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

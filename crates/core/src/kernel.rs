@@ -1,0 +1,187 @@
+//! The shared register-blocked, cache-tiled GEMM micro-kernel.
+//!
+//! Every exact matrix product in the workspace — [`MatrixView::matmul`],
+//! and through it `NativeBackend`, the ideal DPTC fidelity, the photonic
+//! baselines, and the NN engines — lands in [`tiled_gemm`]. The kernel
+//! uses the classic three-level blocking scheme:
+//!
+//! * **Register micro-tile** — an `MR x NR` accumulator block lives in
+//!   registers across the whole reduction; the innermost loop is a
+//!   rank-1 update over fixed-size slices, which the compiler
+//!   autovectorizes for both `f32` and `f64`.
+//! * **Cache chunks** — the reduction dimension is walked in [`KC`]-wide
+//!   chunks; each chunk of the `B` panel is packed once into a
+//!   fixed-size stack buffer and reused by every row strip, so the hot
+//!   loop streams contiguous memory regardless of the caller's stride.
+//! * **Packing buffers** — both operand panels are packed into
+//!   stack-allocated arrays (`[T; KC * NR]` / `[T; KC * MR]`), so the
+//!   kernel performs **zero heap allocations** beyond the output buffer.
+//!
+//! # Bit-identity contract
+//!
+//! The kernel is *bit-identical* to [`reference_gemm`]: every output
+//! element accumulates its `k` products in strictly increasing reduction
+//! order into a single accumulator. Chunking does not break this —
+//! between chunks the partial sum round-trips through the output buffer
+//! (an exact operation for IEEE floats) and accumulation resumes in the
+//! same order. Edge tiles are zero-padded in the packing buffers, and
+//! padded lanes are simply never stored, so padding can never
+//! contaminate a valid output. This is what lets `tests/` property
+//! suites assert `tiled == naive` with `==` instead of a tolerance.
+//!
+//! [`reference_gemm`]: crate::matrix::reference_gemm
+
+use crate::matrix::{Matrix, MatrixView, Scalar};
+
+/// Register micro-tile height: output rows held in registers at once.
+pub const MR: usize = 4;
+/// Register micro-tile width: output columns held in registers at once.
+pub const NR: usize = 8;
+/// Cache-chunk depth: reduction elements packed per panel refill.
+pub const KC: usize = 256;
+
+/// The innermost register kernel: `kc` rank-1 updates of an `MR x NR`
+/// accumulator block. `ap` is packed `l`-major (`MR` operands per step),
+/// `bp` is packed `l`-major (`NR` operands per step).
+#[inline(always)]
+fn micro_kernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]) {
+    for l in 0..kc {
+        let av: &[T; MR] = ap[l * MR..l * MR + MR].try_into().unwrap();
+        let bv: &[T; NR] = bp[l * NR..l * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let a = av[r];
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] += a * bv[c];
+            }
+        }
+    }
+}
+
+/// Register-blocked, cache-tiled matrix product `a x b`.
+///
+/// Bit-identical to [`reference_gemm`](crate::matrix::reference_gemm)
+/// on every shape (see the module docs for why), including 0-sized,
+/// `1 x k`, `k x 1`, and non-multiple-of-tile dimensions, and accepts
+/// strided views on either operand.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn tiled_gemm<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![T::ZERO; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return Matrix::from_vec(m, n, out);
+    }
+
+    // Fixed-size stack packing buffers, reused across all panels.
+    let mut bp = [T::ZERO; KC * NR];
+    let mut ap = [T::ZERO; KC * MR];
+
+    let mut jb = 0;
+    while jb < n {
+        let nr = NR.min(n - jb);
+        let mut l0 = 0;
+        while l0 < k {
+            let kc = KC.min(k - l0);
+            // Pack the B chunk `[l0, l0+kc) x [jb, jb+nr)`, l-major,
+            // zero-padding the column remainder once per chunk.
+            for l in 0..kc {
+                let src = &b.row(l0 + l)[jb..jb + nr];
+                let dst = &mut bp[l * NR..(l + 1) * NR];
+                dst[..nr].copy_from_slice(src);
+                for d in dst[nr..].iter_mut() {
+                    *d = T::ZERO;
+                }
+            }
+            let mut ib = 0;
+            while ib < m {
+                let mr = MR.min(m - ib);
+                // Pack the A chunk `[ib, ib+mr) x [l0, l0+kc)`, l-major.
+                for (r, arow) in (ib..ib + mr).map(|i| a.row(i)).enumerate() {
+                    for (l, &v) in arow[l0..l0 + kc].iter().enumerate() {
+                        ap[l * MR + r] = v;
+                    }
+                }
+                if mr < MR {
+                    for l in 0..kc {
+                        for r in mr..MR {
+                            ap[l * MR + r] = T::ZERO;
+                        }
+                    }
+                }
+                // Resume accumulation from the previous chunk's partial
+                // sums: load, run the register kernel, store. The
+                // load/store round-trip is exact, so the overall
+                // reduction order per element is unchanged.
+                let mut acc = [[T::ZERO; NR]; MR];
+                for (r, row) in acc.iter_mut().enumerate().take(mr) {
+                    if l0 > 0 {
+                        let o = &out[(ib + r) * n + jb..(ib + r) * n + jb + nr];
+                        row[..nr].copy_from_slice(o);
+                    }
+                }
+                micro_kernel(kc, &ap[..kc * MR], &bp[..kc * NR], &mut acc);
+                for (r, row) in acc.iter().enumerate().take(mr) {
+                    let o = &mut out[(ib + r) * n + jb..(ib + r) * n + jb + nr];
+                    o.copy_from_slice(&row[..nr]);
+                }
+                ib += MR;
+            }
+            l0 += KC;
+        }
+        jb += NR;
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{reference_gemm, Matrix64};
+    use crate::noise::GaussianSampler;
+
+    #[test]
+    fn tiled_matches_reference_across_edge_shapes() {
+        let mut rng = GaussianSampler::new(7);
+        let shapes = [
+            (0, 0, 0),
+            (0, 3, 5),
+            (3, 0, 5),
+            (3, 5, 0),
+            (1, 1, 1),
+            (1, 300, 1),
+            (MR, NR, KC),
+            (MR + 1, NR + 3, KC + 5),
+            (17, 9, 33),
+            (65, 300, 7),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = Matrix64::randn(m, k, 1.0, &mut rng);
+            let b = Matrix64::randn(k, n, 1.0, &mut rng);
+            let got = tiled_gemm(&a.view(), &b.view());
+            let want = reference_gemm(&a.view(), &b.view());
+            assert_eq!(got, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn strided_operands_supported() {
+        let mut rng = GaussianSampler::new(11);
+        let m = Matrix64::randn(20, 20, 1.0, &mut rng);
+        let a = m.view().block(1, 2, 9, 13);
+        let b = m.view().block(3, 1, 13, 11);
+        assert_eq!(
+            tiled_gemm(&a, &b),
+            reference_gemm(&a.to_matrix().view(), &b.to_matrix().view())
+        );
+    }
+}

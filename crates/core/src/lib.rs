@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod kernel;
 pub mod matrix;
 pub mod noise;
 pub mod quant;
@@ -56,5 +57,5 @@ pub use backend::{
 };
 pub use matrix::{reference_gemm, Matrix, Matrix32, Matrix64, MatrixView, Scalar};
 pub use noise::GaussianSampler;
-pub use quant::Quantizer;
+pub use quant::{quantized_gemm, GroupAxis, QuantizedMatrix, Quantizer};
 pub use trace::{Module, NonGemmKind, Op, OpKind, OperandDynamics, Trace, TraceRecorder};

@@ -519,40 +519,17 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
 
     /// Matrix product through the shared kernel: `self x rhs`.
     ///
-    /// The kernel walks `i-k-j` with contiguous row slices (cache-friendly
-    /// for row-major storage) and skips zero multipliers, which both the
-    /// NN stack's sparse activations and the DPTC's zero-padded edge tiles
-    /// benefit from. All backends that advertise exact arithmetic route
-    /// through this one kernel so "exact" is bit-for-bit reproducible
-    /// across the workspace.
+    /// Delegates to the register-blocked, cache-tiled micro-kernel in
+    /// [`crate::kernel`], which is bit-identical to [`reference_gemm`]
+    /// on every shape. All backends that advertise exact arithmetic
+    /// route through this one kernel so "exact" is bit-for-bit
+    /// reproducible across the workspace.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &MatrixView<'_, T>) -> Matrix<T> {
-        assert_eq!(
-            self.cols,
-            rhs.rows,
-            "matmul shape mismatch: {:?} x {:?}",
-            self.shape(),
-            rhs.shape()
-        );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![T::ZERO; m * n];
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (l, &a) in a_row.iter().enumerate().take(k) {
-                if a == T::ZERO {
-                    continue;
-                }
-                let b_row = rhs.row(l);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Matrix::from_vec(m, n, out)
+        crate::kernel::tiled_gemm(self, rhs)
     }
 }
 

@@ -217,9 +217,13 @@ impl ComputeBackend for DptcBackend {
     }
 
     fn preferred_block_rows(&self) -> usize {
-        // One crossbar pass computes `Nh` output rows; blocking at that
-        // granularity keeps every strip a whole number of hardware tiles.
-        self.core.config().nh
+        // Blocks stay a whole number of `Nh`-row hardware strips, but
+        // span several of them: every `gemm_block` call re-gathers,
+        // re-quantizes, and re-encodes the full right operand's tiles,
+        // so wider blocks amortize that DAC work across more output
+        // rows (the tiled loop reuses B tiles for every strip in the
+        // block).
+        self.core.config().nh * 4
     }
 
     fn gemm_block(

@@ -148,15 +148,18 @@ impl DdotCircuit {
         let wavelengths = self.grid.wavelengths_nm();
         let mut port0 = Vec::with_capacity(x.len());
         let mut port1 = Vec::with_capacity(x.len());
+        // One relative-phase draw per DDot: the drift lives on the shared
+        // operand paths, so every wavelength in this coupler sees the
+        // same realization (matching the analytic fidelity).
+        let dphi_d = if noise.sigma_phase_rad > 0.0 {
+            rng.normal(0.0, noise.sigma_phase_rad)
+        } else {
+            0.0
+        };
         for i in 0..x.len() {
             let lambda = wavelengths[i];
             let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng).clamp(-1.0, 1.0);
             let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng).clamp(-1.0, 1.0);
-            let dphi_d = if noise.sigma_phase_rad > 0.0 {
-                rng.normal(0.0, noise.sigma_phase_rad)
-            } else {
-                0.0
-            };
             // Encode. The relative phase drift between the arms is folded
             // into the y field (the paper's single equivalent drift term,
             // Section III-C). Negative values carry a pi phase.

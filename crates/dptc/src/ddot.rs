@@ -19,11 +19,19 @@ pub struct WavelengthCoefficients {
     /// Dispersion-induced phase error `delta_phi_lambda_i`, radians.
     pub dphi: Vec<f64>,
     /// Precomputed zero-phase-drift multiplier
-    /// `2 t_i k_i (-sin(-pi/2 + dphi_i))` — the whole multiplicative term
-    /// of Eq. 9 when no per-DDot phase noise is drawn. Hoisting it out of
-    /// the per-element loop removes the `sin` from every deterministic
-    /// MAC (the quantized digital reference and every zero-sigma tile).
+    /// `2 t_i k_i (-sin(-pi/2 + dphi_i)) = 2 t_i k_i cos(dphi_i)` — the
+    /// whole multiplicative term of Eq. 9 when no per-DDot phase noise
+    /// is drawn. Hoisting it out of the per-element loop removes the
+    /// `sin` from every deterministic MAC (the quantized digital
+    /// reference and every zero-sigma tile).
     pub mult0: Vec<f64>,
+    /// Precomputed drift-quadrature multiplier `2 t_i k_i sin(dphi_i)`.
+    /// With a per-DDot phase drift `g`, the Eq. 9 multiplier expands by
+    /// the angle-addition identity to
+    /// `2 t k cos(dphi_i + g) = mult0_i cos(g) - msin_i sin(g)`, so one
+    /// `sin_cos` per DDot output covers every wavelength and the MAC
+    /// loop stays free of transcendentals.
+    pub msin: Vec<f64>,
     /// Precomputed coupler-imbalance coefficient `(t_i^2 - k_i^2) / 2`
     /// multiplying the additive `(x^2 - y^2)` term of Eq. 9.
     pub imbalance: Vec<f64>,
@@ -36,6 +44,7 @@ impl WavelengthCoefficients {
         let mut k = Vec::with_capacity(grid.len());
         let mut dphi = Vec::with_capacity(grid.len());
         let mut mult0 = Vec::with_capacity(grid.len());
+        let mut msin = Vec::with_capacity(grid.len());
         let mut imbalance = Vec::with_capacity(grid.len());
         for &lambda in grid.wavelengths_nm() {
             let ti = dispersion.through_coefficient(lambda);
@@ -45,6 +54,7 @@ impl WavelengthCoefficients {
             k.push(ki);
             dphi.push(dphi_i);
             mult0.push(2.0 * ti * ki * (-(dphi_i - FRAC_PI_2).sin()));
+            msin.push(2.0 * ti * ki * dphi_i.sin());
             imbalance.push((ti * ti - ki * ki) / 2.0);
         }
         WavelengthCoefficients {
@@ -52,6 +62,7 @@ impl WavelengthCoefficients {
             k,
             dphi,
             mult0,
+            msin,
             imbalance,
         }
     }
@@ -158,21 +169,23 @@ impl DDot {
         rng: &mut GaussianSampler,
     ) -> f64 {
         self.check_lengths(x, y);
-        let mut io = 0.0;
-        if noise.sigma_phase_rad > 0.0 {
-            for i in 0..x.len() {
-                let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
-                let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
-                let dphi_d = rng.normal(0.0, noise.sigma_phase_rad);
-                io += ddot_term(xh, yh, coeffs.t[i], coeffs.k[i], coeffs.dphi[i], dphi_d);
-            }
+        // One relative-phase draw per DDot invocation: all wavelength
+        // pairs interfere in the same physical coupler, so the operand
+        // paths' drift is common to every channel (the noise model's
+        // "at each DDot"). The angle-addition tables then fold the draw
+        // into the precomputed multipliers — one `sin_cos` per output,
+        // no transcendentals in the MAC loop.
+        let (sg, cg) = if noise.sigma_phase_rad > 0.0 {
+            rng.normal(0.0, noise.sigma_phase_rad).sin_cos()
         } else {
-            // Zero phase drift: use the precomputed Eq. 9 multiplier.
-            for i in 0..x.len() {
-                let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
-                let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
-                io += coeffs.mult0[i] * xh * yh + coeffs.imbalance[i] * (xh * xh - yh * yh);
-            }
+            (0.0, 1.0)
+        };
+        let mut io = 0.0;
+        for i in 0..x.len() {
+            let xh = perturb_magnitude(x[i], noise.sigma_magnitude, rng);
+            let yh = perturb_magnitude(y[i], noise.sigma_magnitude, rng);
+            let mult = coeffs.mult0[i] * cg - coeffs.msin[i] * sg;
+            io += mult * xh * yh + coeffs.imbalance[i] * (xh * xh - yh * yh);
         }
         apply_systematic(io, noise, rng)
     }
@@ -207,7 +220,7 @@ impl DDot {
 /// Section III-C) and the additive term vanishes. The sign of the additive
 /// term differs from the paper's printed Eq. 9 only by output-port
 /// labeling; it is zero-mean either way.
-pub(crate) fn ddot_term(x: f64, y: f64, t: f64, k: f64, dphi_lambda: f64, dphi_d: f64) -> f64 {
+pub fn ddot_term(x: f64, y: f64, t: f64, k: f64, dphi_lambda: f64, dphi_d: f64) -> f64 {
     let phi = dphi_d - FRAC_PI_2 + dphi_lambda;
     2.0 * t * k * (-phi.sin()) * x * y + (t * t - k * k) * (x * x - y * y) / 2.0
 }
@@ -254,6 +267,25 @@ mod tests {
         let y = ramp(12, 0.3, -0.8);
         let out = ddot.dot_noisy(&x, &y, &NoiseModel::noiseless(), 0);
         assert!((out - ddot.dot_ideal(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_addition_tables_match_ddot_term() {
+        // The hot path folds a per-DDot drift `g` into the precomputed
+        // mult0/msin tables; this must agree exactly with evaluating the
+        // Eq. 9 transfer directly at that drift.
+        let grid = WavelengthGrid::dwdm(8);
+        let coeffs = WavelengthCoefficients::compute(&grid, &DispersionModel::paper());
+        let (x, y) = (0.62, -0.47);
+        for &g in &[0.0f64, 0.0371, -0.2] {
+            let (sg, cg) = g.sin_cos();
+            for i in 0..coeffs.len() {
+                let via_tables = (coeffs.mult0[i] * cg - coeffs.msin[i] * sg) * x * y
+                    + coeffs.imbalance[i] * (x * x - y * y);
+                let direct = ddot_term(x, y, coeffs.t[i], coeffs.k[i], coeffs.dphi[i], g);
+                assert!((via_tables - direct).abs() < 1e-14, "lambda {i}, g {g}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::backend::Fidelity;
 use crate::circuit::DdotCircuit;
-use crate::ddot::{ddot_term, perturb_magnitude, DDot, WavelengthCoefficients};
+use crate::ddot::{perturb_magnitude, DDot, WavelengthCoefficients};
 use crate::noise_model::NoiseModel;
 use crate::quant::Quantizer;
 use lt_core::{GaussianSampler, Matrix64, MatrixView};
@@ -152,8 +152,10 @@ impl Dptc {
     ///   systematic output noise. Noise realizations follow the
     ///   hardware's sharing structure: each operand element is *encoded
     ///   once* and broadcast, so its magnitude drift is shared by every
-    ///   DDot in its row/column; relative phase drift is drawn per DDot
-    ///   per wavelength; systematic noise per detected output.
+    ///   DDot in its row/column; relative phase drift is drawn once per
+    ///   DDot (all wavelengths interfere in the same coupler, so they
+    ///   share its operand-path drift); systematic noise per detected
+    ///   output.
     /// * [`Fidelity::Circuit`] — field propagation through the actual
     ///   device netlist ([`DdotCircuit`]); roughly an order of magnitude
     ///   slower, use for validation.
@@ -267,42 +269,25 @@ impl Dptc {
         for v in a_hat.data_mut() {
             *v = perturb_magnitude(*v, noise.sigma_magnitude, rng);
         }
-        let mut b_hat = b.to_matrix();
+        // Transposed so each DDot's wavelength column is contiguous.
+        let bt = b.to_matrix().transpose();
+        let mut b_hat = bt;
         for v in b_hat.data_mut() {
             *v = perturb_magnitude(*v, noise.sigma_magnitude, rng);
         }
 
         let mut out = Matrix64::zeros(nh, nv);
-        let drift = noise.sigma_phase_rad > 0.0;
-        for i in 0..nh {
-            let a_row = a_hat.row(i);
-            let out_row = out.row_mut(i);
-            for (j, out_ij) in out_row.iter_mut().enumerate() {
-                let mut io = 0.0;
-                if drift {
-                    for l in 0..nlambda {
-                        let dphi_d = rng.normal(0.0, noise.sigma_phase_rad);
-                        io += ddot_term(
-                            a_row[l],
-                            b_hat.get(l, j),
-                            coeffs.t[l],
-                            coeffs.k[l],
-                            coeffs.dphi[l],
-                            dphi_d,
-                        );
-                    }
-                } else {
-                    // Zero phase drift: the whole Eq. 9 multiplier is the
-                    // precomputed per-wavelength constant — no `sin` in
-                    // the MAC loop.
-                    for l in 0..nlambda {
-                        let (x, y) = (a_row[l], b_hat.get(l, j));
-                        io += coeffs.mult0[l] * x * y + coeffs.imbalance[l] * (x * x - y * y);
-                    }
-                }
-                *out_ij = crate::ddot::apply_systematic(io, noise, rng);
-            }
-        }
+        noisy_mm_rows(
+            a_hat.data(),
+            b_hat.data(),
+            nh,
+            nv,
+            nlambda,
+            noise,
+            coeffs,
+            rng,
+            out.data_mut(),
+        );
         out
     }
 
@@ -351,8 +336,22 @@ impl Dptc {
         out
     }
 
-    /// The shared tiled-GEMM loop over flat tile buffers (no per-row
-    /// allocations on the hot path).
+    /// The shared tiled-GEMM loop.
+    ///
+    /// The analytic path is the workspace's hottest loop (every recorded
+    /// forward pass lands here), so it is organized around three
+    /// invariants: every `B` tile is gathered, normalized, DAC-quantized,
+    /// and magnitude-perturbed exactly once per call (stored transposed
+    /// so each DDot reads its wavelength column contiguously); every `A`
+    /// tile once per row strip. Encoding noise is drawn at gather time
+    /// because that is when the DAC drives the modulator: a tile loaded
+    /// once and reused against many partners carries one encoding
+    /// realization — the same operand-reuse structure the paper's Eq. 6
+    /// counts DAC conversions by. The per-output noise model then needs
+    /// one `sin_cos` and two Gaussians per DDot, with a branch-free
+    /// multiply-add MAC loop in between. The circuit fidelity keeps the
+    /// straightforward gather-per-tile structure — it is a validation
+    /// path, not a hot one.
     fn gemm_tiled(
         &self,
         a: MatrixView<'_, f64>,
@@ -366,8 +365,116 @@ impl Dptc {
         let n = b.cols();
         let quant = Quantizer::new(bits);
         let mut rng = GaussianSampler::new(seed);
+        if circuit_level {
+            return self.gemm_tiled_circuit(a, b, &quant, noise, &mut rng);
+        }
         let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
-        let circuit = circuit_level.then(|| DdotCircuit::paper(self.config.nlambda));
+        let DptcConfig { nh, nv, nlambda } = self.config;
+        let mut out = Matrix64::zeros(m, n);
+        if m == 0 || n == 0 || d == 0 {
+            return out;
+        }
+
+        let nd = d.div_ceil(nlambda);
+        let nn = n.div_ceil(nv);
+        let tlen_a = nh * nlambda;
+        let tlen_b = nv * nlambda;
+
+        // Gather, normalize, quantize, and magnitude-perturb every B tile
+        // once (the DAC drive), transposed to wavelength-contiguous
+        // columns. beta == 0 marks an all-zero tile (never encoded, so
+        // it consumes no noise and is skipped below).
+        let mut b_tiles = vec![0.0f64; nn * nd * tlen_b];
+        let mut beta_b = vec![0.0f64; nn * nd];
+        for (nj, ni) in (0..n).step_by(nv).enumerate() {
+            for (dj, di) in (0..d).step_by(nlambda).enumerate() {
+                let tile = &mut b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
+                let mut beta = 0.0f64;
+                for tl in 0..nlambda.min(d - di) {
+                    let brow = b.row(di + tl);
+                    for (tj, &v) in brow[ni..n.min(ni + nv)].iter().enumerate() {
+                        tile[tj * nlambda + tl] = v;
+                        beta = beta.max(v.abs());
+                    }
+                }
+                if beta > 0.0 {
+                    encode_tile(tile, beta, &quant, noise, &mut rng);
+                }
+                beta_b[nj * nd + dj] = beta;
+            }
+        }
+
+        // Per-row-strip A tiles (encoded once per strip, reused by every
+        // column strip — one DAC drive per load) and the tile output.
+        let mut a_tiles = vec![0.0f64; nd * tlen_a];
+        let mut beta_a = vec![0.0f64; nd];
+        let mut tile_out = vec![0.0f64; nh * nv];
+
+        for mi in (0..m).step_by(nh) {
+            for (dj, di) in (0..d).step_by(nlambda).enumerate() {
+                let tile = &mut a_tiles[dj * tlen_a..][..tlen_a];
+                tile.fill(0.0);
+                let mut beta = 0.0f64;
+                for ti in 0..nh.min(m - mi) {
+                    let arow = a.row(mi + ti);
+                    for (tl, &v) in arow[di..d.min(di + nlambda)].iter().enumerate() {
+                        tile[ti * nlambda + tl] = v;
+                        beta = beta.max(v.abs());
+                    }
+                }
+                if beta > 0.0 {
+                    encode_tile(tile, beta, &quant, noise, &mut rng);
+                }
+                beta_a[dj] = beta;
+            }
+            for nj in 0..nn {
+                let ni = nj * nv;
+                for dj in 0..nd {
+                    let (ba, bb) = (beta_a[dj], beta_b[nj * nd + dj]);
+                    if ba == 0.0 || bb == 0.0 {
+                        continue; // all-zero tile contributes nothing
+                    }
+                    let at = &a_tiles[dj * tlen_a..][..tlen_a];
+                    let btile = &b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
+                    noisy_mm_rows(
+                        at,
+                        btile,
+                        nh,
+                        nv,
+                        nlambda,
+                        noise,
+                        &coeffs,
+                        &mut rng,
+                        &mut tile_out,
+                    );
+                    // Rescale and accumulate (analog-domain accumulation).
+                    let scale = ba * bb;
+                    for ti in 0..nh.min(m - mi) {
+                        let src = &tile_out[ti * nv..(ti + 1) * nv];
+                        let dst = out.row_mut(mi + ti);
+                        for (tj, &v) in src[..nv.min(n - ni)].iter().enumerate() {
+                            dst[ni + tj] += v * scale;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Circuit-fidelity tiled GEMM: gather-per-tile, field propagation
+    /// per DDot. Kept structurally simple — this is the validation path.
+    fn gemm_tiled_circuit(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        quant: &Quantizer,
+        noise: &NoiseModel,
+        rng: &mut GaussianSampler,
+    ) -> Matrix64 {
+        let (m, d) = a.shape();
+        let n = b.cols();
+        let circuit = DdotCircuit::paper(self.config.nlambda);
         let DptcConfig { nh, nv, nlambda } = self.config;
         let mut out = Matrix64::zeros(m, n);
 
@@ -407,18 +514,8 @@ impl Dptc {
                     for v in tile_b.data_mut() {
                         *v = quant.quantize_unit(*v / beta_b);
                     }
-                    let tile_out = match &circuit {
-                        Some(c) => {
-                            self.mm_circuit_with(tile_a.view(), tile_b.view(), noise, c, &mut rng)
-                        }
-                        None => self.mm_noisy_with(
-                            tile_a.view(),
-                            tile_b.view(),
-                            noise,
-                            &coeffs,
-                            &mut rng,
-                        ),
-                    };
+                    let tile_out =
+                        self.mm_circuit_with(tile_a.view(), tile_b.view(), noise, &circuit, rng);
                     // Rescale and accumulate (analog-domain accumulation).
                     let scale = beta_a * beta_b;
                     for ti in 0..nh {
@@ -460,6 +557,82 @@ impl Dptc {
             nv,
             "right operand rows must have Nv = {nv} entries"
         );
+    }
+}
+
+/// Normalizes a gathered tile into `[-1, 1]`, quantizes it (the DAC),
+/// and draws its magnitude-noise realization — one encoding per tile
+/// load, shared by every product the loaded tile participates in.
+fn encode_tile(
+    tile: &mut [f64],
+    beta: f64,
+    quant: &Quantizer,
+    noise: &NoiseModel,
+    rng: &mut GaussianSampler,
+) {
+    let inv = 1.0 / beta;
+    if noise.sigma_magnitude > 0.0 {
+        for v in tile.iter_mut() {
+            *v = perturb_magnitude(quant.quantize_unit(*v * inv), noise.sigma_magnitude, rng);
+        }
+    } else {
+        for v in tile.iter_mut() {
+            *v = quant.quantize_unit(*v * inv);
+        }
+    }
+}
+
+/// The per-output DDot loop shared by the one-shot MM and the tiled
+/// GEMM hot path. Operands are already magnitude-perturbed: `a_rows` is
+/// `nh x nlambda` row-major, `bt_rows` is the *transposed* right operand
+/// (`nv x nlambda` row-major), so both stream contiguously. Each output
+/// draws one phase realization (folded into the precomputed
+/// angle-addition tables — see [`WavelengthCoefficients::msin`]) and
+/// one systematic realization; the wavelength loop is a branch-free
+/// multiply-add chain over two interleaved accumulators (the strict
+/// single-chain version serializes on FP-add latency).
+#[allow(clippy::too_many_arguments)]
+fn noisy_mm_rows(
+    a_rows: &[f64],
+    bt_rows: &[f64],
+    nh: usize,
+    nv: usize,
+    nlambda: usize,
+    noise: &NoiseModel,
+    coeffs: &WavelengthCoefficients,
+    rng: &mut GaussianSampler,
+    out: &mut [f64],
+) {
+    let drift = noise.sigma_phase_rad > 0.0;
+    let mult0 = &coeffs.mult0[..nlambda];
+    let msin = &coeffs.msin[..nlambda];
+    let imb = &coeffs.imbalance[..nlambda];
+    for i in 0..nh {
+        let a_row = &a_rows[i * nlambda..(i + 1) * nlambda];
+        let out_row = &mut out[i * nv..(i + 1) * nv];
+        for (j, out_ij) in out_row.iter_mut().enumerate() {
+            let b_col = &bt_rows[j * nlambda..(j + 1) * nlambda];
+            let (sg, cg) = if drift {
+                rng.normal(0.0, noise.sigma_phase_rad).sin_cos()
+            } else {
+                (0.0, 1.0)
+            };
+            let (mut io0, mut io1) = (0.0, 0.0);
+            let mut l = 0;
+            while l + 1 < nlambda {
+                let (x0, y0) = (a_row[l], b_col[l]);
+                let (x1, y1) = (a_row[l + 1], b_col[l + 1]);
+                io0 += (mult0[l] * cg - msin[l] * sg) * x0 * y0 + imb[l] * (x0 * x0 - y0 * y0);
+                io1 += (mult0[l + 1] * cg - msin[l + 1] * sg) * x1 * y1
+                    + imb[l + 1] * (x1 * x1 - y1 * y1);
+                l += 2;
+            }
+            if l < nlambda {
+                let (x, y) = (a_row[l], b_col[l]);
+                io0 += (mult0[l] * cg - msin[l] * sg) * x * y + imb[l] * (x * x - y * y);
+            }
+            *out_ij = crate::ddot::apply_systematic(io0 + io1, noise, rng);
+        }
     }
 }
 

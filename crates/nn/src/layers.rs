@@ -1,9 +1,10 @@
 //! Trainable layers with hand-written backward passes.
 
 use crate::engine::MatmulEngine;
-use crate::quant::QuantConfig;
+use crate::quant::{IntegerQuant, QuantConfig};
 use crate::tensor::Tensor;
 use lt_core::trace::{NonGemmKind, Op, OpKind, TraceRecorder};
+use lt_core::{quantized_gemm, QuantizedMatrix};
 use lt_photonics::noise::GaussianSampler;
 
 /// A trainable parameter with its gradient and Adam state.
@@ -151,14 +152,50 @@ impl<'a> ForwardCtx<'a> {
     /// workload role.
     pub fn matmul_prequantized_as(&mut self, kind: OpKind, aq: &Tensor, bq: &Tensor) -> Tensor {
         self.record(Op::gemm(kind, aq.rows(), aq.cols(), bq.cols()));
-        let mut y = self.engine.matmul(aq, bq);
+        let y = self.engine.matmul(aq, bq);
+        self.apply_train_noise(y)
+    }
+
+    /// Executes a true integer matmul on pre-encoded operands: i8/i4
+    /// codes with grouped per-channel scales, f32 accumulation
+    /// ([`lt_core::quantized_gemm`]). Recorded under the given workload
+    /// role exactly like the float paths, so integer traces carry the
+    /// same op vocabulary; training noise (if any) is still injected on
+    /// the accumulated output.
+    pub fn matmul_integer_as(
+        &mut self,
+        kind: OpKind,
+        aq: &QuantizedMatrix,
+        bq: &QuantizedMatrix,
+    ) -> Tensor {
+        self.record(Op::gemm(kind, aq.rows(), aq.cols(), bq.cols()));
+        let y = quantized_gemm(aq, bq);
+        self.apply_train_noise(y)
+    }
+
+    fn apply_train_noise(&mut self, y: Tensor) -> Tensor {
         if self.training && self.train_noise_std > 0.0 {
             let std = self.train_noise_std;
             let rng = &mut *self.rng;
-            y = y.map(|v| v * (1.0 + rng.sample() as f32 * std));
+            y.map(|v| v * (1.0 + rng.sample() as f32 * std))
+        } else {
+            y
         }
-        y
     }
+}
+
+/// Encodes a `Linear` product's operands for the integer path:
+/// activations per-row, weights per-column, grouped along the shared
+/// reduction dimension.
+fn encode_integer_operands(
+    x: &Tensor,
+    w: &Tensor,
+    iq: IntegerQuant,
+) -> (QuantizedMatrix, QuantizedMatrix) {
+    (
+        QuantizedMatrix::quantize_rows(&x.view(), iq.bits, iq.group),
+        QuantizedMatrix::quantize_cols(&w.view(), iq.bits, iq.group),
+    )
 }
 
 /// A fully connected layer `y = x W + b`.
@@ -196,7 +233,21 @@ impl Linear {
     }
 
     /// Forward pass; caches (quantized) operands for backward.
+    ///
+    /// Under an integer [`QuantConfig`] the product runs on i8/i4 codes
+    /// via [`ForwardCtx::matmul_integer_as`]; the *dequantized* operands
+    /// are cached, so backward remains a straight-through estimator
+    /// through the integer encoder.
     pub fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        if let Some(iq) = ctx.quant.integer {
+            let (xq, wq) = encode_integer_operands(x, &self.w.value, iq);
+            let y = ctx
+                .matmul_integer_as(self.role, &xq, &wq)
+                .add_row_broadcast(&self.b.value);
+            self.cache_x = Some(xq.dequantize());
+            self.cache_w = Some(wq.dequantize());
+            return y;
+        }
         let xq = ctx.quant.apply(x);
         let wq = ctx.quant.apply(&self.w.value);
         let y = ctx
@@ -212,6 +263,12 @@ impl Linear {
     /// it takes `&self` — the entry point the autoregressive decode path
     /// uses to let many concurrent sessions share one set of weights.
     pub fn infer(&self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        if let Some(iq) = ctx.quant.integer {
+            let (xq, wq) = encode_integer_operands(x, &self.w.value, iq);
+            return ctx
+                .matmul_integer_as(self.role, &xq, &wq)
+                .add_row_broadcast(&self.b.value);
+        }
         ctx.matmul_as(self.role, x, &self.w.value)
             .add_row_broadcast(&self.b.value)
     }
@@ -625,6 +682,66 @@ mod tests {
             p.adam_step(0.05, 0.9, 0.999, 1e-8, t);
         }
         assert!(p.value.max_abs() < 0.05, "residual {}", p.value.max_abs());
+    }
+
+    #[test]
+    fn integer_path_tracks_fp32_and_is_deterministic() {
+        let mut rng = GaussianSampler::new(6);
+        let x = Tensor::randn(3, 16, 1.0, &mut rng);
+        let mut layer = Linear::new(16, 8, &mut rng);
+
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::fp32(), &mut nrng);
+        let y_fp = layer.forward(&x, &mut ctx);
+
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::int8(), &mut nrng);
+        let y_i8 = layer.forward(&x, &mut ctx);
+        // i8 with grouped scales stays close to fp32 on unit-scale data.
+        assert!(
+            y_fp.max_abs_diff(&y_i8) < 0.05,
+            "i8 drift {}",
+            y_fp.max_abs_diff(&y_i8)
+        );
+        // forward and infer share the encoder: bit-identical outputs.
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::int8(), &mut nrng);
+        assert_eq!(layer.infer(&x, &mut ctx), y_i8);
+        // 4-bit is coarser but still bounded.
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::int4(), &mut nrng);
+        let y_i4 = layer.infer(&x, &mut ctx);
+        assert!(y_fp.max_abs_diff(&y_i4) < 0.8);
+        assert!(y_fp.max_abs_diff(&y_i4) > y_fp.max_abs_diff(&y_i8));
+    }
+
+    #[test]
+    fn integer_path_records_gemm_ops() {
+        let mut rng = GaussianSampler::new(7);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let layer = Linear::new(8, 4, &mut rng).with_role(OpKind::Ffn1);
+        let (mut eng, mut nrng) = ctx_parts();
+        let rec = TraceRecorder::new();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::int8(), &mut nrng)
+            .with_recorder(rec.clone());
+        let _ = layer.infer(&x, &mut ctx);
+        let trace = rec.take();
+        assert_eq!(trace.ops(), &[Op::gemm(OpKind::Ffn1, 2, 8, 4)]);
+    }
+
+    #[test]
+    fn integer_backward_uses_dequantized_cache() {
+        let mut rng = GaussianSampler::new(8);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let dy = Tensor::randn(2, 4, 1.0, &mut rng);
+        let mut layer = Linear::new(8, 4, &mut rng);
+        let (mut eng, mut nrng) = ctx_parts();
+        let mut ctx = ForwardCtx::inference(&mut eng, QuantConfig::int8(), &mut nrng);
+        let _ = layer.forward(&x, &mut ctx);
+        let dx = layer.backward(&dy);
+        // STE gradient through the dequantized weights: close to fp32's.
+        let dx_ref = dy.matmul(&layer.w.value.transpose());
+        assert!(dx.max_abs_diff(&dx_ref) < 0.05);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub use decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, KvCache, 
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use kv::{BlockPool, KvLayer, ModelKv, PagedKvCache, PreemptPolicy, PrefixIndex};
 pub use model::{TextClassifier, VisionTransformer};
+pub use quant::{IntegerQuant, QuantConfig};
 pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
 pub use serve::sched::{KvScheduler, KvServeConfig};
 pub use serve::{Reply, Request, ServeConfig, Server};

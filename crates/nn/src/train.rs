@@ -183,10 +183,10 @@ mod tests {
         );
         let train_set = data::vision_dataset(256, 1);
         let test_set = data::vision_dataset(128, 2);
-        let cfg = TrainConfig {
-            epochs: 6,
-            ..TrainConfig::quick()
-        };
+        // The ziggurat sampler (PR 7) reshuffled every seeded draw; at the
+        // quick recipe's full 8 epochs the run generalizes with margin
+        // (test 0.77), where 6 epochs now lands just under the bar.
+        let cfg = TrainConfig::quick();
         let stats = train(&mut vit, &train_set, &cfg);
         assert!(
             stats.last().unwrap().accuracy > 0.7,

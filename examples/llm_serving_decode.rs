@@ -15,12 +15,14 @@
 //! ```sh
 //! cargo run --release --example llm_serving_decode
 //! LT_DECODE_REQUESTS=4 cargo run --release --example llm_serving_decode   # bounded (CI smoke)
+//! LT_DECODE_QUANT=int8 cargo run --release --example llm_serving_decode   # true i8 weight path
 //! ```
 
 use lightening_transformer::core::GaussianSampler;
 use lightening_transformer::dptc::DptcBackend;
 use lightening_transformer::nn::decode::{DecodeReply, DecoderConfig, DecoderLm};
 use lightening_transformer::nn::serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+use lightening_transformer::nn::QuantConfig;
 use std::time::Instant;
 
 /// Total requests; override with `LT_DECODE_REQUESTS` (CI smoke runs 4).
@@ -32,6 +34,18 @@ fn total_requests() -> usize {
         .max(1)
 }
 
+/// Layer quantization mode; `LT_DECODE_QUANT` selects `fp32` (default),
+/// `int8`, or `int4` — the latter two execute weight-bearing layers on
+/// true integer codes ([`lt_core::quantized_gemm`]).
+fn quant_mode() -> QuantConfig {
+    match std::env::var("LT_DECODE_QUANT").as_deref() {
+        Ok("int8") => QuantConfig::int8(),
+        Ok("int4") => QuantConfig::int4(),
+        Ok("fp32") | Err(_) => QuantConfig::fp32(),
+        Ok(other) => panic!("LT_DECODE_QUANT must be fp32|int8|int4, got {other:?}"),
+    }
+}
+
 fn make_request(i: usize) -> DecodeRequest {
     DecodeRequest {
         prompt: (0..(3 + i % 5)).map(|t| (i * 7 + t * 3) % 16).collect(),
@@ -41,12 +55,14 @@ fn make_request(i: usize) -> DecodeRequest {
 
 fn main() {
     let total = total_requests();
+    let quant = quant_mode();
     let mut rng = GaussianSampler::new(42);
     let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
     let config = DecodeServeConfig {
         workers: 2,
         max_active: 8,
         seed: 7,
+        quant,
         ..DecodeServeConfig::default()
     };
     let clock_ghz = config.arch.clock.value();
@@ -109,6 +125,7 @@ fn main() {
             workers: 1,
             max_active: 1,
             seed: 7,
+            quant,
             ..DecodeServeConfig::default()
         },
     );

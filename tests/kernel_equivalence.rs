@@ -1,0 +1,262 @@
+//! The shared GEMM micro-kernel's equivalence contract.
+//!
+//! PR 7 reworked every exact matrix product onto the register-blocked,
+//! cache-tiled `lt_core::kernel::tiled_gemm` and added the true integer
+//! execution path (`lt_core::quantized_gemm`). These properties pin
+//! what "rework" is allowed to mean:
+//!
+//! 1. **Tiled == naive, bit for bit.** Over seeded random sweeps and
+//!    the edge shapes that straddle every tile boundary (`MR`, `NR`,
+//!    `KC`), the tiled kernel returns *exactly* (`==`) what the
+//!    textbook triple loop returns — for `f64` and `f32`, and for
+//!    strided sub-views.
+//! 2. **Every backend rides the same kernel.** The exact backends
+//!    (`NativeBackend`, ideal DPTC) are bit-identical to the naive
+//!    reference; every backend × fidelity is bit-identical under
+//!    `ParallelBackend` at 1/2/4/8 threads (`split_seed` block streams
+//!    make scheduling irrelevant).
+//! 3. **Quantized error obeys the analytic per-group bound.** The
+//!    i8/i4 integer GEMM's deviation from the exact `f64` product is
+//!    bounded element-wise by the half-step triangle bound assembled
+//!    from the operands' grouped scales.
+
+use lightening_transformer::baselines::{MrrBackend, MziBackend, PcmBackend};
+use lightening_transformer::core::kernel::{tiled_gemm, KC, MR, NR};
+use lightening_transformer::core::{
+    blocked_gemm, quantized_gemm, reference_gemm, ComputeBackend, GaussianSampler, Matrix32,
+    Matrix64, NativeBackend, QuantizedMatrix, RunCtx,
+};
+use lightening_transformer::dptc::{DptcBackend, DptcConfig, Fidelity, NoiseModel};
+use lightening_transformer::runtime::ParallelBackend;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shapes that land exactly on, just under, and just over every tile
+/// boundary of the micro-kernel, plus degenerate and vector shapes.
+fn edge_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, KC + 3, 1),       // row vector x column vector, straddling KC
+        (MR, NR, 3),          // exactly one register tile
+        (MR - 1, NR - 1, 2),  // strictly inside one tile
+        (MR + 1, NR + 1, KC), // one row/col of remainder lanes, full chunk
+        (3 * MR, 2 * NR, KC - 1),
+        (2 * MR + 3, 3 * NR + 5, KC + 7), // remainders on every axis
+        (17, 29, 2 * KC + 1),             // multiple KC chunks with a tail
+    ]
+}
+
+#[test]
+fn tiled_f64_is_bit_identical_to_naive_on_edge_shapes_and_random_sweeps() {
+    let mut rng = GaussianSampler::new(101);
+    for (case, &(m, k, n)) in edge_shapes().iter().enumerate() {
+        let a = Matrix64::randn(m, k, 1.0, &mut rng);
+        let b = Matrix64::randn(k, n, 1.0, &mut rng);
+        assert_eq!(
+            tiled_gemm(&a.view(), &b.view()),
+            reference_gemm(&a.view(), &b.view()),
+            "edge case {case}: ({m},{k},{n})"
+        );
+    }
+    for case in 0..60 {
+        let m = 1 + rng.below(50);
+        let k = 1 + rng.below(2 * KC);
+        let n = 1 + rng.below(50);
+        let a = Matrix64::randn(m, k, 1.0, &mut rng);
+        let b = Matrix64::randn(k, n, 1.0, &mut rng);
+        assert_eq!(
+            tiled_gemm(&a.view(), &b.view()),
+            reference_gemm(&a.view(), &b.view()),
+            "random case {case}: ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn tiled_f32_is_bit_identical_to_naive() {
+    // The kernel is generic over the scalar; the f32 instantiation (the
+    // NN stack's element type) must honor the same bit-identity.
+    let mut rng = GaussianSampler::new(103);
+    for &(m, k, n) in &edge_shapes() {
+        let a = Matrix32::randn(m, k, 1.0, &mut rng);
+        let b = Matrix32::randn(k, n, 1.0, &mut rng);
+        assert_eq!(
+            tiled_gemm(&a.view(), &b.view()),
+            reference_gemm(&a.view(), &b.view()),
+            "shape ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn tiled_handles_strided_views_bit_identically() {
+    // Sub-views keep the parent's row stride, so the kernel's packing
+    // loops must respect strides rather than assume contiguity.
+    let mut rng = GaussianSampler::new(107);
+    let parent = Matrix64::randn(64, 64, 1.0, &mut rng);
+    for &(r0, c0, m, k, n) in &[(0usize, 0usize, 5usize, 9usize, 7usize), (3, 2, 31, 40, 13)] {
+        let a = parent.view().block(r0, c0, m, k);
+        let b = parent.view().block(c0, r0, k, n);
+        assert_eq!(
+            tiled_gemm(&a, &b),
+            reference_gemm(&a.to_matrix().view(), &b.to_matrix().view()),
+            "block ({r0},{c0},{m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn exact_backends_are_bit_identical_to_the_naive_reference() {
+    // NativeBackend and the ideal DPTC fidelity both delegate to the
+    // tiled kernel — so they must equal the naive loop exactly, not
+    // approximately.
+    let mut rng = GaussianSampler::new(109);
+    let ideal = DptcBackend::ideal(DptcConfig::lt_paper());
+    for &(m, k, n) in &[(1, 1, 1), (MR + 1, NR + 3, 5), (33, 41, 29)] {
+        let a = Matrix64::randn(m, k, 1.0, &mut rng);
+        let b = Matrix64::randn(k, n, 1.0, &mut rng);
+        let want = reference_gemm(&a.view(), &b.view());
+        let mut ctx = RunCtx::new(7);
+        assert_eq!(NativeBackend.gemm(a.view(), b.view(), &mut ctx), want);
+        assert_eq!(ideal.gemm(a.view(), b.view(), &mut ctx), want);
+    }
+}
+
+/// parallel(B) == sequential blocked B at every thread count, with the
+/// inline-execution shortcut disabled so every block really crosses the
+/// worker pool.
+fn assert_thread_count_invariant<B>(backend: B, m: usize, k: usize, n: usize, label: &str)
+where
+    B: ComputeBackend + Clone + Send + Sync + 'static,
+{
+    let mut rng = GaussianSampler::new(113);
+    let a = Matrix64::randn(m, k, 1.0, &mut rng);
+    let b = Matrix64::randn(k, n, 1.0, &mut rng);
+    let want = blocked_gemm(&backend, a.view(), b.view(), &mut RunCtx::new(3));
+    for threads in THREAD_COUNTS {
+        let par = ParallelBackend::new(backend.clone(), threads).with_min_parallel_macs(0);
+        let got = par.gemm(a.view(), b.view(), &mut RunCtx::new(3));
+        assert_eq!(got, want, "{label}: diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn every_backend_and_fidelity_is_thread_count_invariant() {
+    // The reworked kernel and the reworked DPTC hot path must preserve
+    // the runtime's core contract: what a GEMM computes never depends
+    // on how many threads computed it.
+    assert_thread_count_invariant(NativeBackend, 37, 23, 19, "native");
+    assert_thread_count_invariant(
+        DptcBackend::ideal(DptcConfig::lt_paper()),
+        37,
+        23,
+        19,
+        "dptc-ideal",
+    );
+    assert_thread_count_invariant(DptcBackend::paper(8, 5), 37, 23, 19, "dptc-analytic-8b");
+    assert_thread_count_invariant(DptcBackend::paper(4, 5), 37, 23, 19, "dptc-analytic-4b");
+    let circuit = DptcBackend::new(
+        DptcConfig::lt_paper(),
+        Fidelity::Circuit {
+            noise: NoiseModel::paper_default(),
+            seed: 11,
+        },
+        8,
+    );
+    // Circuit fidelity is ~10x slower; a smaller product still spans
+    // several row blocks.
+    assert_thread_count_invariant(circuit, 25, 13, 13, "dptc-circuit");
+    assert_thread_count_invariant(MziBackend::paper(8), 37, 23, 19, "mzi");
+    assert_thread_count_invariant(MrrBackend::paper(8), 37, 23, 19, "mrr");
+    assert_thread_count_invariant(PcmBackend::paper(8), 37, 23, 19, "pcm");
+}
+
+/// The analytic element-wise error bound for `quantized_gemm(aq, bq)`
+/// against the exact `f64` product: within each scale group the codes
+/// deviate from the true operands by at most half a step, so
+/// `|sum (a+ea)(b+eb) - sum a b| <= sum |a| sb/2 + |b| sa/2 + sa sb / 4`.
+fn per_group_bound(
+    a: &Matrix32,
+    b: &Matrix32,
+    aq: &QuantizedMatrix,
+    bq: &QuantizedMatrix,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let k = a.cols();
+    let group = aq.group_size();
+    let mut bound = 0.0f64;
+    for l in 0..k {
+        let g = l / group;
+        let sa = aq.step(i, g) as f64 / 2.0;
+        let sb = bq.step(j, g) as f64 / 2.0;
+        let av = a.get(i, l).abs() as f64;
+        let bv = b.get(l, j).abs() as f64;
+        bound += av * sb + bv * sa + sa * sb;
+    }
+    bound
+}
+
+#[test]
+fn quantized_gemm_error_stays_within_the_analytic_per_group_bound() {
+    // Sweep both work modes (8-bit and 4-bit), several group sizes
+    // (including one that doesn't divide k, leaving a ragged tail
+    // group), and seeded random operands. The integer product must sit
+    // inside the half-step triangle bound everywhere — plus a small
+    // slack for the f32 cross-group accumulation itself.
+    let mut rng = GaussianSampler::new(127);
+    for &bits in &[8u32, 4] {
+        for &group in &[8usize, 32, 13] {
+            for case in 0..6 {
+                let m = 1 + rng.below(8);
+                let k = 1 + rng.below(64);
+                let n = 1 + rng.below(8);
+                let a = Matrix32::randn(m, k, 0.8, &mut rng);
+                let b = Matrix32::randn(k, n, 0.6, &mut rng);
+                let aq = QuantizedMatrix::quantize_rows(&a.view(), bits, group);
+                let bq = QuantizedMatrix::quantize_cols(&b.view(), bits, group);
+                let y = quantized_gemm(&aq, &bq);
+                // Exact product in f64 — quantization is the only error
+                // source we're bounding, so remove f32 accumulation
+                // noise from the reference side.
+                for i in 0..m {
+                    for j in 0..n {
+                        let exact: f64 = (0..k)
+                            .map(|l| a.get(i, l) as f64 * b.get(l, j) as f64)
+                            .sum();
+                        let bound = per_group_bound(&a, &b, &aq, &bq, i, j);
+                        let err = (y.get(i, j) as f64 - exact).abs();
+                        let slack = 1e-4 * (1.0 + exact.abs());
+                        assert!(
+                            err <= bound + slack,
+                            "{bits}-bit group {group} case {case} ({m},{k},{n}) \
+                             element ({i},{j}): error {err} exceeds bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_gemm_equals_the_dequantized_float_product_up_to_accumulation() {
+    // Structural cross-check: the integer pipeline computes the same
+    // mathematical product as dequantize-then-matmul; only the f32
+    // summation order may differ, never group scaling or code decode.
+    let mut rng = GaussianSampler::new(131);
+    let a = Matrix32::randn(6, 40, 1.0, &mut rng);
+    let b = Matrix32::randn(40, 5, 1.0, &mut rng);
+    for &(bits, group) in &[(8u32, 16usize), (4, 10)] {
+        let aq = QuantizedMatrix::quantize_rows(&a.view(), bits, group);
+        let bq = QuantizedMatrix::quantize_cols(&b.view(), bits, group);
+        let y = quantized_gemm(&aq, &bq);
+        let float = aq.dequantize().matmul(&bq.dequantize());
+        let err = y.max_abs_diff(&float);
+        assert!(
+            err < 1e-4,
+            "{bits}-bit/group {group}: integer and dequantized paths tell \
+             different products (diff {err})"
+        );
+    }
+}

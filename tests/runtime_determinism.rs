@@ -16,16 +16,22 @@
 //!   hardware costs — that do not depend on worker count, batch size,
 //!   or intra-GEMM thread count.
 
+use lightening_transformer::arch::{ArchConfig, Simulator};
 use lightening_transformer::baselines::PcmBackend;
 use lightening_transformer::core::{
     blocked_gemm, ComputeBackend, GaussianSampler, Matrix64, NativeBackend, RunCtx,
 };
 use lightening_transformer::dptc::{DptcBackend, DptcConfig, Fidelity, NoiseModel};
-use lightening_transformer::nn::decode::{DecodeReply, DecoderConfig, DecoderLm};
-use lightening_transformer::nn::model::ModelConfig;
+use lightening_transformer::nn::decode::{DecodeReply, DecoderConfig, DecoderLm, SessionConfig};
+use lightening_transformer::nn::kv::PreemptPolicy;
+use lightening_transformer::nn::layers::ForwardCtx;
+use lightening_transformer::nn::model::{Classifier, ModelConfig};
 use lightening_transformer::nn::serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+use lightening_transformer::nn::serve::sched::{KvScheduler, KvServeConfig};
 use lightening_transformer::nn::serve::{Request, ServeConfig, Server};
-use lightening_transformer::nn::{Tensor, TextClassifier, VisionTransformer};
+use lightening_transformer::nn::{
+    BackendEngine, QuantConfig, Tensor, TextClassifier, VisionTransformer,
+};
 use lightening_transformer::runtime::{BatchQueue, ParallelBackend};
 use std::sync::Arc;
 
@@ -119,6 +125,88 @@ fn parallel_backend_drops_into_an_engine_unchanged() {
     let mut par = BackendEngine::new(ParallelBackend::new(DptcBackend::paper(8, 3), 4), 11);
     assert_eq!(seq.matmul(&a, &b), par.matmul(&a, &b));
     assert_eq!(par.name(), "parallel(dptc-analytic)");
+}
+
+#[test]
+fn quantized_forward_is_invariant_to_gemm_thread_count() {
+    // The true integer path (i8/i4 weight-bearing layers) composes with
+    // intra-GEMM parallelism: the quantized linear layers execute on
+    // integer codes while attention QK/AV still flow through the
+    // (parallel, noisy) backend, so the whole forward must stay
+    // bit-identical at every thread count.
+    let mut rng = GaussianSampler::new(41);
+    let vision = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+    let patches = Tensor::randn(16, 16, 1.0, &mut rng);
+    for quant in [QuantConfig::int8(), QuantConfig::int4()] {
+        let run = |threads: usize| -> Tensor {
+            let mut model = vision.clone();
+            let backend =
+                ParallelBackend::new(DptcBackend::paper(8, 17), threads).with_min_parallel_macs(0);
+            let mut engine = BackendEngine::new(backend, 11);
+            let mut nrng = GaussianSampler::new(0);
+            let mut ctx = ForwardCtx::inference(&mut engine, quant, &mut nrng);
+            model.forward(&patches, &mut ctx)
+        };
+        let base = run(1);
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                base,
+                run(threads),
+                "quantized ({quant:?}) forward diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_paged_decode_survives_memory_pressure_unchanged() {
+    // One quantized pressure scenario through the paged-KV scheduler
+    // (the `kv_properties.rs` harness): an i8 decode stream served from
+    // a pool tight enough to force swap-out evictions must return the
+    // same replies as the same stream served from an ample pool —
+    // preemption may reschedule integer-path sessions, never change
+    // what they generate.
+    let mut rng = GaussianSampler::new(53);
+    let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    let session = SessionConfig {
+        quant: QuantConfig::int8(),
+        ..SessionConfig::default()
+    };
+    let requests: Vec<DecodeRequest> = (0..7)
+        .map(|i| DecodeRequest {
+            prompt: vec![(i * 2) % 16, (i + 5) % 16],
+            max_new_tokens: 10,
+        })
+        .collect();
+    let serve = |kv: KvServeConfig| -> (Vec<DecodeReply>, u64) {
+        let mut sched = KvScheduler::new(&model, &sim, DptcBackend::paper(8, 3), session, kv, 16);
+        for (t, r) in requests.iter().enumerate() {
+            sched.submit(t as u64, r.clone());
+        }
+        let mut replies = Vec::new();
+        while sched.has_work() {
+            sched.tick();
+            replies.extend(sched.drain_finished());
+        }
+        replies.sort_by_key(|&(t, _)| t);
+        let preemptions = sched.stats().preemptions;
+        (replies.into_iter().map(|(_, r)| r).collect(), preemptions)
+    };
+    let (roomy, p0) = serve(KvServeConfig {
+        block_tokens: 2,
+        pool_blocks: 512,
+        ..KvServeConfig::default()
+    });
+    assert_eq!(p0, 0, "the roomy pool must not evict");
+    let (tight, p1) = serve(KvServeConfig {
+        block_tokens: 2,
+        pool_blocks: 25, // min for max_seq 48 — guaranteed pressure
+        preempt: PreemptPolicy::SwapOut,
+        ..KvServeConfig::default()
+    });
+    assert!(p1 > 0, "the tight pool must evict");
+    assert_eq!(roomy, tight, "preemption changed an i8 decode's replies");
 }
 
 #[test]
@@ -216,6 +304,50 @@ fn decode_token_streams_are_invariant_to_worker_count_and_batch_width() {
             // DecodeReply equality covers tokens, prefill + per-token
             // costs, and the KV footprint at once.
             assert_eq!(a, b, "workers={workers} max_active={max_active}");
+        }
+    }
+}
+
+#[test]
+fn quantized_decode_serving_is_invariant_to_worker_count_and_batch_width() {
+    // The DecodeServer end of the same contract: continuous-batching
+    // paged serving with the weight-bearing layers on true i8 codes
+    // must produce worker-count- and batch-width-invariant token
+    // streams and costs, exactly like the fp32 path above.
+    let mut rng = GaussianSampler::new(37);
+    let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let requests: Vec<DecodeRequest> = (0..8)
+        .map(|i| DecodeRequest {
+            prompt: (0..(2 + i % 3)).map(|t| (i * 3 + t) % 16).collect(),
+            max_new_tokens: 2 + i % 4,
+        })
+        .collect();
+    let serve = |workers: usize, max_active: usize| -> Vec<DecodeReply> {
+        let server = DecodeServer::new(
+            model.clone(),
+            DptcBackend::paper(8, 17),
+            DecodeServeConfig {
+                workers,
+                max_active,
+                seed: 23,
+                quant: QuantConfig::int8(),
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        let replies = pending.into_iter().map(|p| p.wait()).collect();
+        assert_eq!(server.shutdown(), requests.len() as u64);
+        replies
+    };
+    let base = serve(1, 1);
+    for (i, reply) in base.iter().enumerate() {
+        assert_eq!(reply.tokens.len(), requests[i].max_new_tokens);
+        assert!(reply.prefill.cycles > 0, "prefill carries replayed cost");
+    }
+    for (workers, max_active) in [(2, 4), (4, 8)] {
+        let got = serve(workers, max_active);
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(a, b, "i8 decode: workers={workers} max_active={max_active}");
         }
     }
 }

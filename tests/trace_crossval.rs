@@ -23,8 +23,9 @@ use lightening_transformer::workloads::model::InputKind;
 use lightening_transformer::workloads::{DecodeTrace, TransformerConfig};
 
 /// Builds the `lt-nn` model matching `spec`'s geometry, runs one real
-/// forward pass with a recorder attached, and returns the recorded trace.
-fn record_forward(spec: &TransformerConfig) -> Trace {
+/// forward pass with a recorder attached under the given quantization
+/// mode, and returns the recorded trace.
+fn record_forward_quant(spec: &TransformerConfig, quant: QuantConfig) -> Trace {
     let cfg = ModelConfig {
         dim: spec.dim,
         layers: spec.layers,
@@ -36,8 +37,8 @@ fn record_forward(spec: &TransformerConfig) -> Trace {
     let recorder = TraceRecorder::new();
     let mut engine = ExactEngine;
     let mut nrng = GaussianSampler::new(0);
-    let mut ctx = ForwardCtx::inference(&mut engine, QuantConfig::fp32(), &mut nrng)
-        .with_recorder(recorder.clone());
+    let mut ctx =
+        ForwardCtx::inference(&mut engine, quant, &mut nrng).with_recorder(recorder.clone());
     match spec.input {
         InputKind::VisionPatches { patch_size, .. } => {
             let patch_dim = 3 * patch_size * patch_size;
@@ -55,6 +56,11 @@ fn record_forward(spec: &TransformerConfig) -> Trace {
         }
     }
     recorder.take()
+}
+
+/// `record_forward_quant` at the default fp32 mode.
+fn record_forward(spec: &TransformerConfig) -> Trace {
+    record_forward_quant(spec, QuantConfig::fp32())
 }
 
 /// The analytical trace of `spec` in the shared IR, GEMMs only.
@@ -80,6 +86,45 @@ fn recorded_gemms_match_the_analytical_trace_for_every_paper_benchmark() {
             "{}: MAC accounting drifted",
             model.name
         );
+    }
+}
+
+#[test]
+fn quantized_recorded_gemms_match_the_analytical_work_mode_traces() {
+    // The true integer execution path must be *workload-transparent*:
+    // a forward pass whose weight-bearing layers execute on i8/i4 codes
+    // records exactly the GEMM trace the analytical generator predicts
+    // — same dims, same instance counts, same MACs — because the
+    // paper's 8-bit/4-bit work modes change operand precision, never
+    // the computation graph. And replaying the recorded trace through
+    // the matching-precision accelerator model must cost the same as
+    // replaying the analytical one.
+    for (bits, quant) in [(8u32, QuantConfig::int8()), (4, QuantConfig::int4())] {
+        let sim = Simulator::new(ArchConfig::lt_base(bits));
+        for model in TransformerConfig::paper_benchmarks() {
+            let tiny = model.tiny_validation();
+            let recorded = record_forward_quant(&tiny, quant).gemm_only().coalesce();
+            let analytical = analytical_gemms(&tiny).coalesce();
+            assert_eq!(
+                recorded, analytical,
+                "{} [{bits}-bit]: integer execution changed the recorded \
+                 GEMM dims or instance counts",
+                model.name
+            );
+            assert_eq!(
+                recorded.total_macs(),
+                tiny.total_macs(),
+                "{} [{bits}-bit]: MAC accounting drifted",
+                model.name
+            );
+            assert_eq!(
+                sim.run_trace(&recorded),
+                sim.run_trace(&analytical),
+                "{} [{bits}-bit]: recorded and analytical traces must cost \
+                 identically",
+                model.name
+            );
+        }
     }
 }
 
@@ -181,6 +226,50 @@ fn recorded_decode_step_trace_matches_the_analytical_decode_trace() {
                 analytical_ops.macs_per_token(),
                 "{}: per-token MAC accounting drifted at context {context}",
                 spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_recorded_decode_steps_match_the_analytical_decode_trace() {
+    // Token-by-token decoding with the weight-bearing layers on true
+    // i8 / i4 codes: each step's recorded body GEMMs must still equal
+    // the analytical per-token `DecodeTrace` at every context length —
+    // the integer path feeds the same record→replay pipeline, so the
+    // paged-KV serving stack costs quantized tokens correctly.
+    let spec = TransformerConfig::gpt2_small(16).tiny_validation();
+    let model = decoder_at(&spec, 16);
+    for (bits, quant) in [(8u32, QuantConfig::int8()), (4, QuantConfig::int4())] {
+        let sim = Simulator::new(ArchConfig::lt_base(bits));
+        let prompt = vec![3usize, 1, 4, 1];
+        let mut session = DecodeSession::new(
+            &model,
+            0,
+            prompt.clone(),
+            5,
+            NativeBackend,
+            SessionConfig {
+                quant,
+                ..SessionConfig::default()
+            },
+        );
+        session.prefill(&model, &sim);
+        let mut context = prompt.len();
+        while !session.is_done() {
+            let recorded = body_gemms(&session.step(&model, &sim)).coalesce();
+            context += 1;
+            let analytical_ops = DecodeTrace::new(spec.clone(), context, 1);
+            assert_eq!(
+                recorded,
+                analytical_ops.op_trace().coalesce(),
+                "[{bits}-bit] recorded decode step and analytical DecodeTrace \
+                 disagree at context {context}"
+            );
+            assert_eq!(
+                recorded.total_macs(),
+                analytical_ops.macs_per_token(),
+                "[{bits}-bit] per-token MAC accounting drifted at context {context}"
             );
         }
     }
