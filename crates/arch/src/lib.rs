@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod cache;
 pub mod config;
 pub mod devices;
 pub mod energy;
@@ -49,6 +50,7 @@ pub mod search;
 pub mod sim;
 
 pub use area::AreaBreakdown;
+pub use cache::ScheduleCacheStats;
 pub use config::{ArchConfig, ArchOptimizations, CoreTopology};
 pub use energy::EnergyBreakdown;
 pub use power::PowerBreakdown;

@@ -34,6 +34,7 @@
 //! the closed form: front-loaded weight streaming and capacity-driven
 //! refetch are the effects this module exists to expose.
 
+use crate::cache::CachedOpSchedule;
 use crate::config::ArchConfig;
 use crate::roofline::Bound;
 use crate::sim::{RunReport, Simulator, ACCUM_BITS};
@@ -233,9 +234,9 @@ impl GemmMap {
 /// it. Reuse waves (operands already resident) fold into the preceding
 /// segment — they extend its compute without a buffer event.
 #[derive(Debug, Clone, Copy)]
-struct Segment {
-    bytes: f64,
-    waves: u64,
+pub(crate) struct Segment {
+    pub(crate) bytes: f64,
+    pub(crate) waves: u64,
 }
 
 /// A whole op's segment plan under one policy.
@@ -398,6 +399,59 @@ impl SchedState {
     }
 }
 
+/// Computes the pure (state-independent) part of one GEMM op's
+/// schedule: the tile map, the dataflow's segment plan, the energy
+/// model, and — when the schedule never touches live timeline state —
+/// the finished report itself. This is the value the simulator's
+/// [`crate::cache::ScheduleCache`] memoizes per `(op, policy)`.
+///
+/// Must only be called for [`Op::Gemm`]; non-GEMM ops bypass the cache
+/// entirely (their KV-window side effect is inherently stateful and
+/// their report is already a cheap closed form).
+pub(crate) fn build_op_schedule(
+    sim: &Simulator,
+    policy: DataflowPolicy,
+    op: &Op,
+) -> CachedOpSchedule {
+    let (kind, m, k, n, instances) = match *op {
+        Op::Gemm {
+            kind,
+            m,
+            k,
+            n,
+            instances,
+        } => (kind, m, k, n, instances),
+        Op::NonGemm { .. } => unreachable!("non-GEMM ops are never cached"),
+    };
+    let config = sim.config();
+    let Some(map) = GemmMap::new(config, kind, m, k, n, instances) else {
+        return CachedOpSchedule::Free;
+    };
+    let period = config.clock.period().value();
+    let plan = plan(policy, &map, config);
+    let active_ps = map.waves as f64 * period + map.fill_ps;
+    let energy = sim.gemm_energy(op, plan.hbm_bytes, active_ps);
+
+    let bw_per_ps = config.hbm_bytes_per_s / 1e12;
+    if plan.hbm_bytes <= 0.0 || !bw_per_ps.is_finite() {
+        // Nothing to load (or loads are instantaneous): the schedule is
+        // pure compute — the window IS the active time, which equals
+        // the closed-form expression bit for bit, and the whole report
+        // is a replayable constant.
+        return CachedOpSchedule::Pure {
+            report: sim.finish_gemm_report(energy, map.waves, map.macs, active_ps, map.fill_ps),
+            hbm_bytes: plan.hbm_bytes,
+            active_ps,
+        };
+    }
+    CachedOpSchedule::Staged {
+        map,
+        segments: plan.segments.into(),
+        hbm_bytes: plan.hbm_bytes,
+        energy,
+    }
+}
+
 /// Schedules one op, advancing the trace timeline, and returns its
 /// report. GEMMs get a latency window with stall itemization,
 /// utilization, and energy at the policy's actual HBM traffic;
@@ -411,50 +465,52 @@ pub(crate) fn schedule_op(
     op: &Op,
     hbm_bytes_acc: &mut f64,
 ) -> RunReport {
-    let (kind, m, k, n, instances) = match *op {
-        Op::Gemm {
-            kind,
-            m,
-            k,
-            n,
-            instances,
-        } => (kind, m, k, n, instances),
-        Op::NonGemm { kind, elems } => {
-            let report = sim.non_gemm_report(kind, elems);
-            let bytes = sim.kv_traffic_bytes(kind, elems);
-            if bytes > 0.0 {
-                // KV-cache reads/writes ride the same HBM link as weight
-                // loads: account their bytes and serialize the link —
-                // later ops' prefetches queue behind the KV window.
-                *hbm_bytes_acc += bytes;
-                state.now += report.latency.value() * 1e9;
-                state.hbm_free = state.hbm_free.max(state.now);
-            }
+    if let Op::NonGemm { kind, elems } = *op {
+        let report = sim.non_gemm_report(kind, elems);
+        let bytes = sim.kv_traffic_bytes(kind, elems);
+        if bytes > 0.0 {
+            // KV-cache reads/writes ride the same HBM link as weight
+            // loads: account their bytes and serialize the link —
+            // later ops' prefetches queue behind the KV window.
+            *hbm_bytes_acc += bytes;
+            state.now += report.latency.value() * 1e9;
+            state.hbm_free = state.hbm_free.max(state.now);
+        }
+        return report;
+    }
+    // The pure part of the schedule — tile map, segment plan, energy —
+    // is memoized per (op, policy) in the simulator's ScheduleCache;
+    // only the timeline walk below touches live state.
+    let (map, segments, energy) = match sim.cached_op_schedule(policy, op) {
+        CachedOpSchedule::Free => return RunReport::default(),
+        CachedOpSchedule::Pure {
+            report,
+            hbm_bytes,
+            active_ps,
+        } => {
+            // Nothing to load (or loads are instantaneous): the
+            // schedule is pure compute — the window IS the active time,
+            // which equals the closed-form expression bit for bit.
+            *hbm_bytes_acc += hbm_bytes;
+            state.now += active_ps;
             return report;
         }
+        CachedOpSchedule::Staged {
+            map,
+            segments,
+            hbm_bytes,
+            energy,
+        } => {
+            *hbm_bytes_acc += hbm_bytes;
+            (map, segments, energy)
+        }
     };
-    let config = sim.config();
-    let Some(map) = GemmMap::new(config, kind, m, k, n, instances) else {
-        return RunReport::default();
-    };
-    let period = config.clock.period().value();
-    let plan = plan(policy, &map, config);
-    *hbm_bytes_acc += plan.hbm_bytes;
-    let active_ps = map.waves as f64 * period + map.fill_ps;
-    let energy = sim.gemm_energy(op, plan.hbm_bytes, active_ps);
-
-    let bw_per_ps = config.hbm_bytes_per_s / 1e12;
-    if plan.hbm_bytes <= 0.0 || !bw_per_ps.is_finite() {
-        // Nothing to load (or loads are instantaneous): the schedule is
-        // pure compute — the window IS the active time, which equals
-        // the closed-form expression bit for bit.
-        state.now += active_ps;
-        return sim.finish_gemm_report(energy, map.waves, map.macs, active_ps, map.fill_ps);
-    }
+    let period = sim.config().clock.period().value();
+    let bw_per_ps = sim.config().hbm_bytes_per_s / 1e12;
 
     let start = state.now;
     let mut prev_end = state.now;
-    for seg in &plan.segments {
+    for seg in segments.iter() {
         if seg.bytes > 0.0 {
             let load_end = if state.preload > 0 {
                 // Warm start: this buffer was staged before t = 0.

@@ -29,6 +29,7 @@ use crate::schedule::{self, DataflowPolicy, GemmMap, StallBreakdown, TraceSchedu
 use lt_core::{NonGemmKind, Op, OpKind, Trace};
 use lt_photonics::units::{GigaHertz, MilliJoules, Milliseconds, PicoJoules};
 use lt_workloads::{GemmOp, Module, OperandDynamics, TransformerConfig};
+use std::sync::Arc;
 
 /// Digital non-GEMM energies, pJ per element (efficient hardware units,
 /// paper refs \[21\], \[40\], \[59\]).
@@ -138,11 +139,17 @@ pub struct Simulator {
     rack: DeviceRack,
     mem: MemoryHierarchy,
     laser_w: f64,
+    /// [`ArchConfig::fingerprint`] of `config`, precomputed once.
+    fingerprint: u64,
+    /// Memoized per-op schedules, shared by every clone of this
+    /// simulator (parallel serving workers pool one cache).
+    cache: Arc<crate::cache::ScheduleCache>,
 }
 
 impl Simulator {
     /// Creates a simulator for a configuration.
     pub fn new(config: ArchConfig) -> Self {
+        let fingerprint = config.fingerprint();
         let rack = DeviceRack::paper(&config);
         let mem = MemoryHierarchy::for_config(&config);
         let laser_w = rack.laser_power().to_watts().value();
@@ -151,7 +158,46 @@ impl Simulator {
             rack,
             mem,
             laser_w,
+            fingerprint,
+            cache: Arc::new(crate::cache::ScheduleCache::new(fingerprint)),
         }
+    }
+
+    /// A simulator whose schedule cache never hits: every op recomputes
+    /// its tile plan from scratch. Results are bit-identical to the
+    /// cached simulator — this constructor exists so tests (and
+    /// skeptical users) can prove it.
+    pub fn uncached(config: ArchConfig) -> Self {
+        let mut sim = Simulator::new(config);
+        sim.cache = Arc::new(crate::cache::ScheduleCache::disabled(sim.fingerprint));
+        sim
+    }
+
+    /// Hit/miss/size statistics of the schedule cache since this
+    /// simulator (or the clone-family it belongs to) was created.
+    pub fn schedule_cache_stats(&self) -> crate::cache::ScheduleCacheStats {
+        let (hits, misses) = self.cache.stats();
+        crate::cache::ScheduleCacheStats {
+            hits,
+            misses,
+            entries: self.cache.len(),
+        }
+    }
+
+    /// The memoized pure schedule for one GEMM op under `policy`,
+    /// computing and storing it on miss. See [`crate::cache`].
+    pub(crate) fn cached_op_schedule(
+        &self,
+        policy: DataflowPolicy,
+        op: &Op,
+    ) -> crate::cache::CachedOpSchedule {
+        let key = (*op, policy);
+        if let Some(entry) = self.cache.lookup(self.fingerprint, key) {
+            return entry;
+        }
+        let entry = schedule::build_op_schedule(self, policy, op);
+        self.cache.insert(self.fingerprint, key, entry.clone());
+        entry
     }
 
     /// The configuration being simulated.

@@ -410,6 +410,41 @@ mod tests {
     }
 
     #[test]
+    fn schema6_schedule_cache_fields_are_gated_except_wall_clock() {
+        // The cache counters replay a fixed op sequence, so they are
+        // deterministic and gated: a hit/miss drift means the cache key,
+        // the invalidation fingerprint, or the replay workload changed.
+        // The decode wall-clocks (`*_us`, including the committed
+        // `prev_decode_record_replay_us` baseline) stay exempt.
+        const CACHE_DOC: &str = r#"{ "schedule_cache": { "hits": 120,
+          "misses": 14, "entries": 14, "hit_rate": 0.895522,
+          "prev_decode_record_replay_us": 12336.68,
+          "decode_record_replay_us": 3000.0 } }"#;
+        for wall in ["12336.68", "3000.0"] {
+            let slower = CACHE_DOC.replace(wall, "999999.0");
+            assert!(
+                compare(CACHE_DOC, &slower, 0.005).unwrap().is_empty(),
+                "wall-clock field holding {wall} must be exempt"
+            );
+        }
+        for (field, drifted) in [
+            ("hits", CACHE_DOC.replace("120", "80")),
+            ("misses", CACHE_DOC.replace(": 14,", ": 28,")),
+            (
+                "entries",
+                CACHE_DOC.replace("\"entries\": 14", "\"entries\": 7"),
+            ),
+            ("hit_rate", CACHE_DOC.replace("0.895522", "0.5")),
+        ] {
+            let report = compare(CACHE_DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
+    }
+
+    #[test]
     fn the_real_snapshot_flattens() {
         let json = crate::bench_repro_json();
         let flat = flatten(&json).unwrap();
@@ -443,6 +478,19 @@ mod tests {
             assert!(
                 flat.iter().any(|(k, _)| k == kernel_field),
                 "missing {kernel_field}"
+            );
+        }
+        for cache_field in [
+            "schedule_cache.hits",
+            "schedule_cache.misses",
+            "schedule_cache.entries",
+            "schedule_cache.hit_rate",
+            "schedule_cache.prev_decode_record_replay_us",
+            "schedule_cache.decode_record_replay_us",
+        ] {
+            assert!(
+                flat.iter().any(|(k, _)| k == cache_field),
+                "missing {cache_field}"
             );
         }
         // And a regenerated snapshot passes its own gate on the

@@ -42,6 +42,14 @@
 //! (i4 really halves memory), and the int8 logit deviation on the
 //! exact engine (pure quantization error, no noise).
 //!
+//! Schema 6 added the `schedule_cache` section: the memoized op-schedule
+//! cache's hit/miss/entry counters over a fixed replay workload (every
+//! paper benchmark plus the analytical decode trace) — deterministic and
+//! gated, since the op sequence is fixed — plus the decode serving
+//! loop's before/after wall-clock (`prev_decode_record_replay_us`, the
+//! committed PR-7 baseline, next to the fresh
+//! `decode_record_replay_us`; both `_us`, both exempt).
+//!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
 //! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
@@ -121,11 +129,12 @@ pub fn bench_repro_json() -> String {
     let trace = recorder.take().coalesce();
     let replay = bench("trace_replay", || sim.run_trace(&trace));
 
+    let (decode, decode_us) = decode_section();
     format!(
-        "{{\n  \"schema\": 5,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 6,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
-         {},\n{},\n{}\n}}\n",
+         {},\n{},\n{},\n{}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -134,8 +143,44 @@ pub fn bench_repro_json() -> String {
         num(record.us_per_iter()),
         num(replay.us_per_iter()),
         kernel_section(record.us_per_iter()),
-        decode_section(),
+        decode,
         kv_section(),
+        schedule_cache_section(decode_us),
+    )
+}
+
+/// The `schedule_cache` section (schema 6): the memoized op-schedule
+/// cache's counters over a fixed replay — every paper benchmark's
+/// analytical trace plus the batch-1 decode trace through one LT-B
+/// simulator. The op sequence is fixed, so hits/misses/entries (and
+/// their ratio) are deterministic and gated; the decode serving loop's
+/// before/after wall-clock rides along as exempt `_us` fields
+/// (`prev_decode_record_replay_us` is the committed PR-7 baseline).
+fn schedule_cache_section(decode_record_replay_us: f64) -> String {
+    // The committed pre-rework measurement (see ISSUE 8 acceptance).
+    let prev_decode_record_replay_us = 1.233668e4;
+
+    // Two passes over the fixed workload: the first populates (all
+    // misses once coalesced traces are deduped by shape x dataflow),
+    // the second replays warm — the steady-state serving regime.
+    let sim = Simulator::new(ArchConfig::lt_base(4));
+    for _ in 0..2 {
+        for model in TransformerConfig::paper_benchmarks() {
+            sim.run_trace(&model.trace());
+        }
+        sim.run_trace(&DecodeTrace::new(TransformerConfig::gpt2_small(1), 512, 1).op_trace());
+    }
+    let stats = sim.schedule_cache_stats();
+    format!(
+        "  \"schedule_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \
+         \"hit_rate\": {}, \"prev_decode_record_replay_us\": {}, \
+         \"decode_record_replay_us\": {} }}",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        num(stats.hit_rate()),
+        num(prev_decode_record_replay_us),
+        num(decode_record_replay_us),
     )
 }
 
@@ -239,7 +284,9 @@ fn kv_section() -> String {
 /// analytical (GPT2-small at context 512, batch 1/4/16, replayed through
 /// LT-B 8-bit) and executable (a KV-cached tiny decoder LM wall-clocked
 /// through record→replay). All fields deterministic except `*_us`.
-fn decode_section() -> String {
+/// Returns the section plus the decode wall-clock, which the
+/// `schedule_cache` section reports next to its committed baseline.
+fn decode_section() -> (String, f64) {
     let bits = 8;
     let arch = ArchConfig::lt_base(bits);
     let sim = Simulator::new(arch.clone());
@@ -307,7 +354,7 @@ fn decode_section() -> String {
         session.into_reply()
     });
 
-    format!(
+    let section = format!(
         "  \"decode\": {{\n    \"model\": \"{}\",\n    \"context\": {},\n    \
          \"batches\": [\n{}\n    ],\n    \"kv_vs_context\": [\n{}\n    ],\n    \
          \"compute_path\": {{ \"decoded_tokens\": {}, \"decode_record_replay_us\": {} }}\n  }}",
@@ -317,7 +364,8 @@ fn decode_section() -> String {
         kv_rows.join(",\n"),
         new_tokens,
         num(decode.us_per_iter()),
-    )
+    );
+    (section, decode.us_per_iter())
 }
 
 #[cfg(test)]
@@ -364,10 +412,16 @@ mod tests {
             "\"int8_forward_macs\"",
             "\"i4_weight_code_bytes\"",
             "\"int8_logit_err\"",
+            "\"schedule_cache\"",
+            "\"hits\"",
+            "\"misses\"",
+            "\"entries\"",
+            "\"hit_rate\"",
+            "\"prev_decode_record_replay_us\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-        assert!(json.contains("\"schema\": 5"), "schema bumped");
+        assert!(json.contains("\"schema\": 6"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

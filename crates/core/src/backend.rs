@@ -192,6 +192,31 @@ pub trait ComputeBackend: fmt::Debug {
     /// Implementations panic if the inner dimensions disagree.
     fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, ctx: &mut RunCtx) -> Matrix64;
 
+    /// As [`ComputeBackend::gemm`], but writes the product into a
+    /// caller-provided matrix (reshaped in place, allocation reused) —
+    /// the steady-state entry point for loops that issue the same
+    /// shapes every iteration, e.g. per-token decode. The default
+    /// delegates to `gemm` and moves the result, so every backend's
+    /// exact semantics (values, seed-stream advancement, panics) carry
+    /// over unchanged; allocation-free backends override it
+    /// ([`NativeBackend`] writes straight through the kernel's
+    /// [`crate::kernel::tiled_gemm_into`]). Overrides must stay
+    /// bit-identical to `gemm` — the result may never depend on which
+    /// entry point computed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree (as `gemm` does).
+    fn gemm_into(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        ctx: &mut RunCtx,
+        out: &mut Matrix64,
+    ) {
+        *out = self.gemm(a, b, ctx);
+    }
+
     /// As [`ComputeBackend::gemm`], but first records the product (with
     /// its workload role) into the context's attached
     /// [`TraceRecorder`], if any. This is the raw-`lt-core` entry point
@@ -384,6 +409,18 @@ impl ComputeBackend for NativeBackend {
 
     fn gemm(&self, a: MatrixView<'_, f64>, b: MatrixView<'_, f64>, _ctx: &mut RunCtx) -> Matrix64 {
         a.matmul(&b)
+    }
+
+    fn gemm_into(
+        &self,
+        a: MatrixView<'_, f64>,
+        b: MatrixView<'_, f64>,
+        _ctx: &mut RunCtx,
+        out: &mut Matrix64,
+    ) {
+        // Exact kernel, caller's buffer: zero allocations in steady
+        // state, bit-identical to `gemm` (one loop nest computes both).
+        a.matmul_into(&b, out);
     }
 
     fn preferred_block_rows(&self) -> usize {

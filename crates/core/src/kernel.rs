@@ -15,7 +15,10 @@
 //!   loop streams contiguous memory regardless of the caller's stride.
 //! * **Packing buffers** — both operand panels are packed into
 //!   stack-allocated arrays (`[T; KC * NR]` / `[T; KC * MR]`), so the
-//!   kernel performs **zero heap allocations** beyond the output buffer.
+//!   kernel performs **zero heap allocations** beyond the output buffer
+//!   — and [`tiled_gemm_into`] removes even that one for callers that
+//!   provide (and reuse) the output matrix, e.g. per-token decode loops
+//!   issuing the same shapes every step.
 //!
 //! # Bit-identity contract
 //!
@@ -69,6 +72,28 @@ fn micro_kernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR
 ///
 /// Panics if the inner dimensions disagree.
 pub fn tiled_gemm<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>) -> Matrix<T> {
+    let mut out = Matrix::from_vec(0, 0, Vec::new());
+    tiled_gemm_into(a, b, &mut out);
+    out
+}
+
+/// As [`tiled_gemm`], but writes the product into a caller-provided
+/// matrix — reshaped in place ([`Matrix::reset_zeroed`]), so a scratch
+/// output cycled through a steady-state loop (per-token decode: the
+/// same `[1, d] x [d, n]` shapes every step) performs zero heap
+/// allocations once its buffer has grown to the largest shape seen.
+///
+/// The result is bit-identical to [`tiled_gemm`]: both run this one
+/// loop nest over a zeroed output buffer.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn tiled_gemm_into<T: Scalar>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    out: &mut Matrix<T>,
+) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -77,10 +102,11 @@ pub fn tiled_gemm<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>) -> Ma
         b.shape()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = vec![T::ZERO; m * n];
+    out.reset_zeroed(m, n);
     if m == 0 || n == 0 || k == 0 {
-        return Matrix::from_vec(m, n, out);
+        return;
     }
+    let out = out.data_mut();
 
     // Fixed-size stack packing buffers, reused across all panels.
     let mut bp = [T::ZERO; KC * NR];
@@ -140,7 +166,6 @@ pub fn tiled_gemm<T: Scalar>(a: &MatrixView<'_, T>, b: &MatrixView<'_, T>) -> Ma
         }
         jb += NR;
     }
-    Matrix::from_vec(m, n, out)
 }
 
 #[cfg(test)]

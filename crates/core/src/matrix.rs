@@ -156,6 +156,18 @@ impl<T: Scalar> Matrix<T> {
         self.data
     }
 
+    /// Reshapes in place to `rows x cols` with every element zeroed,
+    /// reusing the existing allocation whenever capacity allows. A
+    /// scratch matrix cycled through a run's shapes stops allocating
+    /// once it has seen the largest one — the reuse primitive behind
+    /// [`MatrixView::matmul_into`].
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::ZERO);
+    }
+
     /// A borrowed view of the whole matrix.
     pub fn view(&self) -> MatrixView<'_, T> {
         MatrixView {
@@ -381,6 +393,17 @@ impl Matrix<f32> {
             data: self.data.iter().map(|&v| v as f64).collect(),
         }
     }
+
+    /// As [`Matrix::<f32>::to_f64`], but widens into a caller-provided
+    /// matrix (reshaped in place, allocation reused) — the staging step
+    /// of an f32 frontend driving the f64 backends without a fresh
+    /// buffer per call.
+    pub fn to_f64_into(&self, out: &mut Matrix64) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&v| v as f64));
+    }
 }
 
 impl Matrix<f64> {
@@ -530,6 +553,18 @@ impl<'a, T: Scalar> MatrixView<'a, T> {
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &MatrixView<'_, T>) -> Matrix<T> {
         crate::kernel::tiled_gemm(self, rhs)
+    }
+
+    /// As [`MatrixView::matmul`], but writes the product into a
+    /// caller-provided matrix (reshaped in place via
+    /// [`Matrix::reset_zeroed`], allocation reused), bit-identical to
+    /// `matmul` — see [`crate::kernel::tiled_gemm_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &MatrixView<'_, T>, out: &mut Matrix<T>) {
+        crate::kernel::tiled_gemm_into(self, rhs, out);
     }
 }
 

@@ -101,8 +101,13 @@ impl GaussianSampler {
 
     /// Returns a uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        // Use the top 53 bits for a uniform double.
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        // Use the top 53 bits for a uniform double. The intermediate
+        // `i64` cast is value-preserving (the shifted value fits in 53
+        // bits) and matters: the baseline x86-64 target has no unsigned
+        // integer-to-double instruction, so a `u64 as f64` costs a
+        // multi-uop compensation sequence on this hot path while
+        // `i64 as f64` is a single `cvtsi2sd`.
+        ((self.next_u64() >> 11) as i64) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniform sample in `[lo, hi)`.
@@ -132,19 +137,22 @@ impl GaussianSampler {
         let t = zig_tables();
         loop {
             // One raw draw supplies the layer index (7 bits), the sign
-            // (1 bit), and the in-layer position (53 bits).
+            // (1 bit), and the in-layer position (53 bits). As in
+            // `uniform`, the signed intermediate cast keeps the
+            // conversion a single instruction; on the common accept
+            // path the sign is applied by flipping the IEEE sign bit —
+            // bit-identical to multiplying the non-negative `x` by
+            // ±1.0 (including the `-0.0` it produces when `u == 0`),
+            // without a multiply on the latency chain.
             let bits = self.next_u64();
             let i = (bits & (ZIG_LAYERS as u64 - 1)) as usize;
-            let sign = if bits & ZIG_LAYERS as u64 != 0 {
-                1.0
-            } else {
-                -1.0
-            };
-            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let neg = u64::from(bits & ZIG_LAYERS as u64 == 0) << 63;
+            let u = ((bits >> 11) as i64) as f64 * (1.0 / (1u64 << 53) as f64);
             let x = u * t.x[i];
             if x < t.x[i + 1] {
-                return sign * x; // inside the layer's rectangle: accept
+                return f64::from_bits(x.to_bits() ^ neg); // rectangle: accept
             }
+            let sign = if neg == 0 { 1.0 } else { -1.0 };
             if i == 0 {
                 // Base strip beyond ZIG_R: sample the tail (Marsaglia).
                 loop {

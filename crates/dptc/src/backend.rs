@@ -8,9 +8,11 @@
 //! anywhere a [`ComputeBackend`] is accepted — the NN engines, the
 //! baseline comparisons, the experiment harness.
 
+use crate::ddot::WavelengthCoefficients;
 use crate::dptc::{Dptc, DptcConfig};
 use crate::noise_model::NoiseModel;
 use lt_core::{blocked_gemm, ComputeBackend, Matrix64, MatrixView, RunCtx};
+use std::sync::Arc;
 
 /// Simulation fidelity of a DPTC matrix product.
 ///
@@ -134,15 +136,33 @@ pub struct DptcBackend {
     core: Dptc,
     fidelity: Fidelity,
     bits: u32,
+    /// Wavelength transfer coefficients for the analytic fidelity,
+    /// precomputed once per backend: they depend only on the DWDM grid
+    /// and the noise model's dispersion — both fixed at construction —
+    /// yet used to be recomputed inside every GEMM call on the decode
+    /// hot path. `None` for non-analytic fidelities.
+    coeffs: Option<Arc<WavelengthCoefficients>>,
 }
 
 impl DptcBackend {
     /// Wraps a core geometry with an explicit fidelity and DAC bit-width.
     pub fn new(config: DptcConfig, fidelity: Fidelity, bits: u32) -> Self {
+        let core = Dptc::new(config);
+        let coeffs = Self::coeffs_for(&core, &fidelity);
         DptcBackend {
-            core: Dptc::new(config),
+            core,
             fidelity,
             bits,
+            coeffs,
+        }
+    }
+
+    fn coeffs_for(core: &Dptc, fidelity: &Fidelity) -> Option<Arc<WavelengthCoefficients>> {
+        match fidelity {
+            Fidelity::AnalyticNoisy { noise, .. } => Some(Arc::new(
+                WavelengthCoefficients::compute(core.ddot().grid(), &noise.dispersion),
+            )),
+            _ => None,
         }
     }
 
@@ -193,6 +213,7 @@ impl DptcBackend {
             Fidelity::AnalyticNoisy { seed, .. } => Fidelity::AnalyticNoisy { noise, seed },
             Fidelity::Circuit { seed, .. } => Fidelity::Circuit { noise, seed },
         };
+        self.coeffs = Self::coeffs_for(&self.core, &self.fidelity);
         self
     }
 }
@@ -232,6 +253,19 @@ impl ComputeBackend for DptcBackend {
         b: MatrixView<'_, f64>,
         block_seed: u64,
     ) -> Matrix64 {
+        // The analytic hot path reuses the backend's precomputed
+        // wavelength coefficients instead of re-deriving them per call.
+        if let Fidelity::AnalyticNoisy { noise, seed } = self.fidelity {
+            let coeffs = self.coeffs.as_ref().expect("analytic backend has coeffs");
+            return self.core.gemm_tiled_analytic(
+                a_rows,
+                b,
+                self.bits,
+                &noise,
+                seed ^ block_seed,
+                coeffs,
+            );
+        }
         let fidelity = self.fidelity.resalted(block_seed);
         self.core.gemm(a_rows, b, self.bits, &fidelity)
     }

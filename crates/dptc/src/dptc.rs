@@ -220,9 +220,14 @@ impl Dptc {
         match *fidelity {
             Fidelity::Ideal => a.matmul(&b),
             Fidelity::AnalyticNoisy { noise, seed } => {
-                self.gemm_tiled(a, b, bits, &noise, seed, false)
+                let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
+                self.gemm_tiled_analytic(a, b, bits, &noise, seed, &coeffs)
             }
-            Fidelity::Circuit { noise, seed } => self.gemm_tiled(a, b, bits, &noise, seed, true),
+            Fidelity::Circuit { noise, seed } => {
+                let quant = Quantizer::new(bits);
+                let mut rng = GaussianSampler::new(seed);
+                self.gemm_tiled_circuit(a, b, &quant, &noise, &mut rng)
+            }
         }
     }
 
@@ -282,6 +287,8 @@ impl Dptc {
             b_hat.data(),
             nh,
             nv,
+            nv,
+            nlambda,
             nlambda,
             noise,
             coeffs,
@@ -349,26 +356,37 @@ impl Dptc {
     /// realization — the same operand-reuse structure the paper's Eq. 6
     /// counts DAC conversions by. The per-output noise model then needs
     /// one `sin_cos` and two Gaussians per DDot, with a branch-free
-    /// multiply-add MAC loop in between. The circuit fidelity keeps the
-    /// straightforward gather-per-tile structure — it is a validation
-    /// path, not a hot one.
-    fn gemm_tiled(
+    /// multiply-add MAC loop in between. Noise work is confined to the
+    /// *valid* tile region: edge tiles (and especially the `m = 1`
+    /// matrix-vector products of autoregressive decode, which occupy one
+    /// row of a 12-row strip) never pay DAC-encoding or per-DDot draws
+    /// for zero-padded rows, columns, or wavelengths — padding is never
+    /// encoded, carries no signal, and its detector outputs are
+    /// discarded, so the model draws nothing for it. The circuit
+    /// fidelity keeps the straightforward gather-per-tile structure — it
+    /// is a validation path, not a hot one.
+    ///
+    /// Per-call fixed costs are hoisted out of this loop: the wavelength
+    /// transfer coefficients are passed in precomputed (the backend
+    /// caches them — the dispersion model is a config constant, not a
+    /// per-call quantity), and every tile staging buffer lives in
+    /// thread-local scratch so a decode token's ~25 matrix-vector calls
+    /// allocate nothing. Scratch reuse is sound without re-zeroing
+    /// because every loop below reads only the valid region it just
+    /// wrote (`rows_used x cols_used x lambda_used`).
+    pub(crate) fn gemm_tiled_analytic(
         &self,
         a: MatrixView<'_, f64>,
         b: MatrixView<'_, f64>,
         bits: u32,
         noise: &NoiseModel,
         seed: u64,
-        circuit_level: bool,
+        coeffs: &WavelengthCoefficients,
     ) -> Matrix64 {
         let (m, d) = a.shape();
         let n = b.cols();
         let quant = Quantizer::new(bits);
         let mut rng = GaussianSampler::new(seed);
-        if circuit_level {
-            return self.gemm_tiled_circuit(a, b, &quant, noise, &mut rng);
-        }
-        let coeffs = WavelengthCoefficients::compute(self.ddot.grid(), &noise.dispersion);
         let DptcConfig { nh, nv, nlambda } = self.config;
         let mut out = Matrix64::zeros(m, n);
         if m == 0 || n == 0 || d == 0 {
@@ -380,85 +398,113 @@ impl Dptc {
         let tlen_a = nh * nlambda;
         let tlen_b = nv * nlambda;
 
-        // Gather, normalize, quantize, and magnitude-perturb every B tile
-        // once (the DAC drive), transposed to wavelength-contiguous
-        // columns. beta == 0 marks an all-zero tile (never encoded, so
-        // it consumes no noise and is skipped below).
-        let mut b_tiles = vec![0.0f64; nn * nd * tlen_b];
-        let mut beta_b = vec![0.0f64; nn * nd];
-        for (nj, ni) in (0..n).step_by(nv).enumerate() {
-            for (dj, di) in (0..d).step_by(nlambda).enumerate() {
-                let tile = &mut b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
-                let mut beta = 0.0f64;
-                for tl in 0..nlambda.min(d - di) {
-                    let brow = b.row(di + tl);
-                    for (tj, &v) in brow[ni..n.min(ni + nv)].iter().enumerate() {
-                        tile[tj * nlambda + tl] = v;
-                        beta = beta.max(v.abs());
-                    }
-                }
-                if beta > 0.0 {
-                    encode_tile(tile, beta, &quant, noise, &mut rng);
-                }
-                beta_b[nj * nd + dj] = beta;
-            }
-        }
+        TILE_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let (b_tiles, beta_b, a_tiles, beta_a, tile_out, dequant) =
+                scratch.prepare(bits, nn * nd * tlen_b, nn * nd, nd * tlen_a, nd, nh * nv);
+            let levels = quant.positive_levels() as f64;
 
-        // Per-row-strip A tiles (encoded once per strip, reused by every
-        // column strip — one DAC drive per load) and the tile output.
-        let mut a_tiles = vec![0.0f64; nd * tlen_a];
-        let mut beta_a = vec![0.0f64; nd];
-        let mut tile_out = vec![0.0f64; nh * nv];
-
-        for mi in (0..m).step_by(nh) {
-            for (dj, di) in (0..d).step_by(nlambda).enumerate() {
-                let tile = &mut a_tiles[dj * tlen_a..][..tlen_a];
-                tile.fill(0.0);
-                let mut beta = 0.0f64;
-                for ti in 0..nh.min(m - mi) {
-                    let arow = a.row(mi + ti);
-                    for (tl, &v) in arow[di..d.min(di + nlambda)].iter().enumerate() {
-                        tile[ti * nlambda + tl] = v;
-                        beta = beta.max(v.abs());
+            // Gather, normalize, quantize, and magnitude-perturb every B tile
+            // once (the DAC drive), transposed to wavelength-contiguous
+            // columns. beta == 0 marks an all-zero tile (never encoded, so
+            // it consumes no noise and is skipped below).
+            for (nj, ni) in (0..n).step_by(nv).enumerate() {
+                let cols_used = nv.min(n - ni);
+                for (dj, di) in (0..d).step_by(nlambda).enumerate() {
+                    let lambda_used = nlambda.min(d - di);
+                    let tile = &mut b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
+                    let mut beta = 0.0f64;
+                    for tl in 0..lambda_used {
+                        let brow = b.row(di + tl);
+                        for (tj, &v) in brow[ni..ni + cols_used].iter().enumerate() {
+                            tile[tj * nlambda + tl] = v;
+                            beta = beta.max(v.abs());
+                        }
                     }
+                    if beta > 0.0 {
+                        encode_tile(
+                            tile,
+                            cols_used,
+                            lambda_used,
+                            nlambda,
+                            beta,
+                            levels,
+                            dequant,
+                            noise,
+                            &mut rng,
+                        );
+                    }
+                    beta_b[nj * nd + dj] = beta;
                 }
-                if beta > 0.0 {
-                    encode_tile(tile, beta, &quant, noise, &mut rng);
-                }
-                beta_a[dj] = beta;
             }
-            for nj in 0..nn {
-                let ni = nj * nv;
-                for dj in 0..nd {
-                    let (ba, bb) = (beta_a[dj], beta_b[nj * nd + dj]);
-                    if ba == 0.0 || bb == 0.0 {
-                        continue; // all-zero tile contributes nothing
+
+            // Per-row-strip A tiles (encoded once per strip, reused by every
+            // column strip — one DAC drive per load) and the tile output.
+            for mi in (0..m).step_by(nh) {
+                let rows_used = nh.min(m - mi);
+                for (dj, di) in (0..d).step_by(nlambda).enumerate() {
+                    let lambda_used = nlambda.min(d - di);
+                    let tile = &mut a_tiles[dj * tlen_a..][..tlen_a];
+                    let mut beta = 0.0f64;
+                    for ti in 0..rows_used {
+                        let arow = a.row(mi + ti);
+                        for (tl, &v) in arow[di..di + lambda_used].iter().enumerate() {
+                            tile[ti * nlambda + tl] = v;
+                            beta = beta.max(v.abs());
+                        }
                     }
-                    let at = &a_tiles[dj * tlen_a..][..tlen_a];
-                    let btile = &b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
-                    noisy_mm_rows(
-                        at,
-                        btile,
-                        nh,
-                        nv,
-                        nlambda,
-                        noise,
-                        &coeffs,
-                        &mut rng,
-                        &mut tile_out,
-                    );
-                    // Rescale and accumulate (analog-domain accumulation).
-                    let scale = ba * bb;
-                    for ti in 0..nh.min(m - mi) {
-                        let src = &tile_out[ti * nv..(ti + 1) * nv];
-                        let dst = out.row_mut(mi + ti);
-                        for (tj, &v) in src[..nv.min(n - ni)].iter().enumerate() {
-                            dst[ni + tj] += v * scale;
+                    if beta > 0.0 {
+                        encode_tile(
+                            tile,
+                            rows_used,
+                            lambda_used,
+                            nlambda,
+                            beta,
+                            levels,
+                            dequant,
+                            noise,
+                            &mut rng,
+                        );
+                    }
+                    beta_a[dj] = beta;
+                }
+                for nj in 0..nn {
+                    let ni = nj * nv;
+                    let cols_used = nv.min(n - ni);
+                    for dj in 0..nd {
+                        let (ba, bb) = (beta_a[dj], beta_b[nj * nd + dj]);
+                        if ba == 0.0 || bb == 0.0 {
+                            continue; // all-zero tile contributes nothing
+                        }
+                        let lambda_used = nlambda.min(d - dj * nlambda);
+                        let at = &a_tiles[dj * tlen_a..][..tlen_a];
+                        let btile = &b_tiles[(nj * nd + dj) * tlen_b..][..tlen_b];
+                        noisy_mm_rows(
+                            at,
+                            btile,
+                            rows_used,
+                            cols_used,
+                            nv,
+                            nlambda,
+                            lambda_used,
+                            noise,
+                            coeffs,
+                            &mut rng,
+                            tile_out,
+                        );
+                        // Rescale and accumulate (analog-domain accumulation).
+                        let scale = ba * bb;
+                        for ti in 0..rows_used {
+                            let src = &tile_out[ti * nv..(ti + 1) * nv];
+                            let dst = out.row_mut(mi + ti);
+                            for (tj, &v) in src[..cols_used].iter().enumerate() {
+                                dst[ni + tj] += v * scale;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
         out
     }
 
@@ -563,55 +609,167 @@ impl Dptc {
 /// Normalizes a gathered tile into `[-1, 1]`, quantizes it (the DAC),
 /// and draws its magnitude-noise realization — one encoding per tile
 /// load, shared by every product the loaded tile participates in.
+///
+/// Only the valid region is encoded: `outer` rows of `inner` entries at
+/// stride `stride` (`stride = N_lambda` for both the row-major `A` tile
+/// and the transposed `B` tile). Zero-padded entries are never driven
+/// onto a modulator, so they consume no DAC work and no noise draws —
+/// and `quantize_unit(0) == 0` exactly, so skipping them is
+/// value-identical on the noiseless path.
+/// Reusable tile staging buffers for [`Dptc::gemm_tiled_analytic`].
+///
+/// One instance per thread (see [`TILE_SCRATCH`]): the analytic GEMM is
+/// called hundreds of times per decoded token with identical small
+/// shapes, and per-call `Vec` allocation was a measurable slice of the
+/// decode hot path. Buffers only ever grow; callers slice to the exact
+/// lengths they need and must not read beyond the region they wrote
+/// (stale data from earlier calls is deliberately left in place).
+#[derive(Default)]
+struct TileScratch {
+    b_tiles: Vec<f64>,
+    beta_b: Vec<f64>,
+    a_tiles: Vec<f64>,
+    beta_a: Vec<f64>,
+    tile_out: Vec<f64>,
+    /// Bit-width the dequantization table below was built for (0 = none).
+    quant_bits: u32,
+    /// `dequant[q] == q / levels` for `q in 0..=levels`, computed with
+    /// the same division [`Quantizer::quantize_unit`] performs — so a
+    /// table lookup reproduces the quantizer's output bit-for-bit while
+    /// skipping the per-element divide and `round()` (see
+    /// [`encode_tile`]).
+    dequant: Vec<f64>,
+}
+
+impl TileScratch {
+    /// Grows each buffer to at least the requested length, rebuilds the
+    /// dequantization table if the bit-width changed, and returns
+    /// exact-length mutable slices plus the table.
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &mut self,
+        bits: u32,
+        b_tiles: usize,
+        beta_b: usize,
+        a_tiles: usize,
+        beta_a: usize,
+        tile_out: usize,
+    ) -> (
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+        &[f64],
+    ) {
+        fn grow(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            &mut buf[..len]
+        }
+        if self.quant_bits != bits {
+            let levels = (1u32 << (bits - 1)) - 1;
+            self.dequant.clear();
+            self.dequant
+                .extend((0..=levels).map(|q| f64::from(q) / f64::from(levels)));
+            self.quant_bits = bits;
+        }
+        (
+            grow(&mut self.b_tiles, b_tiles),
+            grow(&mut self.beta_b, beta_b),
+            grow(&mut self.a_tiles, a_tiles),
+            grow(&mut self.beta_a, beta_a),
+            grow(&mut self.tile_out, tile_out),
+            &self.dequant,
+        )
+    }
+}
+
+thread_local! {
+    /// Per-thread tile scratch — parallel row-block workers each get
+    /// their own, so the hot path stays contention-free.
+    static TILE_SCRATCH: std::cell::RefCell<TileScratch> =
+        std::cell::RefCell::new(TileScratch::default());
+}
+
+/// DAC quantization here is a bit-for-bit reimplementation of
+/// [`Quantizer::quantize_unit`] tuned for this loop: the division by
+/// `levels` becomes a lookup in the precomputed `dequant` table (built
+/// with the very same division), and `round()` — a libm call at the
+/// baseline x86-64 target — becomes an add-and-truncate on the absolute
+/// value with the sign restored by `copysign` (which also reproduces
+/// `round`'s signed zero for negative inputs rounding to zero). The
+/// add-and-truncate equals round-half-away-from-zero exactly because
+/// `|x| <= levels < 2^15`, so `|x| + 0.5` is computed without rounding
+/// error.
+#[allow(clippy::too_many_arguments)]
 fn encode_tile(
     tile: &mut [f64],
+    outer: usize,
+    inner: usize,
+    stride: usize,
     beta: f64,
-    quant: &Quantizer,
+    levels: f64,
+    dequant: &[f64],
     noise: &NoiseModel,
     rng: &mut GaussianSampler,
 ) {
     let inv = 1.0 / beta;
-    if noise.sigma_magnitude > 0.0 {
-        for v in tile.iter_mut() {
-            *v = perturb_magnitude(quant.quantize_unit(*v * inv), noise.sigma_magnitude, rng);
-        }
-    } else {
-        for v in tile.iter_mut() {
-            *v = quant.quantize_unit(*v * inv);
+    let quantize = |v: f64| {
+        let x = (v * inv).clamp(-1.0, 1.0) * levels;
+        dequant[(x.abs() + 0.5) as usize].copysign(x)
+    };
+    for o in 0..outer {
+        let row = &mut tile[o * stride..o * stride + inner];
+        if noise.sigma_magnitude > 0.0 {
+            for v in row.iter_mut() {
+                *v = perturb_magnitude(quantize(*v), noise.sigma_magnitude, rng);
+            }
+        } else {
+            for v in row.iter_mut() {
+                *v = quantize(*v);
+            }
         }
     }
 }
 
 /// The per-output DDot loop shared by the one-shot MM and the tiled
 /// GEMM hot path. Operands are already magnitude-perturbed: `a_rows` is
-/// `nh x nlambda` row-major, `bt_rows` is the *transposed* right operand
-/// (`nv x nlambda` row-major), so both stream contiguously. Each output
-/// draws one phase realization (folded into the precomputed
+/// row-major with `nlambda`-entry rows, `bt_rows` is the *transposed*
+/// right operand (`nlambda`-entry rows), so both stream contiguously.
+/// Only `rows x cols` outputs are detected — a decode-style `m = 1`
+/// strip computes one row, not the full `Nh x Nv` crossbar — and each
+/// output draws one phase realization (folded into the precomputed
 /// angle-addition tables — see [`WavelengthCoefficients::msin`]) and
 /// one systematic realization; the wavelength loop is a branch-free
 /// multiply-add chain over two interleaved accumulators (the strict
-/// single-chain version serializes on FP-add latency).
+/// single-chain version serializes on FP-add latency). `out` keeps row
+/// stride `out_stride` (`>= cols`); entries beyond `rows x cols` are
+/// left untouched.
 #[allow(clippy::too_many_arguments)]
 fn noisy_mm_rows(
     a_rows: &[f64],
     bt_rows: &[f64],
-    nh: usize,
-    nv: usize,
+    rows: usize,
+    cols: usize,
+    out_stride: usize,
     nlambda: usize,
+    lambda_used: usize,
     noise: &NoiseModel,
     coeffs: &WavelengthCoefficients,
     rng: &mut GaussianSampler,
     out: &mut [f64],
 ) {
     let drift = noise.sigma_phase_rad > 0.0;
-    let mult0 = &coeffs.mult0[..nlambda];
-    let msin = &coeffs.msin[..nlambda];
-    let imb = &coeffs.imbalance[..nlambda];
-    for i in 0..nh {
-        let a_row = &a_rows[i * nlambda..(i + 1) * nlambda];
-        let out_row = &mut out[i * nv..(i + 1) * nv];
+    let mult0 = &coeffs.mult0[..lambda_used];
+    let msin = &coeffs.msin[..lambda_used];
+    let imb = &coeffs.imbalance[..lambda_used];
+    for i in 0..rows {
+        let a_row = &a_rows[i * nlambda..i * nlambda + lambda_used];
+        let out_row = &mut out[i * out_stride..i * out_stride + cols];
         for (j, out_ij) in out_row.iter_mut().enumerate() {
-            let b_col = &bt_rows[j * nlambda..(j + 1) * nlambda];
+            let b_col = &bt_rows[j * nlambda..j * nlambda + lambda_used];
             let (sg, cg) = if drift {
                 rng.normal(0.0, noise.sigma_phase_rad).sin_cos()
             } else {
@@ -619,7 +777,7 @@ fn noisy_mm_rows(
             };
             let (mut io0, mut io1) = (0.0, 0.0);
             let mut l = 0;
-            while l + 1 < nlambda {
+            while l + 1 < lambda_used {
                 let (x0, y0) = (a_row[l], b_col[l]);
                 let (x1, y1) = (a_row[l + 1], b_col[l + 1]);
                 io0 += (mult0[l] * cg - msin[l] * sg) * x0 * y0 + imb[l] * (x0 * x0 - y0 * y0);
@@ -627,7 +785,7 @@ fn noisy_mm_rows(
                     + imb[l + 1] * (x1 * x1 - y1 * y1);
                 l += 2;
             }
-            if l < nlambda {
+            if l < lambda_used {
                 let (x, y) = (a_row[l], b_col[l]);
                 io0 += (mult0[l] * cg - msin[l] * sg) * x * y + imb[l] * (x * x - y * y);
             }

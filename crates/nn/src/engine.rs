@@ -10,7 +10,7 @@
 //! compute semantics live in the backends.
 
 use crate::tensor::Tensor;
-use lt_core::{ComputeBackend, RunCtx};
+use lt_core::{ComputeBackend, Matrix64, RunCtx};
 use lt_dptc::{DptcBackend, NoiseModel};
 use std::fmt;
 
@@ -51,6 +51,13 @@ fn run_backend(backend: &dyn ComputeBackend, ctx: &mut RunCtx, a: &Tensor, b: &T
 pub struct BackendEngine<B> {
     backend: B,
     ctx: RunCtx,
+    /// Reused f64 staging buffers (widened operands + backend output).
+    /// Per-token decode issues the same shapes every step, so after the
+    /// first pass the widen/narrow adapter allocates nothing beyond the
+    /// returned f32 tensor ([`lt_core::kernel::tiled_gemm_into`]).
+    a64: Matrix64,
+    b64: Matrix64,
+    out64: Matrix64,
 }
 
 impl<B: ComputeBackend> BackendEngine<B> {
@@ -59,6 +66,9 @@ impl<B: ComputeBackend> BackendEngine<B> {
         BackendEngine {
             backend,
             ctx: RunCtx::new(seed),
+            a64: Matrix64::zeros(0, 0),
+            b64: Matrix64::zeros(0, 0),
+            out64: Matrix64::zeros(0, 0),
         }
     }
 
@@ -75,7 +85,19 @@ impl<B: ComputeBackend> BackendEngine<B> {
 
 impl<B: ComputeBackend> MatmulEngine for BackendEngine<B> {
     fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
-        run_backend(&self.backend, &mut self.ctx, a, b)
+        // Stage through the engine-owned scratch: widen in place, run
+        // the backend's `gemm_into`, narrow into the returned tensor.
+        // Bit-identical to `run_backend` (gemm_into's contract); the
+        // only allocation left in steady state is the f32 result.
+        a.to_f64_into(&mut self.a64);
+        b.to_f64_into(&mut self.b64);
+        self.backend.gemm_into(
+            self.a64.view(),
+            self.b64.view(),
+            &mut self.ctx,
+            &mut self.out64,
+        );
+        self.out64.to_f32()
     }
 
     fn name(&self) -> &str {

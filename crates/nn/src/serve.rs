@@ -57,7 +57,7 @@ use crate::tensor::Tensor;
 use lt_arch::{ArchConfig, RunReport, Simulator};
 use lt_core::backend::split_seed;
 use lt_core::{ComputeBackend, GaussianSampler, Trace, TraceRecorder};
-use lt_runtime::BatchQueue;
+use lt_runtime::{BatchQueue, ParallelBackend, ThreadPool, ThreadsConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -87,6 +87,12 @@ pub struct ServeConfig {
     /// Accelerator model that costs every request's recorded trace
     /// (default: LT-B at 8 bits, the paper's high-accuracy point).
     pub arch: ArchConfig,
+    /// Intra-GEMM parallelism: `threads > 1` fans every routed GEMM
+    /// out as row-block jobs on one pool shared by all workers
+    /// ([`lt_runtime::ParallelBackend`]); replies are bit-identical at
+    /// every thread count. Default is sequential; read `LT_THREADS`
+    /// with [`ThreadsConfig::from_env`].
+    pub threads: ThreadsConfig,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +103,7 @@ impl Default for ServeConfig {
             seed: 0,
             quant: QuantConfig::fp32(),
             arch: ArchConfig::lt_base(8),
+            threads: ThreadsConfig::default(),
         }
     }
 }
@@ -185,7 +192,31 @@ impl Server {
     /// of the two models (weights loaded once per worker, amortized
     /// across every request that worker serves). The backend type is
     /// consumed by the workers, so the handle itself is not generic.
-    pub fn new<B: ComputeBackend + Clone + Send + 'static>(
+    ///
+    /// With [`ServeConfig::threads`] parallel, the backend is wrapped
+    /// in a [`ParallelBackend`] over one pool shared by every worker,
+    /// so each GEMM inside a forward pass fans out as row-block jobs —
+    /// with bit-identical replies, per the seed-partition contract.
+    pub fn new<B: ComputeBackend + Clone + Send + Sync + 'static>(
+        vision: VisionTransformer,
+        text: TextClassifier,
+        backend: B,
+        config: ServeConfig,
+    ) -> Self {
+        if config.threads.is_parallel() {
+            let pool = Arc::new(ThreadPool::new(config.threads.threads()));
+            return Server::spawn(
+                vision,
+                text,
+                ParallelBackend::with_pool(backend, pool),
+                config,
+            );
+        }
+        Server::spawn(vision, text, backend, config)
+    }
+
+    /// The monomorphic worker bring-up both construction paths share.
+    fn spawn<B: ComputeBackend + Clone + Send + 'static>(
         vision: VisionTransformer,
         text: TextClassifier,
         backend: B,
@@ -357,7 +388,7 @@ mod tests {
             .collect()
     }
 
-    fn serve_all<B: ComputeBackend + Clone + Send + 'static>(
+    fn serve_all<B: ComputeBackend + Clone + Send + Sync + 'static>(
         backend: B,
         cfg: ServeConfig,
         requests: &[Request],

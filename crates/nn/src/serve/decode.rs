@@ -32,7 +32,7 @@ use crate::quant::QuantConfig;
 use crate::serve::sched::{KvScheduler, KvServeConfig};
 use lt_arch::{ArchConfig, RunReport, Simulator};
 use lt_core::{ComputeBackend, Trace};
-use lt_runtime::BatchQueue;
+use lt_runtime::{BatchQueue, ParallelBackend, ThreadPool, ThreadsConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -69,6 +69,12 @@ pub struct DecodeServeConfig {
     /// to derive it from `arch.kv_pool_bytes`), prefix sharing, and the
     /// preemption policy. Validated at [`DecodeServer::new`].
     pub kv: KvServeConfig,
+    /// Intra-GEMM parallelism: `threads > 1` fans every routed GEMM
+    /// out as row-block jobs on one pool shared by all workers
+    /// ([`lt_runtime::ParallelBackend`]); replies are bit-identical at
+    /// every thread count. Default is sequential; read `LT_THREADS`
+    /// with [`ThreadsConfig::from_env`].
+    pub threads: ThreadsConfig,
 }
 
 impl Default for DecodeServeConfig {
@@ -80,6 +86,7 @@ impl Default for DecodeServeConfig {
             quant: QuantConfig::fp32(),
             arch: ArchConfig::lt_base(8),
             kv: KvServeConfig::default(),
+            threads: ThreadsConfig::default(),
         }
     }
 }
@@ -165,6 +172,8 @@ struct ServerCounters {
     resumes: AtomicU64,
     prefix_hits: AtomicU64,
     peak_resident: AtomicU64,
+    schedule_hits: AtomicU64,
+    schedule_misses: AtomicU64,
 }
 
 impl DecodeServer {
@@ -177,7 +186,25 @@ impl DecodeServer {
     /// Panics if `config.kv` is invalid for this model and architecture
     /// (zero block size, or a pool too small to hold one full-context
     /// session — see [`KvServeConfig::validate`]).
-    pub fn new<B: ComputeBackend + Clone + Send + 'static>(
+    ///
+    /// With [`DecodeServeConfig::threads`] parallel, the backend is
+    /// wrapped in a [`ParallelBackend`] over one pool shared by every
+    /// worker, so each step's GEMMs fan out as row-block jobs — with
+    /// bit-identical replies, per the seed-partition contract.
+    pub fn new<B: ComputeBackend + Clone + Send + Sync + 'static>(
+        model: DecoderLm,
+        backend: B,
+        config: DecodeServeConfig,
+    ) -> Self {
+        if config.threads.is_parallel() {
+            let pool = Arc::new(ThreadPool::new(config.threads.threads()));
+            return DecodeServer::spawn(model, ParallelBackend::with_pool(backend, pool), config);
+        }
+        DecodeServer::spawn(model, backend, config)
+    }
+
+    /// The monomorphic worker bring-up both construction paths share.
+    fn spawn<B: ComputeBackend + Clone + Send + 'static>(
         model: DecoderLm,
         backend: B,
         config: DecodeServeConfig,
@@ -268,6 +295,17 @@ impl DecodeServer {
         self.counters.peak_resident.load(Ordering::Relaxed)
     }
 
+    /// Schedule-cache `(hits, misses)` summed across every worker's
+    /// simulator ([`lt_arch::ScheduleCacheStats`]): per-token replay
+    /// repeats the same GEMM shapes, so after warmup nearly every op
+    /// costs a map lookup instead of a tile-plan rebuild.
+    pub fn schedule_cache_hits_misses(&self) -> (u64, u64) {
+        (
+            self.counters.schedule_hits.load(Ordering::Relaxed),
+            self.counters.schedule_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Drains outstanding requests, stops the workers, and returns the
     /// number of requests served.
     pub fn shutdown(mut self) -> u64 {
@@ -320,6 +358,7 @@ fn worker_loop<B: ComputeBackend + Clone>(
     let mut replies: HashMap<u64, Sender<DecodeReply>> = HashMap::new();
     // Scheduler counters already published to the shared totals.
     let (mut preempt_seen, mut resume_seen, mut prefix_seen) = (0u64, 0u64, 0u64);
+    let (mut hits_seen, mut misses_seen) = (0u64, 0u64);
     loop {
         // Intake: block only when there is nothing to step or resume;
         // top up free in-flight slots without blocking otherwise.
@@ -366,6 +405,15 @@ fn worker_loop<B: ComputeBackend + Clone>(
         counters
             .peak_resident
             .fetch_max(stats.peak_resident_sessions as u64, Ordering::Relaxed);
+        let cache = sim.schedule_cache_stats();
+        counters
+            .schedule_hits
+            .fetch_add(cache.hits - hits_seen, Ordering::Relaxed);
+        hits_seen = cache.hits;
+        counters
+            .schedule_misses
+            .fetch_add(cache.misses - misses_seen, Ordering::Relaxed);
+        misses_seen = cache.misses;
 
         for (ticket, reply) in sched.drain_finished() {
             counters.served.fetch_add(1, Ordering::Relaxed);
@@ -401,7 +449,7 @@ mod tests {
             .collect()
     }
 
-    fn serve_all<B: ComputeBackend + Clone + Send + 'static>(
+    fn serve_all<B: ComputeBackend + Clone + Send + Sync + 'static>(
         backend: B,
         cfg: DecodeServeConfig,
         requests: &[DecodeRequest],

@@ -47,7 +47,9 @@
 pub mod batch;
 pub mod parallel;
 pub mod pool;
+pub mod threads;
 
 pub use batch::BatchQueue;
 pub use parallel::{ParallelBackend, MIN_PARALLEL_MACS};
 pub use pool::ThreadPool;
+pub use threads::ThreadsConfig;

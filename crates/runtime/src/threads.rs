@@ -1,0 +1,111 @@
+//! [`ThreadsConfig`]: the one knob that turns intra-GEMM row-block
+//! parallelism on — programmatically or via the `LT_THREADS`
+//! environment variable.
+//!
+//! The serving layers (`lt_nn::serve::Server`,
+//! `lt_nn::serve::decode::DecodeServer`) consult this config at
+//! construction: `threads > 1` wraps the compute backend in a
+//! [`crate::ParallelBackend`] over one shared [`crate::ThreadPool`], so
+//! every routed GEMM fans out as the canonical
+//! [`lt_core::backend::row_blocks`] work items. Because each row
+//! block's noise stream is rooted at
+//! [`lt_core::backend::split_seed`]`(call_seed, block_index)`, results
+//! are bit-identical at every thread count — the knob trades wall-clock
+//! only, never values.
+
+use std::fmt;
+
+/// Environment variable read by [`ThreadsConfig::from_env`].
+pub const LT_THREADS_ENV: &str = "LT_THREADS";
+
+/// How many threads a serving path may fan each GEMM out across.
+///
+/// `1` (the default) keeps the exact sequential execution path — no
+/// pool, no wrapping, zero overhead. Anything larger opts into
+/// [`crate::ParallelBackend`] dispatch over a shared pool of that many
+/// workers.
+///
+/// ```
+/// use lt_runtime::ThreadsConfig;
+/// assert!(!ThreadsConfig::default().is_parallel());
+/// assert_eq!(ThreadsConfig::new(4).threads(), 4);
+/// assert_eq!(ThreadsConfig::new(0).threads(), 1, "clamps to one");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadsConfig {
+    threads: usize,
+}
+
+impl ThreadsConfig {
+    /// An explicit thread count (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        ThreadsConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads `LT_THREADS` from the environment: unset, empty, `0`, or
+    /// unparsable all mean sequential (`1`), so a stray value can never
+    /// silently change what a run computes — only, at worst, how many
+    /// workers compute it.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(LT_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        ThreadsConfig::new(threads)
+    }
+
+    /// The configured worker count (always at least one).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this config asks for pool dispatch at all.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ThreadsConfig {
+    /// Sequential execution — the exact unwrapped backend path.
+    fn default() -> Self {
+        ThreadsConfig::new(1)
+    }
+}
+
+impl fmt::Debug for ThreadsConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadsConfig")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_and_the_parallel_predicate() {
+        assert_eq!(ThreadsConfig::new(8).threads(), 8);
+        assert!(ThreadsConfig::new(2).is_parallel());
+        assert!(!ThreadsConfig::new(1).is_parallel());
+        assert_eq!(ThreadsConfig::default(), ThreadsConfig::new(1));
+    }
+
+    #[test]
+    fn env_parsing_is_forgiving() {
+        // `from_env` itself is exercised without mutating the process
+        // environment (tests run concurrently): the parsing contract is
+        // the same closed-form expression applied to captured values.
+        let parse = |v: Option<&str>| {
+            ThreadsConfig::new(v.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(1))
+        };
+        assert_eq!(parse(None).threads(), 1);
+        assert_eq!(parse(Some("")).threads(), 1);
+        assert_eq!(parse(Some("banana")).threads(), 1);
+        assert_eq!(parse(Some("0")).threads(), 1);
+        assert_eq!(parse(Some(" 4 ")).threads(), 4);
+    }
+}

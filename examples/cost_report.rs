@@ -85,6 +85,8 @@ fn main() {
         report.stalls.fill.value()
     );
 
+    println!("  cache  : schedule cache {}", sim.schedule_cache_stats());
+
     assert!(report.cycles > 0 && report.edp() > 0.0);
     assert!((report.stalls.total().value() - report.latency.value()).abs() < 1e-9);
     println!("\nok: one run produced logits, a replayable hardware cost, and its stall story");

@@ -37,5 +37,9 @@ fn main() {
     // ...and the decode regime reports a real memory wall.
     let sched = sim8.schedule_trace(&decode, DataflowPolicy::WeightStationary);
     assert!(sched.total.stalls.bandwidth.value() > 0.0);
+    println!(
+        "schedule cache across the sweep: {}",
+        sim8.schedule_cache_stats()
+    );
     println!("ok: cycles are policy-invariant, the oracle holds, and decode stalls are visible");
 }

@@ -16,6 +16,7 @@
 //! cargo run --release --example llm_serving_decode
 //! LT_DECODE_REQUESTS=4 cargo run --release --example llm_serving_decode   # bounded (CI smoke)
 //! LT_DECODE_QUANT=int8 cargo run --release --example llm_serving_decode   # true i8 weight path
+//! LT_THREADS=4 cargo run --release --example llm_serving_decode           # row-block GEMM pool
 //! ```
 
 use lightening_transformer::core::GaussianSampler;
@@ -23,6 +24,7 @@ use lightening_transformer::dptc::DptcBackend;
 use lightening_transformer::nn::decode::{DecodeReply, DecoderConfig, DecoderLm};
 use lightening_transformer::nn::serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
 use lightening_transformer::nn::QuantConfig;
+use lightening_transformer::runtime::ThreadsConfig;
 use std::time::Instant;
 
 /// Total requests; override with `LT_DECODE_REQUESTS` (CI smoke runs 4).
@@ -58,15 +60,23 @@ fn main() {
     let quant = quant_mode();
     let mut rng = GaussianSampler::new(42);
     let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let threads = ThreadsConfig::from_env();
     let config = DecodeServeConfig {
         workers: 2,
         max_active: 8,
         seed: 7,
         quant,
+        threads,
         ..DecodeServeConfig::default()
     };
     let clock_ghz = config.arch.clock.value();
     let server = DecodeServer::new(model.clone(), DptcBackend::paper(8, 7), config);
+    if threads.is_parallel() {
+        println!(
+            "parallel GEMM dispatch: LT_THREADS={} (replies stay bit-identical)",
+            threads.threads()
+        );
+    }
 
     let start = Instant::now();
     let pending: Vec<_> = (0..total).map(|i| server.submit(make_request(i))).collect();
@@ -83,6 +93,12 @@ fn main() {
         "continuous batching: {} decode ticks, realized batch width {:.2}",
         server.ticks(),
         server.decoded_tokens() as f64 / server.ticks().max(1) as f64
+    );
+    let (hits, misses) = server.schedule_cache_hits_misses();
+    println!(
+        "schedule cache: {hits} hits / {misses} misses ({:.1}% hit rate) — \
+         per-token replay reuses memoized tile plans",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
     );
 
     // The Section VI-B claim, measured on this very stream: the merged

@@ -14,7 +14,11 @@
 //!   request is starved or reordered;
 //! * the batching inference server returns logits — and per-request
 //!   hardware costs — that do not depend on worker count, batch size,
-//!   or intra-GEMM thread count.
+//!   or intra-GEMM thread count;
+//! * the wired serving path (`ServeConfig::threads` /
+//!   `DecodeServeConfig::threads`, the `LT_THREADS` knob) leaves
+//!   forward replies, decode token streams, and memory-pressured paged
+//!   replies bit-identical at 1/2/4/8 threads.
 
 use lightening_transformer::arch::{ArchConfig, Simulator};
 use lightening_transformer::baselines::PcmBackend;
@@ -32,7 +36,7 @@ use lightening_transformer::nn::serve::{Request, ServeConfig, Server};
 use lightening_transformer::nn::{
     BackendEngine, QuantConfig, Tensor, TextClassifier, VisionTransformer,
 };
-use lightening_transformer::runtime::{BatchQueue, ParallelBackend};
+use lightening_transformer::runtime::{BatchQueue, ParallelBackend, ThreadsConfig};
 use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -404,6 +408,158 @@ fn serving_is_invariant_to_workers_batch_size_and_gemm_threads() {
                 "cost diverged at workers={workers} max_batch={max_batch} threads={gemm_threads}"
             );
             assert_eq!(a.trace, b.trace, "trace diverged");
+        }
+    }
+}
+
+#[test]
+fn forward_serving_is_invariant_to_threads_config() {
+    // The *wired* parallel serving path: `ServeConfig::threads` (the
+    // `LT_THREADS` knob) wraps the backend in a pool-sharing
+    // `ParallelBackend` inside `Server::new`. Replies — logits, cost,
+    // and the recorded trace — must be bit-identical to the sequential
+    // server at every thread count.
+    let mut rng = GaussianSampler::new(41);
+    let vision = VisionTransformer::new(ModelConfig::tiny_vision(), 16, 16, &mut rng);
+    let text = TextClassifier::new(ModelConfig::tiny_text(), 16, 12, &mut rng);
+    let requests: Vec<Request> = (0..4)
+        .map(|i| {
+            if i % 2 == 0 {
+                Request::Vision(Tensor::randn(16, 16, 1.0, &mut rng))
+            } else {
+                Request::Text((0..12).map(|t| (i + t) % 16).collect())
+            }
+        })
+        .collect();
+    let serve = |threads: usize| -> Vec<lightening_transformer::nn::Reply> {
+        let server = Server::new(
+            vision.clone(),
+            text.clone(),
+            DptcBackend::paper(8, 17),
+            ServeConfig {
+                workers: 2,
+                max_batch: 2,
+                seed: 29,
+                threads: ThreadsConfig::new(threads),
+                ..ServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        pending.into_iter().map(|p| p.wait()).collect()
+    };
+    let base = serve(1);
+    for reply in &base {
+        assert!(reply.cost.cycles > 0, "every reply carries hardware cost");
+        assert!(!reply.trace.is_empty(), "every reply carries its trace");
+    }
+    for threads in THREAD_COUNTS {
+        let got = serve(threads);
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(
+                a.logits, b.logits,
+                "logits diverged at LT_THREADS={threads}"
+            );
+            assert_eq!(a.cost, b.cost, "cost diverged at LT_THREADS={threads}");
+            assert_eq!(a.trace, b.trace, "trace diverged at LT_THREADS={threads}");
+        }
+    }
+}
+
+#[test]
+fn decode_serving_is_invariant_to_threads_config() {
+    // Same contract for the decode server: `DecodeServeConfig::threads`
+    // routes every per-token GEMM through the shared pool, and the
+    // token streams plus their replayed per-token costs must not move.
+    let mut rng = GaussianSampler::new(43);
+    let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let requests: Vec<DecodeRequest> = (0..6)
+        .map(|i| DecodeRequest {
+            prompt: (0..(2 + i % 3)).map(|t| (i * 7 + t) % 16).collect(),
+            max_new_tokens: 2 + i % 4,
+        })
+        .collect();
+    let serve = |threads: usize| -> Vec<DecodeReply> {
+        let server = DecodeServer::new(
+            model.clone(),
+            DptcBackend::paper(8, 17),
+            DecodeServeConfig {
+                workers: 2,
+                max_active: 4,
+                seed: 23,
+                threads: ThreadsConfig::new(threads),
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        let replies = pending.into_iter().map(|p| p.wait()).collect();
+        assert_eq!(server.shutdown(), requests.len() as u64);
+        replies
+    };
+    let base = serve(1);
+    for (i, reply) in base.iter().enumerate() {
+        assert_eq!(reply.tokens.len(), requests[i].max_new_tokens);
+        assert!(reply.prefill.cycles > 0, "prefill carries replayed cost");
+    }
+    for threads in THREAD_COUNTS {
+        let got = serve(threads);
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(a, b, "decode reply diverged at LT_THREADS={threads}");
+        }
+    }
+}
+
+#[test]
+fn paged_pressure_replies_are_invariant_to_threads_config() {
+    // Memory-pressure serving through the parallel path: a deliberately
+    // tight per-worker KV pool forces preemption while `threads` fans
+    // the GEMMs out. Replies must match the roomy sequential server —
+    // neither eviction/restore nor row-block scheduling may leak into
+    // tokens or costs.
+    let mut rng = GaussianSampler::new(47);
+    let model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    let requests: Vec<DecodeRequest> = (0..8)
+        .map(|i| DecodeRequest {
+            prompt: (0..(2 + i % 3)).map(|t| (i * 5 + t) % 16).collect(),
+            max_new_tokens: 4 + i % 4,
+        })
+        .collect();
+    let serve = |threads: usize, kv: KvServeConfig| -> Vec<DecodeReply> {
+        let server = DecodeServer::new(
+            model.clone(),
+            DptcBackend::paper(8, 17),
+            DecodeServeConfig {
+                workers: 1,
+                max_active: 8,
+                seed: 31,
+                kv,
+                threads: ThreadsConfig::new(threads),
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<_> = requests.iter().map(|r| server.submit(r.clone())).collect();
+        let replies = pending.into_iter().map(|p| p.wait()).collect();
+        server.shutdown();
+        replies
+    };
+    let roomy = KvServeConfig {
+        block_tokens: 2,
+        pool_blocks: 512,
+        ..KvServeConfig::default()
+    };
+    let tight = KvServeConfig {
+        block_tokens: 2,
+        pool_blocks: 25, // min for max_seq 48 — guaranteed pressure
+        preempt: PreemptPolicy::SwapOut,
+        ..KvServeConfig::default()
+    };
+    let base = serve(1, roomy);
+    for threads in THREAD_COUNTS {
+        let got = serve(threads, tight);
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(
+                a, b,
+                "paged-pressure reply diverged at LT_THREADS={threads}"
+            );
         }
     }
 }
