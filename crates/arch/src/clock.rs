@@ -1,0 +1,160 @@
+//! [`CycleClock`]: a deterministic simulated-time clock for the serving
+//! layer.
+//!
+//! The serving frontend needs timestamps — arrival, first token, every
+//! subsequent token — but wall-clock time is noise: it varies with host
+//! load, thread count, and build flags, so it can never gate CI. The
+//! simulator already produces an exact latency for every replayed op
+//! trace ([`RunReport::latency`]); this clock integrates those latencies
+//! into a monotonic *simulated* timeline, so TTFT and inter-token
+//! latency become pure functions of the request stream and the modeled
+//! hardware.
+//!
+//! Time is held in integer picoseconds (one [`RunReport`] latency is
+//! rounded to a whole picosecond exactly once, when added), so
+//! accumulation is exact integer arithmetic: no float-summation order
+//! effects, bit-identical across `LT_THREADS` and across hosts. At the
+//! LT clock of a few GHz a picosecond is finer than a single photonic
+//! cycle, so nothing observable is lost to rounding.
+//!
+//! ```
+//! use lt_arch::clock::CycleClock;
+//! use lt_arch::RunReport;
+//! use lt_photonics::units::Milliseconds;
+//!
+//! let mut clock = CycleClock::new();
+//! let tick = RunReport {
+//!     latency: Milliseconds(0.25),
+//!     cycles: 1000,
+//!     ..RunReport::default()
+//! };
+//! clock.advance(&tick);
+//! clock.advance(&tick);
+//! assert_eq!(clock.now_us(), 500);
+//! assert_eq!(clock.cycles(), 2000);
+//! ```
+
+use crate::sim::RunReport;
+use lt_photonics::units::Milliseconds;
+
+/// Picoseconds per microsecond.
+const PS_PER_US: u64 = 1_000_000;
+
+/// A monotonic clock in the replayed-simulation time domain.
+///
+/// Advancing by a [`RunReport`] adds its modeled latency (and counts
+/// its photonic cycles); jumping to an arrival timestamp never moves
+/// time backwards. All accumulation is integer picosecond arithmetic,
+/// so a request stream replays to the same timestamps on any host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleClock {
+    now_ps: u64,
+    cycles: u64,
+}
+
+impl CycleClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        CycleClock::default()
+    }
+
+    /// Advances by a replayed report's latency and accrues its cycles.
+    pub fn advance(&mut self, report: &RunReport) {
+        self.advance_ms(report.latency);
+        self.cycles += report.cycles;
+    }
+
+    /// Advances by a bare latency (no cycle accrual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency is negative.
+    pub fn advance_ms(&mut self, latency: Milliseconds) {
+        assert!(latency.value() >= 0.0, "cannot advance by negative time");
+        self.now_ps += (latency.value() * 1e9).round() as u64;
+    }
+
+    /// Moves the clock forward to `at_us` if it is still earlier — the
+    /// open-loop idiom for "the next request arrives at `at_us`".
+    /// Returns the idle gap skipped, in microseconds (zero when the
+    /// clock was already past the arrival).
+    pub fn advance_to_us(&mut self, at_us: u64) -> u64 {
+        let at_ps = at_us * PS_PER_US;
+        if at_ps <= self.now_ps {
+            return 0;
+        }
+        let gap = at_ps - self.now_ps;
+        self.now_ps = at_ps;
+        gap / PS_PER_US
+    }
+
+    /// Current simulated time in whole microseconds (rounded down).
+    pub fn now_us(&self) -> u64 {
+        self.now_ps / PS_PER_US
+    }
+
+    /// Current simulated time in picoseconds (the exact internal unit).
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Photonic cycles accrued through [`CycleClock::advance`].
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: f64, cycles: u64) -> RunReport {
+        RunReport {
+            latency: Milliseconds(ms),
+            cycles,
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn advancing_accumulates_exactly() {
+        let mut clock = CycleClock::new();
+        for _ in 0..10 {
+            clock.advance(&report(0.1, 250));
+        }
+        // 10 x 0.1 ms = 1 ms, exact in integer picoseconds even though
+        // 0.1 is not exact in binary.
+        assert_eq!(clock.now_us(), 1000);
+        assert_eq!(clock.now_ps(), 1_000_000_000);
+        assert_eq!(clock.cycles(), 2500);
+    }
+
+    #[test]
+    fn advance_to_us_never_goes_backwards() {
+        let mut clock = CycleClock::new();
+        assert_eq!(clock.advance_to_us(500), 500, "full idle gap from zero");
+        clock.advance_ms(Milliseconds(1.0));
+        assert_eq!(clock.now_us(), 1500);
+        assert_eq!(clock.advance_to_us(700), 0, "arrival in the past: no-op");
+        assert_eq!(clock.now_us(), 1500);
+        assert_eq!(clock.advance_to_us(2000), 500);
+        assert_eq!(clock.now_us(), 2000);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_are_not_lost() {
+        let mut clock = CycleClock::new();
+        // 0.1 us each: invisible at us granularity individually, exact
+        // in picoseconds.
+        for _ in 0..10 {
+            clock.advance_ms(Milliseconds(1e-4));
+        }
+        assert_eq!(clock.now_us(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn negative_advance_rejected() {
+        CycleClock::new().advance_ms(Milliseconds(-1.0));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod area;
 pub mod cache;
+pub mod clock;
 pub mod config;
 pub mod devices;
 pub mod energy;
@@ -51,6 +52,7 @@ pub mod sim;
 
 pub use area::AreaBreakdown;
 pub use cache::ScheduleCacheStats;
+pub use clock::CycleClock;
 pub use config::{ArchConfig, ArchOptimizations, CoreTopology};
 pub use energy::EnergyBreakdown;
 pub use power::PowerBreakdown;

@@ -445,6 +445,44 @@ mod tests {
     }
 
     #[test]
+    fn schema7_serving_fields_are_gated_with_no_exemptions() {
+        // The serving section is entirely simulated time on a seeded
+        // workload — no field ends in `_us`, so every percentile,
+        // count, and goodput number is inside the gate. A TTFT or ITL
+        // drift means the scheduler, the chunking, or the cost model
+        // changed behavior.
+        const SERVING_DOC: &str = r#"{ "serving": { "requests": 24,
+          "prefill_chunk_tokens": 4,
+          "unchunked": { "completed": 22, "rejected": 1,
+            "ttft_p99_ps": 48000, "itl_max_ps": 9000,
+            "goodput_tokens_per_s": 120000 },
+          "chunked": { "completed": 22, "itl_max_ps": 5000 } } }"#;
+        for (field, drifted) in [
+            ("completed", SERVING_DOC.replace("22,", "20,")),
+            (
+                "rejected",
+                SERVING_DOC.replace("\"rejected\": 1", "\"rejected\": 3"),
+            ),
+            ("ttft_p99_ps", SERVING_DOC.replace("48000", "52000")),
+            ("itl_max_ps", SERVING_DOC.replace("9000", "12000")),
+            (
+                "goodput_tokens_per_s",
+                SERVING_DOC.replace("120000", "90000"),
+            ),
+            (
+                "chunked.itl_max_ps",
+                SERVING_DOC.replace("\"itl_max_ps\": 5000", "\"itl_max_ps\": 9000"),
+            ),
+        ] {
+            let report = compare(SERVING_DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
+    }
+
+    #[test]
     fn the_real_snapshot_flattens() {
         let json = crate::bench_repro_json();
         let flat = flatten(&json).unwrap();
@@ -491,6 +529,19 @@ mod tests {
             assert!(
                 flat.iter().any(|(k, _)| k == cache_field),
                 "missing {cache_field}"
+            );
+        }
+        for serving_field in [
+            "serving.requests",
+            "serving.prefill_chunk_tokens",
+            "serving.unchunked.ttft_p99_ps",
+            "serving.unchunked.goodput_tokens_per_s",
+            "serving.chunked.itl_max_ps",
+            "serving.chunked.completed",
+        ] {
+            assert!(
+                flat.iter().any(|(k, _)| k == serving_field),
+                "missing {serving_field}"
             );
         }
         // And a regenerated snapshot passes its own gate on the

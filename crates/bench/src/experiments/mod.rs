@@ -6,6 +6,7 @@ pub mod dataflow;
 pub mod device_level;
 pub mod extensions;
 pub mod kv;
+pub mod serving;
 pub mod sparse;
 pub mod system_level;
 
@@ -86,6 +87,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "ext-pcm",
             "Extension: PCM crossbar quantified (Table I)",
             extensions::ext_pcm,
+        ),
+        (
+            "serve",
+            "Extension: SLO serving frontend (TTFT/ITL percentiles, chunked prefill)",
+            serving::serve,
         ),
     ]
 }

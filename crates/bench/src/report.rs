@@ -50,6 +50,13 @@
 //! committed PR-7 baseline, next to the fresh
 //! `decode_record_replay_us`; both `_us`, both exempt).
 //!
+//! Schema 7 added the `serving` section: the SLO frontend's fixed
+//! open-loop scenario (see [`crate::experiments::serving`]) run
+//! unchunked and with chunked prefill. Every timestamp is *simulated*
+//! picoseconds on a deterministic clock, so the whole section —
+//! completion/rejection counts, TTFT and inter-token-latency
+//! percentiles, goodput — is gated with no wall-clock exemptions.
+//!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
 //! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
@@ -131,10 +138,10 @@ pub fn bench_repro_json() -> String {
 
     let (decode, decode_us) = decode_section();
     format!(
-        "{{\n  \"schema\": 6,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 7,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
-         {},\n{},\n{},\n{}\n}}\n",
+         {},\n{},\n{},\n{},\n{}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -146,6 +153,52 @@ pub fn bench_repro_json() -> String {
         decode,
         kv_section(),
         schedule_cache_section(decode_us),
+        serving_section(),
+    )
+}
+
+/// The `serving` section (schema 7): the SLO frontend's fixed scenario,
+/// whole-prompt vs. chunked prefill. All simulated-time integers —
+/// fully gated.
+fn serving_section() -> String {
+    let r = crate::experiments::serving::measure(24);
+    let side = |name: &str, s: &lt_nn::ServingReport| {
+        format!(
+            "    \"{name}\": {{ \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
+             \"deadline_hits\": {}, \"deadline_misses\": {}, \
+             \"ttft_p50_ps\": {}, \"ttft_p95_ps\": {}, \"ttft_p99_ps\": {}, \"ttft_max_ps\": {}, \
+             \"itl_p50_ps\": {}, \"itl_p95_ps\": {}, \"itl_p99_ps\": {}, \"itl_max_ps\": {}, \
+             \"generated_tokens\": {}, \"elapsed_ps\": {}, \"tokens_per_s\": {}, \
+             \"goodput_tokens_per_s\": {}, \"preemptions\": {}, \"ticks\": {} }}",
+            s.completed,
+            s.rejected,
+            s.failed,
+            s.deadline_hits,
+            s.deadline_misses,
+            s.ttft_ps.p50,
+            s.ttft_ps.p95,
+            s.ttft_ps.p99,
+            s.ttft_ps.max,
+            s.itl_ps.p50,
+            s.itl_ps.p95,
+            s.itl_ps.p99,
+            s.itl_ps.max,
+            s.generated_tokens,
+            s.elapsed_ps,
+            s.tokens_per_s,
+            s.goodput_tokens_per_s,
+            s.preemptions,
+            s.ticks,
+        )
+    };
+    format!(
+        "  \"serving\": {{\n    \"requests\": {},\n    \"loadgen_seed\": {},\n    \
+         \"prefill_chunk_tokens\": {},\n{},\n{}\n  }}",
+        r.requests,
+        r.seed,
+        crate::experiments::serving::PREFILL_CHUNK_TOKENS,
+        side("unchunked", &r.unchunked),
+        side("chunked", &r.chunked),
     )
 }
 
@@ -418,10 +471,18 @@ mod tests {
             "\"entries\"",
             "\"hit_rate\"",
             "\"prev_decode_record_replay_us\"",
+            "\"serving\"",
+            "\"prefill_chunk_tokens\"",
+            "\"unchunked\"",
+            "\"chunked\"",
+            "\"ttft_p99_ps\"",
+            "\"itl_max_ps\"",
+            "\"goodput_tokens_per_s\"",
+            "\"deadline_hits\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-        assert!(json.contains("\"schema\": 6"), "schema bumped");
+        assert!(json.contains("\"schema\": 7"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

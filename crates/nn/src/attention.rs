@@ -192,6 +192,71 @@ impl MultiHeadAttention {
         self.wo.infer(&concat, ctx)
     }
 
+    /// Causal prefill of one *chunk* of a prompt (`x: [t, dim]`, the
+    /// tokens at positions `prior .. prior + t` where `prior` is the
+    /// cache's current context length): appends the chunk's K/V rows
+    /// and attends each chunk query over the whole cached context under
+    /// the causal mask. Chunked prefill interleaves these pieces with
+    /// decode ticks so a long prompt cannot monopolize the engine.
+    ///
+    /// On an empty cache with `t` = the whole prompt this computes
+    /// bit-identically to [`MultiHeadAttention::prefill`] for
+    /// deterministic backends (same per-row GEMMs, same mask); the
+    /// *recorded trace* differs in that prior context streams back as
+    /// [`NonGemmKind::KvRead`] (there is none when `prior == 0`) and
+    /// attention reads K/V through the cache rather than the fresh
+    /// projections — which is why [`MultiHeadAttention::prefill`]
+    /// remains the whole-prompt fast path.
+    pub fn prefill_chunk(
+        &self,
+        x: &Tensor,
+        cache: &mut dyn KvLayer,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let prior = cache.context_len();
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.infer(x, ctx);
+        let k = self.wk.infer(x, ctx);
+        let v = self.wv.infer(x, ctx);
+        let write = cache.append(&k, &v);
+        for (kind, elems) in kv_write_traffic(write, self.dim) {
+            ctx.record_non_gemm(kind, elems);
+        }
+        // Only the *prior* context streams back from HBM; the chunk's
+        // own K/V rows were just produced on-chip.
+        if prior > 0 {
+            ctx.record_non_gemm(NonGemmKind::KvRead, 2 * (prior * self.dim) as u64);
+        }
+
+        let tokens = x.rows();
+        let context = cache.context_len();
+        debug_assert_eq!(context, prior + tokens);
+        let keys = cache.context_keys();
+        let values = cache.context_values();
+        let mut concat = Tensor::zeros(tokens, self.dim);
+        for h in 0..self.heads {
+            let qh = q.col_slice(h * dh, dh);
+            let kh = keys.col_slice(h * dh, dh);
+            let vh = values.col_slice(h * dh, dh);
+            let mut scores = ctx
+                .matmul_as(OpKind::AttnQk, &qh, &kh.transpose())
+                .scale(scale);
+            // Causal mask in global positions: chunk row i sits at
+            // position prior + i and may not attend past itself.
+            for i in 0..tokens {
+                for j in (prior + i + 1)..context {
+                    scores.set(i, j, f32::NEG_INFINITY);
+                }
+            }
+            ctx.record_non_gemm(NonGemmKind::Softmax, (tokens * context) as u64);
+            let a = softmax_rows(&scores);
+            let oh = ctx.matmul_as(OpKind::AttnAv, &a, &vh);
+            concat.set_col_slice(h * dh, &oh);
+        }
+        self.wo.infer(&concat, ctx)
+    }
+
     /// One autoregressive decode step: appends the new token's K/V to
     /// `cache` and attends its query over the whole cached context —
     /// the per-token matrix-vector regime of paper Section VI-B. The

@@ -30,7 +30,7 @@ use crate::tensor::Tensor;
 use lt_arch::{RunReport, Simulator, StallBreakdown};
 use lt_core::backend::split_seed;
 use lt_core::trace::{NonGemmKind, OpKind};
-use lt_core::{ComputeBackend, GaussianSampler, Trace, TraceRecorder};
+use lt_core::{ComputeBackend, GaussianSampler, Op, Trace, TraceRecorder};
 
 /// Geometry of a decoder-only language model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +61,53 @@ impl DecoderConfig {
             vocab: 16,
             max_seq: 48,
         }
+    }
+
+    /// The op trace an *unchunked* causal prefill of `tokens` prompt
+    /// tokens records, built analytically from the geometry (no forward
+    /// pass, no weights). Prefill cost is a pure function of shapes, so
+    /// replaying this trace through a simulator yields exactly the cost
+    /// [`DecodeSession::prefill`] would report for a contiguous,
+    /// non-shared cache — which makes it the exact minimum
+    /// time-to-first-token an admission controller can promise
+    /// (`tests/trace_crossval.rs`-style pinning lives in this module's
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero or exceeds `max_seq`.
+    pub fn prefill_trace(&self, tokens: usize) -> Trace {
+        assert!(
+            tokens > 0 && tokens <= self.max_seq,
+            "prefill of {tokens} tokens outside 1..={}",
+            self.max_seq
+        );
+        let (t, dim, layers) = (tokens, self.dim, self.layers);
+        let dh = dim / self.heads;
+        let per_heads = self.heads * layers;
+        let elems = (t * dim) as u64;
+        let mut trace = Trace::new();
+        for op in [
+            Op::gemm_n(OpKind::QkvProj, t, dim, dim, 3 * layers),
+            Op::gemm_n(OpKind::AttnQk, t, dh, t, per_heads),
+            Op::gemm_n(OpKind::AttnAv, t, t, dh, per_heads),
+            Op::gemm_n(OpKind::OutProj, t, dim, dim, layers),
+            Op::gemm_n(OpKind::Ffn1, t, dim, self.ffn_dim, layers),
+            Op::gemm_n(OpKind::Ffn2, t, self.ffn_dim, dim, layers),
+            Op::gemm(OpKind::LmHead, 1, dim, self.vocab),
+            Op::non_gemm(NonGemmKind::Softmax, (t * t) as u64 * per_heads as u64),
+            Op::non_gemm(NonGemmKind::KvAppend, 2 * elems * layers as u64),
+            // Two LayerNorms per block plus the final head norm (one row).
+            Op::non_gemm(
+                NonGemmKind::LayerNorm,
+                2 * elems * layers as u64 + dim as u64,
+            ),
+            Op::non_gemm(NonGemmKind::Residual, 2 * elems * layers as u64),
+            Op::non_gemm(NonGemmKind::Gelu, (t * self.ffn_dim * layers) as u64),
+        ] {
+            trace.push(op);
+        }
+        trace.coalesce()
     }
 }
 
@@ -206,6 +253,52 @@ impl DecoderLm {
         for (i, block) in self.blocks.iter().enumerate() {
             h = block.prefill(&h, cache.layer_mut(i), ctx);
         }
+        self.logits_at_last(&h, ctx)
+    }
+
+    /// Causal prefill of one *chunk* of a prompt: feeds the tokens at
+    /// positions `cache.len() .. cache.len() + tokens.len()` through
+    /// every block's [`EncoderBlock::prefill_chunk`], appending their
+    /// K/V, and returns the chunk's `[t, dim]` final hidden states.
+    /// Unlike [`DecoderLm::prefill`] this does *not* run the LM head —
+    /// only the last chunk of a prompt needs logits; call
+    /// [`DecoderLm::logits_at_last`] on the returned hidden states then.
+    ///
+    /// For deterministic backends without per-tensor fake quantization,
+    /// feeding a prompt in any chunking produces a cache and logits
+    /// bit-identical to one whole-prompt [`DecoderLm::prefill`] (every
+    /// layer computes row-independently and the causal mask hides the
+    /// missing future either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is empty or would overflow `max_seq`.
+    pub fn prefill_chunk(
+        &self,
+        tokens: &[usize],
+        cache: &mut dyn ModelKv,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        assert!(!tokens.is_empty(), "empty prefill chunk");
+        let start = cache.len();
+        assert!(
+            start + tokens.len() <= self.config.max_seq,
+            "chunk at {} + {} exceeds max_seq {}",
+            start,
+            tokens.len(),
+            self.config.max_seq
+        );
+        let mut h = self.embed_at(tokens, start);
+        for (i, block) in self.blocks.iter().enumerate() {
+            h = block.prefill_chunk(&h, cache.layer_mut(i), ctx);
+        }
+        h
+    }
+
+    /// `[1, vocab]` logits of the last row of `h` (final LayerNorm +
+    /// LM head) — the step that turns a prefill's hidden states into
+    /// the first generated token's distribution.
+    pub fn logits_at_last(&self, h: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let last = Tensor::from_fn(1, self.config.dim, |_, j| h.get(h.rows() - 1, j));
         self.head_logits(&last, ctx)
     }
@@ -386,6 +479,10 @@ pub struct DecodeSession<B: ComputeBackend + Clone> {
     cache: SessionKv,
     tokens: Vec<usize>,
     prefill_cost: Option<RunReport>,
+    /// Prompt tokens already prefilled via [`DecodeSession::prefill_partial`].
+    prefill_fed: usize,
+    /// Accumulated cost of partial chunks until the prefill completes.
+    prefill_accum: Option<RunReport>,
     step_costs: Vec<RunReport>,
     kv_bits: u32,
 }
@@ -474,6 +571,8 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
             cache,
             tokens: Vec::with_capacity(max_new_tokens),
             prefill_cost: None,
+            prefill_fed: 0,
+            prefill_accum: None,
             step_costs: Vec::new(),
             kv_bits: config.kv_bits,
         }
@@ -522,14 +621,25 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
     /// Exact for deterministic backends; a noisy engine re-rolls the
     /// cached values (which is why the swap-out policy is the default).
     ///
+    /// A session preempted *mid-prefill* (chunked prefill) recomputes
+    /// only the chunks fed so far, via [`DecoderLm::prefill_chunk`] (no
+    /// LM head — the first token has not been sampled yet); chunking
+    /// then continues from where it stopped.
+    ///
     /// # Panics
     ///
-    /// Panics if the session is not paged, has not prefetched, or its
+    /// Panics if the session is not paged, has fed nothing yet, or its
     /// cache is not empty (recompute resumes a dropped cache).
     pub fn resume_by_recompute(&mut self, model: &DecoderLm) -> Trace {
-        assert!(self.prefill_cost.is_some(), "recompute before prefill");
-        let mut fed: Vec<usize> = self.prompt.clone();
-        fed.extend_from_slice(&self.tokens[..self.tokens.len() - 1]);
+        let fed: Vec<usize> = if self.prefill_cost.is_some() {
+            let mut fed = self.prompt.clone();
+            fed.extend_from_slice(&self.tokens[..self.tokens.len() - 1]);
+            fed
+        } else {
+            assert!(self.prefill_fed > 0, "recompute before any prefill chunk");
+            self.prompt[..self.prefill_fed].to_vec()
+        };
+        let done = self.prefill_cost.is_some();
         let quant = self.quant;
         let mut engine = self.engine.clone();
         let mut rng = GaussianSampler::new(split_seed(self.ticket, !0));
@@ -541,7 +651,11 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
         let recorder = TraceRecorder::new();
         let mut ctx =
             ForwardCtx::inference(&mut engine, quant, &mut rng).with_recorder(recorder.clone());
-        model.prefill(&fed, cache, &mut ctx);
+        if done {
+            model.prefill(&fed, cache, &mut ctx);
+        } else {
+            model.prefill_chunk(&fed, cache, &mut ctx);
+        }
         recorder.take().coalesce()
     }
 
@@ -565,6 +679,7 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
     /// Panics if called twice.
     pub fn prefill(&mut self, model: &DecoderLm, sim: &Simulator) -> Trace {
         assert!(self.prefill_cost.is_none(), "prefill already ran");
+        assert_eq!(self.prefill_fed, 0, "prefill after partial chunks");
         let prompt = std::mem::take(&mut self.prompt);
         let (logits, trace) = self.recorded_pass(model, |model, ctx, cache| {
             model.prefill(&prompt, cache, ctx)
@@ -573,6 +688,73 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
         let cost = sim.run_trace(&trace);
         self.prefill_cost = Some(cost);
         self.tokens.push(greedy(&logits));
+        trace
+    }
+
+    /// Whether the prefill (whole or chunked) has completed and the
+    /// first token has been sampled.
+    pub fn prefill_done(&self) -> bool {
+        self.prefill_cost.is_some()
+    }
+
+    /// Prompt tokens not yet prefilled (the whole prompt before any
+    /// prefill ran; zero once [`DecodeSession::prefill_done`]).
+    pub fn prefill_remaining(&self) -> usize {
+        if self.prefill_done() {
+            0
+        } else {
+            self.prompt.len() - self.prefill_fed
+        }
+    }
+
+    /// Feeds the next chunk of up to `chunk_tokens` prompt tokens —
+    /// the unit of *chunked prefill*, letting a scheduler interleave a
+    /// long prompt with decode steps of running sessions instead of
+    /// stalling them for the whole prompt pass. On the final chunk the
+    /// first token is sampled and the session's prefill cost becomes
+    /// the merged cost of every chunk; until then
+    /// [`DecodeSession::prefill_done`] stays false. Returns the chunk's
+    /// coalesced trace.
+    ///
+    /// For deterministic backends without per-tensor fake quantization
+    /// the sampled tokens are bit-identical to the unchunked
+    /// [`DecodeSession::prefill`] path; the *cost* legitimately differs
+    /// (smaller GEMMs plus prior-context KV re-reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero or the prefill already finished.
+    pub fn prefill_partial(
+        &mut self,
+        model: &DecoderLm,
+        sim: &Simulator,
+        chunk_tokens: usize,
+    ) -> Trace {
+        assert!(chunk_tokens > 0, "chunk must hold at least one token");
+        assert!(self.prefill_cost.is_none(), "prefill already ran");
+        let prompt = std::mem::take(&mut self.prompt);
+        let end = (self.prefill_fed + chunk_tokens).min(prompt.len());
+        let chunk = &prompt[self.prefill_fed..end];
+        let is_final = end == prompt.len();
+        let (out, trace) = self.recorded_pass(model, |model, ctx, cache| {
+            let h = model.prefill_chunk(chunk, cache, ctx);
+            if is_final {
+                model.logits_at_last(&h, ctx)
+            } else {
+                h
+            }
+        });
+        self.prompt = prompt;
+        self.prefill_fed = end;
+        let cost = sim.run_trace(&trace);
+        match &mut self.prefill_accum {
+            Some(acc) => acc.merge(&cost),
+            None => self.prefill_accum = Some(cost),
+        }
+        if is_final {
+            self.prefill_cost = self.prefill_accum.take();
+            self.tokens.push(greedy(&out));
+        }
         trace
     }
 
@@ -828,6 +1010,112 @@ mod tests {
             "incremental vs from-scratch logits diverged: {}",
             l1.max_abs_diff(&l1_scratch)
         );
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_whole_prompt_prefill() {
+        // The chunked-prefill contract: for a deterministic backend at
+        // fp32, feeding the prompt in any chunking yields the same
+        // first token, the same subsequent stream, and the same KV
+        // footprint as the one-shot prefill — bit for bit.
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let prompt: Vec<usize> = (0..17).map(|i| (i * 5 + 2) % 16).collect();
+        let run = |chunk: Option<usize>| {
+            let mut s = DecodeSession::new(
+                &m,
+                11,
+                prompt.clone(),
+                6,
+                NativeBackend,
+                SessionConfig::default(),
+            );
+            match chunk {
+                None => {
+                    s.prefill(&m, &sim);
+                }
+                Some(c) => {
+                    assert_eq!(s.prefill_remaining(), prompt.len());
+                    while !s.prefill_done() {
+                        s.prefill_partial(&m, &sim, c);
+                    }
+                    assert_eq!(s.prefill_remaining(), 0);
+                }
+            }
+            while !s.is_done() {
+                s.step(&m, &sim);
+            }
+            s.into_reply()
+        };
+        let whole = run(None);
+        for chunk in [1, 3, 4, 16, 17, 64] {
+            let chunked = run(Some(chunk));
+            assert_eq!(chunked.tokens, whole.tokens, "chunk {chunk}: tokens");
+            assert_eq!(chunked.steps, whole.steps, "chunk {chunk}: step costs");
+            assert_eq!(
+                chunked.kv_cache_bytes, whole.kv_cache_bytes,
+                "chunk {chunk}: KV footprint"
+            );
+        }
+        // A chunk >= the prompt records the same trace as the one-shot
+        // path bar the KvRead of prior context (there is none), so even
+        // the prefill cost agrees.
+        assert_eq!(run(Some(64)).prefill, whole.prefill);
+    }
+
+    #[test]
+    fn chunked_prefill_accumulates_cost_across_chunks() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut s = DecodeSession::new(
+            &m,
+            0,
+            vec![1, 2, 3, 4, 5, 6, 7],
+            2,
+            NativeBackend,
+            SessionConfig::default(),
+        );
+        let mut chunk_costs = RunReport::default();
+        while !s.prefill_done() {
+            let trace = s.prefill_partial(&m, &sim, 3);
+            chunk_costs.merge(&sim.run_trace(&trace));
+            assert!(s.tokens().len() <= 1, "no token before the final chunk");
+        }
+        let reply = {
+            while !s.is_done() {
+                s.step(&m, &sim);
+            }
+            s.into_reply()
+        };
+        assert_eq!(reply.prefill, chunk_costs, "prefill cost = sum of chunks");
+        assert!(reply.prefill.cycles > 0);
+    }
+
+    #[test]
+    fn analytic_prefill_trace_costs_exactly_like_the_recorded_pass() {
+        // The admission controller's deadline check rests on this:
+        // DecoderConfig::prefill_trace(t) replayed through the simulator
+        // equals the real unchunked prefill cost of any t-token prompt.
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        for t in [1usize, 2, 5, 13, 40] {
+            let mut s = DecodeSession::new(
+                &m,
+                0,
+                (0..t).map(|i| i % 16).collect(),
+                1,
+                NativeBackend,
+                SessionConfig::default(),
+            );
+            let recorded = s.prefill(&m, &sim);
+            let analytic = m.config().prefill_trace(t);
+            assert_eq!(
+                analytic.ops(),
+                recorded.ops(),
+                "analytic trace must match the recorded coalesced ops at t={t}"
+            );
+            assert_eq!(sim.run_trace(&analytic), sim.run_trace(&recorded));
+        }
     }
 
     #[test]

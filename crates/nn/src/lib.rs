@@ -74,6 +74,7 @@ pub use kv::{BlockPool, KvLayer, ModelKv, PagedKvCache, PreemptPolicy, PrefixInd
 pub use model::{TextClassifier, VisionTransformer};
 pub use quant::{IntegerQuant, QuantConfig};
 pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+pub use serve::lifecycle::{RequestLifecycle, RequestOutcome, ServingReport, SloFrontend};
 pub use serve::sched::{KvScheduler, KvServeConfig};
 pub use serve::{Reply, Request, ServeConfig, Server};
 pub use tensor::Tensor;

@@ -67,6 +67,21 @@ impl EncoderBlock {
         self.decode_pass(x, ctx, |attn, normed, ctx| attn.prefill(normed, cache, ctx))
     }
 
+    /// Causal prefill of one chunk of a prompt against this layer's KV
+    /// cache (`x: [t, dim]` holding the tokens at positions
+    /// `cache.context_len() ..`); see
+    /// [`MultiHeadAttention::prefill_chunk`].
+    pub fn prefill_chunk(
+        &self,
+        x: &Tensor,
+        cache: &mut dyn KvLayer,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        self.decode_pass(x, ctx, |attn, normed, ctx| {
+            attn.prefill_chunk(normed, cache, ctx)
+        })
+    }
+
     /// One single-token decode step against this layer's KV cache
     /// (`x: [1, dim]`, inference-only).
     pub fn decode_step(

@@ -47,6 +47,7 @@
 //! is deterministic.
 
 pub mod decode;
+pub mod lifecycle;
 pub mod sched;
 
 use crate::engine::BackendEngine;

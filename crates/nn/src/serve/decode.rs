@@ -75,6 +75,13 @@ pub struct DecodeServeConfig {
     /// every thread count. Default is sequential; read `LT_THREADS`
     /// with [`ThreadsConfig::from_env`].
     pub threads: ThreadsConfig,
+    /// Chunked-prefill size in prompt tokens: `0` (default) prefills a
+    /// whole prompt at admission; a positive chunk interleaves prefill
+    /// pieces with running sessions' decode steps, bounding how long a
+    /// long prompt can stall anyone else's next token (see
+    /// [`KvScheduler::with_prefill_chunk`]). Replies are bit-identical
+    /// either way for deterministic engines.
+    pub prefill_chunk_tokens: usize,
 }
 
 impl Default for DecodeServeConfig {
@@ -87,6 +94,7 @@ impl Default for DecodeServeConfig {
             arch: ArchConfig::lt_base(8),
             kv: KvServeConfig::default(),
             threads: ThreadsConfig::default(),
+            prefill_chunk_tokens: 0,
         }
     }
 }
@@ -354,7 +362,8 @@ fn worker_loop<B: ComputeBackend + Clone>(
         session_config,
         config.kv,
         config.max_active,
-    );
+    )
+    .with_prefill_chunk(config.prefill_chunk_tokens);
     let mut replies: HashMap<u64, Sender<DecodeReply>> = HashMap::new();
     // Scheduler counters already published to the shared totals.
     let (mut preempt_seen, mut resume_seen, mut prefix_seen) = (0u64, 0u64, 0u64);
@@ -376,17 +385,21 @@ fn worker_loop<B: ComputeBackend + Clone>(
         }
 
         if let Some(outcome) = sched.tick() {
-            let tick_cost = batched_tick_cost(&outcome.step_traces, &sim);
-            counters
-                .batched_cycles
-                .fetch_add(tick_cost.cycles, Ordering::Relaxed);
-            counters
-                .sequential_cycles
-                .fetch_add(outcome.sequential_cycles, Ordering::Relaxed);
-            counters
-                .decoded_tokens
-                .fetch_add(outcome.step_traces.len() as u64, Ordering::Relaxed);
-            counters.ticks.fetch_add(1, Ordering::Relaxed);
+            // Admission-only and prefill-only rounds (chunked mode)
+            // carry no decode steps — don't count them as batch ticks.
+            if !outcome.step_traces.is_empty() {
+                let tick_cost = batched_tick_cost(&outcome.step_traces, &sim);
+                counters
+                    .batched_cycles
+                    .fetch_add(tick_cost.cycles, Ordering::Relaxed);
+                counters
+                    .sequential_cycles
+                    .fetch_add(outcome.sequential_cycles, Ordering::Relaxed);
+                counters
+                    .decoded_tokens
+                    .fetch_add(outcome.step_traces.len() as u64, Ordering::Relaxed);
+                counters.ticks.fetch_add(1, Ordering::Relaxed);
+            }
         }
 
         let stats = sched.stats();

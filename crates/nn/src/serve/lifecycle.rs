@@ -1,0 +1,658 @@
+//! SLO-aware serving frontend: a deterministic, single-threaded event
+//! loop over the paged-KV scheduler that stamps every request's
+//! lifecycle — arrival, admission, prefill, token streaming,
+//! completion — in *simulated* accelerator time.
+//!
+//! The wall clock of a host running the simulator is noise; the
+//! latency that the paper's accelerator model predicts is signal. So
+//! the frontend drives one [`KvScheduler`] tick at a time, merges each
+//! tick's recorded traces ([`Trace::batch_rows`]) exactly like the
+//! threaded [`crate::serve::decode::DecodeServer`] does, replays the
+//! merged trace, and advances a [`CycleClock`] by the replayed latency.
+//! Every timestamp below — TTFT, inter-token gaps, completion — is an
+//! integer count of simulated **picoseconds** (the clock's native
+//! resolution; a tiny model's whole run can fit inside one
+//! microsecond), which makes the whole serving report bit-stable
+//! across hosts, thread counts, and reruns: it can be asserted in CI.
+//! Workload inputs (arrivals, deadlines) stay in microseconds at the
+//! [`lt_runtime::loadgen`] boundary and convert exactly
+//! (`1 us = 10^6 ps`).
+//!
+//! # Admission
+//!
+//! Arrivals enter a class-ordered [`BatchQueue`] via
+//! [`BatchQueue::submit_with_class`], so an
+//! [`SloClass::Interactive`] request overtakes waiting
+//! [`SloClass::Batch`] work while FIFO order is kept within a class. A
+//! request whose TTFT deadline is shorter than its prompt's *analytic
+//! minimum prefill latency* ([`DecoderConfig::prefill_trace`] replayed
+//! through the simulator — a lower bound that assumes zero queueing)
+//! can never be served in time and is rejected at arrival instead of
+//! wasting pool blocks to miss anyway.
+//!
+//! # Chunked prefill
+//!
+//! With [`DecodeServeConfig::prefill_chunk_tokens`] set, a long prompt
+//! prefills in bounded pieces interleaved with everyone else's decode
+//! steps (see [`KvScheduler::with_prefill_chunk`]), which caps the
+//! inter-token latency a burst of long prompts can inflict on a
+//! running session — `tests/serving_slo.rs` pins that bound, and pins
+//! the replies bit-identical to the unchunked path.
+
+use crate::decode::{DecoderConfig, DecoderLm, SessionConfig};
+use crate::serve::decode::{DecodeRequest, DecodeServeConfig};
+use crate::serve::sched::KvScheduler;
+use lt_arch::{CycleClock, Simulator};
+use lt_core::{ComputeBackend, Trace};
+use lt_runtime::loadgen::{GenRequest, LatencyStats};
+use lt_runtime::{BatchQueue, SloClass};
+use std::collections::{BTreeMap, HashMap};
+
+/// Picoseconds per microsecond (the loadgen/lifecycle unit boundary).
+const PS_PER_US: u64 = 1_000_000;
+
+/// Where a request ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Still in flight (only seen mid-run; a final report never holds it).
+    Pending,
+    /// Rejected at arrival: its TTFT deadline is below the prompt's
+    /// analytic minimum prefill latency, so serving it could only miss.
+    Rejected,
+    /// Failed in the scheduler (malformed prompt, or a prompt needing
+    /// more KV blocks than the whole pool).
+    Failed,
+    /// Served to completion.
+    Completed,
+}
+
+/// One request's stamped lifecycle, every timestamp in simulated
+/// picoseconds from trace start (tick-granular: events are stamped at
+/// the end of the scheduler tick that produced them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestLifecycle {
+    /// The request's id in the submitted trace.
+    pub id: usize,
+    /// Service class used for admission ordering.
+    pub class: SloClass,
+    /// TTFT deadline in **microseconds**, if the request carried one
+    /// (kept in the loadgen's unit).
+    pub ttft_deadline_us: Option<u64>,
+    /// When the request arrived (entered the admission queue).
+    pub arrival_ps: u64,
+    /// When the frontend moved it from the queue into the scheduler.
+    pub admitted_ps: Option<u64>,
+    /// When its first token was sampled (prefill completed).
+    pub first_token_ps: Option<u64>,
+    /// When its last token was sampled.
+    pub finished_ps: Option<u64>,
+    /// Gaps between consecutive generated tokens, in order.
+    pub itl_ps: Vec<u64>,
+    /// The generated tokens (empty unless [`RequestOutcome::Completed`]).
+    pub tokens: Vec<usize>,
+    /// Final disposition.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestLifecycle {
+    fn new(request: &GenRequest) -> Self {
+        RequestLifecycle {
+            id: request.id,
+            class: request.class,
+            ttft_deadline_us: request.ttft_deadline_us,
+            arrival_ps: request.arrival_us * PS_PER_US,
+            admitted_ps: None,
+            first_token_ps: None,
+            finished_ps: None,
+            itl_ps: Vec::new(),
+            tokens: Vec::new(),
+            outcome: RequestOutcome::Pending,
+        }
+    }
+
+    /// Time-to-first-token: first token stamp minus arrival.
+    pub fn ttft_ps(&self) -> Option<u64> {
+        self.first_token_ps.map(|t| t - self.arrival_ps)
+    }
+
+    /// Whether the first token landed within the deadline (a request
+    /// without a deadline trivially hits; one without a first token
+    /// trivially misses).
+    pub fn met_deadline(&self) -> bool {
+        match (self.ttft_deadline_us, self.ttft_ps()) {
+            (Some(deadline_us), Some(ttft_ps)) => ttft_ps <= deadline_us * PS_PER_US,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Aggregate serving metrics over one run — every field is a
+/// deterministic integer function of the workload and the model, so
+/// the whole struct can be compared against a committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingReport {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected at arrival (impossible deadline).
+    pub rejected: usize,
+    /// Requests that failed in the scheduler.
+    pub failed: usize,
+    /// Completed requests whose TTFT met their deadline (deadline-less
+    /// completions count as hits).
+    pub deadline_hits: usize,
+    /// Completed requests whose TTFT missed their deadline.
+    pub deadline_misses: usize,
+    /// TTFT percentiles over completed requests, picoseconds.
+    pub ttft_ps: LatencyStats,
+    /// Inter-token-latency percentiles over all completed requests'
+    /// token gaps, picoseconds.
+    pub itl_ps: LatencyStats,
+    /// Tokens generated by completed requests.
+    pub generated_tokens: u64,
+    /// Simulated picoseconds from trace start to last completion.
+    pub elapsed_ps: u64,
+    /// Generated tokens per simulated second (integer floor).
+    pub tokens_per_s: u64,
+    /// Tokens per simulated second counting only deadline-hitting
+    /// requests — the throughput that actually honored the SLO.
+    pub goodput_tokens_per_s: u64,
+    /// Scheduler preemptions during the run.
+    pub preemptions: u64,
+    /// Scheduler ticks that stepped at least one session.
+    pub ticks: u64,
+}
+
+/// The event-loop frontend. One instance runs one workload trace; see
+/// the [module docs](self).
+pub struct SloFrontend<'m, B: ComputeBackend + Clone> {
+    sched: KvScheduler<'m, B>,
+    sim: &'m Simulator,
+    model_config: DecoderConfig,
+    clock: CycleClock,
+    records: BTreeMap<usize, RequestLifecycle>,
+    ticket_of: HashMap<u64, usize>,
+    last_token_ps: HashMap<u64, u64>,
+    next_ticket: u64,
+    min_prefill_ps: BTreeMap<usize, u64>,
+}
+
+impl<B: ComputeBackend + Clone> std::fmt::Debug for SloFrontend<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloFrontend")
+            .field("now_ps", &self.clock.now_ps())
+            .field("in_flight", &self.ticket_of.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m, B: ComputeBackend + Clone> SloFrontend<'m, B> {
+    /// Builds a frontend over `model`, costed by `sim` (which must be
+    /// built from `config.arch`), running GEMMs through `backend`.
+    /// `config.workers` is ignored: the frontend is a single
+    /// deterministic event loop, which is what makes its latency
+    /// stamps CI-gateable.
+    pub fn new(
+        model: &'m DecoderLm,
+        sim: &'m Simulator,
+        backend: B,
+        config: &DecodeServeConfig,
+    ) -> Self {
+        let session_config = SessionConfig {
+            seed: config.seed,
+            quant: config.quant,
+            kv_bits: config.arch.precision_bits,
+        };
+        let sched = KvScheduler::new(
+            model,
+            sim,
+            backend,
+            session_config,
+            config.kv,
+            config.max_active,
+        )
+        .with_prefill_chunk(config.prefill_chunk_tokens);
+        SloFrontend {
+            sched,
+            sim,
+            model_config: model.config(),
+            clock: CycleClock::new(),
+            records: BTreeMap::new(),
+            ticket_of: HashMap::new(),
+            last_token_ps: HashMap::new(),
+            next_ticket: 0,
+            min_prefill_ps: BTreeMap::new(),
+        }
+    }
+
+    /// The analytic lower bound on a prompt's prefill latency in
+    /// picoseconds: [`DecoderConfig::prefill_trace`] replayed through
+    /// the simulator, memoized per prompt length.
+    fn min_prefill_ps(&mut self, prompt_len: usize) -> u64 {
+        if let Some(&ps) = self.min_prefill_ps.get(&prompt_len) {
+            return ps;
+        }
+        let trace = self.model_config.prefill_trace(prompt_len);
+        let report = self.sim.run_trace(&trace);
+        let ps = (report.latency.value() * 1e9).round() as u64;
+        self.min_prefill_ps.insert(prompt_len, ps);
+        ps
+    }
+
+    /// Whether `request`'s deadline is impossible even with zero
+    /// queueing — grounds for rejection at arrival. Prompts the
+    /// scheduler will fail anyway (empty, over-long) are not judged
+    /// here.
+    fn deadline_impossible(&mut self, request: &GenRequest) -> bool {
+        let len = request.prompt.len();
+        if len == 0 || len > self.model_config.max_seq {
+            return false;
+        }
+        match request.ttft_deadline_us {
+            Some(deadline_us) => {
+                (deadline_us as u128) * (PS_PER_US as u128) < self.min_prefill_ps(len) as u128
+            }
+            None => false,
+        }
+    }
+
+    /// Runs `requests` open-loop: each arrives at its own
+    /// `arrival_us`, regardless of how the server is keeping up.
+    /// Returns the per-request lifecycles (id order) and the aggregate
+    /// report.
+    pub fn run_open(mut self, requests: &[GenRequest]) -> (Vec<RequestLifecycle>, ServingReport) {
+        let mut order: Vec<&GenRequest> = requests.iter().collect();
+        order.sort_by_key(|r| (r.arrival_us, r.id));
+        let queue: BatchQueue<usize> = BatchQueue::new(self.sched_capacity());
+        let by_id: HashMap<usize, &GenRequest> = requests.iter().map(|r| (r.id, r)).collect();
+        let mut next_arrival = 0usize;
+        let mut queued = 0usize;
+        loop {
+            while next_arrival < order.len()
+                && order[next_arrival].arrival_us * PS_PER_US <= self.clock.now_ps()
+            {
+                let request = order[next_arrival];
+                next_arrival += 1;
+                self.arrive(request, &queue, &mut queued);
+            }
+            self.admit_from(&queue, &by_id, &mut queued);
+            if !self.advance_one_tick() {
+                if next_arrival < order.len() {
+                    // Idle: jump straight to the next arrival.
+                    self.clock.advance_to_us(order[next_arrival].arrival_us);
+                    continue;
+                }
+                if queued == 0 && !self.sched.has_work() {
+                    break;
+                }
+                // No progress possible (a stuck backlog can only mean a
+                // scheduler invariant broke): stop rather than spin.
+                break;
+            }
+            self.settle();
+        }
+        self.finish()
+    }
+
+    /// Runs `requests` closed-loop with `concurrency` synthetic users:
+    /// the first `concurrency` requests arrive immediately and each
+    /// completion (or failure) releases the next request in id order —
+    /// arrival timestamps in the trace are ignored.
+    pub fn run_closed(
+        mut self,
+        requests: &[GenRequest],
+        concurrency: usize,
+    ) -> (Vec<RequestLifecycle>, ServingReport) {
+        let concurrency = concurrency.max(1);
+        let mut order: Vec<&GenRequest> = requests.iter().collect();
+        order.sort_by_key(|r| r.id);
+        let queue: BatchQueue<usize> = BatchQueue::new(self.sched_capacity());
+        let by_id: HashMap<usize, &GenRequest> = requests.iter().map(|r| (r.id, r)).collect();
+        let mut next = 0usize;
+        let mut queued = 0usize;
+        let mut in_flight = 0usize;
+        loop {
+            while next < order.len() && in_flight < concurrency {
+                let request = order[next];
+                next += 1;
+                let before = queued;
+                self.arrive_at_now(request, &queue, &mut queued);
+                if queued > before {
+                    in_flight += 1;
+                }
+            }
+            self.admit_from(&queue, &by_id, &mut queued);
+            if !self.advance_one_tick() {
+                if queued == 0 && !self.sched.has_work() && next >= order.len() {
+                    break;
+                }
+                if queued == 0 && !self.sched.has_work() {
+                    continue; // release the next user(s)
+                }
+                break; // stuck backlog: stop rather than spin
+            }
+            let done = self.settle();
+            in_flight = in_flight.saturating_sub(done);
+        }
+        self.finish()
+    }
+
+    /// Queue capacity hint for the admission [`BatchQueue`].
+    fn sched_capacity(&self) -> usize {
+        self.sched.free_slots().max(1)
+    }
+
+    /// Registers an arrival stamped at its own trace timestamp.
+    fn arrive(&mut self, request: &GenRequest, queue: &BatchQueue<usize>, queued: &mut usize) {
+        let mut record = RequestLifecycle::new(request);
+        if self.deadline_impossible(request) {
+            record.outcome = RequestOutcome::Rejected;
+            self.records.insert(request.id, record);
+            return;
+        }
+        self.records.insert(request.id, record);
+        queue.submit_with_class(request.id, request.class);
+        *queued += 1;
+    }
+
+    /// Registers an arrival stamped *now* (closed loop).
+    fn arrive_at_now(
+        &mut self,
+        request: &GenRequest,
+        queue: &BatchQueue<usize>,
+        queued: &mut usize,
+    ) {
+        let mut record = RequestLifecycle::new(request);
+        record.arrival_ps = self.clock.now_ps();
+        if self.deadline_impossible(request) {
+            record.outcome = RequestOutcome::Rejected;
+            self.records.insert(request.id, record);
+            return;
+        }
+        self.records.insert(request.id, record);
+        queue.submit_with_class(request.id, request.class);
+        *queued += 1;
+    }
+
+    /// Moves queued requests into the scheduler, class-priority first,
+    /// up to the scheduler's free in-flight slots.
+    fn admit_from(
+        &mut self,
+        queue: &BatchQueue<usize>,
+        by_id: &HashMap<usize, &GenRequest>,
+        queued: &mut usize,
+    ) {
+        let slots = self.sched.free_slots();
+        if slots == 0 || *queued == 0 {
+            return;
+        }
+        let Some(batch) = queue.try_take(slots) else {
+            return;
+        };
+        let now = self.clock.now_ps();
+        for (_, id) in batch {
+            *queued -= 1;
+            let request = by_id[&id];
+            // Fresh monotonic scheduler tickets in admission order keep
+            // the scheduler's ticket-ordering invariants intact even
+            // though classes reorder the queue.
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            self.ticket_of.insert(ticket, id);
+            self.records.get_mut(&id).expect("arrived").admitted_ps = Some(now);
+            self.sched.submit(
+                ticket,
+                DecodeRequest {
+                    prompt: request.prompt.clone(),
+                    max_new_tokens: request.max_new_tokens,
+                },
+            );
+        }
+    }
+
+    /// One scheduler tick: advances the clock by the merged tick
+    /// trace's replayed latency and stamps first-token / inter-token
+    /// boundaries. Returns whether the scheduler did anything.
+    fn advance_one_tick(&mut self) -> bool {
+        let Some(outcome) = self.sched.tick() else {
+            return false;
+        };
+        if !outcome.prefill_traces.is_empty() || !outcome.step_traces.is_empty() {
+            let merged = Trace::batch_rows(
+                outcome
+                    .prefill_traces
+                    .iter()
+                    .chain(outcome.step_traces.iter()),
+            )
+            .coalesce();
+            let cost = self.sim.run_trace(&merged);
+            self.clock.advance(&cost);
+        }
+        let now = self.clock.now_ps();
+        for ticket in outcome.first_tokens {
+            let id = self.ticket_of[&ticket];
+            let record = self.records.get_mut(&id).expect("admitted");
+            record.first_token_ps = Some(now);
+            self.last_token_ps.insert(ticket, now);
+        }
+        for ticket in outcome.stepped {
+            let id = self.ticket_of[&ticket];
+            let last = self
+                .last_token_ps
+                .insert(ticket, now)
+                .expect("first token stamped");
+            self.records
+                .get_mut(&id)
+                .expect("admitted")
+                .itl_ps
+                .push(now - last);
+        }
+        true
+    }
+
+    /// Retires finished and failed requests; returns how many left the
+    /// system.
+    fn settle(&mut self) -> usize {
+        let now = self.clock.now_ps();
+        let mut done = 0;
+        for (ticket, reply) in self.sched.drain_finished() {
+            let id = self.ticket_of.remove(&ticket).expect("admitted");
+            self.last_token_ps.remove(&ticket);
+            let record = self.records.get_mut(&id).expect("admitted");
+            record.finished_ps = Some(now);
+            record.tokens = reply.tokens;
+            record.outcome = RequestOutcome::Completed;
+            done += 1;
+        }
+        for ticket in self.sched.drain_failed() {
+            let id = self.ticket_of.remove(&ticket).expect("admitted");
+            self.last_token_ps.remove(&ticket);
+            self.records.get_mut(&id).expect("admitted").outcome = RequestOutcome::Failed;
+            done += 1;
+        }
+        done
+    }
+
+    /// Final sweep and aggregation.
+    fn finish(mut self) -> (Vec<RequestLifecycle>, ServingReport) {
+        self.settle();
+        let stats = self.sched.stats().clone();
+        let records: Vec<RequestLifecycle> = self.records.into_values().collect();
+        let mut report = ServingReport {
+            requests: records.len(),
+            completed: 0,
+            rejected: 0,
+            failed: 0,
+            deadline_hits: 0,
+            deadline_misses: 0,
+            ttft_ps: LatencyStats::default(),
+            itl_ps: LatencyStats::default(),
+            generated_tokens: 0,
+            elapsed_ps: self.clock.now_ps(),
+            tokens_per_s: 0,
+            goodput_tokens_per_s: 0,
+            preemptions: stats.preemptions,
+            ticks: stats.ticks,
+        };
+        let mut ttfts = Vec::new();
+        let mut itls = Vec::new();
+        let mut good_tokens = 0u64;
+        for record in &records {
+            match record.outcome {
+                RequestOutcome::Completed => {
+                    report.completed += 1;
+                    report.generated_tokens += record.tokens.len() as u64;
+                    if record.met_deadline() {
+                        report.deadline_hits += 1;
+                        good_tokens += record.tokens.len() as u64;
+                    } else {
+                        report.deadline_misses += 1;
+                    }
+                    if let Some(ttft) = record.ttft_ps() {
+                        ttfts.push(ttft);
+                    }
+                    itls.extend_from_slice(&record.itl_ps);
+                }
+                RequestOutcome::Rejected => report.rejected += 1,
+                _ => report.failed += 1,
+            }
+        }
+        report.ttft_ps = LatencyStats::from_samples(&ttfts);
+        report.itl_ps = LatencyStats::from_samples(&itls);
+        // 1 s = 10^12 ps; u128 keeps token * 10^12 from overflowing.
+        let elapsed = report.elapsed_ps.max(1) as u128;
+        report.tokens_per_s =
+            ((report.generated_tokens as u128 * 1_000_000_000_000) / elapsed) as u64;
+        report.goodput_tokens_per_s = ((good_tokens as u128 * 1_000_000_000_000) / elapsed) as u64;
+        (records, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::sched::KvServeConfig;
+    use lt_core::{GaussianSampler, NativeBackend};
+    use lt_runtime::loadgen::LoadgenConfig;
+
+    fn model() -> DecoderLm {
+        let mut rng = GaussianSampler::new(5);
+        DecoderLm::new(DecoderConfig::tiny(), &mut rng)
+    }
+
+    fn config() -> DecodeServeConfig {
+        DecodeServeConfig {
+            max_active: 4,
+            kv: KvServeConfig {
+                block_tokens: 4,
+                pool_blocks: 64,
+                ..KvServeConfig::default()
+            },
+            ..DecodeServeConfig::default()
+        }
+    }
+
+    fn request(id: usize, arrival_us: u64, class: SloClass, deadline: Option<u64>) -> GenRequest {
+        GenRequest {
+            id,
+            arrival_us,
+            prompt: vec![1, 2, 3, 4, 5],
+            max_new_tokens: 3,
+            class,
+            ttft_deadline_us: deadline,
+        }
+    }
+
+    #[test]
+    fn an_open_loop_run_is_deterministic_and_serves_everyone() {
+        let m = model();
+        let cfg = config();
+        let sim = Simulator::new(cfg.arch.clone());
+        let requests = LoadgenConfig::smoke(11, 10).generate();
+        let (rec_a, rep_a) = SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_open(&requests);
+        let (rec_b, rep_b) = SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_open(&requests);
+        assert_eq!(rep_a, rep_b, "same workload, same simulated metrics");
+        assert_eq!(rec_a, rec_b, "same workload, same lifecycles");
+        assert_eq!(rec_a.len(), 10);
+        assert_eq!(rep_a.requests, 10);
+        assert_eq!(rep_a.completed + rep_a.rejected + rep_a.failed, 10);
+        assert!(rep_a.completed > 0, "the smoke workload must mostly serve");
+        for r in &rec_a {
+            if r.outcome == RequestOutcome::Completed {
+                let admitted = r.admitted_ps.expect("completed implies admitted");
+                let first = r.first_token_ps.expect("completed implies first token");
+                let finished = r.finished_ps.expect("completed implies finished");
+                assert!(admitted >= r.arrival_ps);
+                assert!(first >= admitted);
+                assert!(finished >= first);
+                assert_eq!(
+                    r.itl_ps.len() + 1,
+                    r.tokens.len(),
+                    "one gap per token after the first"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_deadlines_are_rejected_at_arrival() {
+        let m = model();
+        let cfg = config();
+        let sim = Simulator::new(cfg.arch.clone());
+        let requests = vec![
+            request(0, 0, SloClass::Interactive, Some(0)), // can never prefill in 0 us
+            request(1, 0, SloClass::Interactive, Some(10_000_000)),
+        ];
+        let (records, report) = SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_open(&requests);
+        assert_eq!(records[0].outcome, RequestOutcome::Rejected);
+        assert_eq!(records[0].admitted_ps, None, "rejected before admission");
+        assert_eq!(records[1].outcome, RequestOutcome::Completed);
+        assert!(records[1].met_deadline());
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.deadline_hits, 1);
+    }
+
+    #[test]
+    fn interactive_arrivals_overtake_waiting_batch_work() {
+        let m = model();
+        let mut cfg = config();
+        cfg.max_active = 1; // serialize admissions so queue order is visible
+        let sim = Simulator::new(cfg.arch.clone());
+        let requests = vec![
+            request(0, 0, SloClass::Batch, None),
+            request(1, 0, SloClass::Batch, None),
+            request(2, 0, SloClass::Interactive, None),
+        ];
+        let (records, report) = SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_open(&requests);
+        assert_eq!(report.completed, 3);
+        let admitted = |id: usize| records[id].admitted_ps.expect("all complete");
+        assert!(
+            admitted(2) <= admitted(0) && admitted(0) <= admitted(1),
+            "interactive jumps both batch requests; batch stays FIFO"
+        );
+    }
+
+    #[test]
+    fn a_closed_loop_run_serves_the_whole_trace() {
+        let m = model();
+        let cfg = config();
+        let sim = Simulator::new(cfg.arch.clone());
+        let requests = LoadgenConfig::smoke(3, 8).generate();
+        let (records, report) =
+            SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_closed(&requests, 2);
+        assert_eq!(records.len(), 8);
+        assert_eq!(report.completed + report.rejected + report.failed, 8);
+        assert!(report.completed > 0);
+        assert!(report.elapsed_ps > 0);
+        assert!(report.tokens_per_s > 0);
+        // Closed loop re-stamps arrivals: they never precede trace start.
+        for r in &records {
+            if let Some(admitted) = r.admitted_ps {
+                assert!(admitted >= r.arrival_ps);
+            }
+        }
+    }
+}

@@ -150,19 +150,40 @@ pub struct KvSchedStats {
 }
 
 /// What one [`KvScheduler::tick`] did: the per-session step traces (for
-/// batched tick costing) and the same steps' one-at-a-time cycles.
+/// batched tick costing), the prefill work the tick carried (admission
+/// prefills and chunked-prefill pieces), the same steps' one-at-a-time
+/// cycles, and which tickets crossed a lifecycle boundary — everything
+/// a serving frontend needs to stamp per-request TTFT and inter-token
+/// latency on a simulated clock.
 #[derive(Debug)]
 pub struct TickOutcome {
-    /// One recorded step trace per resident session, ticket order.
+    /// One recorded decode-step trace per stepped session, ticket order
+    /// (aligned with [`TickOutcome::stepped`]).
     pub step_traces: Vec<Trace>,
+    /// Prefill traces this tick executed: whole-prompt admission
+    /// prefills, then chunk pieces of still-prefilling sessions, in
+    /// execution order.
+    pub prefill_traces: Vec<Trace>,
     /// Sum of the steps' individually replayed cycles (the batch-1
     /// comparison basis).
     pub sequential_cycles: u64,
+    /// Tickets admitted this tick (session created, prefill started).
+    pub admitted: Vec<u64>,
+    /// Tickets whose *first token* was sampled this tick (prefill
+    /// completed) — the TTFT boundary.
+    pub first_tokens: Vec<u64>,
+    /// Tickets that ran a decode step this tick — each an inter-token
+    /// latency boundary (aligned with [`TickOutcome::step_traces`]).
+    pub stepped: Vec<u64>,
 }
 
 struct Entry<B: ComputeBackend + Clone> {
     session: DecodeSession<B>,
 }
+
+/// What [`KvScheduler::admit_one`] yields: the resident entry plus, in
+/// unchunked mode, the admission prefill's recorded trace.
+type AdmitEntry<B> = (Entry<B>, Option<Trace>);
 
 /// The per-worker paged-KV decode scheduler. See the [module
 /// docs](self).
@@ -172,6 +193,9 @@ pub struct KvScheduler<'m, B: ComputeBackend + Clone> {
     backend: B,
     session_config: SessionConfig,
     preempt: PreemptPolicy,
+    /// Chunked-prefill size in tokens; `0` = whole-prompt prefill at
+    /// admission (the original behavior).
+    prefill_chunk: usize,
     pool: BlockPool,
     prefix: Option<PrefixIndex>,
     max_active: usize,
@@ -214,6 +238,7 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             backend,
             session_config,
             preempt: kv.preempt,
+            prefill_chunk: 0,
             pool: BlockPool::new(blocks, cfg.layers, cfg.dim, kv.block_tokens),
             prefix: kv.prefix_sharing.then(PrefixIndex::new),
             max_active: max_active.max(1),
@@ -224,6 +249,27 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             failed: Vec::new(),
             stats: KvSchedStats::default(),
         }
+    }
+
+    /// Enables chunked prefill: admission feeds at most `chunk_tokens`
+    /// prompt tokens, and each subsequent tick advances every
+    /// still-prefilling session by one more chunk *alongside* the
+    /// decode steps of running sessions — so a long prompt costs any
+    /// running session at most one chunk of extra latency per token
+    /// instead of its whole prefill. `0` restores whole-prompt prefill
+    /// at admission.
+    ///
+    /// For deterministic backends without per-tensor fake quantization,
+    /// replies are bit-identical to the unchunked path (see
+    /// [`DecoderLm::prefill_chunk`]); only the latency schedule changes.
+    pub fn with_prefill_chunk(mut self, chunk_tokens: usize) -> Self {
+        self.prefill_chunk = chunk_tokens;
+        self
+    }
+
+    /// The configured chunked-prefill size (`0` = unchunked).
+    pub fn prefill_chunk(&self) -> usize {
+        self.prefill_chunk
     }
 
     /// The scheduler's block pool.
@@ -266,13 +312,14 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
     }
 
     /// One scheduling round: resume, admit, reserve (preempting if the
-    /// pool cannot cover every resident session's next token), step
-    /// every resident session, retire the finished. Returns `None` if
-    /// nothing was resident to step.
+    /// pool cannot cover every resident session's next work), then
+    /// advance every resident session — still-prefilling sessions by
+    /// one chunk, running sessions by one decode step — and retire the
+    /// finished. Returns `None` if nothing was admitted or resident.
     pub fn tick(&mut self) -> Option<TickOutcome> {
         self.resume_paused();
-        self.admit();
-        if self.active.is_empty() {
+        let (admitted, mut prefill_traces, mut first_tokens) = self.admit();
+        if self.active.is_empty() && admitted.is_empty() {
             return None;
         }
         self.stats.peak_resident_sessions =
@@ -280,15 +327,33 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
         self.reserve_for_step();
 
         let mut step_traces = Vec::with_capacity(self.active.len());
+        let mut stepped = Vec::with_capacity(self.active.len());
         let mut sequential_cycles = 0;
         for entry in self.active.iter_mut() {
-            step_traces.push(entry.session.step(self.model, self.sim));
-            if let Some(cost) = entry.session.last_step_cost() {
-                sequential_cycles += cost.cycles;
+            let ticket = entry.session.ticket();
+            if !entry.session.prefill_done() {
+                // Chunked prefill: one bounded piece this tick, so the
+                // decode steps below never wait out a whole prompt.
+                prefill_traces.push(entry.session.prefill_partial(
+                    self.model,
+                    self.sim,
+                    self.prefill_chunk,
+                ));
+                if entry.session.prefill_done() {
+                    first_tokens.push(ticket);
+                }
+            } else {
+                step_traces.push(entry.session.step(self.model, self.sim));
+                stepped.push(ticket);
+                if let Some(cost) = entry.session.last_step_cost() {
+                    sequential_cycles += cost.cycles;
+                }
             }
         }
         self.stats.decoded_tokens += step_traces.len() as u64;
-        self.stats.ticks += 1;
+        if !step_traces.is_empty() {
+            self.stats.ticks += 1;
+        }
 
         let mut i = 0;
         while i < self.active.len() {
@@ -302,8 +367,22 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
         }
         Some(TickOutcome {
             step_traces,
+            prefill_traces,
             sequential_cycles,
+            admitted,
+            first_tokens,
+            stepped,
         })
+    }
+
+    /// Tokens the pool must absorb when `entry` next runs: one decode
+    /// token for a running session, the next chunk for a prefilling one.
+    fn next_tokens(&self, entry: &Entry<B>) -> usize {
+        if entry.session.prefill_done() {
+            1
+        } else {
+            entry.session.prefill_remaining().min(self.prefill_chunk)
+        }
     }
 
     /// Blocks a paused session needs to become resident again (restore
@@ -313,13 +392,24 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             .session
             .paged_kv()
             .expect("scheduler sessions are paged");
+        let pending = self.next_tokens(entry);
         if kv.is_swapped() {
-            kv.blocks_needed(1)
+            kv.blocks_needed(pending)
         } else {
             // Recompute: the cache is empty; the resume re-prefills
-            // everything fed so far, then the tick appends one token.
-            let fed = entry.session.prompt().len() + entry.session.tokens().len() - 1;
-            (fed + 1).div_ceil(self.pool.block_tokens())
+            // everything fed so far, then the tick appends its next work.
+            (self.fed_tokens(entry) + pending).div_ceil(self.pool.block_tokens())
+        }
+    }
+
+    /// Tokens already in (or owed to) `entry`'s KV cache: the full
+    /// context for a running session, the chunks fed so far for a
+    /// still-prefilling one.
+    fn fed_tokens(&self, entry: &Entry<B>) -> usize {
+        if entry.session.prefill_done() {
+            entry.session.prompt().len() + entry.session.tokens().len() - 1
+        } else {
+            entry.session.prompt().len() - entry.session.prefill_remaining()
         }
     }
 
@@ -340,8 +430,10 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
                     self.stats.swapped_in_elems += moved;
                 }
                 PreemptPolicy::Recompute => {
-                    let fed = entry.session.prompt().len() + entry.session.tokens().len() - 1;
-                    entry.session.resume_by_recompute(self.model);
+                    let fed = self.fed_tokens(&entry);
+                    if fed > 0 {
+                        entry.session.resume_by_recompute(self.model);
+                    }
                     self.stats.recompute_tokens += fed as u64;
                 }
             }
@@ -351,7 +443,10 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
         }
     }
 
-    fn admit(&mut self) {
+    fn admit(&mut self) -> (Vec<u64>, Vec<Trace>, Vec<u64>) {
+        let mut admitted = Vec::new();
+        let mut prefill_traces = Vec::new();
+        let mut first_tokens = Vec::new();
         while self.active.len() + self.paused.len() < self.max_active {
             let Some((_, request)) = self.backlog.front() else {
                 break;
@@ -370,8 +465,15 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             }
             let (ticket, request) = self.backlog.pop_front().expect("front exists");
             match self.admit_one(ticket, request) {
-                Ok(entry) => {
+                Ok((entry, trace)) => {
                     self.stats.admitted += 1;
+                    admitted.push(ticket);
+                    if let Some(trace) = trace {
+                        // Unchunked: admission ran the whole prefill and
+                        // sampled the first token right here.
+                        prefill_traces.push(trace);
+                        first_tokens.push(ticket);
+                    }
                     if entry.session.is_done() {
                         self.finished
                             .push((entry.session.ticket(), entry.session.into_reply()));
@@ -383,18 +485,29 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
                 Err(()) => self.failed.push(ticket),
             }
         }
+        (admitted, prefill_traces, first_tokens)
     }
 
-    /// Builds and prefills one session; a panic (empty prompt, context
-    /// overflow, out-of-vocabulary token) is contained — the unwound
-    /// cache's `Drop` releases every block it held, borrowed prefix
-    /// blocks included, so a malformed request cannot leak pool memory.
-    fn admit_one(&mut self, ticket: u64, request: DecodeRequest) -> Result<Entry<B>, ()> {
+    /// Builds one session and — in unchunked mode — runs its whole
+    /// prefill, returning the recorded trace. A panic (empty prompt,
+    /// context overflow, out-of-vocabulary token) is contained — the
+    /// unwound cache's `Drop` releases every block it held, borrowed
+    /// prefix blocks included, so a malformed request cannot leak pool
+    /// memory. In chunked mode the session is only *validated and
+    /// created* here (no trace); [`KvScheduler::tick`]'s step phase
+    /// feeds its chunks, and prefix sharing is bypassed because a
+    /// borrowed prefix would desynchronize the chunk cursor from the
+    /// cache length.
+    fn admit_one(&mut self, ticket: u64, request: DecodeRequest) -> Result<AdmitEntry<B>, ()> {
         let cfg = self.model.config();
-        let shared = self
-            .prefix
-            .as_mut()
-            .and_then(|index| index.lookup(&self.pool, &request.prompt));
+        let chunked = self.prefill_chunk > 0;
+        let shared = if chunked {
+            None
+        } else {
+            self.prefix
+                .as_mut()
+                .and_then(|index| index.lookup(&self.pool, &request.prompt))
+        };
         let shared_stats = shared.as_ref().map(|p| (p.num_blocks(), p.tokens()));
         let model = self.model;
         let sim = self.sim;
@@ -402,6 +515,14 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
         let session_config = self.session_config;
         let pool = self.pool.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            if chunked {
+                // Later chunks run outside this catch_unwind, so reject
+                // out-of-vocabulary tokens up front.
+                assert!(
+                    request.prompt.iter().all(|&t| t < cfg.vocab),
+                    "prompt token out of vocabulary"
+                );
+            }
             let cache = match shared {
                 Some(prefix) => {
                     PagedKvCache::with_shared_prefix(&pool, cfg.layers, cfg.dim, prefix)
@@ -417,24 +538,26 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
                 session_config,
                 cache,
             );
-            session.prefill(model, sim);
-            session
+            let trace = (!chunked).then(|| session.prefill(model, sim));
+            (session, trace)
         }));
         match outcome {
-            Ok(session) => {
+            Ok((session, trace)) => {
                 if let Some((blocks, tokens)) = shared_stats {
                     self.stats.prefix_hits += 1;
                     self.stats.prefix_shared_blocks += blocks as u64;
                     self.stats.prefix_shared_tokens += tokens as u64;
                 }
-                if let Some(index) = self.prefix.as_mut() {
-                    let refs = session
-                        .paged_kv()
-                        .expect("scheduler sessions are paged")
-                        .block_refs(session.prompt().len());
-                    index.register(session.prompt(), refs);
+                if !chunked {
+                    if let Some(index) = self.prefix.as_mut() {
+                        let refs = session
+                            .paged_kv()
+                            .expect("scheduler sessions are paged")
+                            .block_refs(session.prompt().len());
+                        index.register(session.prompt(), refs);
+                    }
                 }
-                Ok(Entry { session })
+                Ok((Entry { session }, trace))
             }
             Err(_) => Err(()),
         }
@@ -452,7 +575,7 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
                     e.session
                         .paged_kv()
                         .expect("scheduler sessions are paged")
-                        .blocks_needed(1)
+                        .blocks_needed(self.next_tokens(e))
                 })
                 .sum();
             if need <= self.pool.free_blocks() {
@@ -593,6 +716,183 @@ mod tests {
             );
         }
         assert_eq!(sched.pool().used_blocks(), 0, "all blocks returned");
+    }
+
+    fn run_requests(
+        chunk: usize,
+        kv: KvServeConfig,
+        max_active: usize,
+        requests: &[(Vec<usize>, usize)],
+    ) -> (Vec<(u64, DecodeReply)>, KvSchedStats) {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut sched = KvScheduler::new(
+            &m,
+            &sim,
+            NativeBackend,
+            SessionConfig::default(),
+            kv,
+            max_active,
+        )
+        .with_prefill_chunk(chunk);
+        for (t, (prompt, max_new)) in requests.iter().enumerate() {
+            sched.submit(
+                t as u64,
+                DecodeRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: *max_new,
+                },
+            );
+        }
+        let replies = run_to_completion(&mut sched);
+        (replies, sched.stats().clone())
+    }
+
+    #[test]
+    fn chunked_prefill_replies_are_bit_identical_to_unchunked() {
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let requests: Vec<(Vec<usize>, usize)> = (0..5)
+            .map(|i| {
+                (
+                    (0..(7 + 5 * i)).map(|t| (t * 3 + i) % 16).collect(),
+                    3 + i % 4,
+                )
+            })
+            .collect();
+        let (whole, _) = run_requests(0, kv, 4, &requests);
+        for chunk in [1, 3, 16] {
+            let (chunked, stats) = run_requests(chunk, kv, 4, &requests);
+            assert_eq!(chunked.len(), whole.len());
+            for ((t_a, a), (t_b, b)) in whole.iter().zip(&chunked) {
+                assert_eq!(t_a, t_b);
+                assert_eq!(
+                    a.tokens, b.tokens,
+                    "chunk={chunk} changed ticket {t_a}'s reply"
+                );
+                assert_eq!(a.kv_cache_bytes, b.kv_cache_bytes);
+            }
+            assert_eq!(stats.admitted, requests.len() as u64);
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_interleaves_decode_steps_with_a_long_prompt() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let mut sched = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 4)
+            .with_prefill_chunk(2);
+        // A short request gets running first…
+        sched.submit(
+            0,
+            DecodeRequest {
+                prompt: vec![1, 2, 3],
+                max_new_tokens: 24,
+            },
+        );
+        let first = sched.tick().expect("admission tick");
+        assert_eq!(first.admitted, vec![0]);
+        assert!(
+            first.first_tokens.contains(&0) || !first.prefill_traces.is_empty(),
+            "admission starts prefilling"
+        );
+        while !sched
+            .tick()
+            .expect("work remains")
+            .first_tokens
+            .contains(&0)
+        {}
+        // …then a 10x-longer prompt arrives mid-stream.
+        sched.submit(
+            1,
+            DecodeRequest {
+                prompt: (0..30).map(|t| t % 16).collect(),
+                max_new_tokens: 2,
+            },
+        );
+        let mut prefill_ticks = 0;
+        loop {
+            let out = sched.tick().expect("work remains");
+            if out.first_tokens.contains(&1) {
+                break;
+            }
+            if out.admitted.contains(&1) || !out.prefill_traces.is_empty() {
+                prefill_ticks += 1;
+                assert!(
+                    out.stepped.contains(&0),
+                    "session 0 must keep stepping while session 1 prefills in chunks"
+                );
+            }
+        }
+        assert!(
+            prefill_ticks >= 10,
+            "a 30-token prompt at chunk 2 needs >= 15 pieces, saw {prefill_ticks} ticks"
+        );
+        let replies = run_to_completion(&mut sched);
+        assert_eq!(replies.len(), 2);
+    }
+
+    #[test]
+    fn a_starved_pool_recovers_mid_prefill_sessions_under_both_policies() {
+        for preempt in [PreemptPolicy::SwapOut, PreemptPolicy::Recompute] {
+            let kv = KvServeConfig {
+                block_tokens: 4,
+                pool_blocks: 13,
+                preempt,
+                ..KvServeConfig::default()
+            };
+            let requests: Vec<(Vec<usize>, usize)> = (0..6)
+                .map(|i| ((0..20).map(|t| (t + i) % 16).collect(), 4))
+                .collect();
+            let (whole, _) = run_requests(0, kv, 6, &requests);
+            let (chunked, stats) = run_requests(3, kv, 6, &requests);
+            assert!(stats.preemptions > 0, "{preempt:?}: pool must run dry");
+            assert_eq!(whole.len(), 6);
+            assert_eq!(chunked.len(), 6);
+            for ((_, a), (_, b)) in whole.iter().zip(&chunked) {
+                assert_eq!(a.tokens, b.tokens, "{preempt:?} broke chunked replies");
+            }
+        }
+    }
+
+    #[test]
+    fn a_malformed_request_fails_cleanly_in_chunked_mode() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let mut sched = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 4)
+            .with_prefill_chunk(2);
+        sched.submit(
+            0,
+            DecodeRequest {
+                prompt: vec![1, usize::MAX, 2], // out of vocabulary
+                max_new_tokens: 4,
+            },
+        );
+        sched.submit(
+            1,
+            DecodeRequest {
+                prompt: vec![1, 2, 3, 4, 5],
+                max_new_tokens: 4,
+            },
+        );
+        let replies = run_to_completion(&mut sched);
+        assert_eq!(sched.drain_failed(), vec![0]);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, 1);
+        assert_eq!(sched.pool().used_blocks(), 0, "no leaked blocks");
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! serving_slo — the SLO-aware serving frontend under a seeded load.
+//!
+//! Runs the `repro serve` scenario: an open-loop bursty mixed-class
+//! workload (`lt_runtime::loadgen`, seed 29) through the deterministic
+//! event-loop frontend (`SloFrontend`), once with whole-prompt prefill
+//! and once with chunked prefill, then prints the TTFT / inter-token
+//! latency percentile table. Every number is simulated accelerator
+//! time, so the run is bit-identical across hosts and thread counts —
+//! CI replays it and gates the `serving` section of `BENCH_repro.json`
+//! on the same values.
+//!
+//! ```sh
+//! cargo run --release --example serving_slo
+//! LT_SERVE_SLO_REQUESTS=32 cargo run --release --example serving_slo
+//! ```
+
+use lt_bench::experiments::serving;
+
+fn total_requests() -> usize {
+    std::env::var("LT_SERVE_SLO_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+        .max(1)
+}
+
+fn main() {
+    let requests = total_requests();
+    println!("== SLO serving frontend ({requests} requests; LT_SERVE_SLO_REQUESTS to vary) ==\n");
+    let report = serving::measure(requests);
+    print!("{}", serving::render(&report));
+
+    // The scenario is a pure function of (seed, request count): a
+    // second run must reproduce every metric bit for bit.
+    let again = serving::measure(requests);
+    assert_eq!(report.unchunked, again.unchunked, "unchunked run drifted");
+    assert_eq!(report.chunked, again.chunked, "chunked run drifted");
+
+    // And the accounting must close: every request ends somewhere.
+    for r in [&report.unchunked, &report.chunked] {
+        assert_eq!(r.completed + r.rejected + r.failed, requests);
+        assert_eq!(r.deadline_hits + r.deadline_misses, r.completed);
+    }
+    println!("\nok: rerun is bit-identical and every request is accounted for");
+}
