@@ -483,6 +483,38 @@ mod tests {
     }
 
     #[test]
+    fn schema8_speculation_fields_are_gated_with_no_exemptions() {
+        // The speculation sweep runs the exact backend on fixed seeds:
+        // every cycles-per-token figure, acceptance rate, and the
+        // headline reduction is modeled and deterministic. Drift means
+        // the speculative execution, the verify costing, or the
+        // rollback accounting changed behavior.
+        const SPEC_DOC: &str = r#"{ "speculation": { "taper_gain": 0.25,
+          "batch1": [ { "k": 4, "target_cycles_per_token": 31000.0,
+            "draft_cycles_per_token": 16000.0, "acceptance_rate": 0.41,
+            "bandwidth_stall_frac": 0.8 } ],
+          "b1_k4_target_reduction": 2.6 } }"#;
+        for (field, drifted) in [
+            (
+                "target_cycles_per_token",
+                SPEC_DOC.replace("31000.0", "62000.0"),
+            ),
+            (
+                "draft_cycles_per_token",
+                SPEC_DOC.replace("16000.0", "1600.0"),
+            ),
+            ("acceptance_rate", SPEC_DOC.replace("0.41", "0.11")),
+            ("b1_k4_target_reduction", SPEC_DOC.replace("2.6", "1.1")),
+        ] {
+            let report = compare(SPEC_DOC, &drifted, 0.005).unwrap();
+            assert!(
+                report.iter().any(|d| d.contains(field)),
+                "{field} drift must be reported: {report:?}"
+            );
+        }
+    }
+
+    #[test]
     fn the_real_snapshot_flattens() {
         let json = crate::bench_repro_json();
         let flat = flatten(&json).unwrap();
@@ -542,6 +574,19 @@ mod tests {
             assert!(
                 flat.iter().any(|(k, _)| k == serving_field),
                 "missing {serving_field}"
+            );
+        }
+        for spec_field in [
+            "speculation.taper_gain",
+            "speculation.batch1[0].k",
+            "speculation.batch1[2].target_cycles_per_token",
+            "speculation.batch1[2].draft_cycles_per_token",
+            "speculation.batch8[3].acceptance_rate",
+            "speculation.b1_k4_target_reduction",
+        ] {
+            assert!(
+                flat.iter().any(|(k, _)| k == spec_field),
+                "missing {spec_field}"
             );
         }
         // And a regenerated snapshot passes its own gate on the

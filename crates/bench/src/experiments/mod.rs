@@ -8,6 +8,7 @@ pub mod extensions;
 pub mod kv;
 pub mod serving;
 pub mod sparse;
+pub mod spec;
 pub mod system_level;
 
 /// An experiment entry point.
@@ -92,6 +93,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "serve",
             "Extension: SLO serving frontend (TTFT/ITL percentiles, chunked prefill)",
             serving::serve,
+        ),
+        (
+            "spec",
+            "Extension: speculative decoding cycles-per-token sweep (k x batch)",
+            spec::spec,
         ),
     ]
 }

@@ -57,6 +57,14 @@
 //! completion/rejection counts, TTFT and inter-token-latency
 //! percentiles, goodput — is gated with no wall-clock exemptions.
 //!
+//! Schema 8 added the `speculation` section: the speculative-decoding
+//! sweep (see [`crate::experiments::spec`]) — k∈{0,2,4,8} at batch 1
+//! and batch 8 through the tapered tiny decoder, with the target's
+//! verify cycles and the draft's proposal cycles replayed and gated
+//! *separately*, plus acceptance rates and the batch-1 k=4 headline
+//! reduction in target cycles per generated token. Exact backend,
+//! fixed seeds: fully deterministic, fully gated.
+//!
 //! `models` replays every paper benchmark's analytical trace through the
 //! LT-B 4-bit model (the Table V / Fig. 13 methodology). `compute_path`
 //! wall-clocks the *real* record→replay pipeline: a tiny ViT forward
@@ -138,10 +146,10 @@ pub fn bench_repro_json() -> String {
 
     let (decode, decode_us) = decode_section();
     format!(
-        "{{\n  \"schema\": 7,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
+        "{{\n  \"schema\": 8,\n  \"config\": \"{}\",\n  \"precision_bits\": {},\n  \
          \"models\": [\n{}\n  ],\n  \"compute_path\": {{ \"recorded_ops\": {}, \
          \"recorded_gemm_macs\": {}, \"forward_record_us\": {}, \"trace_replay_us\": {} }},\n\
-         {},\n{},\n{},\n{},\n{}\n}}\n",
+         {},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         arch.name,
         bits,
         models.join(",\n"),
@@ -154,6 +162,47 @@ pub fn bench_repro_json() -> String {
         kv_section(),
         schedule_cache_section(decode_us),
         serving_section(),
+        speculation_section(),
+    )
+}
+
+/// The `speculation` section (schema 8): the speculative-decoding
+/// sweep's per-(batch, k) rows — target cycles per token, itemized
+/// draft cycles per token, acceptance rate, bandwidth-stall share —
+/// plus the batch-1 k=4 headline reduction. All modeled/deterministic,
+/// all gated.
+fn speculation_section() -> String {
+    let r = crate::experiments::spec::measure();
+    let rows = |rows: &[crate::experiments::spec::SpecRow]| {
+        rows.iter()
+            .map(|row| {
+                format!(
+                    "      {{ \"k\": {}, \"ticks\": {}, \"decoded_tokens\": {}, \
+                     \"target_cycles_per_token\": {}, \"draft_cycles_per_token\": {}, \
+                     \"total_cycles_per_token\": {}, \"acceptance_rate\": {}, \
+                     \"bandwidth_stall_frac\": {} }}",
+                    row.k,
+                    row.ticks,
+                    row.decoded_tokens,
+                    num(row.target_cycles_per_token()),
+                    num(row.draft_cycles_per_token()),
+                    num(row.total_cycles_per_token()),
+                    num(row.acceptance_rate()),
+                    num(row.bandwidth_stall_frac()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    format!(
+        "  \"speculation\": {{\n    \"taper_gain\": {}, \"max_new_tokens\": {},\n    \
+         \"batch1\": [\n{}\n    ],\n    \"batch8\": [\n{}\n    ],\n    \
+         \"b1_k4_target_reduction\": {}\n  }}",
+        num(crate::experiments::spec::TAPER_GAIN as f64),
+        crate::experiments::spec::MAX_NEW_TOKENS,
+        rows(&r.batch1),
+        rows(&r.batch8),
+        num(r.b1_k4_target_reduction()),
     )
 }
 
@@ -479,10 +528,18 @@ mod tests {
             "\"itl_max_ps\"",
             "\"goodput_tokens_per_s\"",
             "\"deadline_hits\"",
+            "\"speculation\"",
+            "\"taper_gain\"",
+            "\"batch1\"",
+            "\"batch8\"",
+            "\"target_cycles_per_token\"",
+            "\"draft_cycles_per_token\"",
+            "\"acceptance_rate\"",
+            "\"b1_k4_target_reduction\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-        assert!(json.contains("\"schema\": 7"), "schema bumped");
+        assert!(json.contains("\"schema\": 8"), "schema bumped");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -227,6 +227,16 @@ impl<T: Scalar> Matrix<T> {
         self.rows += other.rows;
     }
 
+    /// Drops every row past `rows` in place (no-op when the matrix is
+    /// already that short) — the inverse of [`Matrix::extend_rows`],
+    /// used by KV-cache rollback to discard rejected speculative tokens.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        if rows < self.rows {
+            self.data.truncate(rows * self.cols);
+            self.rows = rows;
+        }
+    }
+
     /// Matrix product `self x rhs` through the shared tiled kernel.
     ///
     /// # Panics
@@ -624,6 +634,18 @@ mod tests {
     #[should_panic(expected = "extend_rows width mismatch")]
     fn extend_rows_rejects_width_mismatch() {
         Matrix32::zeros(1, 3).extend_rows(&Matrix32::zeros(1, 4));
+    }
+
+    #[test]
+    fn truncate_rows_inverts_extend_rows() {
+        let mut m = Matrix32::from_fn(5, 3, |i, j| (i * 3 + j) as f32);
+        let kept = Matrix32::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        m.truncate_rows(2);
+        assert_eq!(m, kept);
+        m.truncate_rows(4); // longer than current: no-op
+        assert_eq!(m, kept);
+        m.truncate_rows(0);
+        assert_eq!(m.shape(), (0, 3));
     }
 
     #[test]

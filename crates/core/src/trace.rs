@@ -404,6 +404,81 @@ impl Trace {
         );
         Trace { ops }
     }
+
+    /// [`Trace::batch_rows`] with *ragged* attention support: dynamic
+    /// attention products ([`OperandDynamics::BothDynamic`]) at
+    /// different context lengths also merge, padding every row group to
+    /// the longest context in the batch.
+    ///
+    /// This is the merge the speculative-verify tick needs: concurrent
+    /// sessions verify `k+1`-row blocks against KV caches of different
+    /// lengths, so their `Q K^T` ops are `[r, dh] x [dh, ctx_i]` with
+    /// mixed `ctx_i` (and `A V` is `[r, ctx_i] x [ctx_i, dh]`). The
+    /// physical batched GEMM runs all rows against the longest context
+    /// with shorter rows causally masked, so the merged op charges
+    /// `ctx_max` for every row — padding MACs are *charged*, not hidden,
+    /// which is why this is a separate opt-in and `batch_rows` keeps
+    /// mixed-context ops apart. Weight-static ops and non-GEMM work
+    /// merge exactly as in `batch_rows`; with uniform context lengths
+    /// the two transforms coalesce identically.
+    pub fn batch_rows_ragged<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+        use std::collections::BTreeMap;
+        let mut gemms: BTreeMap<(OpKind, usize, usize, usize), usize> = BTreeMap::new();
+        // (kind, head dim, instances) -> (summed rows, max context).
+        let mut dynamic: BTreeMap<(OpKind, usize, usize), (usize, usize)> = BTreeMap::new();
+        let mut digital: BTreeMap<NonGemmKind, u64> = BTreeMap::new();
+        for trace in traces {
+            for op in &trace.ops {
+                match *op {
+                    Op::Gemm {
+                        kind,
+                        m,
+                        k,
+                        n,
+                        instances,
+                    } if kind.dynamics() == OperandDynamics::BothDynamic => {
+                        // The context-length dimension is `n` for
+                        // `Q K^T` (`[m, dh] x [dh, ctx]`) and `k` for
+                        // `A V` (`[m, ctx] x [ctx, dh]`).
+                        let (head, ctx) = if kind == OpKind::AttnAv {
+                            (n, k)
+                        } else {
+                            (k, n)
+                        };
+                        let slot = dynamic.entry((kind, head, instances)).or_insert((0, 0));
+                        slot.0 += m;
+                        slot.1 = slot.1.max(ctx);
+                    }
+                    Op::Gemm {
+                        kind,
+                        m,
+                        k,
+                        n,
+                        instances,
+                    } => *gemms.entry((kind, k, n, instances)).or_insert(0) += m,
+                    Op::NonGemm { kind, elems } => *digital.entry(kind).or_insert(0) += elems,
+                }
+            }
+        }
+        let mut ops: Vec<Op> = gemms
+            .into_iter()
+            .map(|((kind, k, n, instances), m)| Op::gemm_n(kind, m, k, n, instances))
+            .collect();
+        ops.extend(
+            dynamic
+                .into_iter()
+                .map(|((kind, head, instances), (m, ctx))| match kind {
+                    OpKind::AttnAv => Op::gemm_n(kind, m, ctx, head, instances),
+                    _ => Op::gemm_n(kind, m, head, ctx, instances),
+                }),
+        );
+        ops.extend(
+            digital
+                .into_iter()
+                .map(|(kind, elems)| Op::non_gemm(kind, elems)),
+        );
+        Trace { ops }
+    }
 }
 
 /// One thread's private append buffer inside a [`TraceRecorder`]. The
@@ -627,6 +702,55 @@ mod tests {
             .contains(&Op::non_gemm(NonGemmKind::KvAppend, 48)));
         let total: u64 = [&step, &step, &longer].iter().map(|t| t.total_macs()).sum();
         assert_eq!(batched.total_macs(), total, "batching moves no work");
+    }
+
+    #[test]
+    fn ragged_batching_pads_mixed_contexts_to_the_longest() {
+        // Two verify blocks against different KV lengths: Q K^T at
+        // contexts 5 and 9, A V with the context on the inner dim.
+        let short = Trace::from_ops(vec![
+            Op::gemm_n(OpKind::QkvProj, 3, 8, 8, 6),
+            Op::gemm_n(OpKind::AttnQk, 3, 2, 5, 8),
+            Op::gemm_n(OpKind::AttnAv, 3, 5, 2, 8),
+        ]);
+        let long = Trace::from_ops(vec![
+            Op::gemm_n(OpKind::QkvProj, 3, 8, 8, 6),
+            Op::gemm_n(OpKind::AttnQk, 3, 2, 9, 8),
+            Op::gemm_n(OpKind::AttnAv, 3, 9, 2, 8),
+        ]);
+        let ragged = Trace::batch_rows_ragged([&short, &long]);
+        assert!(ragged
+            .ops()
+            .contains(&Op::gemm_n(OpKind::QkvProj, 6, 8, 8, 6)));
+        assert!(
+            ragged
+                .ops()
+                .contains(&Op::gemm_n(OpKind::AttnQk, 6, 2, 9, 8)),
+            "mixed contexts merge to the longest: {:?}",
+            ragged.ops()
+        );
+        assert!(ragged
+            .ops()
+            .contains(&Op::gemm_n(OpKind::AttnAv, 6, 9, 2, 8)));
+        // Padding is charged: the merged MACs exceed the raw sum.
+        let raw: u64 = [&short, &long].iter().map(|t| t.total_macs()).sum();
+        assert!(ragged.total_macs() > raw, "padding MACs must be visible");
+    }
+
+    #[test]
+    fn ragged_batching_equals_batch_rows_at_uniform_context() {
+        let step = Trace::from_ops(vec![
+            Op::gemm_n(OpKind::QkvProj, 1, 8, 8, 6),
+            Op::gemm_n(OpKind::AttnQk, 1, 2, 5, 8),
+            Op::gemm_n(OpKind::AttnAv, 1, 5, 2, 8),
+            Op::non_gemm(NonGemmKind::KvAppend, 16),
+        ]);
+        let sessions = [&step, &step, &step];
+        assert_eq!(
+            Trace::batch_rows_ragged(sessions).coalesce(),
+            Trace::batch_rows(sessions).coalesce(),
+            "uniform contexts: ragged merge is exactly batch_rows"
+        );
     }
 
     #[test]

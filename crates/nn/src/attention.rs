@@ -85,6 +85,14 @@ impl AttnKvCache {
         self.k.extend_rows(k);
         self.v.extend_rows(v);
     }
+
+    /// Rolls the cache back to its first `len` tokens, discarding the
+    /// K/V rows of rejected speculative positions (no-op when already
+    /// that short).
+    pub fn truncate(&mut self, len: usize) {
+        self.k.truncate_rows(len);
+        self.v.truncate_rows(len);
+    }
 }
 
 impl MultiHeadAttention {

@@ -63,6 +63,20 @@ impl DecoderConfig {
         }
     }
 
+    /// The self-speculative draft geometry: the first half of the
+    /// decoder stack (at least one block) over the *same* embedding
+    /// width, head count, vocabulary, and context window. Sharing the
+    /// vocabulary keeps draft proposals in the target's token space (one
+    /// tokenizer), and sharing the width lets [`DraftLm::from_target`]
+    /// reuse the target's own embeddings and LM head, which is what
+    /// makes greedy agreement high enough for speculation to pay.
+    pub fn draft(&self) -> Self {
+        DecoderConfig {
+            layers: (self.layers / 2).max(1),
+            ..*self
+        }
+    }
+
     /// The op trace an *unchunked* causal prefill of `tokens` prompt
     /// tokens records, built analytically from the geometry (no forward
     /// pass, no weights). Prefill cost is a pure function of shapes, so
@@ -143,6 +157,15 @@ impl KvCache {
         &mut self.layers
     }
 
+    /// Rolls every layer back to its first `len` tokens — the
+    /// contiguous-cache half of speculative-decoding rollback (no-op
+    /// when already that short).
+    pub fn truncate(&mut self, len: usize) {
+        for layer in &mut self.layers {
+            layer.truncate(len);
+        }
+    }
+
     /// Cache footprint in bytes at `bits` operand precision: keys and
     /// values, every layer, the whole context — the
     /// `DecodeTrace::kv_cache_bytes` accounting, now measured on a live
@@ -213,6 +236,26 @@ impl DecoderLm {
     /// The model geometry.
     pub fn config(&self) -> DecoderConfig {
         self.config
+    }
+
+    /// Tapers the residual gain of the blocks the self-speculative
+    /// draft drops (everything past [`DecoderConfig::draft`]`.layers`)
+    /// by `gain`, via [`EncoderBlock::scale_residual`].
+    ///
+    /// Trained transformers have the property that deeper blocks
+    /// *refine* the next-token argmax rather than overhaul it — the
+    /// property layer-truncated drafting's acceptance rate rests on.
+    /// Random init lacks that structure entirely (truncation agrees at
+    /// chance level), so speculation workloads in this repo build it in
+    /// explicitly with this knob and then *report* the resulting
+    /// acceptance rate, never assume it. Speculation's correctness
+    /// contract (bit-identity to plain greedy decoding) holds at any
+    /// gain, including 1.0 (untapered).
+    pub fn taper_deep_blocks(&mut self, gain: f32) {
+        let keep = self.config.draft().layers;
+        for block in &mut self.blocks[keep..] {
+            block.scale_residual(gain);
+        }
     }
 
     /// A fresh, empty KV cache sized for this model.
@@ -331,6 +374,93 @@ impl DecoderLm {
         ctx.record_non_gemm(NonGemmKind::LayerNorm, (h.rows() * h.cols()) as u64);
         self.lm_head.infer(&self.ln_f.infer(h), ctx)
     }
+
+    /// One batched *verification* pass of speculative decoding: feeds
+    /// the `k + 1` positions in `tokens` (the last committed token
+    /// followed by the draft's `k` proposals) through the decoder in a
+    /// single chunked pass and returns their `[k + 1, vocab]` logits.
+    /// Row `i` is the target's next-token distribution after
+    /// `tokens[..=i]` — exactly what `k + 1` successive
+    /// [`DecoderLm::decode_step`] calls would produce (bit-identical on
+    /// deterministic backends: every layer computes row-independently
+    /// under the causal mask).
+    ///
+    /// The hardware payoff is the recorded shapes: one
+    /// `[k+1, dh] x [dh, ctx]` QK, one `[k+1, ctx] x [ctx, dh]` AV, and
+    /// a row-stacked `[k+1, dim] x [dim, vocab]` LM head per pass, so
+    /// the target's weights stream over HBM once per `k + 1` positions
+    /// instead of once per token — the whole point on a decode path
+    /// that is ~81% bandwidth-stalled at batch 1.
+    ///
+    /// All `k + 1` K/V rows are appended to `cache`; the caller rolls
+    /// rejected positions back with [`KvCache::truncate`] /
+    /// [`PagedKvCache::truncate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, `cache` is empty (prefill first),
+    /// or the pass would overflow `max_seq`.
+    pub fn verify_step(
+        &self,
+        tokens: &[usize],
+        cache: &mut dyn ModelKv,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        assert!(!cache.is_empty(), "verify_step before prefill");
+        let h = self.prefill_chunk(tokens, cache, ctx);
+        self.head_logits(&h, ctx)
+    }
+}
+
+/// The draft model of speculative decoding: a shallower [`DecoderLm`]
+/// sharing the target's vocabulary and embedding space, cheap enough
+/// that proposing `k` tokens costs a fraction of one target step.
+///
+/// [`DraftLm::from_target`] builds the *self-speculative* draft the
+/// serving stack uses by default: the target's own embeddings, first
+/// half of its blocks ([`DecoderConfig::draft`]), final LayerNorm, and
+/// LM head, all weight-shared. Because the decoder is residual, the
+/// truncated stack's hidden states track the full stack's closely, so
+/// greedy agreement stays high without training a separate model.
+#[derive(Debug, Clone)]
+pub struct DraftLm {
+    model: DecoderLm,
+}
+
+impl DraftLm {
+    /// Builds the self-speculative draft: the first
+    /// [`DecoderConfig::draft`]`.layers` blocks of `target` with its
+    /// embeddings, final LayerNorm, and LM head, weights copied.
+    pub fn from_target(target: &DecoderLm) -> Self {
+        let config = target.config.draft();
+        DraftLm {
+            model: DecoderLm {
+                config,
+                embed: target.embed.clone(),
+                pos_embed: target.pos_embed.clone(),
+                blocks: target.blocks[..config.layers].to_vec(),
+                ln_f: target.ln_f.clone(),
+                lm_head: target.lm_head.clone(),
+            },
+        }
+    }
+
+    /// Wraps an arbitrary decoder as a draft (e.g. an independently
+    /// trained small model). Its vocabulary and context window must
+    /// match the target's.
+    pub fn from_model(model: DecoderLm) -> Self {
+        DraftLm { model }
+    }
+
+    /// The draft decoder itself.
+    pub fn model(&self) -> &DecoderLm {
+        &self.model
+    }
+
+    /// The draft geometry.
+    pub fn config(&self) -> DecoderConfig {
+        self.model.config
+    }
 }
 
 /// Greedy (argmax) sampling over `[1, vocab]` logits; ties resolve to
@@ -350,6 +480,122 @@ pub fn greedy(logits: &Tensor) -> usize {
     }
     best
 }
+
+/// The longest-prefix greedy agreement of one speculative step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecOutcome {
+    /// Draft proposals accepted (`0..=k`).
+    pub accepted: usize,
+    /// The token emitted at the first non-agreeing position: the
+    /// target's correction when a proposal is rejected, or the free
+    /// "bonus" token from the extra verified position when every
+    /// proposal is accepted.
+    pub bonus_token: usize,
+    /// Rejected draft positions whose K/V rows were rolled back
+    /// (`k - accepted`).
+    pub rollback: usize,
+}
+
+impl SpecOutcome {
+    /// Tokens this speculative step emitted (`accepted + 1`).
+    pub fn emitted(&self) -> usize {
+        self.accepted + 1
+    }
+}
+
+/// One speculative step's outcome plus its itemized hardware cost:
+/// the draft model's trace (the overhead a real deployment pays) and
+/// the target's batched verify trace, each replayed on the simulator.
+#[derive(Debug, Clone)]
+pub struct SpecStepReport {
+    /// Longest-prefix agreement outcome.
+    pub outcome: SpecOutcome,
+    /// Draft-model ops: cache catch-up plus the `k` draft steps.
+    pub draft_trace: Trace,
+    /// Target-model ops: the one batched verify pass (or the plain
+    /// decode step when speculation degenerated to `k_eff = 0`).
+    pub verify_trace: Trace,
+    /// [`SpecStepReport::draft_trace`] replayed on the simulator.
+    pub draft_cost: RunReport,
+    /// [`SpecStepReport::verify_trace`] replayed on the simulator.
+    pub verify_cost: RunReport,
+}
+
+impl SpecStepReport {
+    /// The counter increments this one step contributes — what a
+    /// scheduler folds into an aggregate [`SpecSessionStats`] without
+    /// waiting for the session to retire.
+    pub fn stats_delta(&self) -> SpecSessionStats {
+        SpecSessionStats {
+            spec_steps: 1,
+            proposed: (self.outcome.accepted + self.outcome.rollback) as u64,
+            accepted: self.outcome.accepted as u64,
+            emitted: self.outcome.emitted() as u64,
+            rolled_back: self.outcome.rollback as u64,
+            draft_cycles: self.draft_cost.cycles,
+            verify_cycles: self.verify_cost.cycles,
+        }
+    }
+}
+
+/// Cumulative speculation counters of one session — the acceptance
+/// accounting [`crate::serve::sched::KvSchedStats`] and the serving
+/// report aggregate across requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecSessionStats {
+    /// Speculative steps taken (including `k_eff = 0` fallbacks).
+    pub spec_steps: u64,
+    /// Draft tokens proposed.
+    pub proposed: u64,
+    /// Draft tokens accepted.
+    pub accepted: u64,
+    /// Tokens emitted by speculative steps (accepted + bonus/correction).
+    pub emitted: u64,
+    /// K/V rows rolled back (rejected positions).
+    pub rolled_back: u64,
+    /// Replayed draft-model cycles — the speculation overhead,
+    /// itemized, never folded into the target's cycles.
+    pub draft_cycles: u64,
+    /// Replayed target-model cycles (verify passes + fallback steps).
+    pub verify_cycles: u64,
+}
+
+impl SpecSessionStats {
+    /// Merges another session's counters into this one.
+    pub fn merge(&mut self, other: &SpecSessionStats) {
+        self.spec_steps += other.spec_steps;
+        self.proposed += other.proposed;
+        self.accepted += other.accepted;
+        self.emitted += other.emitted;
+        self.rolled_back += other.rolled_back;
+        self.draft_cycles += other.draft_cycles;
+        self.verify_cycles += other.verify_cycles;
+    }
+
+    /// Fraction of draft proposals the target accepted (0 when none
+    /// were proposed).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// Per-session draft-model state: the draft's own KV cache and noise
+/// streams, kept in sync with the committed token stream.
+#[derive(Debug)]
+struct SpecState<B: ComputeBackend + Clone> {
+    engine: BackendEngine<B>,
+    rng: GaussianSampler,
+    cache: KvCache,
+}
+
+/// Seed salt separating the draft model's noise streams from the
+/// session's own (both still derive from `(seed, ticket)` only, so
+/// speculation stays deterministic under any scheduling).
+const DRAFT_SEED_SALT: u64 = 0xD12A_F75E_C0DE_CAFE;
 
 /// The served result of one decode request: the generated tokens plus
 /// the hardware cost of every forward pass that produced them — one
@@ -459,6 +705,16 @@ impl SessionKv {
             SessionKv::Paged(p) => ModelKv::bytes(p, bits),
         }
     }
+
+    /// Speculative rollback on whichever cache path the session uses.
+    fn truncate(&mut self, len: usize) {
+        match self {
+            SessionKv::Contiguous(c) => c.truncate(len),
+            SessionKv::Paged(p) => {
+                p.truncate(len);
+            }
+        }
+    }
 }
 
 /// One request's decode lifecycle: prefill once, then step until
@@ -485,6 +741,11 @@ pub struct DecodeSession<B: ComputeBackend + Clone> {
     prefill_accum: Option<RunReport>,
     step_costs: Vec<RunReport>,
     kv_bits: u32,
+    /// Root seed (pre-split), kept to derive the draft's streams lazily.
+    seed: u64,
+    /// Draft-model state, created on the first [`DecodeSession::spec_step`].
+    spec: Option<SpecState<B>>,
+    spec_stats: SpecSessionStats,
 }
 
 impl<B: ComputeBackend + Clone> DecodeSession<B> {
@@ -575,6 +836,9 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
             prefill_accum: None,
             step_costs: Vec::new(),
             kv_bits: config.kv_bits,
+            seed: config.seed,
+            spec: None,
+            spec_stats: SpecSessionStats::default(),
         }
     }
 
@@ -591,6 +855,12 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
     /// Tokens generated so far.
     pub fn tokens(&self) -> &[usize] {
         &self.tokens
+    }
+
+    /// Tokens still to generate (`max_new_tokens` minus what is out) —
+    /// what a speculative scheduler clamps `k` against.
+    pub fn remaining_tokens(&self) -> usize {
+        self.max_new_tokens - self.tokens.len()
     }
 
     /// The paged KV cache, if this session uses one — the handle the
@@ -776,6 +1046,192 @@ impl<B: ComputeBackend + Clone> DecodeSession<B> {
         self.step_costs.push(sim.run_trace(&trace));
         self.tokens.push(greedy(&logits));
         trace
+    }
+
+    /// One *speculative* decode step: the draft proposes up to `k`
+    /// tokens, the target verifies them all (plus the bonus position)
+    /// in one batched [`DecoderLm::verify_step`] pass, rejected
+    /// positions roll back, and `accepted + 1` tokens are emitted.
+    ///
+    /// The emitted stream is bit-identical to plain
+    /// [`DecodeSession::step`] decoding for any `k`, on any backend —
+    /// the pinned lossless-greedy contract. Acceptance is judged
+    /// against per-position target steps replayed on the session's own
+    /// engine (the identical call sequence — hence identical noise
+    /// stream — as non-speculative decoding), while the batched verify
+    /// pass runs on a *clone* of the engine and supplies the hardware
+    /// trace speculative hardware actually executes. On deterministic
+    /// backends the two agree exactly (`tests/speculative.rs`); on
+    /// noisy backends the batched pass is the costed execution and the
+    /// per-position replay defines the tokens.
+    ///
+    /// `k` clamps to `min(k, remaining - 1)` near the end of the
+    /// request so the session never over-generates; at zero this falls
+    /// back to one plain step (costed as such).
+    ///
+    /// Call with the same `draft` every step; the draft's KV cache,
+    /// engine, and noise streams persist inside the session, seeded
+    /// from `(seed, ticket)` only, so speculation is deterministic
+    /// under any scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the prefill finished or after the
+    /// session [`DecodeSession::is_done`].
+    pub fn spec_step(
+        &mut self,
+        model: &DecoderLm,
+        draft: &DraftLm,
+        sim: &Simulator,
+        k: usize,
+    ) -> SpecStepReport {
+        assert!(self.prefill_cost.is_some(), "spec_step before prefill");
+        assert!(!self.is_done(), "session already finished");
+        self.spec_stats.spec_steps += 1;
+        let remaining = self.max_new_tokens - self.tokens.len();
+        let k_eff = k.min(remaining - 1);
+        if k_eff == 0 {
+            let verify_trace = self.step(model, sim);
+            let verify_cost = *self.step_costs.last().expect("step recorded its cost");
+            self.spec_stats.emitted += 1;
+            self.spec_stats.verify_cycles += verify_cost.cycles;
+            return SpecStepReport {
+                outcome: SpecOutcome {
+                    accepted: 0,
+                    bonus_token: *self.tokens.last().expect("step sampled a token"),
+                    rollback: 0,
+                },
+                draft_trace: Trace::new(),
+                verify_trace,
+                draft_cost: RunReport::default(),
+                verify_cost,
+            };
+        }
+
+        // --- Draft: propose k_eff tokens on the draft's own streams.
+        if self.spec.is_none() {
+            let cfg = draft.config();
+            self.spec = Some(SpecState {
+                engine: BackendEngine::new(
+                    self.engine.backend().clone(),
+                    split_seed(self.seed ^ DRAFT_SEED_SALT, self.ticket),
+                ),
+                rng: GaussianSampler::new(split_seed(!(self.seed ^ DRAFT_SEED_SALT), self.ticket)),
+                cache: KvCache::new(cfg.layers, cfg.dim),
+            });
+        }
+        // The draft cache must hold everything committed but the last
+        // token (which the first draft step feeds). After the first
+        // catch-up this is maintained incrementally by the truncate at
+        // the end of every spec step, so the chunk is usually empty.
+        let synced = self.prompt.len() + self.tokens.len() - 1;
+        let last = *self.tokens.last().expect("prefill sampled a token");
+        let draft_recorder = TraceRecorder::new();
+        let drafts = {
+            let spec = self.spec.as_mut().expect("just initialized");
+            let mut ctx = ForwardCtx::inference(&mut spec.engine, self.quant, &mut spec.rng)
+                .with_recorder(draft_recorder.clone());
+            if spec.cache.len() < synced {
+                let seq: Vec<usize> = self
+                    .prompt
+                    .iter()
+                    .chain(&self.tokens)
+                    .copied()
+                    .take(synced)
+                    .collect();
+                draft
+                    .model()
+                    .prefill_chunk(&seq[spec.cache.len()..], &mut spec.cache, &mut ctx);
+            }
+            let mut cur = last;
+            let mut drafts = Vec::with_capacity(k_eff);
+            for _ in 0..k_eff {
+                let logits = draft.model().decode_step(cur, &mut spec.cache, &mut ctx);
+                cur = greedy(&logits);
+                drafts.push(cur);
+            }
+            drafts
+        };
+        let draft_trace = draft_recorder.take().coalesce();
+
+        // --- Verify: one batched pass on a clone of the session's
+        // engine, so the session's own noise stream is untouched.
+        let mut verify_tokens = Vec::with_capacity(k_eff + 1);
+        verify_tokens.push(last);
+        verify_tokens.extend_from_slice(&drafts);
+        let verify_recorder = TraceRecorder::new();
+        let base = self.cache.as_model().len();
+        {
+            let mut engine = self.engine.clone();
+            let mut rng = GaussianSampler::new(split_seed(self.ticket, !0));
+            let mut ctx = ForwardCtx::inference(&mut engine, self.quant, &mut rng)
+                .with_recorder(verify_recorder.clone());
+            model.verify_step(&verify_tokens, self.cache.as_model(), &mut ctx);
+        }
+        // Roll back ALL verify rows (this is the per-step rollback that
+        // frees paged tail blocks); the authoritative replay below
+        // re-appends the accepted ones on the session's own noise
+        // stream, keeping the cache bit-identical to plain decoding.
+        self.cache.truncate(base);
+        let verify_trace = verify_recorder.take().coalesce();
+
+        // --- Commit: per-position target steps on the session's own
+        // engine, stopping at the first token that disagrees with the
+        // draft (that token is the correction) or after the bonus
+        // position when every proposal agreed.
+        let mut accepted = 0;
+        let mut emitted = 0;
+        let bonus_token = loop {
+            let fed = *self.tokens.last().expect("stream is non-empty");
+            let (logits, trace) = self.recorded_pass(model, |model, ctx, cache| {
+                model.decode_step(fed, cache, ctx)
+            });
+            // Per-token cost attribution stays the batch-1 replay of the
+            // authoritative step — bit-identical to plain decoding, so a
+            // reply's `steps` never depends on `k`. The speculative
+            // execution's own cost is itemized in the returned report.
+            self.step_costs.push(sim.run_trace(&trace));
+            let token = greedy(&logits);
+            self.tokens.push(token);
+            emitted += 1;
+            if emitted <= k_eff && token == drafts[emitted - 1] {
+                accepted += 1;
+                continue;
+            }
+            break token;
+        };
+
+        // Keep the agreeing prefix of the draft's speculated rows, drop
+        // the rest (contiguous-cache rollback on the draft side). The
+        // kept rows are exactly the committed tokens, so the draft is
+        // already synced for the next step.
+        let spec = self.spec.as_mut().expect("spec state exists");
+        spec.cache.truncate(synced + emitted);
+
+        let draft_cost = sim.run_trace(&draft_trace);
+        let verify_cost = sim.run_trace(&verify_trace);
+        self.spec_stats.proposed += k_eff as u64;
+        self.spec_stats.accepted += accepted as u64;
+        self.spec_stats.emitted += emitted as u64;
+        self.spec_stats.rolled_back += (k_eff - accepted) as u64;
+        self.spec_stats.draft_cycles += draft_cost.cycles;
+        self.spec_stats.verify_cycles += verify_cost.cycles;
+        SpecStepReport {
+            outcome: SpecOutcome {
+                accepted,
+                bonus_token,
+                rollback: k_eff - accepted,
+            },
+            draft_trace,
+            verify_trace,
+            draft_cost,
+            verify_cost,
+        }
+    }
+
+    /// Cumulative speculation counters (all zeros for plain sessions).
+    pub fn spec_stats(&self) -> SpecSessionStats {
+        self.spec_stats
     }
 
     /// Runs one recorded forward pass and returns its logits and
@@ -1116,6 +1572,153 @@ mod tests {
             );
             assert_eq!(sim.run_trace(&analytic), sim.run_trace(&recorded));
         }
+    }
+
+    fn spec_session(
+        seed: u64,
+        prompt: Vec<usize>,
+        n: usize,
+        k: usize,
+    ) -> (DecodeReply, SpecSessionStats) {
+        let m = model();
+        let draft = DraftLm::from_target(&m);
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut s = DecodeSession::new(
+            &m,
+            3,
+            prompt,
+            n,
+            DptcBackend::paper(8, 5),
+            SessionConfig {
+                seed,
+                ..SessionConfig::default()
+            },
+        );
+        s.prefill(&m, &sim);
+        while !s.is_done() {
+            s.spec_step(&m, &draft, &sim, k);
+        }
+        let stats = s.spec_stats();
+        (s.into_reply(), stats)
+    }
+
+    #[test]
+    fn speculative_stream_is_bit_identical_to_plain_decoding_on_a_noisy_backend() {
+        // The pinned lossless contract: greedy speculation emits the
+        // same tokens as plain greedy decoding for every k, even on the
+        // stochastic DPTC backend, and leaves the same KV footprint.
+        for seed in [1, 7] {
+            let base = run_session(seed, vec![1, 2, 3, 4], 9);
+            for k in [1, 2, 4, 8] {
+                let (reply, stats) = spec_session(seed, vec![1, 2, 3, 4], 9, k);
+                assert_eq!(reply.tokens, base.tokens, "seed {seed} k {k}: tokens");
+                assert_eq!(
+                    reply.kv_cache_bytes, base.kv_cache_bytes,
+                    "seed {seed} k {k}: KV footprint"
+                );
+                // One token per emission, every step accounted.
+                assert_eq!(stats.emitted as usize, reply.tokens.len() - 1);
+                assert!(stats.accepted <= stats.proposed);
+                assert_eq!(stats.rolled_back, stats.proposed - stats.accepted);
+                assert!(stats.verify_cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn the_self_speculative_draft_earns_its_keep_on_a_tapered_model() {
+        // On a depth-tapered model (the trained-LM refinement stand-in,
+        // see `taper_deep_blocks`) the weight-shared half-depth draft
+        // must agree with the target often enough for speculation to
+        // pay — and its cycles must be itemized, not hidden.
+        let mut rng = GaussianSampler::new(9);
+        let mut m = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+        m.taper_deep_blocks(0.25);
+        let draft = DraftLm::from_target(&m);
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut s = DecodeSession::new(
+            &m,
+            3,
+            vec![1, 2, 3, 4],
+            30,
+            NativeBackend,
+            SessionConfig::default(),
+        );
+        s.prefill(&m, &sim);
+        while !s.is_done() {
+            s.spec_step(&m, &draft, &sim, 4);
+        }
+        let stats = s.spec_stats();
+        assert!(stats.proposed > 0);
+        assert!(
+            stats.acceptance_rate() > 0.25,
+            "draft agreement too low to speculate: {}",
+            stats.acceptance_rate()
+        );
+        assert!(stats.draft_cycles > 0, "draft overhead is accounted");
+        assert!(stats.verify_cycles > 0);
+    }
+
+    #[test]
+    fn verify_step_rows_match_successive_decode_steps() {
+        // One batched verify pass over [last, d1, d2, d3] produces the
+        // same per-position logits as four matrix-vector decode steps —
+        // row independence under the causal mask.
+        let m = model();
+        let quant = QuantConfig::fp32();
+        let mut rng = GaussianSampler::new(0);
+        let mut eng = crate::engine::ExactEngine;
+        let prompt = vec![3usize, 1, 4, 1, 5];
+        let toks = vec![2usize, 7, 1, 8];
+
+        let mut cache = m.empty_cache();
+        let mut ctx = ForwardCtx::inference(&mut eng, quant, &mut rng);
+        m.prefill(&prompt, &mut cache, &mut ctx);
+        let batched = m.verify_step(&toks, &mut cache, &mut ctx);
+        assert_eq!((batched.rows(), batched.cols()), (4, 16));
+
+        let mut cache2 = m.empty_cache();
+        let mut ctx2 = ForwardCtx::inference(&mut eng, quant, &mut rng);
+        m.prefill(&prompt, &mut cache2, &mut ctx2);
+        for (i, &t) in toks.iter().enumerate() {
+            let row = m.decode_step(t, &mut cache2, &mut ctx2);
+            let diff: f32 = (0..16)
+                .map(|j| (batched.get(i, j) - row.get(0, j)).abs())
+                .fold(0.0, f32::max);
+            assert!(diff < 1e-5, "row {i} diverged by {diff}");
+        }
+        // Both paths cached the same context.
+        assert_eq!(cache.len(), cache2.len());
+    }
+
+    #[test]
+    fn spec_rollback_restores_the_contiguous_cache_bit_exactly() {
+        let m = model();
+        let mut rng = GaussianSampler::new(4);
+        let quant = QuantConfig::fp32();
+        let mut eng = crate::engine::ExactEngine;
+        let mut cache = m.empty_cache();
+        let mut ctx = ForwardCtx::inference(&mut eng, quant, &mut rng);
+        m.prefill(&[1, 2, 3], &mut cache, &mut ctx);
+        let before = cache.clone();
+        m.verify_step(&[4, 5, 6], &mut cache, &mut ctx);
+        assert_eq!(cache.len(), 6);
+        cache.truncate(3);
+        assert_eq!(cache, before, "rollback must be bit-exact");
+    }
+
+    #[test]
+    fn draft_geometry_halves_the_stack_and_shares_the_token_space() {
+        let cfg = DecoderConfig::tiny();
+        let d = cfg.draft();
+        assert_eq!(d.layers, 1);
+        assert_eq!((d.dim, d.heads, d.vocab, d.max_seq), (32, 4, 16, 48));
+        // Depth-1 configs cannot shrink to zero layers.
+        assert_eq!(d.draft().layers, 1);
+        let m = model();
+        let draft = DraftLm::from_target(&m);
+        assert_eq!(draft.config().layers, 1);
+        assert_eq!(draft.model().config().vocab, m.config().vocab);
     }
 
     #[test]

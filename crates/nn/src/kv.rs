@@ -670,6 +670,39 @@ impl PagedKvCache {
         dropped
     }
 
+    /// Rolls the cache back to its first `len` tokens — the KV rollback
+    /// of speculative decoding, discarding the rows of rejected draft
+    /// positions. Clamps every layer's fill, releases now-empty tail
+    /// blocks back to the pool (a freed block's generation bumps, so
+    /// any weak [`PrefixIndex`] entry that pointed at it stales), and
+    /// clamps the shared-prefix watermark. A tail block another table
+    /// still shares only loses this table's reference — truncation
+    /// writes nothing, so it is copy-on-write-safe by construction.
+    /// Returns the blocks released. No-op when already at most `len`
+    /// tokens long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is swapped out.
+    pub fn truncate(&mut self, len: usize) -> usize {
+        let bt = self.pool.block_tokens();
+        let mut t = self.table.lock().expect("table poisoned");
+        assert!(t.swapped.is_none(), "truncate of a swapped-out KV cache");
+        if len >= t.len_max() {
+            return 0;
+        }
+        let keep = len.div_ceil(bt).min(t.blocks.len());
+        let released = t.blocks.len() - keep;
+        for id in t.blocks.drain(keep..) {
+            self.pool.release(id);
+        }
+        for fill in t.layer_fill.iter_mut() {
+            *fill = (*fill).min(len);
+        }
+        t.shared_tokens = t.shared_tokens.min(len);
+        released
+    }
+
     /// Restores a swapped-out cache: reallocates blocks and copies the
     /// payloads back. Returns the elements moved. The caller must have
     /// reserved capacity ([`PagedKvCache::blocks_needed`]).
@@ -939,6 +972,81 @@ mod tests {
         let other = PagedKvCache::with_shared_prefix(&pool, 1, 2, shared);
         assert_eq!(cache.blocks_needed(1), 1, "CoW needs a spare block");
         drop(other);
+    }
+
+    #[test]
+    fn truncate_frees_tail_blocks_and_restores_the_pool_exactly() {
+        let pool = BlockPool::new(8, 2, 4, 3);
+        let mut cache = PagedKvCache::new(&pool, 2, 4);
+        for layer in 0..2 {
+            write_tokens(&mut cache, layer, 4, layer as f32);
+        }
+        let free_before = pool.free_blocks();
+        let kept: Vec<Tensor> = (0..2)
+            .map(|l| {
+                let k = cache.layer_mut(l).context_keys();
+                Tensor::from_fn(4, 4, |i, j| k.get(i, j))
+            })
+            .collect();
+        // Speculate 5 tokens past the 4-token context: 9 tokens = 3 blocks.
+        for layer in 0..2 {
+            write_tokens(&mut cache, layer, 5, 100.0 + layer as f32);
+        }
+        assert_eq!(cache.resident_blocks(), 3);
+        let released = cache.truncate(4);
+        assert_eq!(released, 1, "ceil(4/3) = 2 blocks survive the rollback");
+        assert_eq!(cache.len(), 4);
+        assert_eq!(
+            pool.free_blocks(),
+            free_before,
+            "rollback restores the pool free-count exactly"
+        );
+        for (l, want) in kept.iter().enumerate() {
+            assert_eq!(&cache.layer_mut(l).context_keys(), want);
+        }
+        // And the cache keeps working: re-append after rollback.
+        write_tokens(&mut cache, 0, 2, 7.0);
+        assert_eq!(cache.layer_mut(0).context_len(), 6);
+        assert_eq!(cache.truncate(6), 0, "no-op at or past the current length");
+    }
+
+    #[test]
+    fn truncate_stales_prefix_entries_and_respects_sharing() {
+        let pool = BlockPool::new(8, 1, 2, 2);
+        let mut index = PrefixIndex::new();
+        let prompt = vec![1usize, 2, 3, 4, 5, 6];
+        let mut a = PagedKvCache::new(&pool, 1, 2);
+        write_tokens(&mut a, 0, 6, 0.0);
+        index.register(&prompt, a.block_refs(6));
+        let shared = index.lookup(&pool, &prompt).expect("live entry");
+        let mut b = PagedKvCache::with_shared_prefix(&pool, 1, 2, shared);
+        write_tokens(&mut b, 0, 6, 9.0);
+
+        // B rolls back into the shared region: its references go, A's
+        // blocks stay live and untouched.
+        let a_view = a.layer_mut(0).context_keys();
+        b.truncate(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.shared_tokens(), 2, "shared watermark clamps");
+        assert_eq!(a.layer_mut(0).context_keys(), a_view, "A unchanged");
+        {
+            let still = index.lookup(&pool, &prompt);
+            assert!(still.is_some(), "A's registration is still valid");
+            // Route the borrow through a cache so its refs release again.
+            drop(PagedKvCache::with_shared_prefix(
+                &pool,
+                1,
+                2,
+                still.unwrap(),
+            ));
+        }
+
+        // A truncates to nothing: its blocks free, generations bump, and
+        // the index entry built on them stales away.
+        a.truncate(0);
+        assert_eq!(a.len(), 0);
+        assert!(index.lookup(&pool, &prompt).is_none(), "entry staled");
+        assert!(index.is_empty(), "stale entry pruned");
     }
 
     #[test]

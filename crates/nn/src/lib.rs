@@ -68,12 +68,15 @@ pub mod serve;
 pub mod tensor;
 pub mod train;
 
-pub use decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, KvCache, SessionConfig};
+pub use decode::{
+    DecodeReply, DecodeSession, DecoderConfig, DecoderLm, DraftLm, KvCache, SessionConfig,
+    SpecOutcome, SpecSessionStats, SpecStepReport,
+};
 pub use engine::{BackendEngine, ExactEngine, MatmulEngine, PhotonicEngine, QuantizedEngine};
 pub use kv::{BlockPool, KvLayer, ModelKv, PagedKvCache, PreemptPolicy, PrefixIndex};
 pub use model::{TextClassifier, VisionTransformer};
 pub use quant::{IntegerQuant, QuantConfig};
-pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer};
+pub use serve::decode::{DecodeRequest, DecodeServeConfig, DecodeServer, SpecConfig};
 pub use serve::lifecycle::{RequestLifecycle, RequestOutcome, ServingReport, SloFrontend};
 pub use serve::sched::{KvScheduler, KvServeConfig};
 pub use serve::{Reply, Request, ServeConfig, Server};

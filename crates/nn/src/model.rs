@@ -33,6 +33,24 @@ impl EncoderBlock {
         }
     }
 
+    /// Scales this block's *residual contribution* by `gain`: the
+    /// attention out-projection and the FFN down-projection (weights
+    /// and biases), leaving the skip path untouched, so the block
+    /// computes `x + gain * delta(x)` in both halves. Used to give
+    /// synthetic random-weight decoders the trained-LM property that
+    /// deeper blocks refine rather than overhaul the prediction (see
+    /// `DecoderLm::taper_deep_blocks`).
+    pub fn scale_residual(&mut self, gain: f32) {
+        for lin in [&mut self.attn.wo, &mut self.ffn2] {
+            for v in lin.w.value.data_mut() {
+                *v *= gain;
+            }
+            for v in lin.b.value.data_mut() {
+                *v *= gain;
+            }
+        }
+    }
+
     /// Forward pass over `[tokens, dim]`. Non-GEMM work (the two
     /// LayerNorms, the GELU, and both residual additions) reports its
     /// element counts to the context's trace recorder, if any.

@@ -27,7 +27,7 @@
 //! different `max_active` — returns bit-identical replies
 //! (`tests/runtime_determinism.rs`).
 
-use crate::decode::{DecodeReply, DecoderLm, SessionConfig};
+use crate::decode::{DecodeReply, DecoderLm, DraftLm, SessionConfig};
 use crate::quant::QuantConfig;
 use crate::serve::sched::{KvScheduler, KvServeConfig};
 use lt_arch::{ArchConfig, RunReport, Simulator};
@@ -47,6 +47,64 @@ pub struct DecodeRequest {
     /// Number of tokens to generate (>= 1; the first comes from the
     /// prefill logits, the rest from decode steps).
     pub max_new_tokens: usize,
+}
+
+/// Environment variable read by [`SpecConfig::from_env`].
+pub const LT_SPEC_K_ENV: &str = "LT_SPEC_K";
+
+/// Speculative-decoding knobs ([`DecodeServeConfig::spec`]).
+#[derive(Debug, Clone, Default)]
+pub struct SpecConfig {
+    /// Draft tokens proposed per speculative step; `0` (the default)
+    /// leaves speculation off and serving byte-for-byte on the plain
+    /// decode path.
+    pub k: usize,
+    /// An explicit draft model; `None` derives the self-speculative
+    /// draft — the target's own bottom half — via
+    /// [`DraftLm::from_target`] at scheduler construction.
+    pub draft: Option<DraftLm>,
+}
+
+impl SpecConfig {
+    /// Speculation depth `k` with the self-speculative draft.
+    pub fn with_k(k: usize) -> Self {
+        SpecConfig { k, draft: None }
+    }
+
+    /// Reads `LT_SPEC_K` from the environment: unset, empty, or
+    /// unparsable all mean `0` (speculation off), so a stray value can
+    /// never silently change what a run computes — speculation is
+    /// bit-identical to plain decoding, and a bad value merely keeps
+    /// the plain path.
+    pub fn from_env() -> Self {
+        let k = std::env::var(LT_SPEC_K_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        SpecConfig::with_k(k)
+    }
+
+    /// Whether speculation is on.
+    pub fn is_enabled(&self) -> bool {
+        self.k > 0
+    }
+
+    /// Applies these knobs to a freshly built scheduler: identity when
+    /// disabled, [`KvScheduler::with_speculation_draft`] with the
+    /// explicit draft when one is set, the self-speculative default
+    /// otherwise.
+    pub fn apply<'m, B: ComputeBackend + Clone>(
+        &self,
+        sched: KvScheduler<'m, B>,
+    ) -> KvScheduler<'m, B> {
+        if !self.is_enabled() {
+            return sched;
+        }
+        match &self.draft {
+            Some(draft) => sched.with_speculation_draft(self.k, draft.clone()),
+            None => sched.with_speculation(self.k),
+        }
+    }
 }
 
 /// Decode-serving configuration.
@@ -82,6 +140,12 @@ pub struct DecodeServeConfig {
     /// [`KvScheduler::with_prefill_chunk`]). Replies are bit-identical
     /// either way for deterministic engines.
     pub prefill_chunk_tokens: usize,
+    /// Speculative decoding: `spec.k > 0` makes every scheduler tick a
+    /// draft-then-batched-verify round ([`KvScheduler::with_speculation`]),
+    /// emitting up to `k + 1` tokens per session per tick with replies
+    /// bit-identical to plain decoding. Read `LT_SPEC_K` with
+    /// [`SpecConfig::from_env`].
+    pub spec: SpecConfig,
 }
 
 impl Default for DecodeServeConfig {
@@ -95,6 +159,7 @@ impl Default for DecodeServeConfig {
             kv: KvServeConfig::default(),
             threads: ThreadsConfig::default(),
             prefill_chunk_tokens: 0,
+            spec: SpecConfig::default(),
         }
     }
 }
@@ -145,6 +210,22 @@ pub fn batched_tick_cost(step_traces: &[Trace], sim: &Simulator) -> RunReport {
     sim.run_trace(&Trace::batch_rows(step_traces).coalesce())
 }
 
+/// The speculative twin of [`batched_tick_cost`]: merges one tick's
+/// target verify traces *and* draft traces with
+/// [`Trace::batch_rows_ragged`] — sessions verify at different contexts
+/// and depths (`k_eff` shrinks near a request's end), so their
+/// attention rows stack with the shorter contexts causally padded and
+/// charged — and replays the merged trace. The draft's ops batch across
+/// sessions too, but remain distinct ops from the target's (fewer layer
+/// instances), so the draft overhead stays visible in the replay.
+pub fn speculative_tick_cost(
+    step_traces: &[Trace],
+    draft_traces: &[Trace],
+    sim: &Simulator,
+) -> RunReport {
+    sim.run_trace(&Trace::batch_rows_ragged(step_traces.iter().chain(draft_traces)).coalesce())
+}
+
 /// The continuous-batching decode server. See the [module docs](self).
 ///
 /// ```
@@ -182,6 +263,9 @@ struct ServerCounters {
     peak_resident: AtomicU64,
     schedule_hits: AtomicU64,
     schedule_misses: AtomicU64,
+    spec_proposed: AtomicU64,
+    spec_accepted: AtomicU64,
+    draft_cycles: AtomicU64,
 }
 
 impl DecodeServer {
@@ -303,6 +387,23 @@ impl DecodeServer {
         self.counters.peak_resident.load(Ordering::Relaxed)
     }
 
+    /// Draft tokens proposed by speculative steps across all workers
+    /// (zero unless [`DecodeServeConfig::spec`] is enabled).
+    pub fn spec_proposed(&self) -> u64 {
+        self.counters.spec_proposed.load(Ordering::Relaxed)
+    }
+
+    /// Draft proposals the target accepted.
+    pub fn spec_accepted(&self) -> u64 {
+        self.counters.spec_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Replayed draft-model cycles — the speculation overhead, itemized
+    /// separately from the target's batched/sequential cycles.
+    pub fn draft_cycles(&self) -> u64 {
+        self.counters.draft_cycles.load(Ordering::Relaxed)
+    }
+
     /// Schedule-cache `(hits, misses)` summed across every worker's
     /// simulator ([`lt_arch::ScheduleCacheStats`]): per-token replay
     /// repeats the same GEMM shapes, so after warmup nearly every op
@@ -355,19 +456,22 @@ fn worker_loop<B: ComputeBackend + Clone>(
         quant: config.quant,
         kv_bits: config.arch.precision_bits,
     };
-    let mut sched = KvScheduler::new(
-        model,
-        &sim,
-        backend.clone(),
-        session_config,
-        config.kv,
-        config.max_active,
-    )
-    .with_prefill_chunk(config.prefill_chunk_tokens);
+    let mut sched = config.spec.apply(
+        KvScheduler::new(
+            model,
+            &sim,
+            backend.clone(),
+            session_config,
+            config.kv,
+            config.max_active,
+        )
+        .with_prefill_chunk(config.prefill_chunk_tokens),
+    );
     let mut replies: HashMap<u64, Sender<DecodeReply>> = HashMap::new();
     // Scheduler counters already published to the shared totals.
     let (mut preempt_seen, mut resume_seen, mut prefix_seen) = (0u64, 0u64, 0u64);
     let (mut hits_seen, mut misses_seen) = (0u64, 0u64);
+    let (mut proposed_seen, mut accepted_seen, mut draft_seen) = (0u64, 0u64, 0u64);
     loop {
         // Intake: block only when there is nothing to step or resume;
         // top up free in-flight slots without blocking otherwise.
@@ -388,16 +492,21 @@ fn worker_loop<B: ComputeBackend + Clone>(
             // Admission-only and prefill-only rounds (chunked mode)
             // carry no decode steps — don't count them as batch ticks.
             if !outcome.step_traces.is_empty() {
-                let tick_cost = batched_tick_cost(&outcome.step_traces, &sim);
+                let tick_cost = if config.spec.is_enabled() {
+                    speculative_tick_cost(&outcome.step_traces, &outcome.draft_traces, &sim)
+                } else {
+                    batched_tick_cost(&outcome.step_traces, &sim)
+                };
                 counters
                     .batched_cycles
                     .fetch_add(tick_cost.cycles, Ordering::Relaxed);
                 counters
                     .sequential_cycles
                     .fetch_add(outcome.sequential_cycles, Ordering::Relaxed);
-                counters
-                    .decoded_tokens
-                    .fetch_add(outcome.step_traces.len() as u64, Ordering::Relaxed);
+                counters.decoded_tokens.fetch_add(
+                    outcome.emitted.iter().sum::<usize>() as u64,
+                    Ordering::Relaxed,
+                );
                 counters.ticks.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -418,6 +527,18 @@ fn worker_loop<B: ComputeBackend + Clone>(
         counters
             .peak_resident
             .fetch_max(stats.peak_resident_sessions as u64, Ordering::Relaxed);
+        counters
+            .spec_proposed
+            .fetch_add(stats.spec.proposed - proposed_seen, Ordering::Relaxed);
+        proposed_seen = stats.spec.proposed;
+        counters
+            .spec_accepted
+            .fetch_add(stats.spec.accepted - accepted_seen, Ordering::Relaxed);
+        accepted_seen = stats.spec.accepted;
+        counters
+            .draft_cycles
+            .fetch_add(stats.spec.draft_cycles - draft_seen, Ordering::Relaxed);
+        draft_seen = stats.spec.draft_cycles;
         let cache = sim.schedule_cache_stats();
         counters
             .schedule_hits
@@ -554,6 +675,60 @@ mod tests {
         assert!(std::panic::catch_unwind(move || bad.wait()).is_err());
         assert!(std::panic::catch_unwind(move || overflow.wait()).is_err());
         assert_eq!(server.shutdown(), 2, "only the good requests count");
+    }
+
+    #[test]
+    fn speculative_serving_replies_are_bit_identical_on_a_noisy_backend() {
+        // The whole serving stack at k = 4 against the plain path, on
+        // the noisy DPTC backend: speculation must change cycles and
+        // counters, never replies — tokens, per-token costs, KV bytes.
+        let requests = mixed_requests(8);
+        let backend = DptcBackend::paper(8, 3);
+        let plain = serve_all(
+            backend.clone(),
+            DecodeServeConfig {
+                workers: 1,
+                ..DecodeServeConfig::default()
+            },
+            &requests,
+        );
+        let server = DecodeServer::new(
+            model(),
+            backend,
+            DecodeServeConfig {
+                workers: 1,
+                spec: SpecConfig::with_k(4),
+                ..DecodeServeConfig::default()
+            },
+        );
+        let pending: Vec<PendingDecode> =
+            requests.iter().map(|r| server.submit(r.clone())).collect();
+        let spec: Vec<DecodeReply> = pending.into_iter().map(PendingDecode::wait).collect();
+        assert_eq!(plain, spec, "speculation never changes a reply");
+        assert!(server.spec_proposed() > 0, "speculation must have run");
+        assert!(server.spec_accepted() <= server.spec_proposed());
+        assert!(server.draft_cycles() > 0, "draft overhead is itemized");
+        assert_eq!(
+            server.decoded_tokens(),
+            plain.iter().map(|r| r.steps.len() as u64).sum()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn spec_env_parsing_is_forgiving() {
+        // `from_env` is exercised without mutating the process
+        // environment (tests run concurrently): the parsing contract is
+        // the same closed-form expression applied to captured values.
+        let parse = |v: Option<&str>| {
+            SpecConfig::with_k(v.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(0))
+        };
+        assert!(!parse(None).is_enabled());
+        assert!(!parse(Some("")).is_enabled());
+        assert!(!parse(Some("banana")).is_enabled());
+        assert!(!parse(Some("0")).is_enabled());
+        assert_eq!(parse(Some(" 4 ")).k, 4);
+        assert!(!SpecConfig::default().is_enabled(), "off by default");
     }
 
     #[test]

@@ -163,6 +163,56 @@ pub struct ServingReport {
     pub preemptions: u64,
     /// Scheduler ticks that stepped at least one session.
     pub ticks: u64,
+    /// Speculative steps executed (zero when speculation is off).
+    pub spec_steps: u64,
+    /// Draft tokens proposed across all speculative steps.
+    pub spec_proposed: u64,
+    /// Draft proposals the target accepted.
+    pub spec_accepted: u64,
+    /// Tokens emitted by speculative steps (accepted plus one
+    /// bonus/correction per step).
+    pub spec_emitted: u64,
+    /// Replayed draft-model cycles — the speculation overhead,
+    /// itemized, never folded into the target's cycles.
+    pub draft_cycles: u64,
+    /// Replayed target-model cycles in batched verify passes (and
+    /// `k_eff = 0` fallback steps).
+    pub verify_cycles: u64,
+}
+
+impl ServingReport {
+    /// Fraction of draft proposals the target accepted (0 when no
+    /// speculation ran).
+    pub fn spec_acceptance_rate(&self) -> f64 {
+        if self.spec_proposed == 0 {
+            0.0
+        } else {
+            self.spec_accepted as f64 / self.spec_proposed as f64
+        }
+    }
+
+    /// Share of the replayed speculative-decode cycles spent in the
+    /// draft model — the overhead a real deployment pays for the
+    /// verify batching (0 when no speculation ran).
+    pub fn draft_overhead_share(&self) -> f64 {
+        let total = self.draft_cycles + self.verify_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.draft_cycles as f64 / total as f64
+        }
+    }
+
+    /// Replayed cycles (draft + verify) per token the speculative
+    /// steps emitted — the end-to-end cost-per-token of the
+    /// speculative path (0 when no speculation ran).
+    pub fn cycles_per_accepted_token(&self) -> f64 {
+        if self.spec_emitted == 0 {
+            0.0
+        } else {
+            (self.draft_cycles + self.verify_cycles) as f64 / self.spec_emitted as f64
+        }
+    }
 }
 
 /// The event-loop frontend. One instance runs one workload trace; see
@@ -205,15 +255,17 @@ impl<'m, B: ComputeBackend + Clone> SloFrontend<'m, B> {
             quant: config.quant,
             kv_bits: config.arch.precision_bits,
         };
-        let sched = KvScheduler::new(
-            model,
-            sim,
-            backend,
-            session_config,
-            config.kv,
-            config.max_active,
-        )
-        .with_prefill_chunk(config.prefill_chunk_tokens);
+        let sched = config.spec.apply(
+            KvScheduler::new(
+                model,
+                sim,
+                backend,
+                session_config,
+                config.kv,
+                config.max_active,
+            )
+            .with_prefill_chunk(config.prefill_chunk_tokens),
+        );
         SloFrontend {
             sched,
             sim,
@@ -420,13 +472,20 @@ impl<'m, B: ComputeBackend + Clone> SloFrontend<'m, B> {
             return false;
         };
         if !outcome.prefill_traces.is_empty() || !outcome.step_traces.is_empty() {
-            let merged = Trace::batch_rows(
-                outcome
-                    .prefill_traces
-                    .iter()
-                    .chain(outcome.step_traces.iter()),
-            )
-            .coalesce();
+            let traces = outcome
+                .prefill_traces
+                .iter()
+                .chain(outcome.step_traces.iter());
+            // Speculative ticks verify sessions at *different* contexts
+            // and depths, so their attention rows only stack under the
+            // ragged merge; the draft traces ride along as the costed
+            // (and itemized) overhead. The plain path keeps the exact
+            // merge so committed baselines are untouched.
+            let merged = if self.sched.speculation_k() > 0 {
+                Trace::batch_rows_ragged(traces.chain(outcome.draft_traces.iter())).coalesce()
+            } else {
+                Trace::batch_rows(traces).coalesce()
+            };
             let cost = self.sim.run_trace(&merged);
             self.clock.advance(&cost);
         }
@@ -437,17 +496,21 @@ impl<'m, B: ComputeBackend + Clone> SloFrontend<'m, B> {
             record.first_token_ps = Some(now);
             self.last_token_ps.insert(ticket, now);
         }
-        for ticket in outcome.stepped {
-            let id = self.ticket_of[&ticket];
+        for (ticket, emitted) in outcome.stepped.iter().zip(&outcome.emitted) {
+            let id = self.ticket_of[ticket];
             let last = self
                 .last_token_ps
-                .insert(ticket, now)
+                .insert(*ticket, now)
                 .expect("first token stamped");
-            self.records
-                .get_mut(&id)
-                .expect("admitted")
-                .itl_ps
-                .push(now - last);
+            let record = self.records.get_mut(&id).expect("admitted");
+            record.itl_ps.push(now - last);
+            // A speculative step materializes its extra tokens at the
+            // same tick boundary: the gap lands on the first one and
+            // the accepted rest stream out with zero inter-token gap —
+            // exactly the latency shape speculation buys.
+            for _ in 1..*emitted {
+                record.itl_ps.push(0);
+            }
         }
         true
     }
@@ -495,6 +558,12 @@ impl<'m, B: ComputeBackend + Clone> SloFrontend<'m, B> {
             goodput_tokens_per_s: 0,
             preemptions: stats.preemptions,
             ticks: stats.ticks,
+            spec_steps: stats.spec.spec_steps,
+            spec_proposed: stats.spec.proposed,
+            spec_accepted: stats.spec.accepted,
+            spec_emitted: stats.spec.emitted,
+            draft_cycles: stats.spec.draft_cycles,
+            verify_cycles: stats.spec.verify_cycles,
         };
         let mut ttfts = Vec::new();
         let mut itls = Vec::new();
@@ -633,6 +702,58 @@ mod tests {
             admitted(2) <= admitted(0) && admitted(0) <= admitted(1),
             "interactive jumps both batch requests; batch stays FIFO"
         );
+    }
+
+    #[test]
+    fn a_speculative_run_serves_the_same_tokens_with_acceptance_accounting() {
+        use crate::serve::decode::SpecConfig;
+        let m = model();
+        let cfg = config();
+        let sim = Simulator::new(cfg.arch.clone());
+        let requests = LoadgenConfig::smoke(11, 10).generate();
+        let (plain_rec, plain_rep) =
+            SloFrontend::new(&m, &sim, NativeBackend, &cfg).run_open(&requests);
+        let spec_cfg = DecodeServeConfig {
+            spec: SpecConfig::with_k(4),
+            ..cfg
+        };
+        let (spec_rec, spec_rep) =
+            SloFrontend::new(&m, &sim, NativeBackend, &spec_cfg).run_open(&requests);
+        assert_eq!(spec_rep.completed, plain_rep.completed);
+        assert_eq!(spec_rep.generated_tokens, plain_rep.generated_tokens);
+        for (a, b) in plain_rec.iter().zip(&spec_rec) {
+            assert_eq!(a.tokens, b.tokens, "speculation never changes tokens");
+            assert_eq!(a.outcome, b.outcome);
+            if b.outcome == RequestOutcome::Completed {
+                assert_eq!(
+                    b.itl_ps.len() + 1,
+                    b.tokens.len(),
+                    "one gap per token after the first, even when a tick emits several"
+                );
+            }
+        }
+        assert_eq!(plain_rep.spec_steps, 0, "plain run has no speculation");
+        assert_eq!(plain_rep.spec_acceptance_rate(), 0.0);
+        assert!(spec_rep.spec_steps > 0, "speculative run must speculate");
+        assert!(spec_rep.spec_proposed > 0);
+        assert_eq!(
+            spec_rep.spec_emitted,
+            spec_rep.spec_accepted + spec_rep.spec_steps,
+            "each step emits its accepted prefix plus one bonus/correction"
+        );
+        assert!(spec_rep.draft_cycles > 0, "draft overhead is itemized");
+        assert!(spec_rep.verify_cycles > 0);
+        let share = spec_rep.draft_overhead_share();
+        assert!(share > 0.0 && share < 1.0, "draft share {share}");
+        assert!(spec_rep.cycles_per_accepted_token() > 0.0);
+        assert!(
+            spec_rep.ticks <= plain_rep.ticks,
+            "accepted tokens save ticks"
+        );
+        // Determinism of the whole speculative report.
+        let (rec2, rep2) = SloFrontend::new(&m, &sim, NativeBackend, &spec_cfg).run_open(&requests);
+        assert_eq!(spec_rep, rep2);
+        assert_eq!(spec_rec, rec2);
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! resumed session's reply is bit-identical to an uninterrupted run —
 //! memory pressure changes *when* tokens are produced, never *which*.
 
-use crate::decode::{DecodeReply, DecodeSession, DecoderConfig, DecoderLm, SessionConfig};
+use crate::decode::{
+    DecodeReply, DecodeSession, DecoderConfig, DecoderLm, DraftLm, SessionConfig, SpecSessionStats,
+};
 use crate::kv::{BlockPool, PagedKvCache, PreemptPolicy, PrefixIndex};
 use crate::serve::decode::DecodeRequest;
 use lt_arch::{ArchConfig, Simulator};
@@ -145,6 +147,10 @@ pub struct KvSchedStats {
     pub prefix_shared_tokens: u64,
     /// High-water mark of simultaneously resident sessions.
     pub peak_resident_sessions: usize,
+    /// Aggregated speculation counters across every stepped session —
+    /// acceptance accounting for the serving report (all zeros unless
+    /// [`KvScheduler::with_speculation`] is on).
+    pub spec: SpecSessionStats,
     /// Every preemption, in order.
     pub preemption_events: Vec<PreemptionEvent>,
 }
@@ -175,6 +181,16 @@ pub struct TickOutcome {
     /// Tickets that ran a decode step this tick — each an inter-token
     /// latency boundary (aligned with [`TickOutcome::step_traces`]).
     pub stepped: Vec<u64>,
+    /// Tokens each stepped session emitted this tick, aligned with
+    /// [`TickOutcome::stepped`] — always `1` in plain mode, up to
+    /// `k + 1` when a speculative step's proposals were accepted.
+    pub emitted: Vec<usize>,
+    /// Draft-model traces of this tick's speculative steps, aligned
+    /// with [`TickOutcome::stepped`] (empty unless speculation is on;
+    /// a `k_eff = 0` fallback step contributes an empty trace). This
+    /// is the speculation overhead a frontend costs *separately* from
+    /// the target's verify work.
+    pub draft_traces: Vec<Trace>,
 }
 
 struct Entry<B: ComputeBackend + Clone> {
@@ -196,6 +212,12 @@ pub struct KvScheduler<'m, B: ComputeBackend + Clone> {
     /// Chunked-prefill size in tokens; `0` = whole-prompt prefill at
     /// admission (the original behavior).
     prefill_chunk: usize,
+    /// Speculative decoding: `(k, draft model)` when enabled. Running
+    /// sessions then advance by [`DecodeSession::spec_step`] instead of
+    /// plain steps, and the reserve phase books `k + 1` worst-case
+    /// tokens per session so the batched verify can never exhaust the
+    /// pool mid-speculation.
+    spec: Option<(usize, DraftLm)>,
     pool: BlockPool,
     prefix: Option<PrefixIndex>,
     max_active: usize,
@@ -239,6 +261,7 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             session_config,
             preempt: kv.preempt,
             prefill_chunk: 0,
+            spec: None,
             pool: BlockPool::new(blocks, cfg.layers, cfg.dim, kv.block_tokens),
             prefix: kv.prefix_sharing.then(PrefixIndex::new),
             max_active: max_active.max(1),
@@ -270,6 +293,36 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
     /// The configured chunked-prefill size (`0` = unchunked).
     pub fn prefill_chunk(&self) -> usize {
         self.prefill_chunk
+    }
+
+    /// Enables speculative decoding with a *self-speculative* draft —
+    /// the target's own bottom half ([`DraftLm::from_target`]). Each
+    /// tick then advances every running session by one
+    /// [`DecodeSession::spec_step`]: the draft proposes up to `k`
+    /// tokens and the target verifies them all in one batched pass, so
+    /// a session can emit up to `k + 1` tokens per tick while its
+    /// reply stays bit-identical to plain decoding.
+    ///
+    /// The reserve phase books the worst case (`k_eff + 1` verify rows
+    /// per session) *before* any session steps, so mid-speculation
+    /// preemption is impossible by construction — a verify pass never
+    /// finds the pool dry. `k = 0` leaves speculation off.
+    pub fn with_speculation(self, k: usize) -> Self {
+        let draft = DraftLm::from_target(self.model);
+        self.with_speculation_draft(k, draft)
+    }
+
+    /// Enables speculative decoding with an explicit draft model (same
+    /// contract as [`KvScheduler::with_speculation`]; the draft must
+    /// share the target's vocabulary).
+    pub fn with_speculation_draft(mut self, k: usize, draft: DraftLm) -> Self {
+        self.spec = (k > 0).then_some((k, draft));
+        self
+    }
+
+    /// The configured speculation depth (`0` = speculation off).
+    pub fn speculation_k(&self) -> usize {
+        self.spec.as_ref().map_or(0, |(k, _)| *k)
     }
 
     /// The scheduler's block pool.
@@ -328,7 +381,10 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
 
         let mut step_traces = Vec::with_capacity(self.active.len());
         let mut stepped = Vec::with_capacity(self.active.len());
+        let mut emitted = Vec::with_capacity(self.active.len());
+        let mut draft_traces = Vec::new();
         let mut sequential_cycles = 0;
+        let spec = self.spec.as_ref();
         for entry in self.active.iter_mut() {
             let ticket = entry.session.ticket();
             if !entry.session.prefill_done() {
@@ -342,15 +398,29 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
                 if entry.session.prefill_done() {
                     first_tokens.push(ticket);
                 }
+            } else if let Some((k, draft)) = spec {
+                // Speculative step: the verify trace is the target's
+                // executed work this tick; the draft trace is costed
+                // separately (it is overhead, never folded into the
+                // target's cycles). The reserve phase above already
+                // booked the verify pass's k_eff + 1 transient rows.
+                let report = entry.session.spec_step(self.model, draft, self.sim, *k);
+                self.stats.spec.merge(&report.stats_delta());
+                sequential_cycles += report.verify_cost.cycles + report.draft_cost.cycles;
+                step_traces.push(report.verify_trace);
+                draft_traces.push(report.draft_trace);
+                stepped.push(ticket);
+                emitted.push(report.outcome.emitted());
             } else {
                 step_traces.push(entry.session.step(self.model, self.sim));
                 stepped.push(ticket);
+                emitted.push(1);
                 if let Some(cost) = entry.session.last_step_cost() {
                     sequential_cycles += cost.cycles;
                 }
             }
         }
-        self.stats.decoded_tokens += step_traces.len() as u64;
+        self.stats.decoded_tokens += emitted.iter().sum::<usize>() as u64;
         if !step_traces.is_empty() {
             self.stats.ticks += 1;
         }
@@ -372,14 +442,23 @@ impl<'m, B: ComputeBackend + Clone> KvScheduler<'m, B> {
             admitted,
             first_tokens,
             stepped,
+            emitted,
+            draft_traces,
         })
     }
 
     /// Tokens the pool must absorb when `entry` next runs: one decode
-    /// token for a running session, the next chunk for a prefilling one.
+    /// token for a running session (`k_eff + 1` in speculative mode —
+    /// the batched verify transiently appends that many rows before
+    /// rolling back, so reserving them up front makes mid-speculation
+    /// preemption impossible by construction), the next chunk for a
+    /// prefilling one.
     fn next_tokens(&self, entry: &Entry<B>) -> usize {
         if entry.session.prefill_done() {
-            1
+            match &self.spec {
+                Some((k, _)) => (*k).min(entry.session.remaining_tokens().saturating_sub(1)) + 1,
+                None => 1,
+            }
         } else {
             entry.session.prefill_remaining().min(self.prefill_chunk)
         }
@@ -893,6 +972,145 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].0, 1);
         assert_eq!(sched.pool().used_blocks(), 0, "no leaked blocks");
+    }
+
+    fn run_requests_spec(
+        k: usize,
+        kv: KvServeConfig,
+        max_active: usize,
+        requests: &[(Vec<usize>, usize)],
+    ) -> (Vec<(u64, DecodeReply)>, KvSchedStats) {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let mut sched = KvScheduler::new(
+            &m,
+            &sim,
+            NativeBackend,
+            SessionConfig::default(),
+            kv,
+            max_active,
+        )
+        .with_speculation(k);
+        assert_eq!(sched.speculation_k(), k);
+        for (t, (prompt, max_new)) in requests.iter().enumerate() {
+            sched.submit(
+                t as u64,
+                DecodeRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: *max_new,
+                },
+            );
+        }
+        let replies = run_to_completion(&mut sched);
+        assert_eq!(sched.pool().used_blocks(), 0, "all blocks returned");
+        (replies, sched.stats().clone())
+    }
+
+    #[test]
+    fn speculative_scheduling_replies_are_bit_identical_even_under_memory_pressure() {
+        // The same starved pool as the preemption test: speculation must
+        // coexist with eviction, and — because the reserve phase books
+        // the verify pass's k_eff + 1 transient rows before any session
+        // steps — a batched verify can never find the pool dry. The
+        // replies (tokens AND per-token costs) must match plain
+        // scheduling bit-exactly for every k.
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 13,
+            ..KvServeConfig::default()
+        };
+        let requests: Vec<(Vec<usize>, usize)> = (0..6)
+            .map(|i| ((0..5).map(|t| (t * 2 + i) % 16).collect(), 6))
+            .collect();
+        let (plain, plain_stats) = run_requests(0, kv, 6, &requests);
+        assert_eq!(plain_stats.spec, SpecSessionStats::default());
+        for k in [1, 2, 4] {
+            let (spec, stats) = run_requests_spec(k, kv, 6, &requests);
+            assert_eq!(plain, spec, "k={k} changed a reply");
+            assert!(stats.preemptions > 0, "k={k}: pressure must stay real");
+            assert!(stats.spec.spec_steps > 0, "k={k}: speculation must run");
+            assert!(stats.spec.proposed > 0);
+            assert_eq!(
+                stats.spec.accepted + stats.spec.rolled_back,
+                stats.spec.proposed,
+                "every proposal is either accepted or rolled back"
+            );
+            assert_eq!(
+                stats.spec.emitted, stats.decoded_tokens,
+                "k={k}: every decoded token came from a speculative step"
+            );
+            assert_eq!(stats.decoded_tokens, plain_stats.decoded_tokens);
+            assert!(stats.spec.draft_cycles > 0, "draft overhead is itemized");
+        }
+    }
+
+    #[test]
+    fn accepted_proposals_save_whole_scheduler_ticks() {
+        // One session in a roomy pool: a speculative step emits
+        // `accepted + 1` tokens per tick, so the run takes exactly
+        // `accepted` fewer ticks than plain scheduling — the whole
+        // point of speculation, in the scheduler's own currency.
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let requests = vec![(vec![1usize, 2, 3, 4, 5], 16)];
+        let (plain, plain_stats) = run_requests(0, kv, 1, &requests);
+        let (spec, stats) = run_requests_spec(4, kv, 1, &requests);
+        assert_eq!(plain, spec, "speculation never changes the reply");
+        assert_eq!(stats.spec.emitted, plain_stats.decoded_tokens);
+        assert_eq!(
+            stats.ticks + stats.spec.accepted,
+            plain_stats.ticks,
+            "each accepted proposal saves exactly one tick"
+        );
+    }
+
+    #[test]
+    fn a_speculative_tick_reports_per_session_emission_and_draft_traces() {
+        let m = model();
+        let sim = Simulator::new(ArchConfig::lt_base(8));
+        let kv = KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        };
+        let mut sched = KvScheduler::new(&m, &sim, NativeBackend, SessionConfig::default(), kv, 4)
+            .with_speculation(3);
+        for t in 0..2u64 {
+            sched.submit(
+                t,
+                DecodeRequest {
+                    prompt: vec![1, 2, 3],
+                    max_new_tokens: 8,
+                },
+            );
+        }
+        // Unchunked admission prefills and then steps in the same tick,
+        // so the first tick is already a speculative one.
+        let out = sched.tick().expect("admission + first speculative tick");
+        assert_eq!(out.admitted, vec![0, 1]);
+        assert_eq!(out.stepped, vec![0, 1]);
+        assert_eq!(
+            out.emitted.len(),
+            2,
+            "one emission count per stepped session"
+        );
+        assert_eq!(
+            out.draft_traces.len(),
+            2,
+            "one draft trace per stepped session"
+        );
+        assert!(out.emitted.iter().all(|&e| (1..=4).contains(&e)));
+        assert!(
+            out.draft_traces.iter().all(|t| !t.is_empty()),
+            "k_eff > 0 here, so every session drafted"
+        );
+        assert_eq!(
+            sched.stats().decoded_tokens,
+            out.emitted.iter().sum::<usize>() as u64
+        );
     }
 
     #[test]

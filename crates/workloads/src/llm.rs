@@ -75,6 +75,42 @@ impl DecodeTrace {
         lt_core::Trace::from_ops(self.gemm_trace().iter().map(GemmOp::op).collect())
     }
 
+    /// GEMM trace of one batched speculative *verify* pass: the last
+    /// committed token plus `k` draft proposals run through the target
+    /// in a single chunked pass, every GEMM row-stacked `k + 1` high
+    /// and the attention context grown by the `k` extra speculated
+    /// positions. With `context_len` counting the attended tokens at
+    /// the first verified position (as in [`DecodeTrace::gemm_trace`]),
+    /// `spec_gemm_trace(0)` *is* the plain decode step.
+    ///
+    /// This is the analytic twin of `lt_nn::DecoderLm::verify_step`
+    /// (pinned by `tests/trace_crossval.rs`) and the whole bandwidth
+    /// argument for speculation: the weights stream over HBM once per
+    /// `k + 1` candidate positions instead of once per token.
+    pub fn spec_gemm_trace(&self, k: usize) -> Vec<GemmOp> {
+        let d = self.model.dim;
+        let h = self.model.heads;
+        let dh = self.model.head_dim();
+        let f = self.model.ffn_dim;
+        let layers = self.model.layers;
+        let rows = self.batch * (k + 1);
+        let ctx = self.context_len + k;
+        vec![
+            GemmOp::new(OpKind::QkvProj, rows, d, d, 3 * layers),
+            GemmOp::new(OpKind::AttnQk, rows, dh, ctx, h * layers),
+            GemmOp::new(OpKind::AttnAv, rows, ctx, dh, h * layers),
+            GemmOp::new(OpKind::OutProj, rows, d, d, layers),
+            GemmOp::new(OpKind::Ffn1, rows, d, f, layers),
+            GemmOp::new(OpKind::Ffn2, rows, f, d, layers),
+        ]
+    }
+
+    /// [`DecodeTrace::spec_gemm_trace`] in the shared trace IR, for
+    /// `lt_arch::Simulator::run_trace` replay.
+    pub fn spec_trace(&self, k: usize) -> lt_core::Trace {
+        lt_core::Trace::from_ops(self.spec_gemm_trace(k).iter().map(GemmOp::op).collect())
+    }
+
     /// MACs for one generated token.
     pub fn macs_per_token(&self) -> u64 {
         self.gemm_trace().iter().map(|op| op.total_macs()).sum()
@@ -144,6 +180,31 @@ mod tests {
             ir.total_macs(),
             4 * DecodeTrace::new(gpt_like(), 512, 1).macs_per_token()
         );
+    }
+
+    #[test]
+    fn spec_trace_at_k0_is_the_plain_decode_step() {
+        let t = DecodeTrace::new(gpt_like(), 512, 1);
+        assert_eq!(t.spec_gemm_trace(0), t.gemm_trace());
+        assert_eq!(t.spec_trace(0), t.op_trace());
+    }
+
+    #[test]
+    fn spec_trace_stacks_rows_and_grows_the_context() {
+        let t = DecodeTrace::new(gpt_like(), 512, 1);
+        let ops = t.spec_gemm_trace(4);
+        let qk = ops.iter().find(|o| o.kind == OpKind::AttnQk).unwrap();
+        assert_eq!((qk.m, qk.k, qk.n), (5, 64, 516));
+        let av = ops.iter().find(|o| o.kind == OpKind::AttnAv).unwrap();
+        assert_eq!((av.m, av.k, av.n), (5, 516, 64));
+        let proj = ops.iter().find(|o| o.kind == OpKind::QkvProj).unwrap();
+        assert_eq!(proj.m, 5, "projections row-stack all k+1 positions");
+        // The speculation economics: 5 positions of projection/FFN MACs
+        // against ONE weight stream (same k x n operands as a step).
+        let step = DecodeTrace::new(gpt_like(), 512, 1).gemm_trace();
+        let step_proj = step.iter().find(|o| o.kind == OpKind::QkvProj).unwrap();
+        assert_eq!(proj.total_macs(), 5 * step_proj.total_macs());
+        assert_eq!((proj.k, proj.n), (step_proj.k, step_proj.n));
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The speculative-decoding contract, end to end.
+//!
+//! Greedy draft + greedy verify + KV rollback must leave the output
+//! stream **bit-identical** to plain greedy decode — for every
+//! speculation depth, every backend (deterministic native and noisy
+//! photonic), both cache paths (contiguous and paged), and any
+//! `ParallelBackend` thread count. Speculation may only change *how
+//! fast* tokens are produced (scheduler ticks, replayed cycles), never
+//! *which* tokens. These tests pin that contract plus the rollback
+//! bookkeeping: a speculative session's paged cache never leaks a
+//! block — after every step the `BlockPool` free count matches the
+//! post-rollback context exactly, and a drained pool ends full.
+
+use lightening_transformer::arch::{ArchConfig, Simulator};
+use lightening_transformer::core::{ComputeBackend, GaussianSampler, NativeBackend};
+use lightening_transformer::dptc::DptcBackend;
+use lightening_transformer::nn::decode::{
+    DecodeReply, DecodeSession, DecoderConfig, DecoderLm, DraftLm, SessionConfig,
+};
+use lightening_transformer::nn::kv::{BlockPool, ModelKv, PagedKvCache};
+use lightening_transformer::nn::serve::decode::{DecodeServeConfig, SpecConfig};
+use lightening_transformer::nn::serve::lifecycle::SloFrontend;
+use lightening_transformer::nn::serve::sched::KvServeConfig;
+use lightening_transformer::runtime::loadgen::LoadgenConfig;
+use lightening_transformer::runtime::ParallelBackend;
+
+const SPEC_KS: [usize; 4] = [1, 2, 4, 8];
+const PROMPT: [usize; 5] = [3, 1, 4, 1, 5];
+const MAX_NEW: usize = 10;
+
+/// The tapered target (deep blocks scaled so the self-speculative
+/// draft agrees at a useful rate; bit-identity must hold regardless).
+fn tapered_model(seed: u64) -> DecoderLm {
+    let mut rng = GaussianSampler::new(seed);
+    let mut model = DecoderLm::new(DecoderConfig::tiny(), &mut rng);
+    model.taper_deep_blocks(0.25);
+    model
+}
+
+/// Runs one session to completion on a contiguous cache: plain steps
+/// at `k == 0`, speculative steps otherwise.
+fn run_contiguous<B: ComputeBackend + Clone>(
+    model: &DecoderLm,
+    backend: B,
+    k: usize,
+) -> DecodeReply {
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    let draft = DraftLm::from_target(model);
+    let mut session = DecodeSession::new(
+        model,
+        0,
+        PROMPT.to_vec(),
+        MAX_NEW,
+        backend,
+        SessionConfig::default(),
+    );
+    session.prefill(model, &sim);
+    while !session.is_done() {
+        if k == 0 {
+            session.step(model, &sim);
+        } else {
+            session.spec_step(model, &draft, &sim, k);
+        }
+    }
+    session.into_reply()
+}
+
+/// Same, on a paged cache over `pool`.
+fn run_paged<B: ComputeBackend + Clone>(
+    model: &DecoderLm,
+    backend: B,
+    k: usize,
+    pool: &BlockPool,
+) -> DecodeReply {
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    let draft = DraftLm::from_target(model);
+    let config = model.config();
+    let cache = PagedKvCache::new(pool, config.layers, config.dim);
+    let mut session = DecodeSession::new_paged(
+        model,
+        0,
+        PROMPT.to_vec(),
+        MAX_NEW,
+        backend,
+        SessionConfig::default(),
+        cache,
+    );
+    session.prefill(model, &sim);
+    while !session.is_done() {
+        if k == 0 {
+            session.step(model, &sim);
+        } else {
+            session.spec_step(model, &draft, &sim, k);
+        }
+    }
+    session.into_reply()
+}
+
+#[test]
+fn speculative_decode_is_bit_identical_on_contiguous_caches() {
+    // Full-reply equality (tokens AND per-token replayed costs AND KV
+    // footprint) across seeds, depths, and both backend families.
+    for seed in [1u64, 9, 23] {
+        let model = tapered_model(seed);
+        let exact = run_contiguous(&model, NativeBackend, 0);
+        let noisy = run_contiguous(&model, DptcBackend::paper(8, 3), 0);
+        assert_eq!(exact.tokens.len(), MAX_NEW);
+        for k in SPEC_KS {
+            assert_eq!(
+                run_contiguous(&model, NativeBackend, k),
+                exact,
+                "native backend diverged at seed {seed}, k={k}"
+            );
+            assert_eq!(
+                run_contiguous(&model, DptcBackend::paper(8, 3), k),
+                noisy,
+                "noisy DPTC backend diverged at seed {seed}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn speculative_decode_is_bit_identical_on_paged_caches() {
+    let config = DecoderConfig::tiny();
+    for seed in [5u64, 17] {
+        let model = tapered_model(seed);
+        // A roomy pool: the contract under pressure is the scheduler
+        // tests' business; here the paged session itself must match
+        // both its plain-paged and contiguous siblings.
+        let pool = BlockPool::new(64, config.layers, config.dim, 4);
+        let exact = run_paged(&model, NativeBackend, 0, &pool);
+        assert_eq!(
+            exact,
+            run_contiguous(&model, NativeBackend, 0),
+            "paged plain decode must match contiguous (seed {seed})"
+        );
+        let noisy = run_paged(&model, DptcBackend::paper(8, 3), 0, &pool);
+        for k in SPEC_KS {
+            assert_eq!(
+                run_paged(&model, NativeBackend, k, &pool),
+                exact,
+                "native paged diverged at seed {seed}, k={k}"
+            );
+            assert_eq!(
+                run_paged(&model, DptcBackend::paper(8, 3), k, &pool),
+                noisy,
+                "noisy paged diverged at seed {seed}, k={k}"
+            );
+        }
+        assert_eq!(
+            pool.used_blocks(),
+            0,
+            "finished sessions must free all blocks"
+        );
+    }
+}
+
+#[test]
+fn rollback_restores_the_block_pool_free_count_exactly() {
+    // After every speculative step the session's cache must hold
+    // exactly the committed context — the verify rows' rollback
+    // returned every tail block — and the pool's free count must be
+    // the total minus what that context needs. No leak, no slack.
+    let config = DecoderConfig::tiny();
+    // Untapered target on the noisy backend, on purpose: draft and
+    // target greedy streams disagree often, so rounds have tail blocks
+    // to roll back (bit-identity is the other tests' subject). Seed 5
+    // yields both accepted and rolled-back proposals.
+    let mut rng = GaussianSampler::new(5);
+    let model = DecoderLm::new(config, &mut rng);
+    let draft = DraftLm::from_target(&model);
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    let pool = BlockPool::new(64, config.layers, config.dim, 4);
+    let cache = PagedKvCache::new(&pool, config.layers, config.dim);
+    let mut session = DecodeSession::new_paged(
+        &model,
+        0,
+        PROMPT.to_vec(),
+        MAX_NEW,
+        DptcBackend::paper(8, 9),
+        SessionConfig::default(),
+        cache,
+    );
+    session.prefill(&model, &sim);
+    while !session.is_done() {
+        let report = session.spec_step(&model, &draft, &sim, 4);
+        assert!(
+            report.outcome.rollback <= 4,
+            "at most k proposals roll back"
+        );
+        let kv = session.paged_kv().expect("session is paged");
+        // The cache holds everything *fed*: the prompt plus all sampled
+        // tokens except the newest, which is fed by the next step.
+        let context = PROMPT.len() + session.tokens().len() - 1;
+        assert_eq!(kv.len(), context, "cache must hold exactly the context");
+        let needed = context.div_ceil(pool.block_tokens());
+        assert_eq!(
+            kv.resident_blocks(),
+            needed,
+            "no speculative tail block survives"
+        );
+        assert_eq!(
+            pool.free_blocks(),
+            pool.total_blocks() - needed,
+            "rollback must restore the pool free count exactly"
+        );
+    }
+    let stats = session.spec_stats();
+    assert!(stats.rolled_back > 0, "the sweep must exercise rollback");
+    assert!(
+        stats.accepted > 0,
+        "and partial acceptance, not just misses"
+    );
+    drop(session);
+    assert_eq!(pool.free_blocks(), pool.total_blocks(), "pool drains full");
+}
+
+#[test]
+fn the_spec_serving_report_is_invariant_to_gemm_thread_count() {
+    // The whole speculative ServingReport — acceptance counters, draft
+    // overhead, percentiles, every timestamp — must not move when the
+    // photonic GEMMs fan out across 1/2/4/8 threads.
+    let trace = LoadgenConfig::smoke(11, 10).generate();
+    let model = tapered_model(3);
+    let arch = ArchConfig::lt_base(8);
+    let sim = Simulator::new(arch.clone());
+    let config = DecodeServeConfig {
+        max_active: 4,
+        arch: arch.clone(),
+        kv: KvServeConfig {
+            block_tokens: 4,
+            pool_blocks: 64,
+            ..KvServeConfig::default()
+        },
+        spec: SpecConfig::with_k(4),
+        ..DecodeServeConfig::default()
+    };
+    let run = |threads: usize| {
+        let backend =
+            ParallelBackend::new(DptcBackend::paper(8, 17), threads).with_min_parallel_macs(0);
+        SloFrontend::new(&model, &sim, backend, &config).run_open(&trace)
+    };
+    let (base_records, base_report) = run(1);
+    assert!(base_report.spec_steps > 0, "speculation must actually run");
+    assert!(base_report.spec_proposed > 0);
+    assert!(base_report.draft_cycles > 0);
+    for threads in [2usize, 4, 8] {
+        let (records, report) = run(threads);
+        assert_eq!(report, base_report, "report diverged at {threads} threads");
+        assert_eq!(
+            records, base_records,
+            "records diverged at {threads} threads"
+        );
+    }
+}

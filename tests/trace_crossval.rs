@@ -232,6 +232,60 @@ fn recorded_decode_step_trace_matches_the_analytical_decode_trace() {
 }
 
 #[test]
+fn recorded_verify_step_traces_match_the_analytical_spec_trace() {
+    // Speculative decoding's batched verify pass at the executable tiny
+    // GPT2-small geometry: every spec step's recorded verify GEMMs must
+    // equal `DecodeTrace::spec_trace(k)` — row-stacked `k+1` high, the
+    // attention context grown by the speculated positions — and cost
+    // the same when replayed through the accelerator model.
+    use lightening_transformer::nn::decode::DraftLm;
+    let spec = TransformerConfig::gpt2_small(16).tiny_validation();
+    let model = decoder_at(&spec, 16);
+    let draft = DraftLm::from_target(&model);
+    let sim = Simulator::new(ArchConfig::lt_base(8));
+    for k in [1usize, 2, 4] {
+        let prompt = vec![3usize, 1, 4, 1];
+        let max_new = 8usize;
+        let mut session = DecodeSession::new(
+            &model,
+            0,
+            prompt.clone(),
+            max_new,
+            NativeBackend,
+            SessionConfig::default(),
+        );
+        session.prefill(&model, &sim);
+        while !session.is_done() {
+            let committed = session.tokens().len();
+            let k_eff = k.min(max_new - committed - 1);
+            let base = prompt.len() + committed - 1;
+            let report = session.spec_step(&model, &draft, &sim, k);
+            if k_eff == 0 {
+                // Degenerate tail: a plain step, covered by the
+                // decode-step crossval above.
+                continue;
+            }
+            let recorded = body_gemms(&report.verify_trace).coalesce();
+            // The first verified position attends over base + 1 tokens.
+            let analytical_ops = DecodeTrace::new(spec.clone(), base + 1, 1);
+            let analytical = analytical_ops.spec_trace(k_eff).coalesce();
+            assert_eq!(
+                recorded, analytical,
+                "{}: recorded verify step and analytical spec_trace disagree \
+                 at base {base}, k_eff {k_eff}",
+                spec.name
+            );
+            assert_eq!(
+                sim.run_trace(&recorded),
+                sim.run_trace(&analytical),
+                "{}: verify trace must cost like its analytic twin",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
 fn quantized_recorded_decode_steps_match_the_analytical_decode_trace() {
     // Token-by-token decoding with the weight-bearing layers on true
     // i8 / i4 codes: each step's recorded body GEMMs must still equal
